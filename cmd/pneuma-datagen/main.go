@@ -1,0 +1,61 @@
+// Command pneuma-datagen writes the synthetic KramaBench-style benchmark
+// datasets to CSV files, plus the question banks with their ground-truth
+// answers as a manifest.
+//
+//	pneuma-datagen -out ./data
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pneuma/internal/kramabench"
+	"pneuma/internal/table"
+)
+
+func main() {
+	out := flag.String("out", "./data", "output directory")
+	flag.Parse()
+
+	write := func(name string, corpus map[string]*table.Table, questions []kramabench.Question) {
+		dir := filepath.Join(*out, name)
+		for _, t := range corpus {
+			path := filepath.Join(dir, t.Schema.Name+".csv")
+			if err := t.WriteCSVFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "pneuma-datagen:", err)
+				os.Exit(1)
+			}
+		}
+		manifest := filepath.Join(dir, "questions.json")
+		f, err := os.Create(manifest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pneuma-datagen:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		type item struct {
+			ID       string `json:"id"`
+			Question string `json:"question"`
+			Answer   string `json:"answer"`
+		}
+		var items []item
+		for _, q := range questions {
+			items = append(items, item{q.ID, q.Need.QuestionText, q.Answer})
+		}
+		if err := enc.Encode(items); err != nil {
+			fmt.Fprintln(os.Stderr, "pneuma-datagen:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("%s: %d tables + %d questions -> %s\n", name, len(corpus), len(questions), dir)
+	}
+
+	arch := kramabench.Archaeology()
+	write("archaeology", arch, kramabench.ArchaeologyQuestions(arch))
+	env := kramabench.Environment()
+	write("environment", env, kramabench.EnvironmentQuestions(env))
+}

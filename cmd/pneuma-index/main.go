@@ -1,0 +1,50 @@
+// Command pneuma-index builds a Pneuma-Retriever hybrid index over a CSV
+// directory and runs queries against it from the command line — the
+// standalone table-discovery workflow.
+//
+//	pneuma-index -dir ./data/archaeology -q "potassium in soil samples"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pneuma"
+)
+
+func main() {
+	dir := flag.String("dir", "", "CSV directory to index")
+	query := flag.String("q", "", "query to run against the index")
+	k := flag.Int("k", 5, "number of results")
+	flag.Parse()
+
+	if *dir == "" || *query == "" {
+		fmt.Fprintln(os.Stderr, "usage: pneuma-index -dir <csvdir> -q <query> [-k n]")
+		os.Exit(2)
+	}
+	corpus, err := pneuma.LoadDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
+		os.Exit(1)
+	}
+	ret := pneuma.NewRetriever()
+	for _, t := range corpus {
+		if err := ret.IndexTable(t); err != nil {
+			fmt.Fprintln(os.Stderr, "pneuma-index:", err)
+			os.Exit(1)
+		}
+	}
+	hits, err := ret.Search(*query, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d tables indexed; top %d for %q:\n\n", len(corpus), len(hits), *query)
+	for i, h := range hits {
+		fmt.Printf("%d. %s (score %.4f)\n", i+1, h.Title, h.Score)
+		if h.Table != nil {
+			fmt.Printf("   %s\n", h.Table.Schema.String())
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command pneuma-seeker is the interactive CLI rendition of the paper's
+// interface (Figure 2): a chat pane plus the live state view (T, Q).
+//
+//	pneuma-seeker -dataset archaeology
+//	pneuma-seeker -dataset environment
+//	pneuma-seeker -dir ./my-csvs        # your own CSV directory
+//	pneuma-seeker -web                  # enable the (simulated) web search
+//
+// Type messages at the prompt; the Conductor plans, retrieves, materializes
+// and executes, then prints its reply and the updated state. Type
+// ":state" to re-print the state view, ":actions" to see the last turn's
+// action trace, ":quit" to exit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pneuma"
+	"pneuma/internal/core"
+)
+
+func main() {
+	dataset := flag.String("dataset", "archaeology", "built-in dataset: archaeology or environment")
+	dir := flag.String("dir", "", "load a CSV directory instead of a built-in dataset")
+	webOn := flag.Bool("web", false, "enable the simulated web search retriever")
+	user := flag.String("user", "cli-user", "user name for knowledge capture")
+	flag.Parse()
+
+	var corpus map[string]*pneuma.Table
+	var err error
+	switch {
+	case *dir != "":
+		corpus, err = pneuma.LoadDir(*dir)
+	case *dataset == "environment":
+		corpus = pneuma.EnvironmentDataset()
+	default:
+		corpus = pneuma.ArchaeologyDataset()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pneuma-seeker:", err)
+		os.Exit(1)
+	}
+
+	var web *pneuma.WebSearch
+	if *webOn {
+		web = pneuma.NewWebSearch()
+	}
+	seeker, err := pneuma.NewSeeker(pneuma.Config{WebSearch: *webOn}, corpus, web, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pneuma-seeker:", err)
+		os.Exit(1)
+	}
+	sess := seeker.NewSession(*user)
+
+	fmt.Printf("Pneuma-Seeker — %d tables loaded. Ask away (:quit to exit).\n\n", len(corpus))
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastReply core.Reply
+	for {
+		fmt.Print("you> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":state":
+			fmt.Println(sess.State.View())
+			continue
+		case line == ":actions":
+			for _, a := range lastReply.Actions {
+				fmt.Printf("  %-13s %s", a.Action, a.Detail)
+				if a.Err != "" {
+					fmt.Printf(" [error: %s]", a.Err)
+				}
+				fmt.Println()
+				if a.Reasoning != "" {
+					fmt.Printf("                reasoning: %s\n", a.Reasoning)
+				}
+			}
+			continue
+		}
+		reply, err := sess.Send(line)
+		if err != nil {
+			fmt.Println("system error:", err)
+			continue
+		}
+		lastReply = reply
+		fmt.Println("\nseeker>", reply.Message)
+		fmt.Println()
+		fmt.Println(sess.State.View())
+		fmt.Printf("(simulated turn latency: %.1fs; type :actions for the action trace)\n\n",
+			sess.TurnLatency.Seconds())
+	}
+}

@@ -1,0 +1,46 @@
+// Archaeology: a full simulated convergence session on the paper's Maltese
+// potassium question (§4), showing the LLM Sim user, the evolving state
+// (T, Q), and the convergence outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pneuma"
+	"pneuma/internal/harness"
+	"pneuma/internal/llm"
+)
+
+func main() {
+	corpus := pneuma.ArchaeologyDataset()
+	questions := pneuma.ArchaeologyQuestions(corpus)
+
+	// A5 is the paper's running benchmark example.
+	var q pneuma.Question
+	for _, c := range questions {
+		if c.ID == "A5" {
+			q = c
+		}
+	}
+	fmt.Printf("Latent information need (hidden from the system):\n  %s\n  ground truth: %s\n\n",
+		q.Need.QuestionText, q.Answer)
+
+	sys, err := harness.NewSeekerSystem(corpus, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
+	res, err := harness.RunConversation(sys, q, sim, harness.DefaultMaxTurns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range res.Transcript {
+		fmt.Printf("--- turn %d ---\nUSER: %s\nSYSTEM: %s\n\n", i+1, e.User, e.System)
+	}
+	fmt.Printf("converged=%v turns=%d system answer=%q oracle answer=%q\n",
+		res.Converged, res.Turns, res.FinalAnswer, q.Answer)
+	fmt.Println("\n(The conversation converges — the user fully articulated the latent need —")
+	fmt.Println("but the computed value differs from the oracle: the intended semantics anchor")
+	fmt.Println("the first/last times in occupation_records, a gap RQ2 counts against accuracy.)")
+}

@@ -1,0 +1,56 @@
+// Knowledge: the Document Database as an emergent documentation layer
+// (§3.3, §5.2). One user externalizes a domain assumption during their
+// session; a different user's later session retrieves it automatically —
+// cross-user knowledge transfer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pneuma"
+)
+
+func main() {
+	corpus := pneuma.ArchaeologyDataset()
+	kb := pneuma.NewKnowledgeDB()
+
+	seeker, err := pneuma.NewSeeker(pneuma.Config{}, corpus, nil, kb)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// User 1 externalizes tacit knowledge mid-conversation.
+	alice := seeker.NewSession("alice")
+	msgs := []string{
+		"What is the average Potassium concentration for soil samples in the Malta region?",
+		"Note that potassium values should be interpolated between samples; assume the measurements are linearly interpolated when values are missing.",
+	}
+	for _, m := range msgs {
+		if _, err := alice.Send(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("After Alice's session, the Document Database holds %d note(s):\n", kb.Len())
+	for _, n := range kb.All() {
+		fmt.Printf("  [%s] %q\n", n.Author, n.Body)
+	}
+
+	// User 2 asks about the same topic: the captured knowledge surfaces in
+	// their session context without Alice being involved.
+	bob := seeker.NewSession("bob")
+	if _, err := bob.Send("I want to analyze potassium measurements in soil samples across regions."); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBob's session automatically carries %d knowledge note(s):\n", len(bob.KnowledgeNotes))
+	for _, n := range bob.KnowledgeNotes {
+		fmt.Printf("  - %q\n", n)
+	}
+
+	// The notes are also searchable directly — organizational memory.
+	hits, err := kb.Search("how should tariff or potassium assumptions be handled", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDirect knowledge search returned %d hit(s).\n", len(hits))
+}

@@ -1,0 +1,115 @@
+// Tariff: the paper's running example (§1, §3.6). A finance analyst asks
+// about tariff impact; the system discovers that tariff data is missing
+// from the internal procurement tables, retrieves a tariff schedule through
+// Web Search, integrates it with procurement data, and computes the impact
+// relative to the previously active tariff after the user clarifies that
+// that is what "impact" means.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pneuma"
+	"pneuma/internal/table"
+	"pneuma/internal/value"
+)
+
+// procurementCorpus builds a small internal procurement database: the data
+// an organization would have, which notably lacks tariff rates.
+func procurementCorpus() map[string]*pneuma.Table {
+	rng := rand.New(rand.NewSource(7))
+	proc := table.New(table.Schema{
+		Name:        "procurement_records",
+		Description: "Purchases of equipment and supplies from international suppliers",
+		Columns: []table.Column{
+			{Name: "purchase_id", Type: value.KindInt, Description: "Purchase identifier"},
+			{Name: "supplier_id", Type: value.KindInt, Description: "Supplier identifier"},
+			{Name: "item", Type: value.KindString, Description: "Purchased item"},
+			{Name: "category", Type: value.KindString, Description: "Goods category"},
+			{Name: "country", Type: value.KindString, Description: "Supplier country"},
+			{Name: "price", Type: value.KindFloat, Description: "Purchase price in USD", Unit: "usd"},
+			{Name: "quantity", Type: value.KindInt, Description: "Units purchased"},
+		},
+	})
+	items := []struct{ item, cat, country string }{
+		{"microscope", "lab equipment", "Germany"},
+		{"centrifuge", "lab equipment", "Germany"},
+		{"lathe", "machinery", "Germany"},
+		{"oscilloscope", "electronics", "Japan"},
+		{"pipette set", "lab equipment", "France"},
+		{"router", "electronics", "China"},
+	}
+	for i := 0; i < 400; i++ {
+		it := items[rng.Intn(len(items))]
+		proc.MustAppend(table.Row{
+			value.Int(int64(i + 1)),
+			value.Int(int64(100 + rng.Intn(40))),
+			value.String(it.item),
+			value.String(it.cat),
+			value.String(it.country),
+			value.Float(200 + rng.Float64()*4800),
+			value.Int(int64(1 + rng.Intn(20))),
+		})
+	}
+	suppliers := table.New(table.Schema{
+		Name:        "suppliers",
+		Description: "Supplier registry",
+		Columns: []table.Column{
+			{Name: "supplier_id", Type: value.KindInt, Description: "Supplier identifier"},
+			{Name: "supplier_name", Type: value.KindString, Description: "Supplier name"},
+			{Name: "country", Type: value.KindString, Description: "Country of origin"},
+		},
+	})
+	names := []string{"Acme GmbH", "Orion SARL", "Kita KK", "Delta Ltd"}
+	countries := []string{"Germany", "France", "Japan", "China"}
+	for i := 0; i < 40; i++ {
+		suppliers.MustAppend(table.Row{
+			value.Int(int64(100 + i)),
+			value.String(fmt.Sprintf("%s %d", names[i%len(names)], i)),
+			value.String(countries[i%len(countries)]),
+		})
+	}
+	return map[string]*pneuma.Table{
+		proc.Schema.Name:      proc,
+		suppliers.Schema.Name: suppliers,
+	}
+}
+
+func main() {
+	// Web Search is ENABLED here (it is disabled only for benchmarks): the
+	// built-in synthetic web corpus includes the 2026 tariff schedule.
+	web := pneuma.NewWebSearch()
+	kb := pneuma.NewKnowledgeDB()
+	seeker, err := pneuma.NewSeeker(pneuma.Config{WebSearch: true}, procurementCorpus(), web, kb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := seeker.NewSession("finance-analyst")
+
+	for _, msg := range []string{
+		// The paper's opening question, made price-concrete.
+		"We import a lot of equipment. What is the average price of our procurement records from the Germany country suppliers?",
+		// The paper's key clarification: impact relative to the previous
+		// active tariff — externalized knowledge that gets captured.
+		"Impact should be calculated relative to the previous active tariff, not just the current rate. What is the average price of procurement records from Germany relative to the previous tariff?",
+	} {
+		fmt.Printf(">>> %s\n\n", msg)
+		reply, err := sess.Send(msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(reply.Message)
+		fmt.Println()
+	}
+
+	fmt.Println(sess.State.View())
+
+	// The clarification was captured as organizational knowledge (§3.3):
+	// future tariff conversations — by anyone — retrieve it.
+	fmt.Printf("Knowledge notes captured: %d\n", kb.Len())
+	for _, n := range kb.All() {
+		fmt.Printf("  [%s] %s\n", n.Author, n.Body)
+	}
+}

@@ -1,0 +1,48 @@
+// Package baselines implements the comparison systems of the paper's
+// evaluation (§4): BM25 full-text search (FTS), Pneuma-Retriever used as a
+// stand-alone static system, a LlamaIndex-style RAG system, DS-Guru
+// (KramaBench's reference framework) and the O3 whole-table full-context
+// baseline.
+package baselines
+
+import (
+	"pneuma/internal/llm"
+)
+
+// Output is the surface a system presents to the (simulated) user after one
+// utterance. Different systems fill different fields: static systems return
+// raw tables, interpreting systems return messages and interpreted columns,
+// Pneuma-Seeker additionally surfaces state and computed answers.
+type Output struct {
+	// Message is the user-facing text.
+	Message string
+	// MentionedColumns is the interpreted column surface (seeker/rag).
+	MentionedColumns []llm.MentionedColumn
+	// State is the surfaced (T, Q) view (seeker only).
+	State *llm.StateInfo
+	// ShownTables are raw retrieved tables (static systems).
+	ShownTables []llm.TableInfo
+	// Answer is a computed scalar answer, when the system executes queries.
+	Answer string
+	// ContextTokens is what this output costs in the user's own context
+	// window — the quantity that overflows GPT-4o for static systems
+	// (§4.1: "2-3 turns are enough to exceed the limit").
+	ContextTokens int
+}
+
+// System is a discovery system the user simulator can converse with.
+type System interface {
+	// Name is the display name used in figures.
+	Name() string
+	// Kind is the user-simulation behaviour class: "seeker", "rag" or
+	// "static".
+	Kind() string
+	// StartConversation begins a fresh conversation.
+	StartConversation() Conversation
+}
+
+// Conversation is one ongoing dialogue.
+type Conversation interface {
+	// Respond handles one user utterance.
+	Respond(utterance string) (Output, error)
+}

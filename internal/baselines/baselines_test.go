@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+	"pneuma/internal/table"
+	"pneuma/internal/value"
+)
+
+func smallCorpus() map[string]*table.Table {
+	soil := table.New(table.Schema{
+		Name:        "soil_samples",
+		Description: "Soil chemistry samples",
+		Columns: []table.Column{
+			{Name: "region", Type: value.KindString, Description: "Region of the site"},
+			{Name: "k_ppm", Type: value.KindFloat, Description: "Potassium concentration in parts per million"},
+		},
+	})
+	soil.MustAppend(table.Row{value.String("Malta"), value.Float(100)})
+	soil.MustAppend(table.Row{value.String("Gozo"), value.Float(120)})
+	sites := table.New(table.Schema{
+		Name:        "sites",
+		Description: "Excavation sites registry",
+		Columns: []table.Column{
+			{Name: "site_name", Type: value.KindString, Description: "Site name"},
+			{Name: "region", Type: value.KindString, Description: "Region"},
+		},
+	})
+	sites.MustAppend(table.Row{value.String("Tarxien"), value.String("Malta")})
+	return map[string]*table.Table{"soil_samples": soil, "sites": sites}
+}
+
+func TestFTSReturnsRawTables(t *testing.T) {
+	fts := NewFTS(smallCorpus())
+	if fts.Kind() != "static" {
+		t.Fatalf("kind = %q", fts.Kind())
+	}
+	out, err := fts.StartConversation().Respond("potassium Malta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ShownTables) == 0 {
+		t.Fatal("FTS returned no tables")
+	}
+	// Static systems must not surface interpretations.
+	if len(out.MentionedColumns) != 0 {
+		t.Error("FTS must not interpret columns")
+	}
+	for _, ti := range out.ShownTables {
+		for _, c := range ti.Columns {
+			if c.Description != "" {
+				t.Errorf("FTS leaked a description for %s", c.Name)
+			}
+		}
+	}
+	if out.ContextTokens == 0 {
+		t.Error("raw table dumps must cost context tokens")
+	}
+	if out.Answer != "" {
+		t.Error("static systems never compute answers")
+	}
+}
+
+func TestFTSHasNoDescriptionGrounding(t *testing.T) {
+	// "potassium" lives only in a column description; FTS (name+values
+	// index) must miss it while the hybrid retriever finds it.
+	fts := NewFTS(smallCorpus())
+	out, _ := fts.StartConversation().Respond("potassium")
+	for _, ti := range out.ShownTables {
+		if ti.Name == "soil_samples" {
+			t.Fatal("FTS should not match on descriptions")
+		}
+	}
+	ro, err := NewRetrieverOnly(smallCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = ro.StartConversation().Respond("potassium")
+	found := false
+	for _, ti := range out.ShownTables {
+		if ti.Name == "soil_samples" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hybrid retriever must match descriptions")
+	}
+}
+
+func TestRAGInterpretsButCannotCompute(t *testing.T) {
+	rag, err := NewRAG(smallCorpus(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rag.Kind() != "rag" {
+		t.Fatalf("kind = %q", rag.Kind())
+	}
+	conv := rag.StartConversation()
+	out, err := conv.Respond("I'm interested in the Potassium concentration measurements.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.MentionedColumns) == 0 {
+		t.Fatal("RAG must interpret columns")
+	}
+	if out.Answer != "" {
+		t.Fatal("RAG must not compute")
+	}
+	if rag.Meter().Calls == 0 {
+		t.Error("RAG model calls must be metered")
+	}
+}
+
+func TestDSGuruEasyQuestion(t *testing.T) {
+	corpus := kramabench.Archaeology()
+	questions := kramabench.ArchaeologyQuestions(corpus)
+	g := NewDSGuru(corpus, nil)
+	ans, err := g.AnswerQuestion(questions[0]) // A1, transparent name
+	if err != nil {
+		t.Fatalf("A1: %v", err)
+	}
+	if !questions[0].AnswersMatch(ans) {
+		t.Fatalf("A1 answer %q != %q", ans, questions[0].Answer)
+	}
+	// A5 (opaque measure names) must fail for name-only grounding.
+	var a5 kramabench.Question
+	for _, q := range questions {
+		if q.ID == "A5" {
+			a5 = q
+		}
+	}
+	if _, err := g.AnswerQuestion(a5); err == nil {
+		t.Fatal("DS-Guru should fail on opaque column names")
+	}
+}
+
+func TestFullContextOverflowAndSmallTable(t *testing.T) {
+	corpus := kramabench.Archaeology()
+	questions := kramabench.ArchaeologyQuestions(corpus)
+	o3 := NewFullContext(corpus, nil)
+	// A1 targets the 42k-row soil table: must overflow.
+	_, err := o3.AnswerQuestion(questions[0])
+	if !errors.Is(err, llm.ErrContextLengthExceeded) {
+		t.Fatalf("A1 err = %v, want context overflow", err)
+	}
+	if tok := o3.ContextTokensFor(questions[0]); tok < 200_000 {
+		t.Fatalf("soil serialization = %d tokens, expected > 200k", tok)
+	}
+	// A10 (radiocarbon, 5k rows) fits but aggregates beyond the attention
+	// budget: an answer comes back, silently wrong.
+	var a10 kramabench.Question
+	for _, q := range questions {
+		if q.ID == "A10" {
+			a10 = q
+		}
+	}
+	ans, err := o3.AnswerQuestion(a10)
+	if err != nil {
+		t.Fatalf("A10 should fit: %v", err)
+	}
+	if a10.AnswersMatch(ans) {
+		t.Fatalf("A10 should be attention-truncated and wrong, got exact %q", ans)
+	}
+}
+
+func TestStaticOutputTruncatesLongCells(t *testing.T) {
+	out := staticOutput([]*table.Table{smallCorpus()["soil_samples"]})
+	if !strings.Contains(out.Message, "soil_samples") {
+		t.Fatal("message must name the table")
+	}
+}

@@ -1,0 +1,204 @@
+// Package bm25 implements an Okapi BM25 inverted index (Robertson &
+// Zaragoza 2009), the lexical half of Pneuma-Retriever's hybrid index and
+// the engine behind the FTS baseline.
+//
+// Documents are added incrementally; scoring uses the standard BM25 term
+// weighting with the "plus 1" IDF variant so that terms present in more
+// than half the corpus never receive negative weight.
+package bm25
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"pneuma/internal/textutil"
+)
+
+// Params are the BM25 free parameters.
+type Params struct {
+	// K1 controls term-frequency saturation. Default 1.2.
+	K1 float64
+	// B controls document-length normalization. Default 0.75.
+	B float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.K1 <= 0 {
+		p.K1 = 1.2
+	}
+	if p.B < 0 || p.B > 1 {
+		p.B = 0.75
+	}
+	if p.B == 0 {
+		p.B = 0.75
+	}
+	return p
+}
+
+type posting struct {
+	doc int
+	tf  int
+}
+
+type docInfo struct {
+	id      string
+	length  int
+	deleted bool
+}
+
+// Index is an inverted index with BM25 ranking. Safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	params   Params
+	postings map[string][]posting
+	docs     []docInfo
+	byID     map[string]int
+	totalLen int
+	liveDocs int
+}
+
+// New creates an empty index.
+func New(params Params) *Index {
+	return &Index{
+		params:   params.withDefaults(),
+		postings: make(map[string][]posting),
+		byID:     make(map[string]int),
+	}
+}
+
+// Len returns the number of live documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveDocs
+}
+
+// Add indexes text under id. Re-adding an ID replaces the old document
+// (tombstoned; postings of dead docs are skipped at query time).
+func (ix *Index) Add(id, text string) {
+	tokens := textutil.NormalizeTokens(text)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	if old, ok := ix.byID[id]; ok {
+		if !ix.docs[old].deleted {
+			ix.docs[old].deleted = true
+			ix.totalLen -= ix.docs[old].length
+			ix.liveDocs--
+		}
+	}
+	docIdx := len(ix.docs)
+	ix.docs = append(ix.docs, docInfo{id: id, length: len(tokens)})
+	ix.byID[id] = docIdx
+	ix.totalLen += len(tokens)
+	ix.liveDocs++
+
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	for term, f := range tf {
+		ix.postings[term] = append(ix.postings[term], posting{doc: docIdx, tf: f})
+	}
+}
+
+// Delete removes id from the index; returns false if absent.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	idx, ok := ix.byID[id]
+	if !ok || ix.docs[idx].deleted {
+		return false
+	}
+	ix.docs[idx].deleted = true
+	ix.totalLen -= ix.docs[idx].length
+	ix.liveDocs--
+	delete(ix.byID, id)
+	return true
+}
+
+// Result is one ranked hit.
+type Result struct {
+	ID    string
+	Score float64
+}
+
+// Search returns the top-k documents for the query, ranked by BM25 score.
+// Documents with zero overlap are never returned.
+func (ix *Index) Search(query string, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	terms := textutil.NormalizeTokens(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.liveDocs == 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(ix.liveDocs)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+
+	// Deduplicate query terms but keep multiplicity as query weight.
+	qtf := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qtf[t]++
+	}
+
+	scores := make(map[int]float64)
+	for term, qw := range qtf {
+		plist, ok := ix.postings[term]
+		if !ok {
+			continue
+		}
+		df := 0
+		for _, p := range plist {
+			if !ix.docs[p.doc].deleted {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(ix.liveDocs)-float64(df)+0.5)/(float64(df)+0.5))
+		for _, p := range plist {
+			di := ix.docs[p.doc]
+			if di.deleted {
+				continue
+			}
+			tf := float64(p.tf)
+			norm := ix.params.K1 * (1 - ix.params.B + ix.params.B*float64(di.length)/avgLen)
+			scores[p.doc] += float64(qw) * idf * (tf * (ix.params.K1 + 1)) / (tf + norm)
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, Result{ID: ix.docs[doc].id, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Vocabulary returns the number of distinct terms indexed (including terms
+// only present in tombstoned documents).
+func (ix *Index) Vocabulary() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pneuma/internal/docs"
+	"pneuma/internal/llm"
+	"pneuma/internal/sqlengine"
+	"pneuma/internal/table"
+	"pneuma/internal/transform"
+)
+
+// Materializer populates T (§3.4). Its "sole purpose is to populate T with
+// data, possibly involving integration of multi-source data from IR
+// System." It is a context-specialized agent: its prompts contain only what
+// integration needs (the spec, the source schemas, the queries in Q), and
+// its toolkit is the SQL executor plus the transform toolkit. Tool errors
+// feed a bounded repair loop through the model's materialize-plan skill.
+type Materializer struct {
+	model      llm.Model
+	maxRepairs int
+	// sampleVals bounds per-column samples in the specialized context.
+	sampleVals int
+}
+
+// NewMaterializer builds a Materializer. maxRepairs ≤ 0 disables the repair
+// loop (the static-pipeline ablation).
+func NewMaterializer(model llm.Model, maxRepairs int) *Materializer {
+	return &Materializer{model: model, maxRepairs: maxRepairs, sampleVals: 8}
+}
+
+// MaterializeResult carries the populated table plus the trace of plans and
+// errors (surfaced in the CLI and tested by the repair-loop tests).
+type MaterializeResult struct {
+	Table   *table.Table
+	Plans   []llm.MaterializePlan
+	Errors  []string
+	Repairs int
+}
+
+// Materialize builds the target table for spec out of the retrieved
+// documents, running the plan → execute → repair loop.
+func (m *Materializer) Materialize(spec llm.TableSpec, retrieved []docs.Document, queries []string) (MaterializeResult, error) {
+	var res MaterializeResult
+
+	// Specialized context: only table documents, only integration data.
+	var docDTOs []llm.DocInfo
+	byName := make(map[string]*table.Table)
+	for _, d := range retrieved {
+		if d.Table == nil {
+			continue
+		}
+		docDTOs = append(docDTOs, llm.NewDocInfo(d, m.sampleVals))
+		byName[strings.ToLower(d.Table.Schema.Name)] = d.Table
+	}
+
+	in := llm.MaterializeInput{Spec: spec, Docs: docDTOs, Queries: queries}
+	plan, err := m.plan(in)
+	if err != nil {
+		return res, err
+	}
+	res.Plans = append(res.Plans, plan)
+
+	for attempt := 0; ; attempt++ {
+		t, execErr := m.execute(plan, spec, byName)
+		if execErr == nil {
+			res.Table = t
+			return res, nil
+		}
+		res.Errors = append(res.Errors, execErr.Error())
+		if attempt >= m.maxRepairs {
+			return res, fmt.Errorf("materializer: giving up after %d attempt(s): %w", attempt+1, execErr)
+		}
+		// Repair: same skill, now with the error and the previous plan.
+		in.LastError = execErr.Error()
+		in.PrevPlan = &plan
+		repaired, planErr := m.plan(in)
+		if planErr != nil {
+			return res, planErr
+		}
+		plan = repaired
+		res.Plans = append(res.Plans, plan)
+		res.Repairs++
+	}
+}
+
+// PlanOnly produces the integration plan for a spec without executing it;
+// the full-context baseline runs plans with its own lenient policy.
+func (m *Materializer) PlanOnly(spec llm.TableSpec, retrieved []docs.Document, queries []string) (llm.MaterializePlan, error) {
+	var docDTOs []llm.DocInfo
+	for _, d := range retrieved {
+		if d.Table != nil {
+			docDTOs = append(docDTOs, llm.NewDocInfo(d, m.sampleVals))
+		}
+	}
+	return m.plan(llm.MaterializeInput{Spec: spec, Docs: docDTOs, Queries: queries})
+}
+
+// ExecutePlan runs an integration plan against the retrieved documents.
+func (m *Materializer) ExecutePlan(plan llm.MaterializePlan, spec llm.TableSpec, retrieved []docs.Document) (*table.Table, error) {
+	byName := make(map[string]*table.Table)
+	for _, d := range retrieved {
+		if d.Table != nil {
+			byName[strings.ToLower(d.Table.Schema.Name)] = d.Table
+		}
+	}
+	return m.execute(plan, spec, byName)
+}
+
+func (m *Materializer) plan(in llm.MaterializeInput) (llm.MaterializePlan, error) {
+	resp, err := m.model.Complete(llm.Request{
+		Task: llm.TaskMaterializePlan,
+		System: "You are the Materializer of Pneuma-Seeker. Your sole purpose is to " +
+			"populate the target table T by integrating and transforming the retrieved " +
+			"source tables, aligning value formats with what the queries in Q expect.",
+		Payload: llm.MarshalPayload(in),
+	})
+	if err != nil {
+		return llm.MaterializePlan{}, fmt.Errorf("materializer: planning failed: %w", err)
+	}
+	var plan llm.MaterializePlan
+	if err := llm.DecodeResponse(resp, &plan); err != nil {
+		return llm.MaterializePlan{}, err
+	}
+	return plan, nil
+}
+
+// execute runs an integration plan over the source tables.
+func (m *Materializer) execute(plan llm.MaterializePlan, spec llm.TableSpec, byName map[string]*table.Table) (*table.Table, error) {
+	var cur *table.Table
+	for _, step := range plan.Steps {
+		switch step.Op {
+		case "base":
+			src, ok := byName[strings.ToLower(step.Table)]
+			if !ok {
+				return nil, &transform.Error{Op: "BASE", Msg: fmt.Sprintf(
+					"source table %q was not retrieved; available: %s", step.Table, names(byName))}
+			}
+			cur = src.Clone()
+
+		case "join":
+			if cur == nil {
+				return nil, &transform.Error{Op: "JOIN", Msg: "no base table selected before join"}
+			}
+			right, ok := byName[strings.ToLower(step.Table)]
+			if !ok {
+				return nil, &transform.Error{Op: "JOIN", Msg: fmt.Sprintf(
+					"join table %q was not retrieved; available: %s", step.Table, names(byName))}
+			}
+			lk, rk, err := splitJoinKeys(step.Arg)
+			if err != nil {
+				return nil, err
+			}
+			joined, err := equiJoin(cur, right, lk, rk)
+			if err != nil {
+				return nil, err
+			}
+			if joined.NumRows() == 0 && cur.NumRows() > 0 && right.NumRows() > 0 {
+				return nil, &transform.Error{Op: "JOIN", Msg: fmt.Sprintf(
+					"join produced no rows on %s=%s — key values may not line up exactly", lk, rk)}
+			}
+			cur = joined
+
+		case "fuzzy_join":
+			if cur == nil {
+				return nil, &transform.Error{Op: "FUZZY_JOIN", Msg: "no base table selected before join"}
+			}
+			right, ok := byName[strings.ToLower(step.Table)]
+			if !ok {
+				return nil, &transform.Error{Op: "FUZZY_JOIN", Msg: fmt.Sprintf(
+					"join table %q was not retrieved; available: %s", step.Table, names(byName))}
+			}
+			lk, rk, err := splitJoinKeys(step.Arg)
+			if err != nil {
+				return nil, err
+			}
+			out, err := transform.FuzzyJoin{Right: right, LeftKey: lk, RightKey: rk}.Apply(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+
+		case "parse_dates":
+			out, err := transform.ParseDates{Column: step.Column, Lenient: step.Lenient}.Apply(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+
+		case "to_number":
+			out, err := transform.ToNumber{Column: step.Column, Lenient: step.Lenient}.Apply(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+
+		case "interpolate":
+			out, err := transform.Interpolate{XColumn: step.Arg, YColumn: step.Column}.Apply(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+
+		case "derive":
+			out, err := transform.Derive{Name: step.Column, Expr: step.Arg}.Apply(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+
+		case "project":
+			cols := splitCSV(step.Arg)
+			out, err := transform.Keep{Columns: cols}.Apply(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+
+		default:
+			return nil, &transform.Error{Op: step.Op, Msg: "unknown integration op"}
+		}
+	}
+	if cur == nil {
+		return nil, &transform.Error{Op: "PLAN", Msg: "plan produced no table"}
+	}
+	cur.Schema.Name = spec.Name
+	return cur, nil
+}
+
+// equiJoin joins via the SQL engine under stable aliases.
+func equiJoin(left, right *table.Table, leftKey, rightKey string) (*table.Table, error) {
+	eng := sqlengine.NewEngine()
+	l, r := left.Clone(), right.Clone()
+	l.Schema.Name = "l"
+	r.Schema.Name = "r"
+	eng.Register(l)
+	eng.Register(r)
+	// Project right-side columns that do not collide with left names.
+	var rcols []string
+	for _, c := range r.Schema.Columns {
+		if l.Schema.ColumnIndex(c.Name) < 0 {
+			rcols = append(rcols, "r."+quoteIdent(c.Name))
+		}
+	}
+	sel := "l.*"
+	if len(rcols) > 0 {
+		sel += ", " + strings.Join(rcols, ", ")
+	}
+	q := fmt.Sprintf("SELECT %s FROM l JOIN r ON l.%s = r.%s", sel, quoteIdent(leftKey), quoteIdent(rightKey))
+	out, err := eng.Query(q)
+	if err != nil {
+		return nil, &transform.Error{Op: "JOIN", Msg: err.Error()}
+	}
+	// Preserve column descriptions from the sources.
+	for i := range out.Schema.Columns {
+		name := out.Schema.Columns[i].Name
+		if c, ok := left.Schema.Column(name); ok {
+			out.Schema.Columns[i].Description = c.Description
+			out.Schema.Columns[i].Unit = c.Unit
+		} else if c, ok := right.Schema.Column(name); ok {
+			out.Schema.Columns[i].Description = c.Description
+			out.Schema.Columns[i].Unit = c.Unit
+		}
+	}
+	return out, nil
+}
+
+func quoteIdent(s string) string {
+	if strings.ContainsAny(s, " -") {
+		return `"` + s + `"`
+	}
+	return s
+}
+
+func splitJoinKeys(arg string) (string, string, error) {
+	parts := strings.SplitN(arg, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", &transform.Error{Op: "JOIN", Msg: fmt.Sprintf(
+			"join keys %q malformed; want left=right", arg)}
+	}
+	return strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), nil
+}
+
+func splitCSV(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func names(byName map[string]*table.Table) string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return "(none)"
+	}
+	return strings.Join(out, ", ")
+}

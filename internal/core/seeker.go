@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"pneuma/internal/docdb"
+	"pneuma/internal/docs"
+	"pneuma/internal/ir"
+	"pneuma/internal/llm"
+	"pneuma/internal/retriever"
+	"pneuma/internal/table"
+	"pneuma/internal/websearch"
+)
+
+// Config configures a Seeker instance.
+type Config struct {
+	// Model is the language model; defaults to a fresh SimModel with the
+	// o4-mini profile (the paper's deployment).
+	Model llm.Model
+	// MaxActions is the Conductor's per-turn cap (default 5).
+	MaxActions int
+	// WebSearch enables the web retriever (the paper disables it for
+	// benchmarks).
+	WebSearch bool
+	// MaxRepairs bounds the Materializer's repair loop (default 3).
+	MaxRepairs int
+	// Specialized toggles context specialization (default true).
+	Specialized *bool
+	// DynamicPlanning selects conductor-style orchestration over the fixed
+	// static pipeline (default true).
+	DynamicPlanning *bool
+	// RetrieverMode selects the hybrid/vector-only/BM25-only table index.
+	RetrieverMode retriever.Mode
+}
+
+// Seeker is the assembled Pneuma-Seeker system (Figure 1): Conductor, IR
+// System (Pneuma-Retriever + Document Database + Web Search), Materializer
+// and the SQL executor, sharing state (T, Q) per session.
+type Seeker struct {
+	cfg       Config
+	model     llm.Model
+	meter     *llm.Meter
+	irsys     *ir.System
+	knowledge *docdb.DB
+	conductor *Conductor
+}
+
+// New assembles a Seeker over a corpus of tables. web and kb may be nil
+// (a fresh knowledge DB is created when kb is nil).
+func New(cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *docdb.DB) (*Seeker, error) {
+	if cfg.Model == nil {
+		cfg.Model = llm.NewSimModel()
+	}
+	if cfg.MaxRepairs == 0 {
+		cfg.MaxRepairs = 3
+	}
+	if kb == nil {
+		kb = docdb.New()
+	}
+	meter := llm.NewMeter()
+
+	ret := retriever.New(retriever.WithMode(cfg.RetrieverMode))
+	// Deterministic indexing order.
+	names := make([]string, 0, len(corpus))
+	for n := range corpus {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := ret.IndexTable(corpus[n]); err != nil {
+			return nil, err
+		}
+	}
+	if web != nil {
+		web.SetEnabled(cfg.WebSearch)
+	}
+	irsys := ir.New(ret, kb, web)
+
+	condModel := &llm.MeteredModel{Inner: cfg.Model, Meter: meter, Component: "conductor"}
+	matModel := &llm.MeteredModel{Inner: cfg.Model, Meter: meter, Component: "materializer"}
+
+	maxRepairs := cfg.MaxRepairs
+	if cfg.DynamicPlanning != nil && !*cfg.DynamicPlanning {
+		// The static pipeline has no repair loop: errors pass through.
+		maxRepairs = 0
+	}
+	mat := NewMaterializer(matModel, maxRepairs)
+	cond := NewConductor(ConductorConfig{
+		Model:           condModel,
+		IR:              irsys,
+		Materializer:    mat,
+		MaxActions:      cfg.MaxActions,
+		WebSearch:       cfg.WebSearch,
+		Specialized:     cfg.Specialized,
+		DynamicPlanning: cfg.DynamicPlanning,
+	})
+	return &Seeker{
+		cfg:       cfg,
+		model:     cfg.Model,
+		meter:     meter,
+		irsys:     irsys,
+		knowledge: kb,
+		conductor: cond,
+	}, nil
+}
+
+// Meter exposes the token/latency meter (Table 2, latency trade-off).
+func (s *Seeker) Meter() *llm.Meter { return s.meter }
+
+// IR exposes the IR System (examples and tests).
+func (s *Seeker) IR() *ir.System { return s.irsys }
+
+// Knowledge exposes the Document Database.
+func (s *Seeker) Knowledge() *docdb.DB { return s.knowledge }
+
+// Session is one user's conversation: the shared state, the accumulated
+// retrieved documents, and the message history.
+type Session struct {
+	seeker *Seeker
+	// User identifies the user for knowledge capture.
+	User string
+	// State is the shared (T, Q).
+	State *State
+	// UserMessages is the full history of user inputs.
+	UserMessages []string
+	// Docs are the retrieved documents accumulated across turns.
+	Docs []docs.Document
+	// KnowledgeNotes are relevant notes retrieved from the Document
+	// Database at session start and after knowledge capture.
+	KnowledgeNotes []string
+	// RetrievalRounds counts retrieve actions across the session.
+	RetrievalRounds int
+	// TurnLatency is the simulated latency of the last turn.
+	TurnLatency time.Duration
+
+	actions []ActionLog
+	docIDs  map[string]struct{}
+}
+
+// NewSession starts a conversation for the named user.
+func (s *Seeker) NewSession(user string) *Session {
+	return &Session{
+		seeker: s,
+		User:   user,
+		State:  NewState(),
+		docIDs: make(map[string]struct{}),
+	}
+}
+
+// Send delivers one user message and runs the Conductor turn. The returned
+// Reply always carries a user-facing message and the current state view.
+func (sess *Session) Send(message string) (Reply, error) {
+	s := sess.seeker
+	latBefore := s.meter.TotalLatency
+
+	// Knowledge capture (§3.3, §5.2): assumptions the user externalizes are
+	// saved to the Document Database for cross-user transfer.
+	if captured, topic := captureKnowledge(message); captured != "" {
+		if _, err := s.knowledge.Save(topic, captured, sess.User); err == nil {
+			sess.KnowledgeNotes = append(sess.KnowledgeNotes, captured)
+		}
+	}
+	// Surface previously captured knowledge relevant to this message.
+	if notes, err := s.knowledge.Search(message, 3); err == nil {
+		for _, n := range notes {
+			body := n.Content
+			// Document content is "topic\nbody"; sessions carry the body.
+			if i := strings.IndexByte(body, '\n'); i >= 0 {
+				body = body[i+1:]
+			}
+			if !containsNote(sess.KnowledgeNotes, body) {
+				sess.KnowledgeNotes = append(sess.KnowledgeNotes, body)
+			}
+		}
+	}
+
+	reply, err := s.conductor.Turn(sess, message)
+	sess.TurnLatency = s.meter.TotalLatency - latBefore
+	return reply, err
+}
+
+// mergeDocs adds newly retrieved documents, deduplicating by ID; returns
+// how many were new.
+func (sess *Session) mergeDocs(ds []docs.Document) int {
+	added := 0
+	for _, d := range ds {
+		if _, dup := sess.docIDs[d.ID]; dup {
+			continue
+		}
+		sess.docIDs[d.ID] = struct{}{}
+		sess.Docs = append(sess.Docs, d)
+		added++
+	}
+	return added
+}
+
+// shedDocs drops the lowest-ranked half of the accumulated documents —
+// the Conductor's context-pressure relief valve.
+func (sess *Session) shedDocs() {
+	if len(sess.Docs) <= 2 {
+		return
+	}
+	keep := len(sess.Docs) / 2
+	dropped := sess.Docs[keep:]
+	sess.Docs = sess.Docs[:keep]
+	for _, d := range dropped {
+		delete(sess.docIDs, d.ID)
+	}
+}
+
+func (sess *Session) pushAction(a ActionLog) { sess.actions = append(sess.actions, a) }
+
+func (sess *Session) drainActions() []ActionLog {
+	out := sess.actions
+	sess.actions = nil
+	return out
+}
+
+// knowledgeMarkers are utterance patterns that signal externalized domain
+// assumptions worth persisting.
+var knowledgeMarkers = []string{
+	"assume", "should be calculated", "relative to the previous",
+	"should account for", "keep in mind that", "note that", "by definition",
+}
+
+// captureKnowledge decides whether a user message contains persistable
+// domain knowledge, returning the note body and a topic.
+func captureKnowledge(message string) (body, topic string) {
+	lower := strings.ToLower(message)
+	for _, m := range knowledgeMarkers {
+		if strings.Contains(lower, m) {
+			words := strings.Fields(message)
+			n := len(words)
+			if n > 6 {
+				n = 6
+			}
+			return message, strings.Join(words[:n], " ")
+		}
+	}
+	return "", ""
+}
+
+func containsNote(notes []string, body string) bool {
+	for _, n := range notes {
+		if n == body {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+// Package docdb implements the paper's Document Database (§3.3): a store
+// for domain knowledge that reuses Pneuma-Retriever's indexer, enabling
+// cross-user knowledge transfer — "if one user specifies that estimating
+// tariff impacts requires accounting for both direct and indirect tariffs,
+// subsequent tariff-related queries can leverage that insight."
+package docdb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pneuma/internal/docs"
+	"pneuma/internal/retriever"
+)
+
+// Note is one captured piece of domain knowledge.
+type Note struct {
+	// ID is assigned by the database.
+	ID string
+	// Topic is a short label for the knowledge ("tariff impact").
+	Topic string
+	// Body is the knowledge text itself.
+	Body string
+	// Author identifies the user (or agent) whose interaction produced the
+	// note; knowledge transfers across authors by design.
+	Author string
+	// CreatedAt is the capture timestamp.
+	CreatedAt time.Time
+}
+
+// DB is the knowledge store. Safe for concurrent use.
+type DB struct {
+	mu    sync.RWMutex
+	seq   int
+	notes map[string]Note
+	index *retriever.Retriever
+	clock func() time.Time
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithClock overrides the timestamp source (tests and deterministic runs).
+func WithClock(fn func() time.Time) Option {
+	return func(d *DB) { d.clock = fn }
+}
+
+// New creates an empty knowledge database with its own hybrid index.
+func New(opts ...Option) *DB {
+	d := &DB{
+		notes: make(map[string]Note),
+		index: retriever.New(),
+		clock: time.Now,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Save captures a knowledge note and indexes it. It returns the stored note
+// with its assigned ID.
+func (d *DB) Save(topic, body, author string) (Note, error) {
+	d.mu.Lock()
+	d.seq++
+	n := Note{
+		ID:        fmt.Sprintf("note:%d", d.seq),
+		Topic:     topic,
+		Body:      body,
+		Author:    author,
+		CreatedAt: d.clock(),
+	}
+	d.notes[n.ID] = n
+	d.mu.Unlock()
+
+	err := d.index.IndexDocument(docs.Document{
+		ID:      n.ID,
+		Kind:    docs.KindKnowledge,
+		Title:   topic,
+		Content: topic + "\n" + body,
+		Source:  "document-db",
+		Meta:    map[string]string{"author": author},
+	})
+	return n, err
+}
+
+// Search returns the top-k knowledge notes relevant to the query.
+func (d *DB) Search(query string, k int) ([]docs.Document, error) {
+	return d.index.Search(query, k)
+}
+
+// Get returns a note by ID.
+func (d *DB) Get(id string) (Note, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n, ok := d.notes[id]
+	return n, ok
+}
+
+// Len returns the number of stored notes.
+func (d *DB) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.notes)
+}
+
+// All returns every note (unordered); used by the knowledge-capture
+// example and by tests.
+func (d *DB) All() []Note {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Note, 0, len(d.notes))
+	for _, n := range d.notes {
+		out = append(out, n)
+	}
+	return out
+}

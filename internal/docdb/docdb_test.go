@@ -1,0 +1,63 @@
+package docdb
+
+import (
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 1, 18, 0, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestSaveAndSearch(t *testing.T) {
+	db := New(WithClock(fixedClock()))
+	n, err := db.Save("tariff impact", "Tariff impact must account for both direct and indirect tariffs.", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID == "" || n.Author != "alice" {
+		t.Fatalf("note = %+v", n)
+	}
+	hits, err := db.Search("how do I estimate tariff impacts?", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Title != "tariff impact" {
+		t.Fatalf("search = %v", hits)
+	}
+}
+
+func TestCrossUserTransfer(t *testing.T) {
+	// The paper's §3.3 scenario: one user's insight serves later users.
+	db := New()
+	if _, err := db.Save("tariff impact", "account for direct and indirect tariffs", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := db.Search("tariff", 1)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("bob cannot retrieve alice's note: %v %v", hits, err)
+	}
+	if hits[0].Meta["author"] != "alice" {
+		t.Errorf("author metadata lost: %v", hits[0].Meta)
+	}
+}
+
+func TestGetAllLen(t *testing.T) {
+	db := New(WithClock(fixedClock()))
+	n1, _ := db.Save("a", "body a", "u1")
+	_, _ = db.Save("b", "body b", "u2")
+	if db.Len() != 2 || len(db.All()) != 2 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	got, ok := db.Get(n1.ID)
+	if !ok || got.Body != "body a" {
+		t.Fatalf("get = %+v %v", got, ok)
+	}
+	if _, ok := db.Get("note:999"); ok {
+		t.Fatal("missing note should not be found")
+	}
+	if !got.CreatedAt.Equal(fixedClock()()) {
+		t.Errorf("clock not applied: %v", got.CreatedAt)
+	}
+}

@@ -1,0 +1,128 @@
+// Package docs defines the uniform Document abstraction of the paper's IR
+// System (§3.3): heterogeneous retrieval results — tables, domain knowledge
+// notes, web pages — are all surfaced as Document objects so that new
+// retrievers can be added without changing the rest of the system.
+package docs
+
+import (
+	"fmt"
+	"strings"
+
+	"pneuma/internal/table"
+)
+
+// Kind classifies the payload of a Document.
+type Kind string
+
+// The document kinds the current retrievers produce.
+const (
+	// KindTable is a structured table from Pneuma-Retriever.
+	KindTable Kind = "table"
+	// KindKnowledge is a domain-knowledge note from the Document Database.
+	KindKnowledge Kind = "knowledge"
+	// KindWeb is a page from the Web Search interface.
+	KindWeb Kind = "web"
+)
+
+// Document is the uniform retrieval result.
+type Document struct {
+	// ID uniquely identifies the document within its source.
+	ID string
+	// Kind is the payload class.
+	Kind Kind
+	// Title is a short human-readable name (table name, note topic, page
+	// title).
+	Title string
+	// Content is the searchable text: schema summary for tables, note body
+	// for knowledge, page text for web documents.
+	Content string
+	// Source names the retriever that produced the document
+	// ("pneuma-retriever", "document-db", "web-search").
+	Source string
+	// Table is the structured payload for KindTable documents (and for web
+	// documents that embed a table, e.g. a tariff schedule). Nil otherwise.
+	Table *table.Table
+	// Meta carries retriever-specific metadata (e.g. URL for web pages).
+	Meta map[string]string
+	// Score is the retriever's relevance score, comparable only within one
+	// result list.
+	Score float64
+}
+
+// Summary renders a compact description of the document for an LLM context:
+// title, kind and the head of the content. Table documents include the
+// schema and up to sampleRows sample rows, mirroring the paper's point that
+// LLM Sim "can only observe sample rows to prevent hitting the context
+// limit".
+func (d *Document) Summary(sampleRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s (source: %s)\n", d.Kind, d.Title, d.Source)
+	if d.Table != nil {
+		b.WriteString("schema: ")
+		b.WriteString(d.Table.Schema.String())
+		b.WriteByte('\n')
+		for _, c := range d.Table.Schema.Columns {
+			if c.Description != "" {
+				fmt.Fprintf(&b, "  %s: %s", c.Name, c.Description)
+				if c.Unit != "" {
+					fmt.Fprintf(&b, " [%s]", c.Unit)
+				}
+				b.WriteByte('\n')
+			}
+		}
+		fmt.Fprintf(&b, "rows: %d\n", d.Table.NumRows())
+		if sampleRows > 0 {
+			b.WriteString(d.Table.Render(sampleRows))
+		}
+		return b.String()
+	}
+	content := d.Content
+	const maxLen = 600
+	if len(content) > maxLen {
+		content = content[:maxLen] + "..."
+	}
+	b.WriteString(content)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// TableDocument builds the canonical document for a table: the content
+// concatenates name, description, column names, column descriptions, units
+// and a handful of sample values — the text both the BM25 and vector sides
+// of the hybrid index consume.
+func TableDocument(t *table.Table) Document {
+	var b strings.Builder
+	b.WriteString(t.Schema.Name)
+	b.WriteByte(' ')
+	b.WriteString(t.Schema.Description)
+	b.WriteByte('\n')
+	for _, c := range t.Schema.Columns {
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Description)
+		if c.Unit != "" {
+			b.WriteByte(' ')
+			b.WriteString(c.Unit)
+		}
+		b.WriteByte('\n')
+	}
+	// Sample a few distinct values per column so value-literal queries
+	// ("Malta", "Germany") can match the right table.
+	profile := t.Head(200).BuildProfile()
+	for _, cs := range profile.Columns {
+		for _, s := range cs.SampleValues {
+			if len(s) <= 32 {
+				b.WriteString(s)
+				b.WriteByte(' ')
+			}
+		}
+	}
+	return Document{
+		ID:      "table:" + t.Schema.Name,
+		Kind:    KindTable,
+		Title:   t.Schema.Name,
+		Content: b.String(),
+		Source:  "pneuma-retriever",
+		Table:   t,
+	}
+}

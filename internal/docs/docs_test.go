@@ -1,0 +1,60 @@
+package docs
+
+import (
+	"strings"
+	"testing"
+
+	"pneuma/internal/table"
+	"pneuma/internal/value"
+)
+
+func fixtureTable() *table.Table {
+	t := table.New(table.Schema{
+		Name:        "samples",
+		Description: "chemistry samples",
+		Columns: []table.Column{
+			{Name: "site", Type: value.KindString, Description: "Site name"},
+			{Name: "k_ppm", Type: value.KindFloat, Description: "Potassium (ppm)", Unit: "ppm"},
+		},
+	})
+	t.MustAppend(table.Row{value.String("Malta"), value.Float(101.5)})
+	t.MustAppend(table.Row{value.String("Gozo"), value.Float(88.2)})
+	return t
+}
+
+func TestTableDocument(t *testing.T) {
+	d := TableDocument(fixtureTable())
+	if d.ID != "table:samples" || d.Kind != KindTable {
+		t.Fatalf("doc = %+v", d)
+	}
+	// Content must carry name, descriptions and sample values so both index
+	// halves can match on them.
+	for _, want := range []string{"samples", "Potassium", "Malta", "k_ppm"} {
+		if !strings.Contains(d.Content, want) {
+			t.Errorf("content missing %q", want)
+		}
+	}
+	if d.Table == nil {
+		t.Fatal("table payload missing")
+	}
+}
+
+func TestSummaryBoundsSampleRows(t *testing.T) {
+	d := TableDocument(fixtureTable())
+	s := d.Summary(1)
+	if !strings.Contains(s, "schema:") || !strings.Contains(s, "rows: 2") {
+		t.Errorf("summary:\n%s", s)
+	}
+	if !strings.Contains(s, "1 more rows") {
+		t.Errorf("sample truncation missing:\n%s", s)
+	}
+}
+
+func TestSummaryNonTableTruncates(t *testing.T) {
+	d := Document{Kind: KindWeb, Title: "page", Source: "web-search",
+		Content: strings.Repeat("x", 1000)}
+	s := d.Summary(0)
+	if len(s) > 800 {
+		t.Errorf("web summary not truncated: %d bytes", len(s))
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"errors"
+
+	"pneuma/internal/baselines"
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+)
+
+// QuestionOutcome records one accuracy attempt.
+type QuestionOutcome struct {
+	QuestionID string
+	Answer     string
+	Expected   string
+	Correct    bool
+	// Err is the failure reason when the system produced no answer.
+	Err string
+	// ContextExceeded marks the O3 overflow failure specifically.
+	ContextExceeded bool
+}
+
+// AccuracySummary aggregates RQ2 for one system — one row of Table 3.
+type AccuracySummary struct {
+	System   string
+	Correct  int
+	Total    int
+	Pct      float64
+	Outcomes []QuestionOutcome
+	// ContextExceededCount counts overflow failures (the in-text O3
+	// result).
+	ContextExceededCount int
+}
+
+// RunAccuracy evaluates an answerer over a question bank against the
+// oracle's ground truth.
+func RunAccuracy(sys baselines.Answerer, questions []kramabench.Question) AccuracySummary {
+	sum := AccuracySummary{System: sys.Name(), Total: len(questions)}
+	for _, q := range questions {
+		outcome := QuestionOutcome{QuestionID: q.ID, Expected: q.Answer}
+		ans, err := sys.AnswerQuestion(q)
+		if err != nil {
+			outcome.Err = err.Error()
+			outcome.ContextExceeded = errors.Is(err, llm.ErrContextLengthExceeded)
+			if outcome.ContextExceeded {
+				sum.ContextExceededCount++
+			}
+		} else {
+			outcome.Answer = ans
+			outcome.Correct = q.AnswersMatch(ans)
+		}
+		if outcome.Correct {
+			sum.Correct++
+		}
+		sum.Outcomes = append(sum.Outcomes, outcome)
+	}
+	if sum.Total > 0 {
+		sum.Pct = 100 * float64(sum.Correct) / float64(sum.Total)
+	}
+	return sum
+}
+
+// RAGAnswerer adapts the RAG baseline to RQ2: it runs the conversation like
+// the seeker but can never produce a computed answer — reproducing
+// LlamaIndex's 0% in Table 3 ("the questions require actual computation").
+type RAGAnswerer struct {
+	system baselines.System
+	sim    llm.Model
+}
+
+// NewRAGAnswerer wraps a RAG system for accuracy runs.
+func NewRAGAnswerer(system baselines.System, sim llm.Model) *RAGAnswerer {
+	if sim == nil {
+		sim = llm.NewSimModel(llm.WithProfile("gpt-4o"))
+	}
+	return &RAGAnswerer{system: system, sim: sim}
+}
+
+// Name implements baselines.Answerer.
+func (a *RAGAnswerer) Name() string { return a.system.Name() }
+
+// AnswerQuestion implements baselines.Answerer.
+func (a *RAGAnswerer) AnswerQuestion(q kramabench.Question) (string, error) {
+	res, err := RunConversation(a.system, q, a.sim, DefaultMaxTurns)
+	if err != nil {
+		return "", err
+	}
+	if res.FinalAnswer == "" {
+		return "", errors.New("rag: interpretation only, no computed answer")
+	}
+	return res.FinalAnswer, nil
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"pneuma/internal/baselines"
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+	"pneuma/internal/table"
+)
+
+// TestCalibrationSweep prints the full RQ1/RQ2 picture for both datasets.
+// It asserts only the paper's qualitative shapes; exact percentages are
+// reported by the bench harness, which runs the same sweep. Because the
+// sweep takes several minutes it is opt-in: set PNEUMA_SWEEP=1.
+func TestCalibrationSweep(t *testing.T) {
+	if os.Getenv("PNEUMA_SWEEP") == "" {
+		t.Skip("set PNEUMA_SWEEP=1 to run the full evaluation sweep (the bench harness covers it)")
+	}
+	for _, ds := range []struct {
+		name      string
+		corpus    map[string]*table.Table
+		questions []kramabench.Question
+	}{
+		{"archaeology", kramabench.Archaeology(), nil},
+		{"environment", kramabench.Environment(), nil},
+	} {
+		corpus := ds.corpus
+		var questions []kramabench.Question
+		if ds.name == "archaeology" {
+			questions = kramabench.ArchaeologyQuestions(corpus)
+		} else {
+			questions = kramabench.EnvironmentQuestions(corpus)
+		}
+		sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
+
+		seeker, err := NewSeekerSystem(corpus, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fts := baselines.NewFTS(corpus)
+		retOnly, err := baselines.NewRetrieverOnly(corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rag, err := baselines.NewRAG(corpus, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sums := map[string]ConvergenceSummary{}
+		for _, sys := range []baselines.System{fts, retOnly, rag, seeker} {
+			sum, err := RunConvergence(sys, questions, sim, DefaultMaxTurns)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ds.name, sys.Name(), err)
+			}
+			sums[sys.Name()] = sum
+			t.Logf("[%s] RQ1 %-18s conv=%5.1f%% medianTurns=%.1f", ds.name, sys.Name(), sum.Pct, sum.MedianTurns)
+			for _, r := range sum.Results {
+				if !r.Converged {
+					t.Logf("    not converged: %s (gaveUp=%v turns=%d overflows=%d)", r.QuestionID, r.GaveUp, r.Turns, r.Overflows)
+				}
+			}
+		}
+
+		// RQ2.
+		seekerAcc := RunAccuracy(NewSeekerAnswerer(seeker, sim), questions)
+		dsguru := baselines.NewDSGuru(corpus, nil)
+		dsguruAcc := RunAccuracy(dsguru, questions)
+		ragAcc := RunAccuracy(NewRAGAnswerer(rag, sim), questions)
+		o3 := baselines.NewFullContext(corpus, nil)
+		o3Acc := RunAccuracy(o3, questions)
+
+		for _, acc := range []AccuracySummary{ragAcc, dsguruAcc, seekerAcc, o3Acc} {
+			t.Logf("[%s] RQ2 %-18s acc=%d/%d (%.2f%%) ctxExceeded=%d", ds.name, acc.System, acc.Correct, acc.Total, acc.Pct, acc.ContextExceededCount)
+			for _, o := range acc.Outcomes {
+				status := "OK "
+				if !o.Correct {
+					status = "BAD"
+				}
+				t.Logf("    %s %-4s got=%q want=%q err=%q", status, o.QuestionID, o.Answer, o.Expected, truncate(o.Err, 90))
+			}
+		}
+
+		// Qualitative shapes from the paper.
+		if !(sums["Pneuma-Seeker"].Pct >= sums["LlamaIndex"].Pct) {
+			t.Errorf("[%s] seeker convergence must be >= LlamaIndex", ds.name)
+		}
+		if !(sums["LlamaIndex"].Pct > sums["FTS"].Pct) {
+			t.Errorf("[%s] LlamaIndex convergence must beat FTS", ds.name)
+		}
+		if ragAcc.Correct != 0 {
+			t.Errorf("[%s] LlamaIndex accuracy must be 0, got %d", ds.name, ragAcc.Correct)
+		}
+		if !(seekerAcc.Pct > dsguruAcc.Pct) {
+			t.Errorf("[%s] seeker accuracy must beat DS-Guru", ds.name)
+		}
+	}
+}

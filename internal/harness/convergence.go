@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"pneuma/internal/baselines"
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+)
+
+// DefaultMaxTurns is the paper's imposed limit of 15 user prompts per
+// conversation (§4.1).
+const DefaultMaxTurns = 15
+
+// userContextLimit is LLM Sim's own context window: the paper simulates the
+// user with GPT-4o (128k), which static systems overflow "in 2-3 turns".
+const userContextLimit = 128_000
+
+// ConversationResult is the outcome of one simulated conversation.
+type ConversationResult struct {
+	QuestionID string
+	// Converged: the active information need matched the latent one.
+	Converged bool
+	// GaveUp: the simulated user abandoned the thread.
+	GaveUp bool
+	// Turns is how many times the user prompted the system before
+	// convergence (or until the cap).
+	Turns int
+	// FinalAnswer is the last concrete answer the system produced.
+	FinalAnswer string
+	// Overflows counts user-side context-window overflows.
+	Overflows int
+	// Transcript records the dialogue for qualitative inspection.
+	Transcript []TranscriptEntry
+}
+
+// TranscriptEntry is one exchange.
+type TranscriptEntry struct {
+	User   string
+	System string
+}
+
+// RunConversation simulates one user (Figure 3) against one system for one
+// benchmark question.
+func RunConversation(sys baselines.System, q kramabench.Question, simModel llm.Model, maxTurns int) (ConversationResult, error) {
+	if maxTurns <= 0 {
+		maxTurns = DefaultMaxTurns
+	}
+	conv := sys.StartConversation()
+	res := ConversationResult{QuestionID: q.ID}
+
+	var revealed []string
+	probeCount := 0
+	overflowed := false
+	userTokens := 0
+	var last baselines.Output
+
+	for turn := 1; turn <= maxTurns; turn++ {
+		in := llm.UserSimInput{
+			Need:              q.Need,
+			SystemKind:        sys.Kind(),
+			Turn:              turn,
+			Revealed:          revealed,
+			ProbeCount:        probeCount,
+			LastMessage:       last.Message,
+			MentionedColumns:  last.MentionedColumns,
+			State:             last.State,
+			ShownTables:       last.ShownTables,
+			LastAnswer:        last.Answer,
+			ContextOverflowed: overflowed,
+		}
+		resp, err := simModel.Complete(llm.Request{
+			Task:    llm.TaskUserSim,
+			System:  "You are simulating a domain expert exploring an enterprise dataset.",
+			Payload: llm.MarshalPayload(in),
+		})
+		if err != nil {
+			return res, err
+		}
+		var move llm.UserSimOutput
+		if err := llm.DecodeResponse(resp, &move); err != nil {
+			return res, err
+		}
+		if move.Converged {
+			res.Converged = true
+			res.Turns = turn - 1 // prompts issued before convergence
+			return res, nil
+		}
+		if move.GaveUp {
+			res.GaveUp = true
+			res.Turns = turn - 1
+			return res, nil
+		}
+		revealed = move.Revealed
+		if move.Probing {
+			probeCount++
+		} else {
+			probeCount = 0
+		}
+
+		out, err := conv.Respond(move.Utterance)
+		if err != nil {
+			return res, err
+		}
+		res.Transcript = append(res.Transcript, TranscriptEntry{User: move.Utterance, System: truncate(out.Message, 400)})
+		// The conversation's answer is whatever the *latest* output shows —
+		// a stale answer from an earlier, under-specified state does not
+		// count once the question has been refined further.
+		res.FinalAnswer = out.Answer
+
+		// User-side context accounting: the system's output and the user's
+		// own utterance both land in LLM Sim's window. On overflow the
+		// window slides: older turns (and the anchors they carried) drop.
+		userTokens += out.ContextTokens + llm.EstimateTokens(move.Utterance)
+		overflowed = false
+		if userTokens > userContextLimit {
+			overflowed = true
+			res.Overflows++
+			userTokens = out.ContextTokens
+		}
+		last = out
+	}
+	res.Turns = maxTurns
+	return res, nil
+}
+
+// ConvergenceSummary aggregates RQ1 results for one system over a question
+// bank — one point of Figure 4/5.
+type ConvergenceSummary struct {
+	System string
+	// Pct is the percentage of questions that converged.
+	Pct float64
+	// MedianTurns is the median turns-to-convergence among converged
+	// conversations (maxTurns when nothing converged).
+	MedianTurns float64
+	Results     []ConversationResult
+	// WallClock is the real time the sweep took (not simulated latency).
+	WallClock time.Duration
+}
+
+// RunConvergence evaluates one system over a bank of questions.
+func RunConvergence(sys baselines.System, questions []kramabench.Question, simModel llm.Model, maxTurns int) (ConvergenceSummary, error) {
+	start := time.Now()
+	sum := ConvergenceSummary{System: sys.Name()}
+	var turns []int
+	converged := 0
+	for _, q := range questions {
+		r, err := RunConversation(sys, q, simModel, maxTurns)
+		if err != nil {
+			return sum, err
+		}
+		sum.Results = append(sum.Results, r)
+		if r.Converged {
+			converged++
+			turns = append(turns, r.Turns)
+		}
+	}
+	sum.Pct = 100 * float64(converged) / float64(len(questions))
+	sum.MedianTurns = median(turns, maxTurns)
+	sum.WallClock = time.Since(start)
+	return sum, nil
+}
+
+func median(xs []int, fallback int) float64 {
+	if len(xs) == 0 {
+		return float64(fallback)
+	}
+	sort.Ints(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return float64(xs[n/2])
+	}
+	return float64(xs[n/2-1]+xs[n/2]) / 2
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

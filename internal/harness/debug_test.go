@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+)
+
+// TestDebugQuestion prints the full transcript for one question; select it
+// with PNEUMA_DEBUG_Q (e.g. "A4" or "E12"). Skipped when unset.
+func TestDebugQuestion(t *testing.T) {
+	id := os.Getenv("PNEUMA_DEBUG_Q")
+	if id == "" {
+		t.Skip("set PNEUMA_DEBUG_Q to run")
+	}
+	var corpus = kramabench.Archaeology()
+	questions := kramabench.ArchaeologyQuestions(corpus)
+	if id[0] == 'E' {
+		corpus = kramabench.Environment()
+		questions = kramabench.EnvironmentQuestions(corpus)
+	}
+	var q kramabench.Question
+	for _, c := range questions {
+		if c.ID == id {
+			q = c
+		}
+	}
+	if q.ID == "" {
+		t.Fatalf("unknown question %s", id)
+	}
+	sys, err := NewSeekerSystem(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
+	res, err := RunConversation(sys, q, sim, DefaultMaxTurns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Transcript {
+		t.Logf("turn %d USER: %s", i+1, e.User)
+		t.Logf("turn %d SYS : %s", i+1, e.System)
+	}
+	t.Logf("converged=%v gaveUp=%v turns=%d answer=%q expected=%q",
+		res.Converged, res.GaveUp, res.Turns, res.FinalAnswer, q.Answer)
+
+	// Replay the same utterances directly to inspect state and actions.
+	if os.Getenv("PNEUMA_DEBUG_REPLAY") != "" {
+		conv := sys.StartConversation().(*seekerConv)
+		for _, e := range res.Transcript {
+			reply, err := conv.sess.Send(e.User)
+			if err != nil {
+				t.Logf("REPLAY error: %v", err)
+				continue
+			}
+			t.Logf("REPLAY user=%q answer=%q clarify=%v forced=%v", e.User, reply.Answer, reply.Clarify, reply.Forced)
+			for _, a := range reply.Actions {
+				t.Logf("  action=%s detail=%s err=%s reasoning=%s", a.Action, a.Detail, a.Err, truncate(a.Reasoning, 120))
+			}
+			t.Logf("  state: %v", reply.State.Queries)
+			t.Logf("  preview: %s", reply.State.ResultPreview)
+		}
+	}
+}

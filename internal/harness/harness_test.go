@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+)
+
+func TestTable1For(t *testing.T) {
+	arch := kramabench.Archaeology()
+	row := Table1For("Archeology", arch)
+	if row.NumTables != 5 || row.AvgRows != 11289 || row.AvgCols != 16 {
+		t.Fatalf("Table 1 archaeology row = %+v", row)
+	}
+	env := kramabench.Environment()
+	row = Table1For("Environment", env)
+	if row.NumTables != 36 || row.AvgRows != 9199 || row.AvgCols != 10 {
+		t.Fatalf("Table 1 environment row = %+v", row)
+	}
+}
+
+func TestBuildTokenUsageCosts(t *testing.T) {
+	// The paper's archaeology row: 248,351 in / 2,854 out.
+	row := BuildTokenUsage("Archeology", 248_351, 2_854, 70.26)
+	if got := row.CostsIn["o4-mini"]; got < 0.26 || got > 0.28 {
+		t.Errorf("o4-mini in = %.4f, want ~0.27", got)
+	}
+	if got := row.CostsIn["o3"]; got < 0.49 || got > 0.51 {
+		t.Errorf("o3 in = %.4f, want ~0.50", got)
+	}
+	if got := row.CostsIn["opus-4.5"]; got < 1.23 || got > 1.25 {
+		t.Errorf("opus in = %.4f, want ~1.24", got)
+	}
+	if got := row.CostsIn["sonnet-4.5"]; got < 1.45 || got > 1.55 {
+		t.Errorf("sonnet long-context in = %.4f, want ~1.49", got)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	t1 := RenderTable1([]Table1Row{{Dataset: "X", NumTables: 5, AvgRows: 10, AvgCols: 3}})
+	if !strings.Contains(t1, "Table 1") || !strings.Contains(t1, "X") {
+		t.Errorf("table1 render:\n%s", t1)
+	}
+	fig := RenderFigure("Figure 4", []ConvergenceSummary{
+		{System: "A", Pct: 80, MedianTurns: 4},
+		{System: "B", Pct: 20, MedianTurns: 10},
+	})
+	if !strings.Contains(fig, "A") || !strings.Contains(fig, "median turns") {
+		t.Errorf("figure render:\n%s", fig)
+	}
+	t3 := RenderTable3(
+		[]AccuracySummary{{System: "S", Pct: 41.67}},
+		[]AccuracySummary{{System: "S", Pct: 55.00}},
+	)
+	if !strings.Contains(t3, "41.67%") || !strings.Contains(t3, "55.00%") {
+		t.Errorf("table3 render:\n%s", t3)
+	}
+	t2 := RenderTable2([]TokenUsageRow{BuildTokenUsage("X", 100_000, 1_000, 50)})
+	if !strings.Contains(t2, "Table 2") {
+		t.Errorf("table2 render:\n%s", t2)
+	}
+	o3 := RenderO3(AccuracySummary{Total: 12, ContextExceededCount: 7},
+		AccuracySummary{Total: 20, Correct: 2, ContextExceededCount: 17})
+	if !strings.Contains(o3, "17/20") {
+		t.Errorf("o3 render:\n%s", o3)
+	}
+	lat := RenderLatency([]TokenUsageRow{{Dataset: "X", AvgSimSec: 70.3}}, []string{"FTS"})
+	if !strings.Contains(lat, "70.30") && !strings.Contains(lat, "70.3") {
+		t.Errorf("latency render:\n%s", lat)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median(nil, 15); m != 15 {
+		t.Errorf("empty median = %v", m)
+	}
+	if m := median([]int{3, 1, 2}, 15); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]int{1, 2, 3, 4}, 15); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+// TestConvergenceRunnerOnStaticSystem exercises the full user-sim loop with
+// overflow accounting against a cheap fake system.
+func TestConvergenceRunnerOnFakeSystem(t *testing.T) {
+	corpus := kramabench.Archaeology()
+	questions := kramabench.ArchaeologyQuestions(corpus)[:2]
+	sys, err := NewSeekerSystem(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
+	sum, err := RunConvergence(sys, questions, sim, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 2 {
+		t.Fatalf("results = %d", len(sum.Results))
+	}
+	if sum.Pct < 100 {
+		t.Fatalf("A1+A2 must both converge, got %.1f%%", sum.Pct)
+	}
+	if sum.MedianTurns <= 0 || sum.MedianTurns > 15 {
+		t.Fatalf("median turns = %v", sum.MedianTurns)
+	}
+	for _, r := range sum.Results {
+		if len(r.Transcript) == 0 {
+			t.Error("transcript missing")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"testing"
+
+	"pneuma/internal/kramabench"
+	"pneuma/internal/llm"
+)
+
+// TestSmokeSeekerA1 runs the easiest archaeology question end-to-end
+// against Pneuma-Seeker and requires convergence with the correct answer.
+func TestSmokeSeekerA1(t *testing.T) {
+	corpus := kramabench.Archaeology()
+	questions := kramabench.ArchaeologyQuestions(corpus)
+	q := questions[0] // A1
+	sys, err := NewSeekerSystem(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
+	res, err := RunConversation(sys, q, sim, DefaultMaxTurns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Transcript {
+		t.Logf("turn %d USER: %s", i+1, e.User)
+		t.Logf("turn %d SYS : %s", i+1, e.System)
+	}
+	t.Logf("converged=%v gaveUp=%v turns=%d answer=%q expected=%q",
+		res.Converged, res.GaveUp, res.Turns, res.FinalAnswer, q.Answer)
+	if !res.Converged {
+		t.Fatal("A1 must converge")
+	}
+	if !q.AnswersMatch(res.FinalAnswer) {
+		t.Fatalf("A1 answer %q does not match ground truth %q", res.FinalAnswer, q.Answer)
+	}
+}

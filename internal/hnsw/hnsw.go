@@ -1,0 +1,441 @@
+// Package hnsw implements the Hierarchical Navigable Small World
+// approximate-nearest-neighbour index of Malkov & Yashunin (2018), the
+// vector half of Pneuma-Retriever's hybrid index.
+//
+// The implementation follows the paper's Algorithms 1-5: multi-layer greedy
+// search from a single entry point, ef-bounded best-first search per layer,
+// and the heuristic neighbour-selection rule that keeps the graph navigable
+// by preferring diverse neighbours. Level assignment uses the standard
+// exponential distribution with normalization factor 1/ln(M), drawn from a
+// seeded deterministic PRNG so index builds are reproducible.
+package hnsw
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"pneuma/internal/vecmath"
+)
+
+// Config holds HNSW construction parameters.
+type Config struct {
+	// M is the maximum number of bidirectional links per node per layer
+	// (layer 0 allows 2M). Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Default 200.
+	EfConstruction int
+	// EfSearch is the default beam width for queries. Default 64.
+	EfSearch int
+	// Seed seeds the level generator. Builds with equal seeds and insert
+	// order produce identical graphs.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	return c
+}
+
+// Index is an HNSW graph over float32 vectors with string external IDs.
+// All public methods are safe for concurrent use.
+type Index struct {
+	mu     sync.RWMutex
+	cfg    Config
+	dim    int
+	levelM float64
+	rng    *rand.Rand
+
+	nodes  []*node
+	byID   map[string]int
+	entry  int // index into nodes, -1 when empty
+	maxLvl int
+}
+
+type node struct {
+	id      string
+	vec     []float32
+	level   int
+	links   [][]int32 // per-layer neighbour lists (indices into nodes)
+	deleted bool
+}
+
+// New creates an empty index for vectors of the given dimensionality.
+func New(dim int, cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	return &Index{
+		cfg:    cfg,
+		dim:    dim,
+		levelM: 1 / math.Log(float64(cfg.M)),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byID:   make(map[string]int),
+		entry:  -1,
+		maxLvl: -1,
+	}
+}
+
+// Len returns the number of live vectors in the index.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, nd := range ix.nodes {
+		if !nd.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Add inserts a vector under the given ID. Re-adding an existing ID replaces
+// its vector (implemented as delete + fresh insert).
+func (ix *Index) Add(id string, vec []float32) error {
+	if len(vec) != ix.dim {
+		return fmt.Errorf("hnsw: vector for %q has dim %d, index wants %d", id, len(vec), ix.dim)
+	}
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	if old, ok := ix.byID[id]; ok {
+		ix.nodes[old].deleted = true
+		delete(ix.byID, id)
+		if ix.entry == old {
+			ix.resetEntryLocked()
+		}
+	}
+
+	level := ix.randomLevel()
+	nd := &node{id: id, vec: cp, level: level, links: make([][]int32, level+1)}
+	idx := len(ix.nodes)
+	ix.nodes = append(ix.nodes, nd)
+	ix.byID[id] = idx
+
+	if ix.entry < 0 {
+		ix.entry = idx
+		ix.maxLvl = level
+		return nil
+	}
+
+	ep := ix.entry
+	// Phase 1: greedy descent through layers above the new node's level.
+	for lvl := ix.maxLvl; lvl > level; lvl-- {
+		ep = ix.greedyClosestLocked(cp, ep, lvl)
+	}
+	// Phase 2: per-layer beam search + neighbour selection from min(level,
+	// maxLvl) down to 0.
+	top := level
+	if ix.maxLvl < top {
+		top = ix.maxLvl
+	}
+	for lvl := top; lvl >= 0; lvl-- {
+		candidates := ix.searchLayerLocked(cp, ep, ix.cfg.EfConstruction, lvl)
+		m := ix.cfg.M
+		if lvl == 0 {
+			m = 2 * ix.cfg.M
+		}
+		selected := ix.selectHeuristicLocked(cp, candidates, ix.cfg.M)
+		for _, c := range selected {
+			ix.linkLocked(idx, c.idx, lvl, m)
+		}
+		if len(candidates) > 0 {
+			ep = candidates[0].idx
+		}
+	}
+
+	if level > ix.maxLvl {
+		ix.maxLvl = level
+		ix.entry = idx
+	}
+	return nil
+}
+
+// Delete removes an ID from the index. It returns false if absent. Deleted
+// nodes are tombstoned: they keep routing but never appear in results.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	idx, ok := ix.byID[id]
+	if !ok {
+		return false
+	}
+	ix.nodes[idx].deleted = true
+	delete(ix.byID, id)
+	if ix.entry == idx {
+		ix.resetEntryLocked()
+	}
+	return true
+}
+
+func (ix *Index) resetEntryLocked() {
+	ix.entry = -1
+	ix.maxLvl = -1
+	for i, nd := range ix.nodes {
+		if nd.deleted {
+			continue
+		}
+		if nd.level > ix.maxLvl {
+			ix.maxLvl = nd.level
+			ix.entry = i
+		}
+	}
+}
+
+// Result is one nearest-neighbour hit.
+type Result struct {
+	ID string
+	// Score is cosine similarity in [-1,1]; higher is better.
+	Score float32
+}
+
+// Search returns up to k nearest neighbours of query by cosine similarity
+// (vectors are compared by squared L2, equivalent for unit vectors), using
+// the index's default ef.
+func (ix *Index) Search(query []float32, k int) ([]Result, error) {
+	return ix.SearchEf(query, k, ix.cfg.EfSearch)
+}
+
+// SearchEf is Search with an explicit beam width ef (clamped to ≥ k).
+func (ix *Index) SearchEf(query []float32, k, ef int) ([]Result, error) {
+	if len(query) != ix.dim {
+		return nil, fmt.Errorf("hnsw: query has dim %d, index wants %d", len(query), ix.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if ef < k {
+		ef = k
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.entry < 0 {
+		return nil, nil
+	}
+	ep := ix.entry
+	for lvl := ix.maxLvl; lvl > 0; lvl-- {
+		ep = ix.greedyClosestLocked(query, ep, lvl)
+	}
+	cands := ix.searchLayerLocked(query, ep, ef, 0)
+	out := make([]Result, 0, k)
+	for _, c := range cands {
+		nd := ix.nodes[c.idx]
+		if nd.deleted {
+			continue
+		}
+		out = append(out, Result{ID: nd.id, Score: vecmath.Cosine(query, nd.vec)})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// randomLevel draws the node level from the exponential distribution of the
+// HNSW paper: floor(-ln(U) · mL).
+func (ix *Index) randomLevel() int {
+	u := ix.rng.Float64()
+	for u == 0 {
+		u = ix.rng.Float64()
+	}
+	return int(math.Floor(-math.Log(u) * ix.levelM))
+}
+
+// greedyClosestLocked walks layer lvl greedily toward query from ep and
+// returns the local minimum.
+func (ix *Index) greedyClosestLocked(query []float32, ep, lvl int) int {
+	cur := ep
+	curDist := vecmath.SquaredL2(query, ix.nodes[cur].vec)
+	for {
+		improved := false
+		nd := ix.nodes[cur]
+		if lvl < len(nd.links) {
+			for _, nb := range nd.links[lvl] {
+				d := vecmath.SquaredL2(query, ix.nodes[nb].vec)
+				if d < curDist {
+					cur, curDist = int(nb), d
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// cand pairs a node index with its distance to the query.
+type cand struct {
+	idx  int
+	dist float32
+}
+
+type minHeap []cand
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type maxHeap []cand
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// searchLayerLocked is Algorithm 2: ef-bounded best-first search on one
+// layer. The result is sorted ascending by distance.
+func (ix *Index) searchLayerLocked(query []float32, ep, ef, lvl int) []cand {
+	visited := map[int]struct{}{ep: {}}
+	epDist := vecmath.SquaredL2(query, ix.nodes[ep].vec)
+	candidates := minHeap{{ep, epDist}}
+	results := maxHeap{{ep, epDist}}
+	heap.Init(&candidates)
+	heap.Init(&results)
+
+	for candidates.Len() > 0 {
+		c := heap.Pop(&candidates).(cand)
+		if results.Len() >= ef && c.dist > results[0].dist {
+			break
+		}
+		nd := ix.nodes[c.idx]
+		if lvl < len(nd.links) {
+			for _, nb := range nd.links[lvl] {
+				nbi := int(nb)
+				if _, seen := visited[nbi]; seen {
+					continue
+				}
+				visited[nbi] = struct{}{}
+				d := vecmath.SquaredL2(query, ix.nodes[nbi].vec)
+				if results.Len() < ef || d < results[0].dist {
+					heap.Push(&candidates, cand{nbi, d})
+					heap.Push(&results, cand{nbi, d})
+					if results.Len() > ef {
+						heap.Pop(&results)
+					}
+				}
+			}
+		}
+	}
+	out := make([]cand, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(cand)
+	}
+	return out
+}
+
+// selectHeuristicLocked is Algorithm 4: pick up to m diverse neighbours —
+// a candidate is kept only if it is closer to the query than to every
+// already-kept neighbour.
+func (ix *Index) selectHeuristicLocked(query []float32, cands []cand, m int) []cand {
+	if len(cands) <= m {
+		return cands
+	}
+	kept := make([]cand, 0, m)
+	for _, c := range cands {
+		if len(kept) >= m {
+			break
+		}
+		ok := true
+		for _, k := range kept {
+			if vecmath.SquaredL2(ix.nodes[c.idx].vec, ix.nodes[k.idx].vec) < c.dist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, c)
+		}
+	}
+	// Backfill with nearest rejected candidates if diversity pruned too hard.
+	if len(kept) < m {
+		seen := make(map[int]struct{}, len(kept))
+		for _, k := range kept {
+			seen[k.idx] = struct{}{}
+		}
+		for _, c := range cands {
+			if len(kept) >= m {
+				break
+			}
+			if _, dup := seen[c.idx]; !dup {
+				kept = append(kept, c)
+			}
+		}
+	}
+	return kept
+}
+
+// linkLocked adds a bidirectional edge a↔b on layer lvl, shrinking neighbour
+// lists that exceed maxLinks via the selection heuristic.
+func (ix *Index) linkLocked(a, b, lvl, maxLinks int) {
+	if a == b {
+		return
+	}
+	ix.addEdgeLocked(a, b, lvl, maxLinks)
+	ix.addEdgeLocked(b, a, lvl, maxLinks)
+}
+
+func (ix *Index) addEdgeLocked(from, to, lvl, maxLinks int) {
+	nd := ix.nodes[from]
+	if lvl >= len(nd.links) {
+		return
+	}
+	for _, existing := range nd.links[lvl] {
+		if int(existing) == to {
+			return
+		}
+	}
+	nd.links[lvl] = append(nd.links[lvl], int32(to))
+	if len(nd.links[lvl]) > maxLinks {
+		// Re-select the best maxLinks neighbours relative to this node.
+		cands := make([]cand, 0, len(nd.links[lvl]))
+		for _, nb := range nd.links[lvl] {
+			cands = append(cands, cand{int(nb), vecmath.SquaredL2(nd.vec, ix.nodes[nb].vec)})
+		}
+		sortCands(cands)
+		kept := ix.selectHeuristicLocked(nd.vec, cands, maxLinks)
+		links := make([]int32, 0, len(kept))
+		for _, k := range kept {
+			links = append(links, int32(k.idx))
+		}
+		nd.links[lvl] = links
+	}
+}
+
+func sortCands(cs []cand) {
+	// insertion sort; neighbour lists are tiny (≤ 2M+1)
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].dist < cs[j-1].dist; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package ir implements the paper's IR System (§3.3): the facade that
+// "supports Conductor and Materializer by retrieving relevant data from
+// multiple sources", abstracting heterogeneous retrieval formats into
+// uniform Document objects. Three retrievers are wired in, exactly as in
+// the paper: Pneuma-Retriever (tables), the Document Database (domain
+// knowledge) and Web Search.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pneuma/internal/docdb"
+	"pneuma/internal/docs"
+	"pneuma/internal/retriever"
+	"pneuma/internal/table"
+	"pneuma/internal/websearch"
+)
+
+// Source selects a retriever.
+type Source string
+
+// The available sources.
+const (
+	SourceTables    Source = "tables"
+	SourceKnowledge Source = "knowledge"
+	SourceWeb       Source = "web"
+)
+
+// AllSources lists every source in query order.
+var AllSources = []Source{SourceTables, SourceKnowledge, SourceWeb}
+
+// System is the IR System facade.
+type System struct {
+	Tables    *retriever.Retriever
+	Knowledge *docdb.DB
+	Web       *websearch.Engine
+}
+
+// New wires a System from its three retrievers. Nil components are allowed
+// and simply return no results, so a caller can run tables-only.
+func New(tables *retriever.Retriever, knowledge *docdb.DB, web *websearch.Engine) *System {
+	return &System{Tables: tables, Knowledge: knowledge, Web: web}
+}
+
+// Request is one retrieval request from Conductor or Materializer.
+type Request struct {
+	// Query is the natural-language retrieval request, e.g. "previously
+	// active tariff for the region".
+	Query string
+	// K is the per-source result budget (default 5).
+	K int
+	// Sources restricts which retrievers answer; empty means all.
+	Sources []Source
+}
+
+// Result is the merged retrieval response.
+type Result struct {
+	Documents []docs.Document
+}
+
+// TableDocs filters the result to table documents.
+func (r Result) TableDocs() []docs.Document {
+	var out []docs.Document
+	for _, d := range r.Documents {
+		if d.Table != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// KnowledgeDocs filters the result to knowledge documents.
+func (r Result) KnowledgeDocs() []docs.Document {
+	var out []docs.Document
+	for _, d := range r.Documents {
+		if d.Kind == docs.KindKnowledge {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Summary renders all documents for an LLM context with the given per-table
+// sample-row budget.
+func (r Result) Summary(sampleRows int) string {
+	var b strings.Builder
+	for i := range r.Documents {
+		b.WriteString(r.Documents[i].Summary(sampleRows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Query runs the request against the selected sources and merges results.
+// Within each source, results keep their ranking; sources are concatenated
+// in AllSources order, then globally re-sorted per-source-normalized score
+// so cross-source merging is stable and deterministic.
+func (s *System) Query(req Request) (Result, error) {
+	k := req.K
+	if k <= 0 {
+		k = 5
+	}
+	sources := req.Sources
+	if len(sources) == 0 {
+		sources = AllSources
+	}
+	var merged []docs.Document
+	for _, src := range sources {
+		var got []docs.Document
+		var err error
+		switch src {
+		case SourceTables:
+			if s.Tables != nil {
+				got, err = s.Tables.Search(req.Query, k)
+			}
+		case SourceKnowledge:
+			if s.Knowledge != nil {
+				got, err = s.Knowledge.Search(req.Query, k)
+			}
+		case SourceWeb:
+			if s.Web != nil {
+				got, err = s.Web.Search(req.Query, k)
+			}
+		default:
+			return Result{}, fmt.Errorf("ir: unknown source %q", src)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("ir: source %s: %w", src, err)
+		}
+		// Normalize scores within the source to [0,1] by rank so different
+		// scoring scales merge fairly.
+		for i := range got {
+			got[i].Score = 1.0 / float64(i+1)
+		}
+		merged = append(merged, got...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	return Result{Documents: merged}, nil
+}
+
+// LookupTable fetches a table by exact name from the table retriever's
+// store — the grounding path Conductor uses to verify a table it is about
+// to reference actually exists (§3.2).
+func (s *System) LookupTable(name string) (*table.Table, bool) {
+	if s.Tables == nil {
+		return nil, false
+	}
+	d, ok := s.Tables.Document("table:" + name)
+	if !ok || d.Table == nil {
+		return nil, false
+	}
+	return d.Table, true
+}

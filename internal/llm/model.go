@@ -1,0 +1,180 @@
+// Package llm is the project's language-model substrate and the central
+// substitution documented in DESIGN.md: the paper runs Pneuma-Seeker on
+// OpenAI O4-mini (and simulates users with GPT-4o); offline Go has neither,
+// so this package provides
+//
+//   - a Model interface every agent talks through,
+//   - exact token accounting over rendered prompts (Table 2),
+//   - a per-model pricing catalog and context limits (Table 2 and the O3
+//     context-overflow experiment),
+//   - a deterministic latency model (the 70.26 s/prompt trade-off), and
+//   - SimModel, a rule-engine model whose "skills" (conductor planning,
+//     integration planning, user simulation, interpretation) are
+//     deterministic implementations operating on structured payloads.
+//
+// Because every agent interaction flows through Complete with a rendered
+// text prompt, context-size pressures are real: a component that stuffs too
+// much into its prompt genuinely overflows the model's context window. That
+// is what makes the paper's context-specialization claim measurable here.
+package llm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrContextLengthExceeded is returned when a request's rendered prompt
+// exceeds the model's context window — the error the paper's O3 whole-table
+// baseline hits on most questions.
+var ErrContextLengthExceeded = errors.New("llm: context length exceeded")
+
+// Section is one titled block of prompt context. Components build prompts
+// from sections so specialization (which sections a component includes) is
+// explicit and measurable.
+type Section struct {
+	Title string
+	Body  string
+}
+
+// Request is one model invocation.
+type Request struct {
+	// Task names the skill being requested (e.g. "conductor-plan"). A real
+	// hosted model would ignore it; SimModel dispatches on it.
+	Task string
+	// System is the role-specialization system prompt (§3.1: "prompting an
+	// LLM with distinct roles can help focus its behavior").
+	System string
+	// Sections is the specialized context for this call.
+	Sections []Section
+	// Payload is the machine-readable core of the prompt; it is rendered
+	// into the prompt text (and counted in tokens) and parsed by SimModel.
+	Payload json.RawMessage
+}
+
+// Render produces the full prompt text that is token-counted. SimModel also
+// receives the structured payload, but the *cost* of a request is always
+// the cost of this rendering.
+func (r Request) Render() string {
+	var b strings.Builder
+	b.WriteString("## SYSTEM\n")
+	b.WriteString(r.System)
+	b.WriteString("\n## TASK\n")
+	b.WriteString(r.Task)
+	b.WriteByte('\n')
+	for _, s := range r.Sections {
+		b.WriteString("## ")
+		b.WriteString(s.Title)
+		b.WriteByte('\n')
+		b.WriteString(s.Body)
+		b.WriteByte('\n')
+	}
+	if len(r.Payload) > 0 {
+		b.WriteString("## PAYLOAD\n")
+		b.Write(r.Payload)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Usage is the token bill for one call.
+type Usage struct {
+	InTokens  int
+	OutTokens int
+}
+
+// Add accumulates another usage.
+func (u *Usage) Add(o Usage) {
+	u.InTokens += o.InTokens
+	u.OutTokens += o.OutTokens
+}
+
+// Response is one model completion.
+type Response struct {
+	// Text is the rendered completion (what a hosted model would return).
+	Text string
+	// Payload is the structured completion SimModel produced; agents parse
+	// this instead of re-parsing Text.
+	Payload json.RawMessage
+	// Usage is the token bill.
+	Usage Usage
+	// Latency is the simulated wall-clock latency of the call.
+	Latency time.Duration
+}
+
+// Model is the language-model interface all agents depend on.
+type Model interface {
+	// Name returns the model identifier (matches the pricing catalog).
+	Name() string
+	// ContextLimit returns the context window in tokens.
+	ContextLimit() int
+	// Complete runs one completion.
+	Complete(req Request) (Response, error)
+}
+
+// Meter accumulates usage and simulated latency across calls, optionally
+// per component — the instrument behind Table 2 and the latency trade-off.
+type Meter struct {
+	Total        Usage
+	Calls        int
+	TotalLatency time.Duration
+	ByComponent  map[string]*Usage
+}
+
+// NewMeter creates an empty meter.
+func NewMeter() *Meter {
+	return &Meter{ByComponent: make(map[string]*Usage)}
+}
+
+// Record adds one call's usage under the given component label.
+func (m *Meter) Record(component string, resp Response) {
+	m.Total.Add(resp.Usage)
+	m.Calls++
+	m.TotalLatency += resp.Latency
+	cu, ok := m.ByComponent[component]
+	if !ok {
+		cu = &Usage{}
+		m.ByComponent[component] = cu
+	}
+	cu.Add(resp.Usage)
+}
+
+// MeteredModel wraps a Model so every call is recorded on a Meter under a
+// component label.
+type MeteredModel struct {
+	Inner     Model
+	Meter     *Meter
+	Component string
+}
+
+// Name implements Model.
+func (m *MeteredModel) Name() string { return m.Inner.Name() }
+
+// ContextLimit implements Model.
+func (m *MeteredModel) ContextLimit() int { return m.Inner.ContextLimit() }
+
+// Complete implements Model, recording usage on success and on context
+// overflow (a failed over-long call still costs the caller a round trip in
+// practice; we record zero usage for it but count the call).
+func (m *MeteredModel) Complete(req Request) (Response, error) {
+	resp, err := m.Inner.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	if m.Meter != nil {
+		m.Meter.Record(m.Component, resp)
+	}
+	return resp, nil
+}
+
+// MarshalPayload is a small helper that panics on marshal failure — the
+// payload DTOs are plain structs, so failure is a programming error.
+func MarshalPayload(v interface{}) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("llm: marshal payload: %v", err))
+	}
+	return b
+}

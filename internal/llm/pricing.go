@@ -1,0 +1,66 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pricing is a model's billing and capacity profile. Prices are USD per
+// million tokens, as reported by the paper ("O4-mini incurs $1.1 and $4.4
+// for every 1 million input and output tokens").
+type Pricing struct {
+	Name string
+	// InPerM / OutPerM are the standard per-million-token prices.
+	InPerM  float64
+	OutPerM float64
+	// LongInPerM applies to input above LongThreshold tokens per request
+	// (e.g. Sonnet 4.5's long-context tier). Zero means no long tier.
+	LongInPerM    float64
+	LongThreshold int
+	// Context is the context-window size in tokens.
+	Context int
+}
+
+// Catalog lists the six models of Table 2 plus GPT-4o (the paper's LLM Sim
+// model, whose 128k window drives the static baselines' overflow behaviour).
+var Catalog = map[string]Pricing{
+	"haiku-4.5":  {Name: "Haiku 4.5", InPerM: 1.0, OutPerM: 5.0, Context: 200_000},
+	"o4-mini":    {Name: "O4-mini", InPerM: 1.1, OutPerM: 4.4, Context: 200_000},
+	"o3":         {Name: "O3", InPerM: 2.0, OutPerM: 8.0, Context: 200_000},
+	"gpt-5.1":    {Name: "gpt-5.1", InPerM: 1.25, OutPerM: 10.0, Context: 272_000},
+	"sonnet-4.5": {Name: "Sonnet 4.5", InPerM: 3.0, OutPerM: 15.0, LongInPerM: 6.0, LongThreshold: 200_000, Context: 1_000_000},
+	"opus-4.5":   {Name: "Opus 4.5", InPerM: 5.0, OutPerM: 25.0, Context: 200_000},
+	"gpt-4o":     {Name: "GPT-4o", InPerM: 2.5, OutPerM: 10.0, Context: 128_000},
+}
+
+// Table2Models is the column order of the paper's Table 2.
+var Table2Models = []string{"haiku-4.5", "o4-mini", "o3", "gpt-5.1", "sonnet-4.5", "opus-4.5"}
+
+// Lookup returns the pricing entry for a model ID.
+func Lookup(id string) (Pricing, error) {
+	p, ok := Catalog[id]
+	if !ok {
+		ids := make([]string, 0, len(Catalog))
+		for k := range Catalog {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return Pricing{}, fmt.Errorf("llm: unknown model %q (known: %v)", id, ids)
+	}
+	return p, nil
+}
+
+// Cost prices a usage total under this model: input above the long-context
+// threshold (when present) bills at the long-tier rate. The threshold is
+// applied to the aggregate, which matches how the paper's Table 2 prices
+// the *average interaction* total.
+func (p Pricing) Cost(u Usage) (in, out float64) {
+	inTok := float64(u.InTokens)
+	if p.LongInPerM > 0 && u.InTokens > p.LongThreshold {
+		in = inTok / 1e6 * p.LongInPerM
+	} else {
+		in = inTok / 1e6 * p.InPerM
+	}
+	out = float64(u.OutTokens) / 1e6 * p.OutPerM
+	return in, out
+}

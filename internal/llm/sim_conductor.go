@@ -1,0 +1,648 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConductorInput is the specialized context the Conductor agent assembles
+// for one planning call (§3.2): the full user-message history (an LLM
+// re-reads its conversation), the current shared state (T, Q), retrieved
+// documents, captured knowledge, and the last tool error if any.
+type ConductorInput struct {
+	UserMessages     []string  `json:"user_messages"`
+	State            StateInfo `json:"state"`
+	Docs             []DocInfo `json:"docs,omitempty"`
+	Knowledge        []string  `json:"knowledge,omitempty"`
+	LastError        string    `json:"last_error,omitempty"`
+	ActionsTaken     int       `json:"actions_taken"`
+	RetrievalRounds  int       `json:"retrieval_rounds"`
+	WebSearchEnabled bool      `json:"web_search_enabled"`
+}
+
+// Conductor actions (§3.2's action space).
+const (
+	ActionRetrieve    = "retrieve"     // tool call into IR System
+	ActionUpdateState = "update_state" // state modification of (T, Q)
+	ActionMaterialize = "materialize"  // tool call into Materializer
+	ActionExecute     = "execute"      // tool call into SQL Executor
+	ActionRespond     = "respond"      // user-facing communication
+	ActionClarify     = "clarify"      // user-facing clarifying question
+)
+
+// TransformSpec is one declarative preparation step inside a TableSpec.
+type TransformSpec struct {
+	// Kind is "interpolate", "parse_dates", "to_number" or "derive".
+	Kind string `json:"kind"`
+	// Column is the target column (X column for interpolate lives in Arg).
+	Column string `json:"column,omitempty"`
+	// Arg carries the op-specific argument: interpolate → X column,
+	// derive → SQL expression.
+	Arg string `json:"arg,omitempty"`
+}
+
+// TableSpec describes one target table of T: which base table it derives
+// from, an optional join, preparation transforms and the projected columns.
+type TableSpec struct {
+	Name         string          `json:"name"`
+	BaseTable    string          `json:"base_table"`
+	Columns      []string        `json:"columns"`
+	JoinTable    string          `json:"join_table,omitempty"`
+	JoinLeftKey  string          `json:"join_left_key,omitempty"`
+	JoinRightKey string          `json:"join_right_key,omitempty"`
+	JoinFuzzy    bool            `json:"join_fuzzy,omitempty"`
+	Transforms   []TransformSpec `json:"transforms,omitempty"`
+}
+
+// ConductorDecision is the planning skill's output: the next action plus
+// its arguments, and the internal reasoning trace (ReAct-style).
+type ConductorDecision struct {
+	Reasoning      string      `json:"reasoning"`
+	Action         string      `json:"action"`
+	RetrievalQuery string      `json:"retrieval_query,omitempty"`
+	Sources        []string    `json:"sources,omitempty"`
+	StateTables    []TableSpec `json:"state_tables,omitempty"`
+	StateQueries   []string    `json:"state_queries,omitempty"`
+	Message        string      `json:"message,omitempty"`
+	// MentionedColumns surfaces the model's interpretation of relevant
+	// columns (name + meaning); the user simulator anchors on these.
+	MentionedColumns []MentionedColumn `json:"mentioned_columns,omitempty"`
+}
+
+// MentionedColumn is one interpreted column reference in a user-facing
+// message.
+type MentionedColumn struct {
+	Table       string `json:"table"`
+	Column      string `json:"column"`
+	Description string `json:"description,omitempty"`
+}
+
+// skillConductorPlan implements TaskConductorPlan: evaluate the state, the
+// retrieved data and the user's messages, and decide the single best next
+// action — internal reasoning, tool call, state modification, or
+// user-facing communication (§3.2).
+func skillConductorPlan(req Request) (interface{}, error) {
+	var in ConductorInput
+	if err := DecodePayload(req, &in); err != nil {
+		return nil, err
+	}
+	vocab := VocabFromDocs(in.Docs)
+	intent := ParseAll(in.UserMessages, vocab)
+
+	// 1. Nothing retrieved yet: ground the conversation in data first
+	// (§3.2: decisions are grounded on retrieved data, not assumptions).
+	if len(vocab.Tables) == 0 && in.RetrievalRounds == 0 {
+		q := retrievalQuery(intent)
+		return ConductorDecision{
+			Reasoning: fmt.Sprintf(
+				"No data retrieved yet. Before proposing a schema I should see what exists for: %s.", q),
+			Action:         ActionRetrieve,
+			RetrievalQuery: q,
+			Sources:        retrievalSources(in.WebSearchEnabled),
+		}, nil
+	}
+
+	// 2. Purely exploratory ask: respond with an interpreted overview of
+	// what was found. This is what lets a vague user anchor their need.
+	if intent.WantOverview && intent.MeasurePhrase == "" {
+		msg, cols := overviewMessage(vocab)
+		return ConductorDecision{
+			Reasoning:        "The user wants an overview; summarize the retrieved tables and interpret their columns.",
+			Action:           ActionRespond,
+			Message:          msg,
+			MentionedColumns: cols,
+		}, nil
+	}
+
+	// 3. The user named a measure: resolve it against the vocabulary.
+	if intent.MeasurePhrase != "" {
+		tbl, col, score, ambiguous := ResolveMeasure(vocab, intent.MeasurePhrase, intent.Topic)
+		if score < 0.30 {
+			// Unresolvable with current documents: retry retrieval with the
+			// measure phrase alone (a focused query ranks the right table
+			// far better than phrase+topic soup), then web, then give a
+			// grounded clarification instead of hallucinating a schema.
+			if in.RetrievalRounds < 3 {
+				return ConductorDecision{
+					Reasoning: fmt.Sprintf(
+						"No retrieved column matches %q (best score %.2f); retrieving with the measure phrase directly.",
+						intent.MeasurePhrase, score),
+					Action:         ActionRetrieve,
+					RetrievalQuery: intent.MeasurePhrase,
+					Sources:        retrievalSources(in.WebSearchEnabled),
+				}, nil
+			}
+			return ConductorDecision{
+				Reasoning: "Retrieval exhausted without a matching column; the gap must go back to the user.",
+				Action:    ActionClarify,
+				Message: fmt.Sprintf(
+					"I could not find data matching %q in the available sources. The closest tables I have are: %s. Could you describe the measurement differently?",
+					intent.MeasurePhrase, tableNames(vocab)),
+			}, nil
+		}
+		if ambiguous {
+			return ConductorDecision{
+				Reasoning: fmt.Sprintf("Two candidate columns tie for %q; asking instead of guessing.", intent.MeasurePhrase),
+				Action:    ActionClarify,
+				Message: fmt.Sprintf(
+					"I found more than one plausible column for %q. Did you mean %s.%s (%s)? If not, tell me which table to use.",
+					intent.MeasurePhrase, tbl.Name, col.Name, col.Description),
+			}, nil
+		}
+
+		// Build the desired (T, Q) from the cumulative intent.
+		spec, queries, unresolved := buildPlan(intent, vocab, tbl, col)
+		if unresolved != "" {
+			// Before asking the user: look for a reference table that both
+			// contains the ungrounded value and shares a key with the
+			// measure table (e.g. a stations registry for a station-keyed
+			// reading table).
+			if in.RetrievalRounds < 3 {
+				if q := filterLookupQuery(intent, tbl); q != "" {
+					return ConductorDecision{
+						Reasoning:      "A filter value is not in the measure table; retrieving a joinable reference table for it.",
+						Action:         ActionRetrieve,
+						RetrievalQuery: q,
+						Sources:        retrievalSources(in.WebSearchEnabled),
+					}, nil
+				}
+			}
+			return ConductorDecision{
+				Reasoning: "A filter value could not be grounded in any retrieved column.",
+				Action:    ActionClarify,
+				Message:   unresolved,
+			}, nil
+		}
+
+		// 3a. State drift: update (T, Q) first.
+		if stateDiffers(in.State, spec, queries) {
+			return ConductorDecision{
+				Reasoning: fmt.Sprintf(
+					"The user's need now reads as %s of %s.%s%s; updating (T, Q) to match.",
+					displayAgg(intent.Aggregate), tbl.Name, col.Name, filterSummary(intent.Filters)),
+				Action:       ActionUpdateState,
+				StateTables:  []TableSpec{spec},
+				StateQueries: queries,
+			}, nil
+		}
+		// 3b. T defined but not materialized.
+		if !in.State.Materialized {
+			return ConductorDecision{
+				Reasoning: "T matches the need but is not materialized; calling Materializer.",
+				Action:    ActionMaterialize,
+			}, nil
+		}
+		// 3c. Materialized but Q not executed.
+		if in.State.ResultPreview == "" && len(in.State.Queries) > 0 {
+			return ConductorDecision{
+				Reasoning: "T is materialized; executing Q.",
+				Action:    ActionExecute,
+			}, nil
+		}
+		// 3d. Everything done: report, interpreting what was computed.
+		msg := answerMessage(intent, tbl, col, in.State.ResultPreview)
+		return ConductorDecision{
+			Reasoning: "State, materialization and execution are aligned; report the result.",
+			Action:    ActionRespond,
+			Message:   msg,
+			MentionedColumns: []MentionedColumn{
+				{Table: tbl.Name, Column: col.Name, Description: col.Description},
+			},
+		}, nil
+	}
+
+	// 4. No measure yet but data retrieved: interpret what exists and guide
+	// the user toward something concrete.
+	msg, cols := overviewMessage(vocab)
+	return ConductorDecision{
+		Reasoning:        "The need is still unspecific; surface an interpreted overview to help the user articulate it.",
+		Action:           ActionRespond,
+		Message:          msg,
+		MentionedColumns: cols,
+	}, nil
+}
+
+// retrievalQuery builds the IR query from an intent.
+func retrievalQuery(intent Intent) string {
+	parts := []string{intent.Topic}
+	if intent.MeasurePhrase != "" {
+		parts = append(parts, intent.MeasurePhrase)
+	}
+	for _, f := range intent.Filters {
+		parts = append(parts, f.Value)
+	}
+	q := strings.TrimSpace(strings.Join(parts, " "))
+	if q == "" {
+		q = "available datasets"
+	}
+	return q
+}
+
+func retrievalSources(webOn bool) []string {
+	s := []string{"tables", "knowledge"}
+	if webOn {
+		s = append(s, "web")
+	}
+	return s
+}
+
+// overviewMessage renders an interpreted summary of the retrieved tables —
+// the key capability static baselines lack (they return raw rows without
+// interpretation, §4.1).
+func overviewMessage(vocab Vocab) (string, []MentionedColumn) {
+	var b strings.Builder
+	var cols []MentionedColumn
+	b.WriteString("Here is what the available data covers:\n")
+	for _, t := range vocab.Tables {
+		fmt.Fprintf(&b, "- %s (%d rows): %s. Key variables: ", t.Name, t.NumRows, t.Description)
+		// Interpret the measure columns first — the variables an analyst
+		// actually asks about — then identifiers, up to a readable cap.
+		ordered := append(measureColumns(t), nonMeasureColumns(t)...)
+		shown := 0
+		for _, c := range ordered {
+			if c.Description == "" {
+				continue
+			}
+			if shown > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%s = %s", c.Name, c.Description)
+			cols = append(cols, MentionedColumn{Table: t.Name, Column: c.Name, Description: c.Description})
+			shown++
+			if shown >= 12 {
+				break
+			}
+		}
+		b.WriteString(".\n")
+	}
+	b.WriteString("Tell me which variable you want to analyze, and any region, station or time range to focus on.")
+	return b.String(), cols
+}
+
+// measureColumns returns a table's numeric (or numeric-ish) columns —
+// the likely measures.
+func measureColumns(t TableInfo) []ColumnInfo {
+	var out []ColumnInfo
+	for _, c := range t.Columns {
+		if c.Type == "double" || mostlyNumericSamples(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func nonMeasureColumns(t TableInfo) []ColumnInfo {
+	var out []ColumnInfo
+	for _, c := range t.Columns {
+		if c.Type != "double" && !mostlyNumericSamples(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func tableNames(vocab Vocab) string {
+	names := make([]string, 0, len(vocab.Tables))
+	for _, t := range vocab.Tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// BuildPlan constructs the target TableSpec and query list for an intent
+// whose measure resolved to (tbl, col). unresolved carries a user-facing
+// clarification when a filter cannot be grounded. Exported because the
+// full-context baseline synthesizes plans through the same machinery.
+func BuildPlan(intent Intent, vocab Vocab, tbl TableInfo, col ColumnInfo) (spec TableSpec, queries []string, unresolved string) {
+	return buildPlan(intent, vocab, tbl, col)
+}
+
+func buildPlan(intent Intent, vocab Vocab, tbl TableInfo, col ColumnInfo) (spec TableSpec, queries []string, unresolved string) {
+	spec = TableSpec{
+		Name:      "target_" + tbl.Name,
+		BaseTable: tbl.Name,
+	}
+	colSet := map[string]struct{}{}
+	addCol := func(name string) {
+		if name == "" {
+			return
+		}
+		if _, dup := colSet[name]; dup {
+			return
+		}
+		colSet[name] = struct{}{}
+		spec.Columns = append(spec.Columns, name)
+	}
+
+	// Resolve filters; a filter grounded in another table induces a join.
+	type resolvedFilter struct {
+		column string
+		value  string
+		joined bool
+	}
+	var filters []resolvedFilter
+	for _, f := range intent.Filters {
+		if c, canon, ok := ResolveFilterColumn(tbl, f); ok {
+			filters = append(filters, resolvedFilter{column: c, value: canon})
+			addCol(c)
+			continue
+		}
+		// Look for the value in another retrieved table sharing a key.
+		joined := false
+		for _, other := range vocab.Tables {
+			if other.Name == tbl.Name {
+				continue
+			}
+			c, canon, ok := ResolveFilterColumn(other, f)
+			if !ok {
+				continue
+			}
+			key, rKey, kOK := sharedKey(tbl, other)
+			if !kOK {
+				continue
+			}
+			spec.JoinTable = other.Name
+			spec.JoinLeftKey = key
+			spec.JoinRightKey = rKey
+			filters = append(filters, resolvedFilter{column: c, value: canon, joined: true})
+			addCol(key)
+			addCol(c)
+			joined = true
+			break
+		}
+		if !joined {
+			return spec, nil, fmt.Sprintf(
+				"You mentioned %q, but I cannot find that value in any retrieved column. Which attribute does it refer to?",
+				f.Value)
+		}
+	}
+
+	// Temporal column. A varchar time column (e.g. "Month Day, Year"
+	// strings) gets a date-normalization transform so YEAR()/ORDER BY work
+	// — the Materializer's §3.4 format-alignment job.
+	timeCol, hasTime := findTimeColumn(tbl)
+	needsTime := intent.FirstLast || intent.YearFrom != 0 || intent.YearTo != 0 || intent.Interpolate
+	if needsTime && hasTime {
+		addCol(timeCol.Name)
+		if timeCol.Type == "varchar" {
+			spec.Transforms = append(spec.Transforms, TransformSpec{Kind: "parse_dates", Column: timeCol.Name})
+			timeCol.Type = "timestamp" // post-transform type for Q building
+		}
+	}
+
+	addCol(col.Name)
+
+	// Transforms: interpolation needs a numeric/temporal X axis.
+	if intent.Interpolate && hasTime {
+		spec.Transforms = append(spec.Transforms, TransformSpec{
+			Kind: "interpolate", Column: col.Name, Arg: timeCol.Name,
+		})
+	}
+
+	// Derived computation for the paper's tariff walk-through (§3.6):
+	// "impact should be calculated relative to the previous active tariff"
+	// becomes measure * (1 + new_tariff - prev_tariff) over a join with the
+	// tariff table retrieved from the web.
+	measureCol := col.Name
+	if intent.RelativePrev {
+		if t2, newCol, prevCol, ok := findTariffColumns(vocab); ok {
+			if !strings.EqualFold(t2.Name, tbl.Name) && spec.JoinTable == "" {
+				if lk, rk, jok := looseSharedKey(tbl, t2); jok {
+					spec.JoinTable = t2.Name
+					spec.JoinLeftKey = lk
+					spec.JoinRightKey = rk
+					addCol(lk)
+				}
+			}
+			addCol(newCol)
+			addCol(prevCol)
+			derived := "adjusted_" + col.Name
+			spec.Transforms = append(spec.Transforms, TransformSpec{
+				Kind:   "derive",
+				Column: derived,
+				Arg:    fmt.Sprintf("%s * (1 + %s - %s)", col.Name, newCol, prevCol),
+			})
+			addCol(derived)
+			measureCol = derived
+		}
+	}
+
+	// Build Q.
+	agg := intent.Aggregate
+	if agg == "" {
+		agg = "AVG"
+	}
+	var where []string
+	for _, f := range filters {
+		where = append(where, fmt.Sprintf("%s = '%s'", f.column, escapeSQL(f.value)))
+	}
+	if intent.YearFrom != 0 || intent.YearTo != 0 {
+		from, to := intent.YearFrom, intent.YearTo
+		if from == 0 {
+			from = 1500
+		}
+		if to == 0 {
+			to = 2100
+		}
+		if hasTime {
+			yearExpr := timeCol.Name
+			if timeCol.Type == "timestamp" {
+				yearExpr = fmt.Sprintf("YEAR(%s)", timeCol.Name)
+			}
+			where = append(where, fmt.Sprintf("%s BETWEEN %d AND %d", yearExpr, from, to))
+		}
+	}
+	whereClause := ""
+	if len(where) > 0 {
+		whereClause = " WHERE " + strings.Join(where, " AND ")
+	}
+
+	var expr string
+	if intent.FirstLast && hasTime {
+		inner := fmt.Sprintf("SELECT %s FROM %s%s ORDER BY %s", measureCol, spec.Name, whereClause, timeCol.Name)
+		expr = fmt.Sprintf("SELECT (FIRST(%s) + LAST(%s)) / 2 AS answer FROM (%s) AS ordered", measureCol, measureCol, inner)
+	} else {
+		expr = fmt.Sprintf("SELECT %s(%s) AS answer FROM %s%s", agg, measureCol, spec.Name, whereClause)
+	}
+	if intent.RoundTo >= 0 {
+		expr = wrapRound(expr, intent.RoundTo)
+	}
+	queries = append(queries, expr)
+	return spec, queries, ""
+}
+
+// wrapRound rewraps "SELECT <agg expr> AS answer FROM ..." with ROUND.
+func wrapRound(q string, digits int) string {
+	const marker = " AS answer"
+	idx := strings.Index(q, marker)
+	if idx < 0 {
+		return q
+	}
+	head := q[len("SELECT "):idx]
+	return fmt.Sprintf("SELECT ROUND(%s, %d) AS answer%s", head, digits, q[idx+len(marker):])
+}
+
+func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+// sharedKey finds a join key: a column name both tables carry that looks
+// like an identifier. Generic columns (year, month, region) must never act
+// as join keys — joining two fact tables on "year" produces a many-to-many
+// explosion, not an integration.
+func sharedKey(a, b TableInfo) (left, right string, ok bool) {
+	for _, ca := range a.Columns {
+		for _, cb := range b.Columns {
+			if !strings.EqualFold(ca.Name, cb.Name) {
+				continue
+			}
+			if keyishColumn(ca.Name) {
+				return ca.Name, cb.Name, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// keyishColumn reports whether a column name looks like a join key.
+func keyishColumn(name string) bool {
+	lc := strings.ToLower(name)
+	return strings.HasSuffix(lc, "_id") || lc == "id" || strings.HasSuffix(lc, "_code") ||
+		strings.HasSuffix(lc, "_key") || strings.HasSuffix(lc, "name")
+}
+
+// filterLookupQuery builds a retrieval query that targets a reference table
+// for the first ungrounded filter: the value plus the measure table's
+// key-ish columns (so a table that can actually join ranks first).
+func filterLookupQuery(intent Intent, tbl TableInfo) string {
+	if len(intent.Filters) == 0 {
+		return ""
+	}
+	var keyTerms []string
+	for _, c := range tbl.Columns {
+		if keyishColumn(c.Name) {
+			keyTerms = append(keyTerms, strings.ReplaceAll(c.Name, "_", " "))
+		}
+	}
+	if len(keyTerms) == 0 {
+		return ""
+	}
+	f := intent.Filters[len(intent.Filters)-1]
+	return f.Value + " " + f.ColumnPhrase + " " + strings.Join(keyTerms, " ")
+}
+
+// findTariffColumns locates a table carrying both a new and a previous
+// tariff rate column.
+func findTariffColumns(vocab Vocab) (t TableInfo, newCol, prevCol string, ok bool) {
+	for _, tbl := range vocab.Tables {
+		var n, p string
+		for _, c := range tbl.Columns {
+			lc := strings.ToLower(c.Name)
+			if strings.Contains(lc, "tariff") {
+				if strings.Contains(lc, "new") {
+					n = c.Name
+				}
+				if strings.Contains(lc, "prev") || strings.Contains(lc, "old") {
+					p = c.Name
+				}
+			}
+		}
+		if n != "" && p != "" {
+			return tbl, n, p, true
+		}
+	}
+	return TableInfo{}, "", "", false
+}
+
+// looseSharedKey extends sharedKey with entity columns (country) that are
+// legitimate join keys for dimension-style tables.
+func looseSharedKey(a, b TableInfo) (string, string, bool) {
+	if l, r, ok := sharedKey(a, b); ok {
+		return l, r, ok
+	}
+	for _, ca := range a.Columns {
+		for _, cb := range b.Columns {
+			if strings.EqualFold(ca.Name, cb.Name) && strings.EqualFold(ca.Name, "country") {
+				return ca.Name, cb.Name, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// stateDiffers compares the live state against the desired spec/queries,
+// including planned transforms (an interpolation added to the spec must
+// trigger re-materialization even when Q is unchanged).
+func stateDiffers(state StateInfo, spec TableSpec, queries []string) bool {
+	if len(state.Specs) != 1 || len(state.Queries) != len(queries) {
+		return true
+	}
+	cur, err1 := json.Marshal(state.Specs[0])
+	want, err2 := json.Marshal(spec)
+	if err1 != nil || err2 != nil || string(cur) != string(want) {
+		return true
+	}
+	for i, q := range queries {
+		if state.Queries[i] != q {
+			return true
+		}
+	}
+	return false
+}
+
+func displayAgg(agg string) string {
+	switch agg {
+	case "", "AVG":
+		return "the average"
+	case "SUM":
+		return "the total"
+	case "COUNT":
+		return "the count"
+	case "MIN":
+		return "the minimum"
+	case "MAX":
+		return "the maximum"
+	case "MEDIAN":
+		return "the median"
+	case "STDDEV":
+		return "the standard deviation"
+	default:
+		return agg
+	}
+}
+
+func filterSummary(fs []FilterSpec) string {
+	if len(fs) == 0 {
+		return ""
+	}
+	vals := make([]string, len(fs))
+	for i, f := range fs {
+		vals[i] = f.Value
+	}
+	return " filtered to " + strings.Join(vals, ", ")
+}
+
+// answerMessage is the user-facing report of an executed query, grounded in
+// the actual result preview.
+func answerMessage(intent Intent, tbl TableInfo, col ColumnInfo, preview string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "I computed %s of %s.%s", displayAgg(intent.Aggregate), tbl.Name, col.Name)
+	if col.Description != "" {
+		fmt.Fprintf(&b, " (%s)", col.Description)
+	}
+	b.WriteString(filterSummary(intent.Filters))
+	if intent.YearFrom != 0 || intent.YearTo != 0 {
+		fmt.Fprintf(&b, " between %d and %d", intent.YearFrom, intent.YearTo)
+	}
+	if intent.Interpolate {
+		b.WriteString(", with missing values linearly interpolated")
+	}
+	if intent.FirstLast {
+		b.WriteString(", averaging the first and last recorded values")
+	}
+	b.WriteString(".\nResult:\n")
+	b.WriteString(preview)
+	b.WriteString("\nYou can narrow the scope further (region, time range) or ask for a different statistic.")
+	return b.String()
+}

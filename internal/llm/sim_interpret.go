@@ -1,0 +1,191 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InterpretInput is the context of the RAG baseline's single skill (§4.1's
+// LlamaIndex: "adds an LLM on top of a top-k vector retriever to interpret
+// the retrieved data"): the user's messages plus the retrieved chunks.
+type InterpretInput struct {
+	UserMessages []string  `json:"user_messages"`
+	Docs         []DocInfo `json:"docs"`
+}
+
+// InterpretOutput is the interpretation: a user-facing message and the
+// interpreted column surface. There is no state, no SQL and no execution —
+// which is exactly why this baseline scores 0% on accuracy (Table 3): "the
+// questions require actual computation ... not just interpretation".
+type InterpretOutput struct {
+	Message          string            `json:"message"`
+	MentionedColumns []MentionedColumn `json:"mentioned_columns,omitempty"`
+}
+
+// skillInterpret implements TaskInterpret.
+func skillInterpret(req Request) (interface{}, error) {
+	var in InterpretInput
+	if err := DecodePayload(req, &in); err != nil {
+		return nil, err
+	}
+	vocab := VocabFromDocs(in.Docs)
+	intent := ParseAll(in.UserMessages, vocab)
+
+	var b strings.Builder
+	var mentioned []MentionedColumn
+
+	if intent.MeasurePhrase != "" {
+		tbl, col, score, _ := ResolveMeasure(vocab, intent.MeasurePhrase, intent.Topic)
+		if score >= 0.30 {
+			fmt.Fprintf(&b, "Based on the retrieved context, %q corresponds to column %s in table %s",
+				intent.MeasurePhrase, col.Name, tbl.Name)
+			if col.Description != "" {
+				fmt.Fprintf(&b, " (%s)", col.Description)
+			}
+			b.WriteString(". ")
+			mentioned = append(mentioned, MentionedColumn{Table: tbl.Name, Column: col.Name, Description: col.Description})
+			if len(intent.Filters) > 0 {
+				b.WriteString("The data can be narrowed to ")
+				for i, f := range intent.Filters {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(f.Value)
+				}
+				b.WriteString(" using the categorical columns present. ")
+			}
+			if tcol, ok := findTimeColumn(tbl); ok {
+				fmt.Fprintf(&b, "Temporal analysis is possible via %s. ", tcol.Name)
+				mentioned = append(mentioned, MentionedColumn{Table: tbl.Name, Column: tcol.Name, Description: tcol.Description})
+			}
+			b.WriteString("Note that I can summarize and interpret the retrieved excerpts, but I cannot execute computations over the full tables.")
+			return InterpretOutput{Message: b.String(), MentionedColumns: mentioned}, nil
+		}
+		fmt.Fprintf(&b, "The retrieved context does not clearly contain %q. ", intent.MeasurePhrase)
+	}
+
+	// Fall back to an interpreted overview of the retrieved chunks,
+	// measure columns first.
+	b.WriteString("The retrieved context covers: ")
+	for i, t := range vocab.Tables {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", t.Name, t.Description)
+		ordered := append(measureColumns(t), nonMeasureColumns(t)...)
+		shown := 0
+		for _, c := range ordered {
+			if c.Description == "" {
+				continue
+			}
+			fmt.Fprintf(&b, " — %s: %s", c.Name, c.Description)
+			mentioned = append(mentioned, MentionedColumn{Table: t.Name, Column: c.Name, Description: c.Description})
+			shown++
+			if shown >= 10 {
+				break
+			}
+		}
+	}
+	b.WriteString(". Ask about any of these variables and I can interpret the relevant excerpts.")
+	return InterpretOutput{Message: b.String(), MentionedColumns: mentioned}, nil
+}
+
+// DecomposeInput is DS-Guru's single-shot context (§4.2): the benchmark
+// question plus the full schemas of the dataset's tables. DS-Guru
+// "instructs an LLM to decompose a question into a sequence of subtasks,
+// reason through each step, and synthesize Python code" — one pass, no
+// retrieval grounding, no user loop, no error repair.
+type DecomposeInput struct {
+	Question string      `json:"question"`
+	Tables   []TableInfo `json:"tables"`
+}
+
+// DecomposeOutput is DS-Guru's synthesized plan: the same plan language the
+// Conductor uses, so the execution substrate is shared and the comparison
+// isolates the *planning* differences.
+type DecomposeOutput struct {
+	Subtasks []string  `json:"subtasks"`
+	Spec     TableSpec `json:"spec"`
+	Queries  []string  `json:"queries"`
+	// Failed marks a decomposition that could not ground the question.
+	Failed bool   `json:"failed"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// skillDecompose implements TaskDecompose. Its weaknesses relative to the
+// Conductor are deliberate and mirror the baseline's real limitations:
+//
+//   - column grounding uses physical names only (a one-shot code
+//     synthesizer matches identifiers; it has no retrieval-ranked
+//     descriptions to lean on),
+//   - ambiguity is resolved by guessing (no user to ask),
+//   - cross-table filters are only found when an exact shared key exists,
+//   - there is no repair loop (the first plan is the only plan).
+func skillDecompose(req Request) (interface{}, error) {
+	var in DecomposeInput
+	if err := DecodePayload(req, &in); err != nil {
+		return nil, err
+	}
+	// Strip descriptions: name-only grounding.
+	bare := make([]TableInfo, len(in.Tables))
+	for i, t := range in.Tables {
+		bt := t
+		bt.Columns = make([]ColumnInfo, len(t.Columns))
+		for j, c := range t.Columns {
+			bc := c
+			bc.Description = ""
+			bc.Unit = ""
+			bt.Columns[j] = bc
+		}
+		bare[i] = bt
+	}
+	vocab := Vocab{Tables: bare}
+	fullVocab := Vocab{Tables: in.Tables}
+	intent := ParseUtterance(in.Question, fullVocab) // values still ground via samples
+
+	subtasks := []string{
+		"1. Identify the relevant table and measure column from the question.",
+		"2. Apply the question's filters.",
+		"3. Compute the requested statistic.",
+	}
+
+	if intent.MeasurePhrase == "" {
+		return DecomposeOutput{
+			Subtasks: subtasks, Failed: true,
+			Reason: "could not identify a measure in the question",
+		}, nil
+	}
+	tbl, col, score, _ := ResolveMeasure(vocab, intent.MeasurePhrase, intent.Topic)
+	if score < 0.30 {
+		return DecomposeOutput{
+			Subtasks: subtasks, Failed: true,
+			Reason: fmt.Sprintf("no column name matches %q (best %.2f)", intent.MeasurePhrase, score),
+		}, nil
+	}
+	// Rebind to the full table info for plan building (the synthesized code
+	// runs against the real schema).
+	var fullTbl TableInfo
+	for _, t := range in.Tables {
+		if t.Name == tbl.Name {
+			fullTbl = t
+			break
+		}
+	}
+	spec, queries, unresolved := buildPlan(intent, fullVocab, fullTbl, col)
+	if unresolved != "" {
+		// One-shot synthesis guesses rather than asks: drop the ungrounded
+		// filter and proceed — a realistic silent-wrong-answer mode.
+		filtered := intent
+		filtered.Filters = nil
+		for _, f := range intent.Filters {
+			if c, canon, ok := ResolveFilterColumn(fullTbl, f); ok {
+				f.Column = c
+				f.Value = canon
+				filtered.Filters = append(filtered.Filters, f)
+			}
+		}
+		spec, queries, _ = buildPlan(filtered, fullVocab, fullTbl, col)
+		subtasks = append(subtasks, "note: a filter value could not be located; proceeding without it")
+	}
+	return DecomposeOutput{Subtasks: subtasks, Spec: spec, Queries: queries}, nil
+}

@@ -1,0 +1,240 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaterializeInput is the Materializer's specialized context (§3.4): only
+// what data integration needs — the target spec, the retrieved table
+// schemas, the queries in Q (so formats can be aligned with the filters the
+// queries expect), and, on repair calls, the previous plan plus the error
+// the tool reported.
+type MaterializeInput struct {
+	Spec      TableSpec        `json:"spec"`
+	Docs      []DocInfo        `json:"docs"`
+	Queries   []string         `json:"queries,omitempty"`
+	LastError string           `json:"last_error,omitempty"`
+	PrevPlan  *MaterializePlan `json:"prev_plan,omitempty"`
+}
+
+// MatStep is one step of an integration plan.
+type MatStep struct {
+	// Op is "base", "join", "fuzzy_join", "parse_dates", "to_number",
+	// "interpolate", "derive", or "project".
+	Op string `json:"op"`
+	// Table names the source table for base/join ops.
+	Table string `json:"table,omitempty"`
+	// Column is the op's target column.
+	Column string `json:"column,omitempty"`
+	// Arg carries op-specific data: join keys as "left=right", the X column
+	// for interpolate, the SQL expression for derive, the comma-separated
+	// projection for project.
+	Arg string `json:"arg,omitempty"`
+	// Lenient marks repair-loop downgrades (bad values become NULL).
+	Lenient bool `json:"lenient,omitempty"`
+}
+
+// MaterializePlan is the integration program the Materializer executes —
+// the equivalent of the Python/SQL code the paper's Materializer generates.
+type MaterializePlan struct {
+	Reasoning string    `json:"reasoning"`
+	Steps     []MatStep `json:"steps"`
+}
+
+// skillMaterializePlan implements TaskMaterializePlan. First call: derive
+// the plan from the spec and the schemas (inserting format-normalization
+// steps by inspecting column types against what Q expects). Repair call:
+// adjust the previous plan according to the tool error.
+func skillMaterializePlan(req Request) (interface{}, error) {
+	var in MaterializeInput
+	if err := DecodePayload(req, &in); err != nil {
+		return nil, err
+	}
+	if in.LastError != "" && in.PrevPlan != nil {
+		return repairPlan(in), nil
+	}
+	return freshPlan(in), nil
+}
+
+func freshPlan(in MaterializeInput) MaterializePlan {
+	var plan MaterializePlan
+	var reasons []string
+	spec := in.Spec
+
+	plan.Steps = append(plan.Steps, MatStep{Op: "base", Table: spec.BaseTable})
+	reasons = append(reasons, fmt.Sprintf("start from %s", spec.BaseTable))
+
+	if spec.JoinTable != "" {
+		op := "join"
+		if spec.JoinFuzzy {
+			op = "fuzzy_join"
+		}
+		plan.Steps = append(plan.Steps, MatStep{
+			Op:    op,
+			Table: spec.JoinTable,
+			Arg:   spec.JoinLeftKey + "=" + spec.JoinRightKey,
+		})
+		reasons = append(reasons, fmt.Sprintf("%s with %s on %s=%s",
+			op, spec.JoinTable, spec.JoinLeftKey, spec.JoinRightKey))
+	}
+
+	// Format alignment: inspect each needed column's type in the retrieved
+	// schemas against how Q uses it (§3.4's date-format example).
+	queryText := strings.ToUpper(strings.Join(in.Queries, " "))
+	for _, colName := range spec.Columns {
+		_, ci, ok := FindColumn(in.Docs, colName)
+		if !ok {
+			continue
+		}
+		upper := strings.ToUpper(colName)
+		usedTemporally := strings.Contains(queryText, "YEAR("+upper+")") ||
+			strings.Contains(queryText, "ORDER BY "+upper)
+		usedNumerically := strings.Contains(queryText, "("+upper+")") ||
+			strings.Contains(queryText, "( "+upper+" )")
+		if ci.Type == "varchar" && usedTemporally {
+			plan.Steps = append(plan.Steps, MatStep{Op: "parse_dates", Column: colName})
+			reasons = append(reasons, fmt.Sprintf("%s is varchar but used temporally; parse dates", colName))
+		} else if ci.Type == "varchar" && usedNumerically {
+			plan.Steps = append(plan.Steps, MatStep{Op: "to_number", Column: colName})
+			reasons = append(reasons, fmt.Sprintf("%s is varchar but aggregated; coerce to number", colName))
+		}
+	}
+
+	for _, tr := range spec.Transforms {
+		plan.Steps = append(plan.Steps, MatStep{Op: tr.Kind, Column: tr.Column, Arg: tr.Arg})
+		reasons = append(reasons, fmt.Sprintf("apply %s on %s", tr.Kind, tr.Column))
+	}
+
+	if len(spec.Columns) > 0 {
+		plan.Steps = append(plan.Steps, MatStep{Op: "project", Arg: strings.Join(spec.Columns, ",")})
+		reasons = append(reasons, "project to the target columns")
+	}
+	plan.Reasoning = strings.Join(reasons, "; ")
+	return plan
+}
+
+// repairPlan adjusts the previous plan based on the structured error the
+// tool reported — the paper's error-feedback loop.
+func repairPlan(in MaterializeInput) MaterializePlan {
+	plan := *in.PrevPlan
+	errText := in.LastError
+
+	// Misspelled / renamed column with a suggestion.
+	if missing, suggestion, ok := parseDidYouMean(errText); ok {
+		for i := range plan.Steps {
+			if strings.EqualFold(plan.Steps[i].Column, missing) {
+				plan.Steps[i].Column = suggestion
+			}
+			if plan.Steps[i].Op == "project" {
+				cols := strings.Split(plan.Steps[i].Arg, ",")
+				for j, c := range cols {
+					if strings.EqualFold(strings.TrimSpace(c), missing) {
+						cols[j] = suggestion
+					}
+				}
+				plan.Steps[i].Arg = strings.Join(cols, ",")
+			}
+		}
+		plan.Reasoning = fmt.Sprintf("repair: column %q does not exist; using suggested %q", missing, suggestion)
+		return plan
+	}
+
+	// Unparseable dates: downgrade to lenient (bad values → NULL) so the
+	// pipeline proceeds; nulls are then interpolation targets.
+	if strings.Contains(errText, "do not parse as dates") {
+		col := quotedToken(errText)
+		for i := range plan.Steps {
+			if plan.Steps[i].Op == "parse_dates" && (col == "" || strings.EqualFold(plan.Steps[i].Column, col)) {
+				plan.Steps[i].Lenient = true
+			}
+		}
+		plan.Reasoning = "repair: some date values are malformed; re-run date parsing leniently"
+		return plan
+	}
+
+	// Non-numeric values in a numeric column.
+	if strings.Contains(errText, "non-numeric values") || strings.Contains(errText, "is not numeric") {
+		col := quotedToken(errText)
+		// If a to_number step exists for the column make it lenient;
+		// otherwise insert one before the first use.
+		for i := range plan.Steps {
+			if plan.Steps[i].Op == "to_number" && (col == "" || strings.EqualFold(plan.Steps[i].Column, col)) {
+				plan.Steps[i].Lenient = true
+				plan.Reasoning = "repair: residual non-numeric values; coerce leniently"
+				return plan
+			}
+		}
+		if col != "" {
+			insertAt := len(plan.Steps)
+			for i, s := range plan.Steps {
+				if s.Op == "interpolate" || s.Op == "project" {
+					insertAt = i
+					break
+				}
+			}
+			steps := append([]MatStep{}, plan.Steps[:insertAt]...)
+			steps = append(steps, MatStep{Op: "to_number", Column: col, Lenient: true})
+			steps = append(steps, plan.Steps[insertAt:]...)
+			plan.Steps = steps
+			plan.Reasoning = fmt.Sprintf("repair: column %q holds non-numeric text; inserting numeric coercion", col)
+			return plan
+		}
+	}
+
+	// Interpolation without enough anchors: drop the step; the aggregate
+	// will simply ignore the nulls.
+	if strings.Contains(errText, "non-null values to interpolate") {
+		var steps []MatStep
+		for _, s := range plan.Steps {
+			if s.Op != "interpolate" {
+				steps = append(steps, s)
+			}
+		}
+		plan.Steps = steps
+		plan.Reasoning = "repair: too few anchor points to interpolate; skipping interpolation"
+		return plan
+	}
+
+	// Equi-join produced zero rows (or key mismatch): retry fuzzily.
+	if strings.Contains(errText, "join produced no rows") {
+		for i := range plan.Steps {
+			if plan.Steps[i].Op == "join" {
+				plan.Steps[i].Op = "fuzzy_join"
+			}
+		}
+		plan.Reasoning = "repair: exact join keys do not line up; retrying with a fuzzy join"
+		return plan
+	}
+
+	plan.Reasoning = "repair: error not recognized; re-running the same plan"
+	return plan
+}
+
+// parseDidYouMean extracts (missing, suggestion) from an error like
+// `column "k_ppmm" not found in samples; available: ... (did you mean "k_ppm"?)`.
+func parseDidYouMean(s string) (missing, suggestion string, ok bool) {
+	idx := strings.Index(s, "did you mean")
+	if idx < 0 {
+		return "", "", false
+	}
+	suggestion = quotedToken(s[idx:])
+	missing = quotedToken(s)
+	if suggestion == "" || missing == "" {
+		return "", "", false
+	}
+	return missing, suggestion, true
+}
+
+// quotedToken returns the first "double-quoted" token in s.
+func quotedToken(s string) string {
+	start := strings.IndexByte(s, '"')
+	if start < 0 {
+		return ""
+	}
+	end := strings.IndexByte(s[start+1:], '"')
+	if end < 0 {
+		return ""
+	}
+	return s[start+1 : start+1+end]
+}

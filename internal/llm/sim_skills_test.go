@@ -1,0 +1,291 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+)
+
+// callConductor runs the conductor-plan skill directly.
+func callConductor(t *testing.T, in ConductorInput) ConductorDecision {
+	t.Helper()
+	m := NewSimModel()
+	resp, err := m.Complete(Request{Task: TaskConductorPlan, Payload: MarshalPayload(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec ConductorDecision
+	if err := DecodeResponse(resp, &dec); err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func conductorDocs() []DocInfo {
+	v := testVocab()
+	out := make([]DocInfo, len(v.Tables))
+	for i := range v.Tables {
+		ti := v.Tables[i]
+		out[i] = DocInfo{ID: "table:" + ti.Name, Kind: "table", Title: ti.Name, Table: &ti}
+	}
+	return out
+}
+
+func TestConductorRetrievesFirst(t *testing.T) {
+	dec := callConductor(t, ConductorInput{
+		UserMessages: []string{"I'm curious about soil chemistry in Malta. Could you give me an overview?"},
+	})
+	if dec.Action != ActionRetrieve {
+		t.Fatalf("action = %q, want retrieve (grounding before anything else)", dec.Action)
+	}
+	if dec.RetrievalQuery == "" {
+		t.Fatal("retrieval needs a query")
+	}
+	if dec.Reasoning == "" {
+		t.Fatal("every decision carries ReAct-style reasoning")
+	}
+}
+
+func TestConductorOverviewAfterRetrieval(t *testing.T) {
+	dec := callConductor(t, ConductorInput{
+		UserMessages:    []string{"Could you give me an overview of the different variables we have?"},
+		Docs:            conductorDocs(),
+		RetrievalRounds: 1,
+	})
+	if dec.Action != ActionRespond {
+		t.Fatalf("action = %q, want respond", dec.Action)
+	}
+	if len(dec.MentionedColumns) == 0 {
+		t.Fatal("overview must interpret columns")
+	}
+}
+
+func TestConductorUpdatesStateForConcreteNeed(t *testing.T) {
+	dec := callConductor(t, ConductorInput{
+		UserMessages: []string{
+			"What is the average Potassium in ppm for soil samples in the Malta region?",
+		},
+		Docs:            conductorDocs(),
+		RetrievalRounds: 1,
+	})
+	if dec.Action != ActionUpdateState {
+		t.Fatalf("action = %q, want update_state", dec.Action)
+	}
+	if len(dec.StateTables) != 1 || dec.StateTables[0].BaseTable != "soil_samples" {
+		t.Fatalf("spec = %+v", dec.StateTables)
+	}
+	if len(dec.StateQueries) != 1 || !strings.Contains(dec.StateQueries[0], "AVG(k_ppm)") {
+		t.Fatalf("queries = %v", dec.StateQueries)
+	}
+}
+
+func TestConductorMaterializeThenExecuteThenRespond(t *testing.T) {
+	// Same need, state already matching: next is materialize.
+	spec := TableSpec{Name: "target_soil_samples", BaseTable: "soil_samples",
+		Columns: []string{"region", "k_ppm"}}
+	queries := []string{"SELECT AVG(k_ppm) AS answer FROM target_soil_samples WHERE region = 'Malta'"}
+	base := ConductorInput{
+		UserMessages:    []string{"What is the average Potassium in ppm for soil samples in the Malta region?"},
+		Docs:            conductorDocs(),
+		RetrievalRounds: 1,
+		State: StateInfo{
+			Specs: []TableSpec{spec}, Queries: queries,
+			Tables: []TableInfo{{Name: "target_soil_samples",
+				Columns: []ColumnInfo{{Name: "region"}, {Name: "k_ppm"}}}},
+		},
+	}
+	dec := callConductor(t, base)
+	if dec.Action != ActionMaterialize {
+		t.Fatalf("unmaterialized state → %q, want materialize", dec.Action)
+	}
+	base.State.Materialized = true
+	dec = callConductor(t, base)
+	if dec.Action != ActionExecute {
+		t.Fatalf("materialized, unexecuted → %q, want execute", dec.Action)
+	}
+	base.State.ResultPreview = "| answer |\n| 101.2 |"
+	dec = callConductor(t, base)
+	if dec.Action != ActionRespond {
+		t.Fatalf("executed → %q, want respond", dec.Action)
+	}
+	if !strings.Contains(dec.Message, "101.2") {
+		t.Fatalf("answer message must ground in the result preview: %q", dec.Message)
+	}
+}
+
+func TestConductorClarifiesUnresolvableMeasure(t *testing.T) {
+	dec := callConductor(t, ConductorInput{
+		UserMessages:    []string{"What is the average ratio of alpha to omega in the Malta region?"},
+		Docs:            conductorDocs(),
+		RetrievalRounds: 3, // retrieval exhausted
+	})
+	if dec.Action != ActionClarify {
+		t.Fatalf("action = %q, want clarify (never hallucinate a schema)", dec.Action)
+	}
+}
+
+func TestConductorRetriesRetrievalBeforeClarifying(t *testing.T) {
+	dec := callConductor(t, ConductorInput{
+		UserMessages:    []string{"What is the average wind speed reading?"},
+		Docs:            conductorDocs(), // has no weather table
+		RetrievalRounds: 1,
+	})
+	if dec.Action != ActionRetrieve {
+		t.Fatalf("action = %q, want a focused re-retrieval", dec.Action)
+	}
+	if dec.RetrievalQuery != "wind speed reading" {
+		t.Fatalf("re-retrieval must use the measure phrase alone, got %q", dec.RetrievalQuery)
+	}
+}
+
+// callMaterializer runs the materialize-plan skill directly.
+func callMaterializer(t *testing.T, in MaterializeInput) MaterializePlan {
+	t.Helper()
+	m := NewSimModel()
+	resp, err := m.Complete(Request{Task: TaskMaterializePlan, Payload: MarshalPayload(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan MaterializePlan
+	if err := DecodeResponse(resp, &plan); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestMaterializePlanInsertsFormatAlignment(t *testing.T) {
+	in := MaterializeInput{
+		Spec: TableSpec{
+			Name: "t", BaseTable: "artifacts",
+			Columns: []string{"region", "catalog_date", "grade"},
+		},
+		Docs: []DocInfo{{
+			ID: "table:artifacts", Kind: "table", Title: "artifacts",
+			Table: &TableInfo{Name: "artifacts", Columns: []ColumnInfo{
+				{Name: "region", Type: "varchar"},
+				{Name: "catalog_date", Type: "varchar"},
+				{Name: "grade", Type: "bigint"},
+			}},
+		}},
+		Queries: []string{"SELECT AVG(grade) AS answer FROM t WHERE YEAR(catalog_date) BETWEEN 1960 AND 1980"},
+	}
+	plan := callMaterializer(t, in)
+	hasParse := false
+	for _, s := range plan.Steps {
+		if s.Op == "parse_dates" && s.Column == "catalog_date" {
+			hasParse = true
+			if s.Lenient {
+				t.Error("first plan must be strict (lenience is a repair decision)")
+			}
+		}
+	}
+	if !hasParse {
+		t.Fatalf("plan missing date normalization for a varchar column used temporally: %+v", plan.Steps)
+	}
+}
+
+func TestMaterializeRepairDowngradesToLenient(t *testing.T) {
+	prev := MaterializePlan{Steps: []MatStep{
+		{Op: "base", Table: "artifacts"},
+		{Op: "parse_dates", Column: "catalog_date"},
+		{Op: "project", Arg: "region,catalog_date,grade"},
+	}}
+	in := MaterializeInput{
+		Spec:      TableSpec{Name: "t", BaseTable: "artifacts"},
+		LastError: `transform PARSE_DATES: column "catalog_date" contains values that do not parse as dates (examples: "n.d.")`,
+		PrevPlan:  &prev,
+	}
+	plan := callMaterializer(t, in)
+	for _, s := range plan.Steps {
+		if s.Op == "parse_dates" && !s.Lenient {
+			t.Fatal("repair must downgrade date parsing to lenient")
+		}
+	}
+}
+
+func TestMaterializeRepairFixesColumnName(t *testing.T) {
+	prev := MaterializePlan{Steps: []MatStep{
+		{Op: "base", Table: "soil"},
+		{Op: "to_number", Column: "k_ppmm"},
+		{Op: "project", Arg: "region,k_ppmm"},
+	}}
+	in := MaterializeInput{
+		Spec:      TableSpec{Name: "t", BaseTable: "soil"},
+		LastError: `transform TO_NUMBER: column "k_ppmm" not found in soil; available: region, k_ppm (did you mean "k_ppm"?)`,
+		PrevPlan:  &prev,
+	}
+	plan := callMaterializer(t, in)
+	for _, s := range plan.Steps {
+		if s.Column == "k_ppmm" || strings.Contains(s.Arg, "k_ppmm") {
+			t.Fatalf("repair left the misspelled column in place: %+v", s)
+		}
+	}
+}
+
+func TestMaterializeRepairSwitchesToFuzzyJoin(t *testing.T) {
+	prev := MaterializePlan{Steps: []MatStep{
+		{Op: "base", Table: "a"},
+		{Op: "join", Table: "b", Arg: "name=name"},
+	}}
+	in := MaterializeInput{
+		Spec:      TableSpec{Name: "t", BaseTable: "a"},
+		LastError: "transform JOIN: join produced no rows on name=name — key values may not line up exactly",
+		PrevPlan:  &prev,
+	}
+	plan := callMaterializer(t, in)
+	found := false
+	for _, s := range plan.Steps {
+		if s.Op == "fuzzy_join" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("repair should retry fuzzily: %+v", plan.Steps)
+	}
+}
+
+func TestMaterializeRepairDropsImpossibleInterpolation(t *testing.T) {
+	prev := MaterializePlan{Steps: []MatStep{
+		{Op: "base", Table: "a"},
+		{Op: "interpolate", Column: "v", Arg: "year"},
+	}}
+	in := MaterializeInput{
+		Spec:      TableSpec{Name: "t", BaseTable: "a"},
+		LastError: `transform INTERPOLATE: column "v" needs at least 2 non-null values to interpolate, has 1`,
+		PrevPlan:  &prev,
+	}
+	plan := callMaterializer(t, in)
+	for _, s := range plan.Steps {
+		if s.Op == "interpolate" {
+			t.Fatal("repair should drop the impossible interpolation")
+		}
+	}
+}
+
+func TestDecomposeSkillNameOnlyGrounding(t *testing.T) {
+	m := NewSimModel()
+	resp, err := m.Complete(Request{Task: TaskDecompose, Payload: MarshalPayload(DecomposeInput{
+		Question: "What is the average Potassium in ppm in the Malta region?",
+		Tables:   testVocab().Tables,
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out DecomposeOutput
+	if err := DecodeResponse(resp, &out); err != nil {
+		t.Fatal(err)
+	}
+	// "Potassium" only appears in the description; name-only grounding must
+	// fail — the mechanism behind DS-Guru's Table 3 gap.
+	if !out.Failed {
+		t.Fatalf("decompose should fail on description-only vocabulary: %+v", out)
+	}
+	// A transparent name succeeds.
+	resp, _ = m.Complete(Request{Task: TaskDecompose, Payload: MarshalPayload(DecomposeInput{
+		Question: "What is the average ph in the Malta region?",
+		Tables:   testVocab().Tables,
+	})})
+	_ = DecodeResponse(resp, &out)
+	if out.Failed {
+		t.Fatalf("decompose should ground transparent names: %+v", out)
+	}
+}

@@ -1,0 +1,437 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the paper's LLM Sim (§4, Figure 3): an LLM-simulated
+// domain expert that "explores and refines its question step-by-step
+// depending on the system's responses", is "vague or explores tangents",
+// and "only arrives at the specific question if the system's output
+// correctly leads it there". Convergence is NOT guaranteed.
+//
+// The latent need is a NeedSpec; the active need is the ordered list of
+// revealed aspects. Each turn the simulated user checks whether the
+// system's last output gave it an *anchor* for the next unrevealed aspect
+// (evidence that the data supports it). Anchored → reveal the next aspect.
+// Not anchored → burn the turn probing. Too many fruitless probes → the
+// user wanders off and never converges.
+
+// Aspect names in reveal order. Filters get "filter:<i>".
+const (
+	AspectTopic    = "topic"
+	AspectMeasure  = "measure"
+	AspectTemporal = "temporal"
+	AspectDerived  = "derived"
+	AspectFinal    = "final"
+)
+
+// UserSimInput is the user-simulation skill's context: the latent need (the
+// prompt's "possible eventual goal"), what kind of system it is talking to
+// (Figure 3 adapts the prompt per system), and the system's last output.
+type UserSimInput struct {
+	Need       NeedSpec `json:"need"`
+	SystemKind string   `json:"system_kind"` // "seeker", "rag", "static"
+	Turn       int      `json:"turn"`
+	Revealed   []string `json:"revealed,omitempty"`
+	ProbeCount int      `json:"probe_count"`
+	// LastMessage is the system's user-facing message (seeker/rag).
+	LastMessage string `json:"last_message,omitempty"`
+	// MentionedColumns is the system's interpreted column surface.
+	MentionedColumns []MentionedColumn `json:"mentioned_columns,omitempty"`
+	// State is the surfaced (T, Q) state view (seeker only).
+	State *StateInfo `json:"state,omitempty"`
+	// ShownTables are the raw tables a static system returned.
+	ShownTables []TableInfo `json:"shown_tables,omitempty"`
+	// LastAnswer is the concrete computed answer, when the system produced
+	// one.
+	LastAnswer string `json:"last_answer,omitempty"`
+	// ContextOverflowed signals that the simulated user's own context
+	// window overflowed and earlier system outputs were dropped (§4.1:
+	// "2-3 turns are enough to exceed the limit").
+	ContextOverflowed bool `json:"context_overflowed,omitempty"`
+}
+
+// UserSimOutput is the simulated user's move.
+type UserSimOutput struct {
+	Utterance string   `json:"utterance"`
+	Revealed  []string `json:"revealed"`
+	// Probing marks a turn that made no progress on the active need.
+	Probing bool `json:"probing"`
+	// Converged: the active need now matches the latent need and the system
+	// demonstrated it understood it.
+	Converged bool `json:"converged"`
+	// GaveUp: the user wandered off; this conversation will not converge.
+	GaveUp bool `json:"gave_up"`
+}
+
+// maxProbes is how many fruitless turns the simulated expert tolerates
+// before giving up on the thread.
+const maxProbes = 4
+
+// aspectsOf lists the aspects of a need in reveal order (topic is the
+// opener, final is the full question).
+func aspectsOf(need NeedSpec) []string {
+	out := []string{AspectTopic, AspectMeasure}
+	for i := range need.Filters {
+		out = append(out, fmt.Sprintf("filter:%d", i))
+	}
+	if need.YearFrom != 0 || need.YearTo != 0 || need.FirstLast {
+		out = append(out, AspectTemporal)
+	}
+	if need.Interpolate {
+		out = append(out, AspectDerived)
+	}
+	return append(out, AspectFinal)
+}
+
+// skillUserSim implements TaskUserSim.
+func skillUserSim(req Request) (interface{}, error) {
+	var in UserSimInput
+	if err := DecodePayload(req, &in); err != nil {
+		return nil, err
+	}
+	aspects := aspectsOf(in.Need)
+	revealed := append([]string{}, in.Revealed...)
+
+	// Opening turn: broad, vague prompt about the topic.
+	if len(revealed) == 0 {
+		return UserSimOutput{
+			Utterance: openerUtterance(in.Need),
+			Revealed:  []string{AspectTopic},
+		}, nil
+	}
+
+	next := nextAspect(aspects, revealed)
+
+	// Context overflow wipes the anchor the user was holding: re-probe.
+	if in.ContextOverflowed {
+		if in.ProbeCount+1 >= maxProbes {
+			return UserSimOutput{
+				Utterance: "I keep losing track of what we found. Let me come back to this another time.",
+				Revealed:  revealed, Probing: true, GaveUp: true,
+			}, nil
+		}
+		return UserSimOutput{
+			Utterance: fmt.Sprintf(
+				"That was a lot of raw output and I lost the thread. Can you show me just the part about %s again?",
+				in.Need.MeasurePhrase),
+			Revealed: revealed, Probing: true,
+		}, nil
+	}
+
+	// All aspects already revealed: check whether the system demonstrated
+	// understanding of the full question → convergence.
+	if next == "" {
+		if finalAnswered(in) {
+			return UserSimOutput{
+				Utterance: "That answers my question, thank you.",
+				Revealed:  revealed, Converged: true,
+			}, nil
+		}
+		if in.ProbeCount+1 >= maxProbes {
+			return UserSimOutput{
+				Utterance: "This still is not quite what I need. I will try a different approach some other time.",
+				Revealed:  revealed, Probing: true, GaveUp: true,
+			}, nil
+		}
+		return UserSimOutput{
+			Utterance: "That does not look like what I asked for. " + in.Need.QuestionText,
+			Revealed:  revealed, Probing: true,
+		}, nil
+	}
+
+	// Check the anchor for the next aspect.
+	if anchored(in, next) {
+		revealed = append(revealed, next)
+		return UserSimOutput{
+			Utterance: revealUtterance(in.Need, next),
+			Revealed:  revealed,
+		}, nil
+	}
+
+	// No anchor: probe, or give up after too many probes.
+	if in.ProbeCount+1 >= maxProbes {
+		return UserSimOutput{
+			Utterance: fmt.Sprintf(
+				"I do not see anything about %s here; maybe the data just is not available. Never mind.",
+				in.Need.MeasurePhrase),
+			Revealed: revealed, Probing: true, GaveUp: true,
+		}, nil
+	}
+	return UserSimOutput{
+		Utterance: probeUtterance(in.Need, next, in.ProbeCount),
+		Revealed:  revealed, Probing: true,
+	}, nil
+}
+
+func nextAspect(aspects, revealed []string) string {
+	have := make(map[string]struct{}, len(revealed))
+	for _, r := range revealed {
+		have[r] = struct{}{}
+	}
+	for _, a := range aspects {
+		if _, ok := have[a]; !ok {
+			return a
+		}
+	}
+	return ""
+}
+
+// anchored decides whether the system's last output gives the user evidence
+// to reveal the next aspect. This is where the four systems genuinely
+// differ (§4.1):
+//
+//   - seeker and rag INTERPRET: they surface column meanings
+//     (MentionedColumns), so an opaque physical name like "k_ppm" still
+//     anchors "Potassium in ppm" through its description.
+//   - static systems return raw columns and sample rows: the user must
+//     interpret alone, so an aspect anchors only when the raw surface
+//     (column name tokens, sample values) literally supports it.
+func anchored(in UserSimInput, aspect string) bool {
+	need := in.Need
+	interpreting := in.SystemKind == "seeker" || in.SystemKind == "rag"
+	switch {
+	case aspect == AspectMeasure:
+		if interpreting {
+			for _, mc := range in.MentionedColumns {
+				if columnMatch(need.MeasurePhrase, ColumnInfo{Name: mc.Column, Description: mc.Description}) >= 0.3 {
+					return true
+				}
+			}
+			return strings.Contains(strings.ToLower(in.LastMessage), strings.ToLower(firstWord(need.MeasurePhrase)))
+		}
+		// Static: the physical column name itself must be readable.
+		for _, t := range in.ShownTables {
+			for _, c := range t.Columns {
+				if nameOverlap(need.MeasurePhrase, c.Name) {
+					return true
+				}
+			}
+		}
+		return false
+
+	case strings.HasPrefix(aspect, "filter:"):
+		idx := filterIndex(aspect)
+		if idx < 0 || idx >= len(need.Filters) {
+			return false
+		}
+		val := need.Filters[idx].Value
+		if interpreting {
+			// The system has engaged with the measure; an interpreting
+			// system explicitly invites scoping ("any region ... to focus
+			// on"), so the user can bring up the filter.
+			return true
+		}
+		// Static: the value must be visible in the shown samples.
+		for _, t := range in.ShownTables {
+			for _, c := range t.Columns {
+				for _, s := range c.Samples {
+					if strings.EqualFold(s, val) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+
+	case aspect == AspectTemporal:
+		if interpreting {
+			return true
+		}
+		for _, t := range in.ShownTables {
+			if _, ok := findTimeColumn(t); ok {
+				return true
+			}
+		}
+		return false
+
+	case aspect == AspectDerived:
+		// Realizing interpolation is needed requires noticing missing
+		// values. Interpreting systems surface gaps (their computed or
+		// interpreted output makes missingness visible); raw sample rows
+		// generally do not.
+		return interpreting
+
+	case aspect == AspectFinal:
+		return true
+	}
+	return false
+}
+
+// finalAnswered checks whether the system's output after the full question
+// demonstrates the aligned understanding that defines convergence.
+func finalAnswered(in UserSimInput) bool {
+	switch in.SystemKind {
+	case "seeker":
+		// The state view must exist and an executed answer must be shown.
+		return in.LastAnswer != "" && in.State != nil && len(in.State.Queries) > 0
+	case "rag":
+		// A RAG system cannot compute. For needs whose defining assumption
+		// is computational (interpolation, first/last anchoring), the user
+		// can never see the assumption operate, so the active need cannot
+		// be confirmed against the latent one.
+		if in.Need.Interpolate || in.Need.FirstLast {
+			return false
+		}
+		// Otherwise convergence is about the need being understood: the
+		// interpretation must engage the measure.
+		for _, mc := range in.MentionedColumns {
+			if columnMatch(in.Need.MeasurePhrase, ColumnInfo{Name: mc.Column, Description: mc.Description}) >= 0.3 {
+				return true
+			}
+		}
+		return false
+	default:
+		// A static system never interprets; the user can only confirm the
+		// need themselves if the raw surface exposes the measure column
+		// readably AND every filter value.
+		measureOK := false
+		for _, t := range in.ShownTables {
+			for _, c := range t.Columns {
+				if nameOverlap(in.Need.MeasurePhrase, c.Name) {
+					measureOK = true
+				}
+			}
+		}
+		if !measureOK {
+			return false
+		}
+		for _, f := range in.Need.Filters {
+			found := false
+			for _, t := range in.ShownTables {
+				for _, c := range t.Columns {
+					for _, s := range c.Samples {
+						if strings.EqualFold(s, f.Value) {
+							found = true
+						}
+					}
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Derived computations can never be validated against raw rows.
+		return !in.Need.Interpolate && !in.Need.FirstLast
+	}
+}
+
+// nameOverlap checks whether a physical column name is readable as the
+// measure phrase without interpretation: some stemmed content token of the
+// phrase appears among the name's tokens.
+func nameOverlap(phrase, colName string) bool {
+	return overlapTokens(phrase, strings.ReplaceAll(colName, "_", " "))
+}
+
+func overlapTokens(a, b string) bool {
+	bt := map[string]struct{}{}
+	for _, t := range tokenizeNorm(b) {
+		bt[t] = struct{}{}
+	}
+	for _, t := range tokenizeNorm(a) {
+		if len(t) <= 2 {
+			continue // unit fragments like "in"/"of"; single letters (k)
+		}
+		if _, ok := bt[t]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func firstWord(s string) string {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return s
+	}
+	return f[0]
+}
+
+func filterIndex(aspect string) int {
+	var i int
+	if _, err := fmt.Sscanf(aspect, "filter:%d", &i); err != nil {
+		return -1
+	}
+	return i
+}
+
+// --- utterance generation -------------------------------------------------
+
+func openerUtterance(need NeedSpec) string {
+	return fmt.Sprintf(
+		"I'm curious to dive into the %s. Could you help me get an overview of the different variables we have for past studies?",
+		need.Topic)
+}
+
+func revealUtterance(need NeedSpec, aspect string) string {
+	switch {
+	case aspect == AspectMeasure:
+		return fmt.Sprintf("Great. I'm particularly interested in the %s measurements.", need.MeasurePhrase)
+	case strings.HasPrefix(aspect, "filter:"):
+		idx := filterIndex(aspect)
+		f := need.Filters[idx]
+		if f.ColumnPhrase != "" {
+			return fmt.Sprintf("Please focus on the %s %s only.", f.Value, f.ColumnPhrase)
+		}
+		return fmt.Sprintf("Please focus on %s only.", f.Value)
+	case aspect == AspectTemporal:
+		switch {
+		case need.FirstLast:
+			return "I care about the first and last time the study recorded values, specifically."
+		case need.YearFrom != 0 && need.YearTo != 0 && need.YearFrom != need.YearTo:
+			return fmt.Sprintf("Restrict it to the years between %d and %d.", need.YearFrom, need.YearTo)
+		case need.YearFrom != 0 && need.YearFrom == need.YearTo:
+			return fmt.Sprintf("Only the records in %d matter for this.", need.YearFrom)
+		case need.YearFrom != 0:
+			return fmt.Sprintf("Only records since %d matter for this.", need.YearFrom)
+		default:
+			return fmt.Sprintf("Only records before %d matter for this.", need.YearTo)
+		}
+	case aspect == AspectDerived:
+		return "Some values seem to be missing; assume the measurements are linearly interpolated between samples."
+	case aspect == AspectFinal:
+		return need.QuestionText
+	}
+	return need.QuestionText
+}
+
+func probeUtterance(need NeedSpec, aspect string, probeCount int) string {
+	switch probeCount % 3 {
+	case 0:
+		return fmt.Sprintf("Do we have any data about %s?", need.MeasurePhrase)
+	case 1:
+		return fmt.Sprintf("Hmm, I was expecting something on %s related to %s. Can you look again?",
+			need.MeasurePhrase, need.Topic)
+	default:
+		return fmt.Sprintf("Could you list what measurements exist around %s?", need.Topic)
+	}
+}
+
+// tokenizeNorm is a tiny local tokenizer+stemmer wrapper (avoids importing
+// textutil twice under different names in this file's hot path).
+func tokenizeNorm(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tok := b.String()
+			// light plural strip to align "samples"/"sample"
+			if len(tok) > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") {
+				tok = tok[:len(tok)-1]
+			}
+			out = append(out, tok)
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,192 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+)
+
+func simNeed() NeedSpec {
+	return NeedSpec{
+		Topic:         "historical soil data from the Malta region",
+		MeasurePhrase: "Potassium concentration",
+		MeasureColumn: "k_ppm",
+		Tables:        []string{"soil_samples"},
+		Aggregate:     "AVG",
+		Filters:       []FilterSpec{{Column: "region", Value: "Malta", ColumnPhrase: "region"}},
+		RoundTo:       4,
+		QuestionText:  "What is the average Potassium concentration in the Malta region? Round your answer to 4 decimal places.",
+	}
+}
+
+func runUserSim(t *testing.T, in UserSimInput) UserSimOutput {
+	t.Helper()
+	m := NewSimModel()
+	resp, err := m.Complete(Request{Task: TaskUserSim, Payload: MarshalPayload(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out UserSimOutput
+	if err := DecodeResponse(resp, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestUserSimOpensVague(t *testing.T) {
+	out := runUserSim(t, UserSimInput{Need: simNeed(), SystemKind: "seeker", Turn: 1})
+	if !strings.Contains(out.Utterance, "overview") {
+		t.Fatalf("opener should be vague/exploratory: %q", out.Utterance)
+	}
+	if out.Converged || out.GaveUp {
+		t.Fatal("cannot converge on the opener")
+	}
+	if len(out.Revealed) != 1 || out.Revealed[0] != AspectTopic {
+		t.Fatalf("revealed = %v", out.Revealed)
+	}
+}
+
+func TestUserSimRevealsMeasureOnlyWhenAnchored(t *testing.T) {
+	// No anchor: probe.
+	out := runUserSim(t, UserSimInput{
+		Need: simNeed(), SystemKind: "seeker", Turn: 2,
+		Revealed:    []string{AspectTopic},
+		LastMessage: "Here is some unrelated text.",
+	})
+	if !out.Probing {
+		t.Fatalf("no anchor should force a probe, got %q", out.Utterance)
+	}
+	// Interpreted anchor: reveal.
+	out = runUserSim(t, UserSimInput{
+		Need: simNeed(), SystemKind: "seeker", Turn: 2,
+		Revealed: []string{AspectTopic},
+		MentionedColumns: []MentionedColumn{
+			{Table: "soil_samples", Column: "k_ppm", Description: "Potassium concentration in parts per million"},
+		},
+	})
+	if out.Probing {
+		t.Fatalf("anchored measure should reveal, got probe %q", out.Utterance)
+	}
+	if !strings.Contains(strings.ToLower(out.Utterance), "potassium") {
+		t.Fatalf("reveal should name the measure: %q", out.Utterance)
+	}
+}
+
+func TestUserSimStaticNeedsReadableNames(t *testing.T) {
+	// Opaque physical name without a description: a static system cannot
+	// anchor the measure.
+	in := UserSimInput{
+		Need: simNeed(), SystemKind: "static", Turn: 2,
+		Revealed: []string{AspectTopic},
+		ShownTables: []TableInfo{{
+			Name:    "soil_samples",
+			Columns: []ColumnInfo{{Name: "k_ppm", Type: "double"}},
+		}},
+	}
+	out := runUserSim(t, in)
+	if !out.Probing {
+		t.Fatal("static system with opaque names must not anchor the measure")
+	}
+	// A transparent name anchors.
+	need := simNeed()
+	need.MeasurePhrase = "organic matter percentage"
+	in.Need = need
+	in.ShownTables[0].Columns = []ColumnInfo{{Name: "organic_pct", Type: "double"}}
+	out = runUserSim(t, in)
+	if out.Probing {
+		t.Fatalf("transparent name should anchor: %q", out.Utterance)
+	}
+}
+
+func TestUserSimGivesUpAfterProbes(t *testing.T) {
+	out := runUserSim(t, UserSimInput{
+		Need: simNeed(), SystemKind: "seeker", Turn: 6,
+		Revealed:    []string{AspectTopic},
+		ProbeCount:  3,
+		LastMessage: "nothing useful",
+	})
+	if !out.GaveUp {
+		t.Fatal("user must give up after maxProbes fruitless turns")
+	}
+}
+
+func TestUserSimOverflowBurnsTurn(t *testing.T) {
+	out := runUserSim(t, UserSimInput{
+		Need: simNeed(), SystemKind: "static", Turn: 3,
+		Revealed:          []string{AspectTopic, AspectMeasure},
+		ContextOverflowed: true,
+	})
+	if !out.Probing {
+		t.Fatal("overflow must burn the turn")
+	}
+	if !strings.Contains(out.Utterance, "lost the thread") {
+		t.Fatalf("overflow utterance: %q", out.Utterance)
+	}
+}
+
+func TestUserSimConvergesOnAnsweredFinal(t *testing.T) {
+	need := simNeed()
+	revealed := []string{AspectTopic, AspectMeasure, "filter:0", AspectFinal}
+	out := runUserSim(t, UserSimInput{
+		Need: need, SystemKind: "seeker", Turn: 5,
+		Revealed:   revealed,
+		LastAnswer: "101.5027",
+		State:      &StateInfo{Queries: []string{"SELECT ..."}},
+	})
+	if !out.Converged {
+		t.Fatalf("answered final question must converge: %+v", out)
+	}
+	// Without a computed answer, no convergence.
+	out = runUserSim(t, UserSimInput{
+		Need: need, SystemKind: "seeker", Turn: 5,
+		Revealed: revealed,
+	})
+	if out.Converged {
+		t.Fatal("unanswered final question must not converge")
+	}
+}
+
+func TestUserSimRAGNeverConvergesOnDerivedNeeds(t *testing.T) {
+	need := simNeed()
+	need.Interpolate = true
+	revealed := []string{AspectTopic, AspectMeasure, "filter:0", AspectDerived, AspectFinal}
+	out := runUserSim(t, UserSimInput{
+		Need: need, SystemKind: "rag", Turn: 6,
+		Revealed: revealed,
+		MentionedColumns: []MentionedColumn{
+			{Table: "soil_samples", Column: "k_ppm", Description: "Potassium concentration"},
+		},
+	})
+	if out.Converged {
+		t.Fatal("RAG cannot demonstrate a computational assumption; no convergence")
+	}
+}
+
+func TestUserSimFinalUtteranceIsVerbatimQuestion(t *testing.T) {
+	need := simNeed()
+	out := runUserSim(t, UserSimInput{
+		Need: need, SystemKind: "seeker", Turn: 4,
+		Revealed: []string{AspectTopic, AspectMeasure, "filter:0"},
+		MentionedColumns: []MentionedColumn{
+			{Column: "k_ppm", Description: "Potassium concentration in parts per million"},
+		},
+	})
+	if out.Utterance != need.QuestionText {
+		t.Fatalf("final ask must be the latent question verbatim, got %q", out.Utterance)
+	}
+}
+
+func TestAspectsOfOrdering(t *testing.T) {
+	need := simNeed()
+	need.YearFrom, need.YearTo = 1920, 1980
+	need.Interpolate = true
+	got := aspectsOf(need)
+	want := []string{AspectTopic, AspectMeasure, "filter:0", AspectTemporal, AspectDerived, AspectFinal}
+	if len(got) != len(want) {
+		t.Fatalf("aspects = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aspects = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package llm
+
+import "unicode/utf8"
+
+// EstimateTokens approximates the BPE token count of text. The estimator
+// follows the common ~4-characters-per-token heuristic with a per-word
+// floor: every whitespace-separated word costs at least one token, and
+// longer words cost ceil(len/4). This is deterministic and close enough to
+// real tokenizers for the cost shapes Table 2 reports.
+func EstimateTokens(text string) int {
+	if text == "" {
+		return 0
+	}
+	tokens := 0
+	wordLen := 0
+	flush := func() {
+		if wordLen == 0 {
+			return
+		}
+		t := (wordLen + 3) / 4
+		if t < 1 {
+			t = 1
+		}
+		tokens += t
+		wordLen = 0
+	}
+	for _, r := range text {
+		switch r {
+		case ' ', '\n', '\t', '\r':
+			flush()
+		default:
+			wordLen += utf8.RuneLen(r)
+		}
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,195 @@
+// Package retriever implements Pneuma-Retriever (Balaka et al., SIGMOD
+// 2025), the table-discovery system the paper builds on: a hybrid index
+// combining an HNSW vector store with a BM25 inverted index (§3.3), fused
+// with reciprocal-rank fusion.
+package retriever
+
+import (
+	"sort"
+	"sync"
+
+	"pneuma/internal/bm25"
+	"pneuma/internal/docs"
+	"pneuma/internal/embed"
+	"pneuma/internal/hnsw"
+	"pneuma/internal/table"
+)
+
+// Mode selects which half (or both) of the hybrid index answers queries —
+// the retrieval ablation in DESIGN.md §5.4.
+type Mode int
+
+// Retrieval modes.
+const (
+	// ModeHybrid fuses vector and BM25 rankings (the paper's design).
+	ModeHybrid Mode = iota
+	// ModeVectorOnly uses only the HNSW side.
+	ModeVectorOnly
+	// ModeBM25Only uses only the inverted-index side.
+	ModeBM25Only
+)
+
+// rrfK is the reciprocal-rank-fusion constant (standard value 60).
+const rrfK = 60.0
+
+// Retriever is the hybrid table-discovery index.
+type Retriever struct {
+	mu   sync.RWMutex
+	emb  *embed.Embedder
+	vec  *hnsw.Index
+	lex  *bm25.Index
+	byID map[string]docs.Document
+	mode Mode
+}
+
+// Option configures a Retriever.
+type Option func(*Retriever)
+
+// WithMode sets the retrieval mode (default ModeHybrid).
+func WithMode(m Mode) Option {
+	return func(r *Retriever) { r.mode = m }
+}
+
+// WithEmbedder replaces the default embedder.
+func WithEmbedder(e *embed.Embedder) Option {
+	return func(r *Retriever) { r.emb = e }
+}
+
+// New creates an empty retriever.
+func New(opts ...Option) *Retriever {
+	r := &Retriever{
+		emb:  embed.New(),
+		byID: make(map[string]docs.Document),
+		mode: ModeHybrid,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.vec = hnsw.New(r.emb.Dim(), hnsw.Config{Seed: 20260118})
+	r.lex = bm25.New(bm25.Params{})
+	return r
+}
+
+// IndexTable adds a table to the index via its canonical document.
+func (r *Retriever) IndexTable(t *table.Table) error {
+	return r.IndexDocument(docs.TableDocument(t))
+}
+
+// IndexDocument adds an arbitrary document to the hybrid index. The same
+// indexer serves the Document Database (§3.3: "uses Pneuma-Retriever's
+// indexer to store domain knowledge").
+func (r *Retriever) IndexDocument(d docs.Document) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.vec.Add(d.ID, r.emb.Embed(d.Content)); err != nil {
+		return err
+	}
+	r.lex.Add(d.ID, d.Content)
+	r.byID[d.ID] = d
+	return nil
+}
+
+// Delete removes a document from both halves of the index.
+func (r *Retriever) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	delete(r.byID, id)
+	r.vec.Delete(id)
+	r.lex.Delete(id)
+	return true
+}
+
+// Len returns the number of indexed documents.
+func (r *Retriever) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// Document returns the stored document by ID.
+func (r *Retriever) Document(id string) (docs.Document, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+// Search returns the top-k documents for the query under the configured
+// mode. Scores are RRF scores for hybrid mode, raw scores otherwise.
+func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	// Over-fetch each side so fusion has enough candidates.
+	fetch := k * 3
+	if fetch < 10 {
+		fetch = 10
+	}
+
+	var vecRes []hnsw.Result
+	var lexRes []bm25.Result
+	var err error
+	if r.mode != ModeBM25Only {
+		vecRes, err = r.vec.Search(r.emb.Embed(query), fetch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.mode != ModeVectorOnly {
+		lexRes = r.lex.Search(query, fetch)
+	}
+
+	type scored struct {
+		id    string
+		score float64
+	}
+	var ranked []scored
+	switch r.mode {
+	case ModeVectorOnly:
+		for _, h := range vecRes {
+			ranked = append(ranked, scored{h.ID, float64(h.Score)})
+		}
+	case ModeBM25Only:
+		for _, h := range lexRes {
+			ranked = append(ranked, scored{h.ID, h.Score})
+		}
+	default:
+		// Reciprocal-rank fusion across both lists.
+		fused := make(map[string]float64)
+		for rank, h := range vecRes {
+			fused[h.ID] += 1.0 / (rrfK + float64(rank+1))
+		}
+		for rank, h := range lexRes {
+			fused[h.ID] += 1.0 / (rrfK + float64(rank+1))
+		}
+		for id, s := range fused {
+			ranked = append(ranked, scored{id, s})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make([]docs.Document, 0, len(ranked))
+	for _, s := range ranked {
+		d, ok := r.byID[s.id]
+		if !ok {
+			continue
+		}
+		d.Score = s.score
+		out = append(out, d)
+	}
+	return out, nil
+}

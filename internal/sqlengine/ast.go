@@ -1,0 +1,380 @@
+package sqlengine
+
+import (
+	"strings"
+
+	"pneuma/internal/value"
+)
+
+// Expr is a SQL expression AST node.
+type Expr interface {
+	// String renders the expression back to SQL-ish text for error messages
+	// and for the state view.
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct{ Val value.Value }
+
+func (l *Literal) String() string {
+	if l.Val.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(l.Val.StringVal(), "'", "''") + "'"
+	}
+	if l.Val.IsNull() {
+		return "NULL"
+	}
+	return l.Val.String()
+}
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Star is the bare `*` or `alias.*` in a select list.
+type Star struct{ Table string }
+
+func (s *Star) String() string {
+	if s.Table != "" {
+		return s.Table + ".*"
+	}
+	return "*"
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + u.Expr.String()
+	}
+	return u.Op + u.Expr.String()
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Op          string // + - * / % || = <> < <= > >= AND OR LIKE
+	Left, Right Expr
+}
+
+func (b *Binary) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// Between is x BETWEEN lo AND hi (negated when Not).
+type Between struct {
+	Expr, Lo, Hi Expr
+	Not          bool
+}
+
+func (b *Between) String() string {
+	op := " BETWEEN "
+	if b.Not {
+		op = " NOT BETWEEN "
+	}
+	return "(" + b.Expr.String() + op + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+// InList is x IN (e1, e2, ...) (negated when Not).
+type InList struct {
+	Expr  Expr
+	Items []Expr
+	Not   bool
+}
+
+func (i *InList) String() string {
+	var b strings.Builder
+	b.WriteString(i.Expr.String())
+	if i.Not {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	for j, it := range i.Items {
+		if j > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	Expr Expr
+	Not  bool
+}
+
+func (i *IsNull) String() string {
+	if i.Not {
+		return i.Expr.String() + " IS NOT NULL"
+	}
+	return i.Expr.String() + " IS NULL"
+}
+
+// FuncCall is a scalar or aggregate function application.
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x), SUM(DISTINCT x), ...
+}
+
+func (f *FuncCall) String() string {
+	var b strings.Builder
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	if f.Star {
+		b.WriteByte('*')
+	} else {
+		if f.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil → NULL
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+func (c *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if c.Operand != nil {
+		b.WriteByte(' ')
+		b.WriteString(c.Operand.String())
+	}
+	for _, w := range c.Whens {
+		b.WriteString(" WHEN ")
+		b.WriteString(w.Cond.String())
+		b.WriteString(" THEN ")
+		b.WriteString(w.Result.String())
+	}
+	if c.Else != nil {
+		b.WriteString(" ELSE ")
+		b.WriteString(c.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	Expr Expr
+	Type value.Kind
+}
+
+func (c *CastExpr) String() string {
+	return "CAST(" + c.Expr.String() + " AS " + strings.ToUpper(c.Type.String()) + ")"
+}
+
+// SelectItem is one select-list entry.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// JoinKind enumerates join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "INNER JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// TableRef is a FROM-clause item: a named table or a subquery, with an
+// optional alias and zero or more joins hanging off it.
+type TableRef struct {
+	Name  string  // table name when Sub == nil
+	Sub   *Select // subquery
+	Alias string
+	Joins []JoinClause
+}
+
+// JoinClause is one JOIN ... ON ... attached to a TableRef.
+type JoinClause struct {
+	Kind  JoinKind
+	Right *TableRef
+	On    Expr     // nil for CROSS JOIN
+	Using []string // USING(col, ...) alternative to ON
+}
+
+// Select is a full SELECT statement (possibly with UNION ALL arms).
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     *TableRef // nil allows SELECT 1+1
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+	Offset   int // 0 = none
+	// Union chains additional SELECTs combined with UNION ALL.
+	Union []*Select
+}
+
+// String reconstructs an approximate SQL text (used in state views and
+// error messages; not guaranteed byte-identical to the input).
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		writeTableRef(&b, s.From)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(itoa(s.Limit))
+		if s.Offset > 0 {
+			b.WriteString(" OFFSET ")
+			b.WriteString(itoa(s.Offset))
+		}
+	}
+	for _, u := range s.Union {
+		b.WriteString(" UNION ALL ")
+		b.WriteString(u.String())
+	}
+	return b.String()
+}
+
+func writeTableRef(b *strings.Builder, t *TableRef) {
+	if t.Sub != nil {
+		b.WriteByte('(')
+		b.WriteString(t.Sub.String())
+		b.WriteByte(')')
+	} else {
+		b.WriteString(t.Name)
+	}
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+	for _, j := range t.Joins {
+		b.WriteByte(' ')
+		b.WriteString(j.Kind.String())
+		b.WriteByte(' ')
+		writeTableRef(b, j.Right)
+		if len(j.Using) > 0 {
+			b.WriteString(" USING (")
+			b.WriteString(strings.Join(j.Using, ", "))
+			b.WriteByte(')')
+		} else if j.On != nil {
+			b.WriteString(" ON ")
+			b.WriteString(j.On.String())
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,407 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pneuma/internal/value"
+)
+
+// ScalarFunc is a scalar SQL function implementation.
+type ScalarFunc func(args []value.Value) (value.Value, error)
+
+// FuncRegistry maps upper-case function names to implementations. The
+// registry is extensible at runtime, which is how the project models the
+// paper's point that new operators (e.g. semantic operators à la LOTUS)
+// "naturally slot into the action space".
+type FuncRegistry struct {
+	funcs map[string]ScalarFunc
+}
+
+// NewFuncRegistry returns a registry pre-populated with the built-ins.
+func NewFuncRegistry() *FuncRegistry {
+	r := &FuncRegistry{funcs: make(map[string]ScalarFunc)}
+	registerBuiltins(r)
+	return r
+}
+
+// Register adds or replaces a function (name is case-insensitive).
+func (r *FuncRegistry) Register(name string, fn ScalarFunc) {
+	r.funcs[strings.ToUpper(name)] = fn
+}
+
+// Lookup finds a function by name.
+func (r *FuncRegistry) Lookup(name string) (ScalarFunc, bool) {
+	fn, ok := r.funcs[strings.ToUpper(name)]
+	return fn, ok
+}
+
+// NamesHint returns a sorted, comma-separated list of registered names for
+// error messages.
+func (r *FuncRegistry) NamesHint() string {
+	names := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// DefaultFuncs is the shared default registry.
+var DefaultFuncs = NewFuncRegistry()
+
+func arity(name string, args []value.Value, want int) error {
+	if len(args) != want {
+		return fmt.Errorf("%s expects %d argument(s), got %d", name, want, len(args))
+	}
+	return nil
+}
+
+func arityRange(name string, args []value.Value, lo, hi int) error {
+	if len(args) < lo || len(args) > hi {
+		return fmt.Errorf("%s expects %d-%d arguments, got %d", name, lo, hi, len(args))
+	}
+	return nil
+}
+
+func numArg(name string, v value.Value) (float64, bool, error) {
+	if v.IsNull() {
+		return 0, true, nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return 0, false, fmt.Errorf("%s: value %q is not numeric", name, v.String())
+	}
+	return f, false, nil
+}
+
+func registerBuiltins(r *FuncRegistry) {
+	// --- numeric ---
+	r.Register("ABS", func(args []value.Value) (value.Value, error) {
+		if err := arity("ABS", args, 1); err != nil {
+			return value.Null(), err
+		}
+		f, isNull, err := numArg("ABS", args[0])
+		if err != nil || isNull {
+			return value.Null(), err
+		}
+		if args[0].Kind() == value.KindInt {
+			i := args[0].IntVal()
+			if i < 0 {
+				i = -i
+			}
+			return value.Int(i), nil
+		}
+		return value.Float(math.Abs(f)), nil
+	})
+	r.Register("ROUND", func(args []value.Value) (value.Value, error) {
+		if err := arityRange("ROUND", args, 1, 2); err != nil {
+			return value.Null(), err
+		}
+		f, isNull, err := numArg("ROUND", args[0])
+		if err != nil || isNull {
+			return value.Null(), err
+		}
+		digits := 0
+		if len(args) == 2 {
+			d, dNull, err := numArg("ROUND", args[1])
+			if err != nil {
+				return value.Null(), err
+			}
+			if !dNull {
+				digits = int(d)
+			}
+		}
+		scale := math.Pow(10, float64(digits))
+		return value.Float(math.Round(f*scale) / scale), nil
+	})
+	r.Register("FLOOR", oneNum("FLOOR", math.Floor))
+	r.Register("CEIL", oneNum("CEIL", math.Ceil))
+	r.Register("CEILING", oneNum("CEILING", math.Ceil))
+	r.Register("SQRT", func(args []value.Value) (value.Value, error) {
+		if err := arity("SQRT", args, 1); err != nil {
+			return value.Null(), err
+		}
+		f, isNull, err := numArg("SQRT", args[0])
+		if err != nil || isNull {
+			return value.Null(), err
+		}
+		if f < 0 {
+			return value.Null(), fmt.Errorf("SQRT of negative value %g", f)
+		}
+		return value.Float(math.Sqrt(f)), nil
+	})
+	r.Register("EXP", oneNum("EXP", math.Exp))
+	r.Register("LN", func(args []value.Value) (value.Value, error) {
+		if err := arity("LN", args, 1); err != nil {
+			return value.Null(), err
+		}
+		f, isNull, err := numArg("LN", args[0])
+		if err != nil || isNull {
+			return value.Null(), err
+		}
+		if f <= 0 {
+			return value.Null(), fmt.Errorf("LN of non-positive value %g", f)
+		}
+		return value.Float(math.Log(f)), nil
+	})
+	pow := func(args []value.Value) (value.Value, error) {
+		if err := arity("POWER", args, 2); err != nil {
+			return value.Null(), err
+		}
+		a, aNull, err := numArg("POWER", args[0])
+		if err != nil {
+			return value.Null(), err
+		}
+		b, bNull, err := numArg("POWER", args[1])
+		if err != nil {
+			return value.Null(), err
+		}
+		if aNull || bNull {
+			return value.Null(), nil
+		}
+		return value.Float(math.Pow(a, b)), nil
+	}
+	r.Register("POWER", pow)
+	r.Register("POW", pow)
+
+	// --- strings ---
+	r.Register("LOWER", oneStr("LOWER", strings.ToLower))
+	r.Register("UPPER", oneStr("UPPER", strings.ToUpper))
+	r.Register("TRIM", oneStr("TRIM", strings.TrimSpace))
+	r.Register("LTRIM", oneStr("LTRIM", func(s string) string { return strings.TrimLeft(s, " \t") }))
+	r.Register("RTRIM", oneStr("RTRIM", func(s string) string { return strings.TrimRight(s, " \t") }))
+	r.Register("LENGTH", func(args []value.Value) (value.Value, error) {
+		if err := arity("LENGTH", args, 1); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() {
+			return value.Null(), nil
+		}
+		return value.Int(int64(len([]rune(args[0].String())))), nil
+	})
+	r.Register("SUBSTR", func(args []value.Value) (value.Value, error) {
+		if err := arityRange("SUBSTR", args, 2, 3); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.Null(), nil
+		}
+		runes := []rune(args[0].String())
+		start, ok := args[1].AsInt()
+		if !ok {
+			return value.Null(), fmt.Errorf("SUBSTR: start %q is not an integer", args[1].String())
+		}
+		// SQL is 1-based.
+		idx := int(start) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(runes) {
+			return value.String(""), nil
+		}
+		end := len(runes)
+		if len(args) == 3 && !args[2].IsNull() {
+			n, ok := args[2].AsInt()
+			if !ok {
+				return value.Null(), fmt.Errorf("SUBSTR: length %q is not an integer", args[2].String())
+			}
+			if int(n) < 0 {
+				n = 0
+			}
+			if idx+int(n) < end {
+				end = idx + int(n)
+			}
+		}
+		return value.String(string(runes[idx:end])), nil
+	})
+	r.Register("REPLACE", func(args []value.Value) (value.Value, error) {
+		if err := arity("REPLACE", args, 3); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() {
+			return value.Null(), nil
+		}
+		return value.String(strings.ReplaceAll(args[0].String(), args[1].String(), args[2].String())), nil
+	})
+	r.Register("CONCAT", func(args []value.Value) (value.Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			if !a.IsNull() {
+				b.WriteString(a.String())
+			}
+		}
+		return value.String(b.String()), nil
+	})
+	r.Register("CONTAINS", func(args []value.Value) (value.Value, error) {
+		if err := arity("CONTAINS", args, 2); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.Null(), nil
+		}
+		return value.Bool(strings.Contains(
+			strings.ToLower(args[0].String()), strings.ToLower(args[1].String()))), nil
+	})
+
+	// --- null handling / conditionals ---
+	r.Register("COALESCE", func(args []value.Value) (value.Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return value.Null(), nil
+	})
+	r.Register("NULLIF", func(args []value.Value) (value.Value, error) {
+		if err := arity("NULLIF", args, 2); err != nil {
+			return value.Null(), err
+		}
+		if !args[0].IsNull() && !args[1].IsNull() && value.Equal(args[0], args[1]) {
+			return value.Null(), nil
+		}
+		return args[0], nil
+	})
+	r.Register("IFNULL", func(args []value.Value) (value.Value, error) {
+		if err := arity("IFNULL", args, 2); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() {
+			return args[1], nil
+		}
+		return args[0], nil
+	})
+	iif := func(args []value.Value) (value.Value, error) {
+		if err := arity("IIF", args, 3); err != nil {
+			return value.Null(), err
+		}
+		if triOf(args[0]) == triTrue {
+			return args[1], nil
+		}
+		return args[2], nil
+	}
+	r.Register("IIF", iif)
+	r.Register("IF", iif)
+	r.Register("GREATEST", func(args []value.Value) (value.Value, error) {
+		return extremum(args, +1)
+	})
+	r.Register("LEAST", func(args []value.Value) (value.Value, error) {
+		return extremum(args, -1)
+	})
+
+	// --- temporal ---
+	r.Register("YEAR", datePart("YEAR"))
+	r.Register("MONTH", datePart("MONTH"))
+	r.Register("DAY", datePart("DAY"))
+	r.Register("DATE_PART", func(args []value.Value) (value.Value, error) {
+		if err := arity("DATE_PART", args, 2); err != nil {
+			return value.Null(), err
+		}
+		part := strings.ToUpper(args[0].String())
+		return datePart(part)(args[1:])
+	})
+	r.Register("PARSE_DATE", func(args []value.Value) (value.Value, error) {
+		if err := arity("PARSE_DATE", args, 1); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() {
+			return value.Null(), nil
+		}
+		t, ok := args[0].AsTime()
+		if !ok {
+			return value.Null(), fmt.Errorf("PARSE_DATE: cannot parse %q as a date", args[0].String())
+		}
+		return value.Time(t), nil
+	})
+	r.Register("EPOCH", func(args []value.Value) (value.Value, error) {
+		if err := arity("EPOCH", args, 1); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() {
+			return value.Null(), nil
+		}
+		t, ok := args[0].AsTime()
+		if !ok {
+			return value.Null(), fmt.Errorf("EPOCH: %q is not a timestamp", args[0].String())
+		}
+		return value.Int(t.Unix()), nil
+	})
+	r.Register("TYPEOF", func(args []value.Value) (value.Value, error) {
+		if err := arity("TYPEOF", args, 1); err != nil {
+			return value.Null(), err
+		}
+		return value.String(args[0].Kind().String()), nil
+	})
+}
+
+func oneNum(name string, fn func(float64) float64) ScalarFunc {
+	return func(args []value.Value) (value.Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return value.Null(), err
+		}
+		f, isNull, err := numArg(name, args[0])
+		if err != nil || isNull {
+			return value.Null(), err
+		}
+		return value.Float(fn(f)), nil
+	}
+}
+
+func oneStr(name string, fn func(string) string) ScalarFunc {
+	return func(args []value.Value) (value.Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return value.Null(), err
+		}
+		if args[0].IsNull() {
+			return value.Null(), nil
+		}
+		return value.String(fn(args[0].String())), nil
+	}
+}
+
+func extremum(args []value.Value, dir int) (value.Value, error) {
+	if len(args) == 0 {
+		return value.Null(), fmt.Errorf("GREATEST/LEAST needs at least one argument")
+	}
+	best := value.Null()
+	for _, a := range args {
+		if a.IsNull() {
+			continue
+		}
+		if best.IsNull() || value.Compare(a, best)*dir > 0 {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+func datePart(part string) ScalarFunc {
+	return func(args []value.Value) (value.Value, error) {
+		if len(args) != 1 {
+			return value.Null(), fmt.Errorf("%s expects 1 argument, got %d", part, len(args))
+		}
+		if args[0].IsNull() {
+			return value.Null(), nil
+		}
+		t, ok := args[0].AsTime()
+		if !ok {
+			return value.Null(), fmt.Errorf("%s: %q is not a timestamp (consider PARSE_DATE first)", part, args[0].String())
+		}
+		switch part {
+		case "YEAR":
+			return value.Int(int64(t.Year())), nil
+		case "MONTH":
+			return value.Int(int64(t.Month())), nil
+		case "DAY":
+			return value.Int(int64(t.Day())), nil
+		case "HOUR":
+			return value.Int(int64(t.Hour())), nil
+		case "MINUTE":
+			return value.Int(int64(t.Minute())), nil
+		default:
+			return value.Null(), fmt.Errorf("unknown date part %q", part)
+		}
+	}
+}

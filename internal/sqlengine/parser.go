@@ -1,0 +1,739 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pneuma/internal/value"
+)
+
+// ParseError is a syntax error with source position, phrased for the
+// Materializer's repair loop.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql syntax error at position %d: %s", e.Pos, e.Msg)
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+// Parse parses one SELECT statement (a trailing semicolon is allowed).
+func Parse(src string) (*Select, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after end of statement", p.peek())
+	}
+	return sel, nil
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or errors.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+// acceptSymbol consumes the symbol if present.
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectSymbol consumes the symbol or errors.
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+	if p.acceptKeyword("ALL") {
+		sel.Distinct = false
+	}
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+
+	for p.acceptKeyword("UNION") {
+		if err := p.expectKeyword("ALL"); err != nil {
+			return nil, p.errorf("only UNION ALL is supported")
+		}
+		arm, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.Union = append(sel.Union, arm)
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+		if p.acceptKeyword("OFFSET") {
+			off, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset = off
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseIntLiteral() (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errorf("expected integer, found %s", t)
+	}
+	p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errorf("expected integer, found %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// Bare `*`.
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.next()
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	// `alias.*` needs two-token lookahead before falling back to parseExpr.
+	if p.peek().kind == tokIdent && p.pos+2 < len(p.tokens) &&
+		p.tokens[p.pos+1].kind == tokSymbol && p.tokens[p.pos+1].text == "." &&
+		p.tokens[p.pos+2].kind == tokSymbol && p.tokens[p.pos+2].text == "*" {
+		tbl := p.next().text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Expr: &Star{Table: tbl}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.kind != tokIdent && t.kind != tokString {
+			return SelectItem{}, p.errorf("expected alias after AS, found %s", t)
+		}
+		p.next()
+		item.Alias = t.text
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (*TableRef, error) {
+	ref, err := p.parsePrimaryTableRef()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.acceptKeyword("JOIN"):
+			kind = JoinInner
+		case p.acceptKeyword("INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinInner
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeft
+		case p.acceptKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinCross
+		default:
+			return ref, nil
+		}
+		right, err := p.parsePrimaryTableRef()
+		if err != nil {
+			return nil, err
+		}
+		jc := JoinClause{Kind: kind, Right: right}
+		if kind != JoinCross {
+			switch {
+			case p.acceptKeyword("ON"):
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				jc.On = on
+			case p.acceptKeyword("USING"):
+				if err := p.expectSymbol("("); err != nil {
+					return nil, err
+				}
+				for {
+					t := p.peek()
+					if t.kind != tokIdent {
+						return nil, p.errorf("expected column name in USING, found %s", t)
+					}
+					p.next()
+					jc.Using = append(jc.Using, t.text)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, p.errorf("expected ON or USING after JOIN, found %s", p.peek())
+			}
+		}
+		ref.Joins = append(ref.Joins, jc)
+	}
+}
+
+func (p *parser) parsePrimaryTableRef() (*TableRef, error) {
+	var ref *TableRef
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ref = &TableRef{Sub: sub}
+	} else {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errorf("expected table name or subquery, found %s", t)
+		}
+		p.next()
+		ref = &TableRef{Name: t.text}
+	}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errorf("expected alias after AS, found %s", t)
+		}
+		p.next()
+		ref.Alias = t.text
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	if ref.Sub != nil && ref.Alias == "" {
+		ref.Alias = "subquery"
+	}
+	return ref, nil
+}
+
+// Expression grammar, loosest to tightest:
+//   OR → AND → NOT → comparison (incl. BETWEEN/IN/LIKE/IS) →
+//   additive (+ - ||) → multiplicative (* / %) → unary minus → primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// IS [NOT] NULL
+		if p.acceptKeyword("IS") {
+			not := p.acceptKeyword("NOT")
+			if !p.acceptKeyword("NULL") {
+				return nil, p.errorf("expected NULL after IS, found %s", p.peek())
+			}
+			left = &IsNull{Expr: left, Not: not}
+			continue
+		}
+		not := false
+		if p.peek().kind == tokKeyword && p.peek().text == "NOT" {
+			// lookahead: NOT BETWEEN / NOT IN / NOT LIKE
+			nxt := p.tokens[p.pos+1]
+			if nxt.kind == tokKeyword && (nxt.text == "BETWEEN" || nxt.text == "IN" || nxt.text == "LIKE") {
+				p.next()
+				not = true
+			}
+		}
+		switch {
+		case p.acceptKeyword("BETWEEN"):
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &Between{Expr: left, Lo: lo, Hi: hi, Not: not}
+			continue
+		case p.acceptKeyword("IN"):
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var items []Expr
+			for {
+				it, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, it)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			left = &InList{Expr: left, Items: items, Not: not}
+			continue
+		case p.acceptKeyword("LIKE"):
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			var e Expr = &Binary{Op: "LIKE", Left: left, Right: right}
+			if not {
+				e = &Unary{Op: "NOT", Expr: e}
+			}
+			left = e
+			continue
+		}
+		if not {
+			return nil, p.errorf("dangling NOT")
+		}
+		t := p.peek()
+		if t.kind == tokSymbol {
+			switch t.text {
+			case "=", "<", ">", "<=", ">=", "<>", "!=":
+				p.next()
+				op := t.text
+				if op == "!=" {
+					op = "<>"
+				}
+				right, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{Op: op, Left: left, Right: right}
+				continue
+			}
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-" || t.text == "||") {
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", Expr: e}, nil
+	}
+	if p.acceptSymbol("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("malformed number %q", t.text)
+			}
+			return &Literal{Val: value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errorf("malformed number %q", t.text)
+			}
+			return &Literal{Val: value.Float(f)}, nil
+		}
+		return &Literal{Val: value.Int(i)}, nil
+
+	case tokString:
+		p.next()
+		return &Literal{Val: value.String(t.text)}, nil
+
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: value.Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: value.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: value.Bool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.text)
+
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+
+	case tokIdent:
+		p.next()
+		// Function call?
+		if p.acceptSymbol("(") {
+			return p.parseFuncArgs(strings.ToUpper(t.text))
+		}
+		// Qualified column?
+		if p.acceptSymbol(".") {
+			col := p.peek()
+			if col.kind != tokIdent {
+				return nil, p.errorf("expected column name after %q., found %s", t.text, col)
+			}
+			p.next()
+			return &ColumnRef{Table: t.text, Column: col.text}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	}
+	return nil, p.errorf("unexpected %s", t)
+}
+
+func (p *parser) parseFuncArgs(name string) (Expr, error) {
+	fc := &FuncCall{Name: name}
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.next()
+		fc.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptSymbol(")") {
+		return fc, nil
+	}
+	fc.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, a)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if !(p.peek().kind == tokKeyword && p.peek().text == "WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokIdent && t.kind != tokKeyword {
+		return nil, p.errorf("expected type name, found %s", t)
+	}
+	p.next()
+	kind, err := parseTypeName(t.text)
+	if err != nil {
+		return nil, &ParseError{Pos: t.pos, Msg: err.Error()}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{Expr: e, Type: kind}, nil
+}
+
+// parseTypeName maps SQL type names onto value kinds.
+func parseTypeName(name string) (value.Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return value.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return value.KindFloat, nil
+	case "TEXT", "VARCHAR", "STRING", "CHAR":
+		return value.KindString, nil
+	case "BOOL", "BOOLEAN":
+		return value.KindBool, nil
+	case "DATE", "TIMESTAMP", "DATETIME":
+		return value.KindTime, nil
+	default:
+		return value.KindNull, fmt.Errorf("unknown type name %q", name)
+	}
+}

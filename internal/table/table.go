@@ -1,0 +1,323 @@
+// Package table implements the in-memory relational store shared by every
+// component: typed schemas, row-oriented tables, CSV import/export with type
+// inference, and statistical profiling used by retrieval and grounding.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pneuma/internal/value"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	// Name is the physical column name (e.g. "k_ppm").
+	Name string
+	// Type is the inferred or declared value kind.
+	Type value.Kind
+	// Description is human/LLM-facing documentation (e.g. "Potassium
+	// concentration in parts per million"). Retrieval embeds it.
+	Description string
+	// Unit is an optional measurement unit ("ppm", "usd", "°C").
+	Unit string
+}
+
+// Schema is an ordered list of columns plus table-level metadata.
+type Schema struct {
+	// Name is the table name.
+	Name string
+	// Description documents the table's contents for retrieval.
+	Description string
+	Columns     []Column
+}
+
+// ColumnNames returns the column names in order.
+func (s Schema) ColumnNames() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column and whether it exists.
+func (s Schema) Column(name string) (Column, bool) {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return s.Columns[i], true
+}
+
+// String renders the schema as "name(col type, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is one tuple, positionally aligned with the schema's columns.
+type Row []value.Value
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is a schema plus rows.
+type Table struct {
+	Schema Schema
+	Rows   []Row
+
+	// profile caches BuildProfile; Append invalidates it. Callers that
+	// mutate Rows directly must call InvalidateProfile themselves.
+	profile *Profile
+}
+
+// InvalidateProfile drops the cached profile after direct row mutation.
+func (t *Table) InvalidateProfile() { t.profile = nil }
+
+// New creates an empty table with the given schema.
+func New(schema Schema) *Table { return &Table{Schema: schema} }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Schema.Columns) }
+
+// Append adds a row, validating arity.
+func (t *Table) Append(r Row) error {
+	if len(r) != t.NumCols() {
+		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
+			t.Schema.Name, len(r), t.NumCols())
+	}
+	t.Rows = append(t.Rows, r)
+	t.profile = nil
+	return nil
+}
+
+// MustAppend is Append that panics on arity mismatch; used by generators
+// whose arity is statically correct.
+func (t *Table) MustAppend(r Row) {
+	if err := t.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Cell returns the value at (row, col name), NULL if the column is absent.
+func (t *Table) Cell(row int, col string) value.Value {
+	i := t.Schema.ColumnIndex(col)
+	if i < 0 || row < 0 || row >= len(t.Rows) {
+		return value.Null()
+	}
+	return t.Rows[row][i]
+}
+
+// ColumnValues returns all values of the named column, or nil if absent.
+func (t *Table) ColumnValues(col string) []value.Value {
+	i := t.Schema.ColumnIndex(col)
+	if i < 0 {
+		return nil
+	}
+	out := make([]value.Value, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Schema: t.Schema}
+	out.Schema.Columns = append([]Column(nil), t.Schema.Columns...)
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Head returns a new table containing the first n rows (shared row slices).
+func (t *Table) Head(n int) *Table {
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	return &Table{Schema: t.Schema, Rows: t.Rows[:n]}
+}
+
+// ColumnStats summarizes one column for profiling and grounding.
+type ColumnStats struct {
+	Name      string
+	Type      value.Kind
+	NullCount int
+	Distinct  int
+	Min       value.Value
+	Max       value.Value
+	Mean      float64 // numeric columns only
+	// SampleValues holds up to 24 distinct example values as strings; for
+	// low-cardinality columns this is the full domain, which grounded
+	// filter-value matching depends on.
+	SampleValues []string
+}
+
+// Profile summarizes a table: per-column stats plus row/col counts.
+type Profile struct {
+	TableName string
+	NumRows   int
+	NumCols   int
+	Columns   []ColumnStats
+}
+
+// BuildProfile computes a Profile. Distinct counts are exact (hash set).
+// The result is cached until the table grows via Append (direct Rows
+// mutators must call InvalidateProfile); retrieval and planning profile the
+// same corpus tables on every call, so caching matters.
+func (t *Table) BuildProfile() Profile {
+	if t.profile != nil {
+		return *t.profile
+	}
+	p := Profile{TableName: t.Schema.Name, NumRows: t.NumRows(), NumCols: t.NumCols()}
+	for ci, col := range t.Schema.Columns {
+		cs := ColumnStats{Name: col.Name, Type: col.Type}
+		distinct := make(map[string]struct{})
+		var sum float64
+		var numCount int
+		first := true
+		for _, row := range t.Rows {
+			v := row[ci]
+			if v.IsNull() {
+				cs.NullCount++
+				continue
+			}
+			key := v.String()
+			if _, ok := distinct[key]; !ok {
+				distinct[key] = struct{}{}
+				if len(cs.SampleValues) < 24 {
+					cs.SampleValues = append(cs.SampleValues, key)
+				}
+			}
+			if f, ok := v.AsFloat(); ok && v.Kind().Numeric() {
+				sum += f
+				numCount++
+			}
+			if first {
+				cs.Min, cs.Max = v, v
+				first = false
+			} else {
+				if value.Compare(v, cs.Min) < 0 {
+					cs.Min = v
+				}
+				if value.Compare(v, cs.Max) > 0 {
+					cs.Max = v
+				}
+			}
+		}
+		cs.Distinct = len(distinct)
+		if numCount > 0 {
+			cs.Mean = sum / float64(numCount)
+		}
+		p.Columns = append(p.Columns, cs)
+	}
+	t.profile = &p
+	return p
+}
+
+// Render pretty-prints the table (up to maxRows rows) for the CLI state
+// view: a fixed-width ASCII grid like the paper's Figure 2 sample rows.
+func (t *Table) Render(maxRows int) string {
+	cols := t.Schema.ColumnNames()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	n := len(t.Rows)
+	if maxRows >= 0 && n > maxRows {
+		n = maxRows
+	}
+	cells := make([][]string, n)
+	for r := 0; r < n; r++ {
+		cells[r] = make([]string, len(cols))
+		for c := range cols {
+			s := t.Rows[r][c].String()
+			if len(s) > 24 {
+				s = s[:21] + "..."
+			}
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		b.WriteByte('|')
+		for i, v := range vals {
+			fmt.Fprintf(&b, " %-*s |", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(cols)
+	b.WriteByte('|')
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if len(t.Rows) > n {
+		fmt.Fprintf(&b, "... (%d more rows)\n", len(t.Rows)-n)
+	}
+	return b.String()
+}
+
+// SortBy sorts rows in place by the named columns ascending; unknown column
+// names are ignored.
+func (t *Table) SortBy(cols ...string) {
+	idxs := make([]int, 0, len(cols))
+	for _, c := range cols {
+		if i := t.Schema.ColumnIndex(c); i >= 0 {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	t.profile = nil // sample order changes
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		for _, i := range idxs {
+			c := value.Compare(t.Rows[a][i], t.Rows[b][i])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,216 @@
+// Package textutil provides the text primitives shared by the BM25 index,
+// the embedding model and the simulated language skills: tokenization,
+// stopword filtering, a light suffix stemmer, n-gram extraction and string
+// similarity measures.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is the small English stopword list applied by NormalizeTokens.
+// It deliberately keeps domain-meaningful words ("first", "last", "average")
+// out of the list because benchmark questions rely on them.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "the": {}, "of": {}, "in": {}, "on": {}, "at": {},
+	"to": {}, "for": {}, "and": {}, "or": {}, "is": {}, "are": {}, "was": {},
+	"were": {}, "be": {}, "been": {}, "by": {}, "with": {}, "as": {},
+	"that": {}, "this": {}, "these": {}, "those": {}, "it": {}, "its": {},
+	"from": {}, "into": {}, "we": {}, "you": {}, "i": {}, "our": {},
+	"your": {}, "me": {}, "my": {}, "do": {}, "does": {}, "did": {},
+	"have": {}, "has": {}, "had": {}, "can": {}, "could": {}, "would": {},
+	"should": {}, "will": {}, "what": {}, "which": {}, "who": {}, "how": {},
+	"when": {}, "where": {}, "why": {}, "please": {}, "help": {},
+}
+
+// Tokenize splits text into lower-case word tokens. Letters and digits are
+// kept; every other rune separates tokens. Underscores split identifiers so
+// that column names like "k_ppm" yield ["k", "ppm"].
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// IsStopword reports whether tok is in the stopword list.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// Stem applies a light suffix stemmer (a truncated Porter variant): plural
+// "-ies"→"y", "-sses"→"ss", trailing "s" dropped, "-ing"/"-ed" dropped when
+// the stem stays ≥3 runes. It is intentionally conservative; recall matters
+// more than linguistic purity for schema matching.
+func Stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 5 && strings.HasSuffix(tok, "sses"):
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us"):
+		return tok[:n-1]
+	}
+	if n > 6 && strings.HasSuffix(tok, "ing") {
+		return tok[:n-3]
+	}
+	if n > 5 && strings.HasSuffix(tok, "ed") {
+		return tok[:n-2]
+	}
+	return tok
+}
+
+// NormalizeTokens tokenizes, drops stopwords and stems, producing the token
+// stream the BM25 index and the embedder consume.
+func NormalizeTokens(text string) []string {
+	raw := Tokenize(text)
+	out := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		if IsStopword(tok) {
+			continue
+		}
+		out = append(out, Stem(tok))
+	}
+	return out
+}
+
+// CharNGrams returns the distinct character n-grams of a token, used by the
+// embedder to give morphologically related words overlapping features.
+func CharNGrams(tok string, n int) []string {
+	if n <= 0 || len(tok) < n {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(tok))
+	var out []string
+	for i := 0; i+n <= len(tok); i++ {
+		g := tok[i : i+n]
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Jaccard computes the Jaccard similarity of two token multisets treated as
+// sets. Empty inputs yield 0.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := make(map[string]struct{}, len(a))
+	for _, t := range a {
+		sa[t] = struct{}{}
+	}
+	sb := make(map[string]struct{}, len(b))
+	for _, t := range b {
+		sb[t] = struct{}{}
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Levenshtein computes the edit distance between two strings in O(len(a)·
+// len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Similarity maps Levenshtein distance into [0,1]: 1 means identical.
+func Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(longest)
+}
+
+// TokenOverlap returns the fraction of a's normalized tokens found in b's
+// normalized tokens; an asymmetric containment measure useful for matching a
+// short query phrase against a longer description.
+func TokenOverlap(a, b string) float64 {
+	ta := NormalizeTokens(a)
+	if len(ta) == 0 {
+		return 0
+	}
+	tb := make(map[string]struct{})
+	for _, t := range NormalizeTokens(b) {
+		tb[t] = struct{}{}
+	}
+	hit := 0
+	for _, t := range ta {
+		if _, ok := tb[t]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ta))
+}
+
+func minInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

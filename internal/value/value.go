@@ -1,0 +1,465 @@
+// Package value implements the dynamic, nullable value system shared by the
+// table store, the SQL engine and the transform toolkit.
+//
+// A Value carries one of a small set of runtime kinds (null, bool, int,
+// float, string, time) together with coercion and comparison rules that
+// mirror what an analytical engine such as DuckDB applies: ints widen to
+// floats, comparable strings parse to numbers on demand, and NULL is
+// absorbing for arithmetic while sorting first.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported runtime kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+)
+
+// String returns the lower-case SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "bigint"
+	case KindFloat:
+		return "double"
+	case KindString:
+		return "varchar"
+	case KindTime:
+		return "timestamp"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind is int or float.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a dynamically typed, nullable scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	t    time.Time
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int wraps an int64.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps a float64. NaN is normalized to NULL so that aggregates and
+// comparisons never observe NaN.
+func Float(f float64) Value {
+	if math.IsNaN(f) {
+		return Null()
+	}
+	return Value{kind: KindFloat, f: f}
+}
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Time wraps a timestamp.
+func Time(t time.Time) Value { return Value{kind: KindTime, t: t} }
+
+// Kind returns the runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// BoolVal returns the boolean payload (false unless KindBool).
+func (v Value) BoolVal() bool { return v.kind == KindBool && v.b }
+
+// IntVal returns the integer payload, coercing floats by truncation.
+func (v Value) IntVal() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// FloatVal returns the numeric payload widened to float64; 0 for
+// non-numeric kinds. Use AsFloat when failure must be observable.
+func (v Value) FloatVal() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// StringVal returns the string payload ("" unless KindString).
+func (v Value) StringVal() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return ""
+}
+
+// TimeVal returns the time payload (zero time unless KindTime).
+func (v Value) TimeVal() time.Time {
+	if v.kind == KindTime {
+		return v.t
+	}
+	return time.Time{}
+}
+
+// AsFloat attempts a numeric view of the value: numerics widen, numeric
+// strings parse, times convert to Unix seconds.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	case KindTime:
+		return float64(v.t.Unix()), true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt attempts an integer view of the value.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		if err != nil {
+			f, ok := v.AsFloat()
+			if !ok {
+				return 0, false
+			}
+			return int64(f), true
+		}
+		return i, true
+	default:
+		return 0, false
+	}
+}
+
+// AsBool attempts a boolean view: bools pass through, numbers are non-zero,
+// strings accept true/false/t/f/yes/no/1/0 case-insensitively.
+func (v Value) AsBool() (bool, bool) {
+	switch v.kind {
+	case KindBool:
+		return v.b, true
+	case KindInt:
+		return v.i != 0, true
+	case KindFloat:
+		return v.f != 0, true
+	case KindString:
+		switch strings.ToLower(strings.TrimSpace(v.s)) {
+		case "true", "t", "yes", "y", "1":
+			return true, true
+		case "false", "f", "no", "n", "0":
+			return false, true
+		}
+		return false, false
+	default:
+		return false, false
+	}
+}
+
+// AsTime attempts a timestamp view, parsing common layouts for strings.
+func (v Value) AsTime() (time.Time, bool) {
+	switch v.kind {
+	case KindTime:
+		return v.t, true
+	case KindString:
+		return ParseTime(v.s)
+	case KindInt:
+		return time.Unix(v.i, 0).UTC(), true
+	default:
+		return time.Time{}, false
+	}
+}
+
+// timeLayouts are tried in order by ParseTime. The list covers the formats
+// the synthetic datasets and the transform toolkit emit or must repair.
+var timeLayouts = []string{
+	"2006-01-02T15:04:05Z07:00",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"2006/01/02",
+	"01/02/2006",
+	"02-01-2006",
+	"January 2, 2006",
+	"Jan 2, 2006",
+	"2 January 2006",
+	"2006-01",
+	"2006",
+}
+
+// ParseTime parses s using the shared layout list.
+func ParseTime(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}, false
+	}
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC(), true
+		}
+	}
+	return time.Time{}, false
+}
+
+// String renders the value the way the CSV writer and the UI print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindTime:
+		if v.t.Hour() == 0 && v.t.Minute() == 0 && v.t.Second() == 0 {
+			return v.t.Format("2006-01-02")
+		}
+		return v.t.Format("2006-01-02 15:04:05")
+	default:
+		return ""
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; mixed numeric
+// kinds compare numerically; strings that both parse as numbers compare
+// numerically, otherwise lexically; times compare chronologically. The
+// result is -1, 0 or +1.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.kind.Numeric() && b.kind.Numeric() {
+		return compareFloat(a.FloatVal(), b.FloatVal())
+	}
+	if a.kind == KindTime && b.kind == KindTime {
+		switch {
+		case a.t.Before(b.t):
+			return -1
+		case a.t.After(b.t):
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Mixed or string comparison: try numeric view of both sides first so
+	// that "12" > "9" behaves arithmetically, as users expect from repaired
+	// CSV columns.
+	if af, aok := a.AsFloat(); aok {
+		if bf, bok := b.AsFloat(); bok {
+			return compareFloat(af, bf)
+		}
+	}
+	if a.kind == KindTime || b.kind == KindTime {
+		at, aok := a.AsTime()
+		bt, bok := b.AsTime()
+		if aok && bok {
+			switch {
+			case at.Before(bt):
+				return -1
+			case at.After(bt):
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return strings.Compare(a.render(), b.render())
+}
+
+func (v Value) render() string { return v.String() }
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare as equal. NULL equals NULL here
+// (useful for grouping keys); SQL tri-state NULL handling lives in the
+// expression evaluator, not in this helper.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Infer converts a raw CSV cell into the most specific Value: empty → NULL,
+// then int, float, bool, timestamp, finally string.
+func Infer(raw string) Value {
+	s := strings.TrimSpace(raw)
+	if s == "" || strings.EqualFold(s, "null") || strings.EqualFold(s, "na") || strings.EqualFold(s, "n/a") {
+		return Null()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	switch strings.ToLower(s) {
+	case "true", "false":
+		b, _ := strconv.ParseBool(strings.ToLower(s))
+		return Bool(b)
+	}
+	if t, ok := ParseTime(s); ok && looksLikeDate(s) {
+		return Time(t)
+	}
+	return String(raw)
+}
+
+// looksLikeDate guards time inference: only strings containing a digit and a
+// date separator or month name are eligible, so that ordinary words such as
+// "March" alone, or codes such as "A-12", do not become timestamps.
+func looksLikeDate(s string) bool {
+	hasDigit := strings.ContainsAny(s, "0123456789")
+	hasSep := strings.ContainsAny(s, "-/,") || strings.Contains(s, " ")
+	return hasDigit && hasSep && len(s) >= 6
+}
+
+// CoerceKind converts v to the target kind, reporting failure instead of
+// silently producing a zero. NULL coerces to NULL of any kind.
+func CoerceKind(v Value, k Kind) (Value, bool) {
+	if v.IsNull() {
+		return Null(), true
+	}
+	switch k {
+	case KindBool:
+		b, ok := v.AsBool()
+		if !ok {
+			return Null(), false
+		}
+		return Bool(b), true
+	case KindInt:
+		i, ok := v.AsInt()
+		if !ok {
+			return Null(), false
+		}
+		return Int(i), true
+	case KindFloat:
+		f, ok := v.AsFloat()
+		if !ok {
+			return Null(), false
+		}
+		return Float(f), true
+	case KindString:
+		return String(v.String()), true
+	case KindTime:
+		t, ok := v.AsTime()
+		if !ok {
+			return Null(), false
+		}
+		return Time(t), true
+	case KindNull:
+		return Null(), true
+	default:
+		return Null(), false
+	}
+}
+
+// UnifyKinds returns the narrowest kind both inputs widen to, used by the
+// CSV type inferencer and by expression typing: int+float → float, any
+// numeric+string → string, anything+null → the other kind.
+func UnifyKinds(a, b Kind) Kind {
+	if a == b {
+		return a
+	}
+	if a == KindNull {
+		return b
+	}
+	if b == KindNull {
+		return a
+	}
+	if a.Numeric() && b.Numeric() {
+		return KindFloat
+	}
+	return KindString
+}

@@ -1,0 +1,65 @@
+// Package vecmath provides the small float32 vector kernel used by the
+// embedder and the HNSW index: dot product, norms, cosine similarity and
+// squared Euclidean distance.
+package vecmath
+
+import "math"
+
+// Dot returns the dot product of a and b. Panics if lengths differ — vector
+// dimensionality is fixed per index, so a mismatch is a programming error.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	var s float32
+	for _, x := range v {
+		s += x * x
+	}
+	return float32(math.Sqrt(float64(s)))
+}
+
+// Normalize scales v to unit length in place and returns it. The zero vector
+// is returned unchanged.
+func Normalize(v []float32) []float32 {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1]; 0 when either
+// vector is zero.
+func Cosine(a, b []float32) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+func SquaredL2(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

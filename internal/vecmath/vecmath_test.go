@@ -1,0 +1,76 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float32{1, 2, 3}, []float32{4, 5, 6}); got != 32 {
+		t.Fatalf("dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Fatalf("norm = %v, want 5", got)
+	}
+	Normalize(v)
+	if math.Abs(float64(Norm(v))-1) > 1e-6 {
+		t.Fatalf("normalized norm = %v", Norm(v))
+	}
+	zero := []float32{0, 0}
+	Normalize(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("zero vector must stay zero")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, a); math.Abs(float64(got)-1) > 1e-6 {
+		t.Fatalf("self cosine = %v", got)
+	}
+	if got := Cosine(a, []float32{0, 0}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+	if got := Cosine(a, []float32{-1, 0}); math.Abs(float64(got)+1) > 1e-6 {
+		t.Fatalf("opposite cosine = %v", got)
+	}
+}
+
+func TestSquaredL2(t *testing.T) {
+	if got := SquaredL2([]float32{1, 2}, []float32{4, 6}); got != 25 {
+		t.Fatalf("sql2 = %v, want 25", got)
+	}
+}
+
+func TestSquaredL2Properties(t *testing.T) {
+	symmetric := func(a, b [8]float32) bool {
+		return SquaredL2(a[:], b[:]) == SquaredL2(b[:], a[:])
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	nonneg := func(a, b [8]float32) bool {
+		return SquaredL2(a[:], b[:]) >= 0 || math.IsNaN(float64(SquaredL2(a[:], b[:])))
+	}
+	if err := quick.Check(nonneg, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("non-negativity:", err)
+	}
+}

@@ -1,0 +1,59 @@
+package websearch
+
+import (
+	"testing"
+)
+
+func TestBuiltinCorpusTariffRetrieval(t *testing.T) {
+	e := New(BuiltinCorpus())
+	if e.Len() != 4 {
+		t.Fatalf("corpus size = %d", e.Len())
+	}
+	hits, err := e.Search("previously active tariff rates by country", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits for tariff query")
+	}
+	if hits[0].Table == nil {
+		t.Fatalf("top tariff hit should embed the schedule table: %v", hits[0].Title)
+	}
+	if hits[0].Table.Schema.ColumnIndex("prev_tariff") < 0 {
+		t.Error("tariff table missing prev_tariff column")
+	}
+}
+
+func TestDisableMatchesBenchmarkProtocol(t *testing.T) {
+	e := New(BuiltinCorpus())
+	e.SetEnabled(false)
+	if e.Enabled() {
+		t.Fatal("engine should report disabled")
+	}
+	hits, err := e.Search("tariff", 3)
+	if err != nil || hits != nil {
+		t.Fatalf("disabled engine must return nothing: %v %v", hits, err)
+	}
+	e.SetEnabled(true)
+	hits, _ = e.Search("tariff", 3)
+	if len(hits) == 0 {
+		t.Fatal("re-enabled engine must answer")
+	}
+}
+
+func TestDistractorsDoNotWin(t *testing.T) {
+	e := New(BuiltinCorpus())
+	hits, _ := e.Search("import tariff schedule", 1)
+	if len(hits) != 1 || hits[0].Meta["url"] != "https://trade.example.gov/tariff-schedule-2026" {
+		t.Fatalf("wrong top hit: %v", hits)
+	}
+}
+
+func TestAddPage(t *testing.T) {
+	e := New(nil)
+	e.AddPage(Page{URL: "https://x.example/a", Title: "Quarterly Llama Census", Content: "llamas counted quarterly"})
+	hits, _ := e.Search("llama census", 1)
+	if len(hits) != 1 {
+		t.Fatalf("added page not searchable: %v", hits)
+	}
+}
