@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: verify fmt-check vet tier1 race bench ingest-bench
+
+# verify is the one-shot local gate every PR must pass: formatting, vet,
+# and the tier-1 build+test command from ROADMAP.md.
+verify: fmt-check vet tier1
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# race runs the concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/retriever/... ./internal/ir/... ./internal/embed/...
+
+# bench smoke-runs the sharded IR stack benchmarks.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkIngest|BenchmarkRetrievalLatency|BenchmarkIRQueryCached' -benchtime 3x .
+
+# ingest-bench prints the human-readable ingest/latency report.
+ingest-bench:
+	$(GO) run ./cmd/pneuma-bench -ingest

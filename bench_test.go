@@ -11,11 +11,14 @@ package pneuma_test
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"pneuma/internal/baselines"
 	"pneuma/internal/harness"
+	"pneuma/internal/ir"
 	"pneuma/internal/kramabench"
 	"pneuma/internal/llm"
 	"pneuma/internal/retriever"
@@ -358,4 +361,99 @@ func BenchmarkProfile(b *testing.B) {
 	}
 }
 
-var _ = table.New // keep the import for doc reference
+// --- Sharded IR stack benchmarks -------------------------------------------
+
+// ingestCorpusSize is the synthetic corpus size for the ingest benchmarks
+// (≥500 tables so the shard fan-out dominates fixed costs).
+const ingestCorpusSize = 500
+
+func syntheticTables(b *testing.B, n int) []*table.Table {
+	b.Helper()
+	corpus := kramabench.Synthetic(n)
+	out := make([]*table.Table, 0, len(corpus))
+	for _, t := range corpus {
+		out = append(out, t)
+	}
+	return out
+}
+
+// BenchmarkIngestSequential measures the seed ingest path: a single-shard
+// index built one table at a time on one goroutine.
+func BenchmarkIngestSequential(b *testing.B) {
+	tables := syntheticTables(b, ingestCorpusSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ret := retriever.New(retriever.WithShards(1), retriever.WithWorkers(1))
+		for _, t := range tables {
+			if err := ret.IndexTable(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(ingestCorpusSize)*float64(b.N)/b.Elapsed().Seconds(), "tables/sec")
+}
+
+// BenchmarkIngestParallelBulk measures the sharded bulk path: embedding on
+// the worker pool, all shards building concurrently. The acceptance bar is
+// ≥2x over BenchmarkIngestSequential on a multi-core runner.
+func BenchmarkIngestParallelBulk(b *testing.B) {
+	tables := syntheticTables(b, ingestCorpusSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ret := retriever.New()
+		if err := ret.IndexTables(tables); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ingestCorpusSize)*float64(b.N)/b.Elapsed().Seconds(), "tables/sec")
+}
+
+// BenchmarkRetrievalLatency measures per-query latency on the sharded
+// index over the synthetic corpus, reporting p50 and p99 in microseconds.
+func BenchmarkRetrievalLatency(b *testing.B) {
+	tables := syntheticTables(b, ingestCorpusSize)
+	ret := retriever.New()
+	if err := ret.IndexTables(tables); err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{
+		"freight container transit from port", "turbine output capacity",
+		"warehouse stock levels and reorder", "rainfall readings by station",
+		"portfolio yield and maturity", "clinic admission wait times",
+		"Malta region records", "gross tonnage of vessels",
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := ret.Search(queries[i%len(queries)], 10); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) float64 {
+		return float64(lat[int(q*float64(len(lat)-1))]) / float64(time.Microsecond)
+	}
+	b.ReportMetric(p(0.50), "p50-µs")
+	b.ReportMetric(p(0.99), "p99-µs")
+}
+
+// BenchmarkIRQueryCached measures the IR facade's fan-out with the LRU
+// cache warm — the steady-state cost of a repeated Conductor retrieval.
+func BenchmarkIRQueryCached(b *testing.B) {
+	corpus := kramabench.Environment()
+	cfg := core.Config{}
+	sys, err := core.New(cfg, corpus, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	irsys := sys.IR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := irsys.Query(ir.Request{Query: "nitrate concentration in river water", K: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,22 +8,42 @@
 //	pneuma-bench -figure 4   # convergence scatter, archaeology
 //	pneuma-bench -figure 5   # convergence scatter, environment
 //	pneuma-bench -latency    # the latency trade-off
+//
+// Beyond the paper artifacts, -ingest benchmarks the sharded IR stack
+// itself: bulk-ingest throughput (sequential seed path vs. concurrent
+// sharded path) and retrieval latency percentiles on a synthetic corpus:
+//
+//	pneuma-bench -ingest            # 500-table corpus
+//	pneuma-bench -ingest -tables 2000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"pneuma/internal/harness"
 	"pneuma/internal/kramabench"
+	"pneuma/internal/retriever"
+	"pneuma/internal/table"
 )
 
 func main() {
 	tableN := flag.Int("table", 0, "regenerate one table (1, 2 or 3); 0 = all")
 	figureN := flag.Int("figure", 0, "regenerate one figure (4 or 5); 0 = all")
 	latency := flag.Bool("latency", false, "print only the latency trade-off")
+	ingest := flag.Bool("ingest", false, "benchmark sharded ingest throughput and retrieval latency")
+	nTables := flag.Int("tables", 500, "synthetic corpus size for -ingest")
+	shards := flag.Int("shards", 0, "shard count for -ingest (0 = GOMAXPROCS-derived default)")
+	workers := flag.Int("workers", 0, "embedding workers for -ingest (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *ingest {
+		runIngestBench(*nTables, *shards, *workers)
+		return
+	}
 
 	wantAll := *tableN == 0 && *figureN == 0 && !*latency
 
@@ -86,4 +106,71 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "pneuma-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runIngestBench compares the sequential seed ingest path (one shard, one
+// worker, one table at a time) against the concurrent sharded bulk path on
+// the same synthetic corpus, then reports retrieval latency percentiles on
+// the sharded index.
+func runIngestBench(n, shards, workers int) {
+	corpus := kramabench.Synthetic(n)
+	tables := make([]*table.Table, 0, len(corpus))
+	names := make([]string, 0, len(corpus))
+	for name := range corpus {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tables = append(tables, corpus[name])
+	}
+
+	fmt.Printf("Ingest benchmark: %d synthetic tables\n\n", n)
+
+	seq := retriever.New(retriever.WithShards(1), retriever.WithWorkers(1))
+	start := time.Now()
+	for _, t := range tables {
+		fail(seq.IndexTable(t))
+	}
+	seqDur := time.Since(start)
+
+	var popts []retriever.Option
+	if shards > 0 {
+		popts = append(popts, retriever.WithShards(shards))
+	}
+	if workers > 0 {
+		popts = append(popts, retriever.WithWorkers(workers))
+	}
+	par := retriever.New(popts...)
+	start = time.Now()
+	fail(par.IndexTables(tables))
+	parDur := time.Since(start)
+
+	fmt.Printf("  sequential (1 shard, 1 worker):  %8v  %7.0f tables/sec\n",
+		seqDur.Round(time.Millisecond), float64(n)/seqDur.Seconds())
+	fmt.Printf("  parallel   (%d shards, pooled):   %8v  %7.0f tables/sec\n",
+		par.NumShards(), parDur.Round(time.Millisecond), float64(n)/parDur.Seconds())
+	fmt.Printf("  speedup: %.2fx\n\n", seqDur.Seconds()/parDur.Seconds())
+
+	queries := []string{
+		"freight container transit from port", "turbine output capacity",
+		"warehouse stock levels and reorder", "rainfall readings by station",
+		"portfolio yield and maturity", "clinic admission wait times",
+		"Malta region records", "gross tonnage of vessels",
+	}
+	const rounds = 25
+	lat := make([]time.Duration, 0, rounds*len(queries))
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			qs := time.Now()
+			if _, err := par.Search(q, 10); err != nil {
+				fail(err)
+			}
+			lat = append(lat, time.Since(qs))
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	fmt.Printf("Retrieval latency over %d queries (k=10, %d shards):\n", len(lat), par.NumShards())
+	fmt.Printf("  p50 %v   p99 %v   max %v\n",
+		p(0.50).Round(time.Microsecond), p(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
 }

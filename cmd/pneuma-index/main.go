@@ -1,14 +1,17 @@
 // Command pneuma-index builds a Pneuma-Retriever hybrid index over a CSV
 // directory and runs queries against it from the command line — the
-// standalone table-discovery workflow.
+// standalone table-discovery workflow. The index is sharded and the corpus
+// is bulk-ingested through the embedding worker pool.
 //
 //	pneuma-index -dir ./data/archaeology -q "potassium in soil samples"
+//	pneuma-index -dir ./data/environment -q "rainfall" -shards 4 -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pneuma"
 )
@@ -17,10 +20,12 @@ func main() {
 	dir := flag.String("dir", "", "CSV directory to index")
 	query := flag.String("q", "", "query to run against the index")
 	k := flag.Int("k", 5, "number of results")
+	shards := flag.Int("shards", 0, "index shard count (0 = GOMAXPROCS-derived default)")
+	workers := flag.Int("workers", 0, "embedding worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *dir == "" || *query == "" {
-		fmt.Fprintln(os.Stderr, "usage: pneuma-index -dir <csvdir> -q <query> [-k n]")
+		fmt.Fprintln(os.Stderr, "usage: pneuma-index -dir <csvdir> -q <query> [-k n] [-shards n] [-workers n]")
 		os.Exit(2)
 	}
 	corpus, err := pneuma.LoadDir(*dir)
@@ -28,19 +33,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
 		os.Exit(1)
 	}
-	ret := pneuma.NewRetriever()
+	ret := pneuma.NewRetrieverWith(pneuma.RetrieverKnobs{Shards: *shards, Workers: *workers})
+	tables := make([]*pneuma.Table, 0, len(corpus))
 	for _, t := range corpus {
-		if err := ret.IndexTable(t); err != nil {
-			fmt.Fprintln(os.Stderr, "pneuma-index:", err)
-			os.Exit(1)
-		}
+		tables = append(tables, t)
 	}
+	start := time.Now()
+	if err := ret.IndexTables(tables); err != nil {
+		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
 	hits, err := ret.Search(*query, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%d tables indexed; top %d for %q:\n\n", len(corpus), len(hits), *query)
+	fmt.Printf("%d tables indexed across %d shards in %v (%.0f tables/sec); top %d for %q:\n\n",
+		len(corpus), ret.NumShards(), elapsed.Round(time.Millisecond),
+		float64(len(corpus))/elapsed.Seconds(), len(hits), *query)
 	for i, h := range hits {
 		fmt.Printf("%d. %s (score %.4f)\n", i+1, h.Title, h.Score)
 		if h.Table != nil {

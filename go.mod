@@ -1,0 +1,3 @@
+module pneuma
+
+go 1.24

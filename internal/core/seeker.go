@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"strings"
 	"time"
 
@@ -33,6 +32,12 @@ type Config struct {
 	DynamicPlanning *bool
 	// RetrieverMode selects the hybrid/vector-only/BM25-only table index.
 	RetrieverMode retriever.Mode
+	// Shards is the table-index shard count (default
+	// retriever.DefaultShards(), derived from GOMAXPROCS).
+	Shards int
+	// IndexWorkers sizes the embedding worker pool used by bulk corpus
+	// ingest (default GOMAXPROCS).
+	IndexWorkers int
 }
 
 // Seeker is the assembled Pneuma-Seeker system (Figure 1): Conductor, IR
@@ -61,17 +66,23 @@ func New(cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *
 	}
 	meter := llm.NewMeter()
 
-	ret := retriever.New(retriever.WithMode(cfg.RetrieverMode))
-	// Deterministic indexing order.
-	names := make([]string, 0, len(corpus))
-	for n := range corpus {
-		names = append(names, n)
+	ropts := []retriever.Option{retriever.WithMode(cfg.RetrieverMode)}
+	if cfg.Shards > 0 {
+		ropts = append(ropts, retriever.WithShards(cfg.Shards))
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		if err := ret.IndexTable(corpus[n]); err != nil {
-			return nil, err
-		}
+	if cfg.IndexWorkers > 0 {
+		ropts = append(ropts, retriever.WithWorkers(cfg.IndexWorkers))
+	}
+	ret := retriever.New(ropts...)
+	// Bulk ingest: embedding runs on the worker pool and all index shards
+	// build concurrently. The retriever orders documents internally, so
+	// map iteration order cannot affect the built index.
+	tables := make([]*table.Table, 0, len(corpus))
+	for _, t := range corpus {
+		tables = append(tables, t)
+	}
+	if err := ret.IndexTables(tables); err != nil {
+		return nil, err
 	}
 	if web != nil {
 		web.SetEnabled(cfg.WebSearch)

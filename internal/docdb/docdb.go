@@ -48,9 +48,11 @@ func WithClock(fn func() time.Time) Option {
 
 // New creates an empty knowledge database with its own hybrid index.
 func New(opts ...Option) *DB {
+	// A single shard: knowledge notes arrive one at a time and the corpus
+	// stays small, so shard fan-out would only fragment BM25 statistics.
 	d := &DB{
 		notes: make(map[string]Note),
-		index: retriever.New(),
+		index: retriever.New(retriever.WithShards(1)),
 		clock: time.Now,
 	}
 	for _, o := range opts {
@@ -84,6 +86,10 @@ func (d *DB) Save(topic, body, author string) (Note, error) {
 	})
 	return n, err
 }
+
+// Version returns the underlying index's mutation counter; the IR
+// System's query cache keys on it.
+func (d *DB) Version() uint64 { return d.index.Version() }
 
 // Search returns the top-k knowledge notes relevant to the query.
 func (d *DB) Search(query string, k int) ([]docs.Document, error) {

@@ -1,0 +1,67 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEmbedBatchMatchesSequential asserts the worker-pool path is
+// bit-identical to sequential embedding for every worker count, including
+// worker counts exceeding the batch size.
+func TestEmbedBatchMatchesSequential(t *testing.T) {
+	e := New()
+	texts := make([]string, 37)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("synthetic document %d about tariffs and potassium measure %d", i, i*i)
+	}
+	want := make([][]float32, len(texts))
+	for i, s := range texts {
+		want[i] = e.Embed(s)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 64} {
+		got := e.EmbedBatch(texts, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i := range got {
+			for d := range got[i] {
+				if got[i][d] != want[i][d] {
+					t.Fatalf("workers=%d: vector %d dim %d diverged", workers, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedAllEmpty(t *testing.T) {
+	e := New()
+	if got := e.EmbedAll(nil); len(got) != 0 {
+		t.Fatalf("EmbedAll(nil) = %v", got)
+	}
+}
+
+// TestEmbedFieldsBatchMatchesSequential covers the weighted multi-field
+// batch path.
+func TestEmbedFieldsBatchMatchesSequential(t *testing.T) {
+	e := New()
+	batch := make([][]WeightedText, 11)
+	for i := range batch {
+		batch[i] = []WeightedText{
+			{Text: fmt.Sprintf("table_%d freight manifest", i), Weight: 2.0},
+			{Text: "column descriptions for transit and tonnage", Weight: 1.0},
+			{Text: "sample values", Weight: 0.5},
+		}
+	}
+	want := make([][]float32, len(batch))
+	for i, f := range batch {
+		want[i] = e.EmbedFields(f)
+	}
+	got := e.EmbedFieldsBatch(batch, 3)
+	for i := range got {
+		for d := range got[i] {
+			if got[i][d] != want[i][d] {
+				t.Fatalf("vector %d dim %d diverged", i, d)
+			}
+		}
+	}
+}

@@ -14,6 +14,8 @@ package embed
 
 import (
 	"hash/fnv"
+	"runtime"
+	"sync"
 
 	"pneuma/internal/textutil"
 	"pneuma/internal/vecmath"
@@ -116,6 +118,69 @@ func (e *Embedder) EmbedFields(fields []WeightedText) []float32 {
 type WeightedText struct {
 	Text   string
 	Weight float64
+}
+
+// EmbedBatch embeds texts with a worker pool of the given size (0 or
+// negative means GOMAXPROCS). The result is positionally aligned with the
+// input and bit-identical to embedding each text sequentially: each worker
+// writes only its own output slot, so scheduling order cannot affect the
+// vectors. This is the amortized path bulk ingest uses.
+func (e *Embedder) EmbedBatch(texts []string, workers int) [][]float32 {
+	out := make([][]float32, len(texts))
+	forEachParallel(len(texts), workers, func(i int) {
+		out[i] = e.Embed(texts[i])
+	})
+	return out
+}
+
+// EmbedAll is EmbedBatch with the default worker count (GOMAXPROCS).
+func (e *Embedder) EmbedAll(texts []string) [][]float32 {
+	return e.EmbedBatch(texts, 0)
+}
+
+// EmbedFieldsBatch embeds many multi-field documents with a worker pool of
+// the given size (0 or negative means GOMAXPROCS). Output is positionally
+// aligned with the input, exactly as EmbedBatch.
+func (e *Embedder) EmbedFieldsBatch(batch [][]WeightedText, workers int) [][]float32 {
+	out := make([][]float32, len(batch))
+	forEachParallel(len(batch), workers, func(i int) {
+		out[i] = e.EmbedFields(batch[i])
+	})
+	return out
+}
+
+// forEachParallel runs fn(i) for i in [0,n) across a bounded worker pool.
+// Indices are handed out through a channel, so work stays balanced even
+// when individual items vary widely in cost.
+func forEachParallel(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // add hashes the feature into a bucket with a deterministic sign. Using a

@@ -1,0 +1,213 @@
+package ir
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pneuma/internal/docdb"
+	"pneuma/internal/docs"
+	"pneuma/internal/retriever"
+	"pneuma/internal/table"
+	"pneuma/internal/value"
+)
+
+// mkTable builds a minimal searchable table.
+func mkTable(name, desc, colDesc string) *table.Table {
+	t := table.New(table.Schema{
+		Name:        name,
+		Description: desc,
+		Columns:     []table.Column{{Name: "v", Type: value.KindFloat, Description: colDesc}},
+	})
+	t.MustAppend(table.Row{value.Float(1)})
+	return t
+}
+
+func TestRRFFusionAcrossSources(t *testing.T) {
+	ret := retriever.New()
+	if err := ret.IndexTable(mkTable("potassium_levels", "Potassium measurements", "potassium concentration")); err != nil {
+		t.Fatal(err)
+	}
+	kb := docdb.New()
+	if _, err := kb.Save("potassium", "potassium should be interpolated", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	s := New(ret, kb, nil)
+	res, err := s.Query(Request{Query: "potassium", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Documents) < 2 {
+		t.Fatalf("want table + knowledge hits, got %v", res.Documents)
+	}
+	// Each source's rank-1 document must carry the RRF score 1/(60+1);
+	// the old scheme overwrote scores with 1/(i+1) so every source's top
+	// hit tied at 1.0 regardless of relevance.
+	want := 1.0 / 61.0
+	for _, d := range res.Documents[:2] {
+		if d.Score != want {
+			t.Errorf("doc %s score = %v, want %v", d.ID, d.Score, want)
+		}
+	}
+	// Deterministic tie-break: equal scores order by ID.
+	if res.Documents[0].ID > res.Documents[1].ID {
+		t.Errorf("tie not broken by ID: %s before %s", res.Documents[0].ID, res.Documents[1].ID)
+	}
+}
+
+func TestQueryCacheHitAndCopy(t *testing.T) {
+	s := fixtureSystem(t)
+	if s.CacheLen() != 0 {
+		t.Fatalf("fresh system has %d cache entries", s.CacheLen())
+	}
+	res1, err := s.Query(Request{Query: "potassium samples", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len = %d after first query", s.CacheLen())
+	}
+	res2, err := s.Query(Request{Query: "potassium samples", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len = %d after repeat query", s.CacheLen())
+	}
+	if len(res1.Documents) != len(res2.Documents) {
+		t.Fatalf("cached result differs: %d vs %d docs", len(res1.Documents), len(res2.Documents))
+	}
+	for i := range res1.Documents {
+		if res1.Documents[i].ID != res2.Documents[i].ID || res1.Documents[i].Score != res2.Documents[i].Score {
+			t.Fatalf("cached result diverged at %d", i)
+		}
+	}
+	// The cache must hand out copies: mutating a result must not corrupt
+	// later hits.
+	res2.Documents[0].Score = -1
+	res3, _ := s.Query(Request{Query: "potassium samples", K: 3})
+	if res3.Documents[0].Score == -1 {
+		t.Fatal("cache returned aliased slice")
+	}
+}
+
+func TestCacheInvalidationOnMutation(t *testing.T) {
+	ret := retriever.New()
+	if err := ret.IndexTable(mkTable("soil_samples", "Soil chemistry", "potassium concentration")); err != nil {
+		t.Fatal(err)
+	}
+	kb := docdb.New()
+	s := New(ret, kb, nil)
+
+	res, err := s.Query(Request{Query: "potassium interpolation", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Documents {
+		if d.Kind == docs.KindKnowledge {
+			t.Fatal("no knowledge saved yet")
+		}
+	}
+	// Mutate one source; the cached entry must not be served.
+	if _, err := kb.Save("potassium interpolation", "potassium should be interpolated between samples", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Query(Request{Query: "potassium interpolation", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Documents {
+		if d.Kind == docs.KindKnowledge {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stale cache entry served after knowledge save")
+	}
+
+	// Table-index mutation invalidates too.
+	if err := ret.IndexTable(mkTable("potassium_extra", "Extra potassium data", "potassium reading")); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Query(Request{Query: "potassium interpolation", K: 5})
+	seen := false
+	for _, d := range res.Documents {
+		if d.ID == "table:potassium_extra" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("stale cache entry served after table ingest")
+	}
+}
+
+func TestCacheEvictionAndDisable(t *testing.T) {
+	ret := retriever.New()
+	if err := ret.IndexTable(mkTable("t1", "data", "metric")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(ret, nil, nil, WithCacheSize(2))
+	for i := 0; i < 5; i++ {
+		if _, err := s.Query(Request{Query: fmt.Sprintf("query %d", i), K: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CacheLen() != 2 {
+		t.Fatalf("cache len = %d, want capacity 2", s.CacheLen())
+	}
+
+	off := New(ret, nil, nil, WithCacheSize(0))
+	if _, err := off.Query(Request{Query: "anything", K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if off.CacheLen() != 0 {
+		t.Fatalf("disabled cache holds %d entries", off.CacheLen())
+	}
+}
+
+// TestConcurrentQueriesAndMutations is the -race proof for the facade:
+// concurrent queries, knowledge saves and table ingests must not race in
+// the cache or the fan-out.
+func TestConcurrentQueriesAndMutations(t *testing.T) {
+	ret := retriever.New()
+	if err := ret.IndexTable(mkTable("base", "base data", "baseline metric")); err != nil {
+		t.Fatal(err)
+	}
+	kb := docdb.New()
+	s := New(ret, kb, nil)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := s.Query(Request{Query: fmt.Sprintf("metric %d", (g+i)%3), K: 3}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := kb.Save("note", fmt.Sprintf("knowledge body %d", i), "x"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := ret.IndexTable(mkTable(fmt.Sprintf("t%d", i), "more data", "another metric")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

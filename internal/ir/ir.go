@@ -9,7 +9,9 @@ package ir
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"pneuma/internal/docdb"
 	"pneuma/internal/docs"
@@ -31,17 +33,61 @@ const (
 // AllSources lists every source in query order.
 var AllSources = []Source{SourceTables, SourceKnowledge, SourceWeb}
 
+// DefaultCacheSize bounds the LRU query-result cache.
+const DefaultCacheSize = 128
+
+// rrfK is the reciprocal-rank-fusion constant used for cross-source
+// merging (standard value 60, the same constant Pneuma-Retriever uses to
+// fuse its vector and lexical halves).
+const rrfK = 60.0
+
 // System is the IR System facade.
 type System struct {
 	Tables    *retriever.Retriever
 	Knowledge *docdb.DB
 	Web       *websearch.Engine
+
+	cache *queryCache
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithCacheSize sets the LRU query-cache capacity (default
+// DefaultCacheSize; 0 disables caching).
+func WithCacheSize(n int) Option {
+	return func(s *System) { s.cache = newQueryCache(n) }
 }
 
 // New wires a System from its three retrievers. Nil components are allowed
 // and simply return no results, so a caller can run tables-only.
-func New(tables *retriever.Retriever, knowledge *docdb.DB, web *websearch.Engine) *System {
-	return &System{Tables: tables, Knowledge: knowledge, Web: web}
+func New(tables *retriever.Retriever, knowledge *docdb.DB, web *websearch.Engine, opts ...Option) *System {
+	s := &System{
+		Tables:    tables,
+		Knowledge: knowledge,
+		Web:       web,
+		cache:     newQueryCache(DefaultCacheSize),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// snapshotVersions reads the mutation counters of all three sources; a nil
+// source contributes a constant, so it never invalidates the cache.
+func (s *System) snapshotVersions() versions {
+	var v versions
+	if s.Tables != nil {
+		v[0] = s.Tables.Version()
+	}
+	if s.Knowledge != nil {
+		v[1] = s.Knowledge.Version()
+	}
+	if s.Web != nil {
+		v[2] = s.Web.Version()
+	}
+	return v
 }
 
 // Request is one retrieval request from Conductor or Materializer.
@@ -93,10 +139,14 @@ func (r Result) Summary(sampleRows int) string {
 	return b.String()
 }
 
-// Query runs the request against the selected sources and merges results.
-// Within each source, results keep their ranking; sources are concatenated
-// in AllSources order, then globally re-sorted per-source-normalized score
-// so cross-source merging is stable and deterministic.
+// Query runs the request against the selected sources concurrently and
+// merges results with reciprocal-rank fusion: a document's score is the
+// sum over sources of 1/(60+rank), so a document every source ranks highly
+// outranks one a single source ranks first, while scores of incomparable
+// scales (cosine, BM25, web relevance) never mix directly. Ties break by
+// document ID, so the merged order is deterministic. Results are served
+// from a bounded LRU cache keyed on (query, k, sources) and invalidated
+// whenever any source's index mutates.
 func (s *System) Query(req Request) (Result, error) {
 	k := req.K
 	if k <= 0 {
@@ -106,44 +156,102 @@ func (s *System) Query(req Request) (Result, error) {
 	if len(sources) == 0 {
 		sources = AllSources
 	}
-	var merged []docs.Document
 	for _, src := range sources {
-		var got []docs.Document
-		var err error
 		switch src {
-		case SourceTables:
-			if s.Tables != nil {
-				got, err = s.Tables.Search(req.Query, k)
-			}
-		case SourceKnowledge:
-			if s.Knowledge != nil {
-				got, err = s.Knowledge.Search(req.Query, k)
-			}
-		case SourceWeb:
-			if s.Web != nil {
-				got, err = s.Web.Search(req.Query, k)
-			}
+		case SourceTables, SourceKnowledge, SourceWeb:
 		default:
 			return Result{}, fmt.Errorf("ir: unknown source %q", src)
 		}
-		if err != nil {
-			return Result{}, fmt.Errorf("ir: source %s: %w", src, err)
-		}
-		// Normalize scores within the source to [0,1] by rank so different
-		// scoring scales merge fairly.
-		for i := range got {
-			got[i].Score = 1.0 / float64(i+1)
-		}
-		merged = append(merged, got...)
 	}
-	sort.SliceStable(merged, func(i, j int) bool {
+
+	key := cacheKey(req.Query, k, sources)
+	vers := s.snapshotVersions()
+	if ds, ok := s.cache.get(key, vers); ok {
+		return Result{Documents: ds}, nil
+	}
+
+	// Fan out to all requested sources concurrently; slot i of lists holds
+	// source i's ranked results, so the fusion below is order-independent
+	// of goroutine completion.
+	lists := make([][]docs.Document, len(sources))
+	errs := make([]error, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			switch src {
+			case SourceTables:
+				if s.Tables != nil {
+					lists[i], errs[i] = s.Tables.Search(req.Query, k)
+				}
+			case SourceKnowledge:
+				if s.Knowledge != nil {
+					lists[i], errs[i] = s.Knowledge.Search(req.Query, k)
+				}
+			case SourceWeb:
+				if s.Web != nil {
+					lists[i], errs[i] = s.Web.Search(req.Query, k)
+				}
+			}
+		}(i, src)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("ir: source %s: %w", sources[i], err)
+		}
+	}
+
+	// Reciprocal-rank fusion across sources. IDs are namespaced per source
+	// ("table:", "note:", URLs), so a collision means the same document
+	// surfaced twice and its contributions sum, which is exactly RRF.
+	type fusedDoc struct {
+		doc   docs.Document
+		score float64
+	}
+	fused := make(map[string]*fusedDoc)
+	for _, got := range lists {
+		for rank, d := range got {
+			f, ok := fused[d.ID]
+			if !ok {
+				f = &fusedDoc{doc: d}
+				fused[d.ID] = f
+			}
+			f.score += 1.0 / (rrfK + float64(rank+1))
+		}
+	}
+	merged := make([]docs.Document, 0, len(fused))
+	for _, f := range fused {
+		f.doc.Score = f.score
+		merged = append(merged, f.doc)
+	}
+	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Score != merged[j].Score {
 			return merged[i].Score > merged[j].Score
 		}
 		return merged[i].ID < merged[j].ID
 	})
+
+	s.cache.put(key, vers, merged)
 	return Result{Documents: merged}, nil
 }
+
+// cacheKey builds the cache key for a normalized request. Sources arrive
+// in caller order; order affects neither fusion nor ranking, so the key
+// normalizes it away by sorting.
+func cacheKey(query string, k int, sources []Source) string {
+	names := make([]string, len(sources))
+	for i, s := range sources {
+		names[i] = string(s)
+	}
+	sort.Strings(names)
+	return strconv.Itoa(k) + "\x00" + strings.Join(names, ",") + "\x00" + query
+}
+
+// CacheLen reports the number of live cache entries (tests and
+// instrumentation).
+func (s *System) CacheLen() int { return s.cache.len() }
 
 // LookupTable fetches a table by exact name from the table retriever's
 // store — the grounding path Conductor uses to verify a table it is about

@@ -2,11 +2,24 @@
 // 2025), the table-discovery system the paper builds on: a hybrid index
 // combining an HNSW vector store with a BM25 inverted index (§3.3), fused
 // with reciprocal-rank fusion.
+//
+// The index is sharded: documents are hash-partitioned by ID across N
+// shards, each shard owning its own HNSW graph, BM25 inverted index and
+// lock. Ingest embeds documents with a worker pool and builds all shards
+// concurrently; Search fans out to every shard concurrently and merges the
+// per-shard candidate lists deterministically (score descending, document
+// ID ascending) before rank fusion. Because each shard is always built in
+// the same document order — bulk ingest sorts by ID and writes one shard
+// per goroutine — results for a fixed corpus are identical regardless of
+// worker scheduling or GOMAXPROCS.
 package retriever
 
 import (
+	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pneuma/internal/bm25"
 	"pneuma/internal/docs"
@@ -32,14 +45,46 @@ const (
 // rrfK is the reciprocal-rank-fusion constant (standard value 60).
 const rrfK = 60.0
 
-// Retriever is the hybrid table-discovery index.
-type Retriever struct {
+// hnswSeed keeps shard graph construction reproducible; shard i uses
+// hnswSeed+i so the shards are deterministic but not identical graphs.
+const hnswSeed = 20260118
+
+// DefaultShards returns the default shard count: GOMAXPROCS clamped to
+// [4,16]. The floor matters even on a single core — HNSW insertion cost
+// grows with graph size, so four smaller graphs ingest roughly twice as
+// fast as one big one; the ceiling keeps per-query fan-out bounded.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// shard is one hash partition of the hybrid index. Its lock covers both
+// halves plus the document store, so a reader always sees the two halves
+// in agreement.
+type shard struct {
 	mu   sync.RWMutex
-	emb  *embed.Embedder
 	vec  *hnsw.Index
 	lex  *bm25.Index
 	byID map[string]docs.Document
-	mode Mode
+}
+
+// Retriever is the sharded hybrid table-discovery index. All methods are
+// safe for concurrent use.
+type Retriever struct {
+	emb       *embed.Embedder
+	mode      Mode
+	workers   int
+	numShards int
+	shards    []*shard
+	// version counts index mutations (ingest and delete); callers that
+	// cache query results use it for invalidation.
+	version atomic.Uint64
 }
 
 // Option configures a Retriever.
@@ -55,19 +100,69 @@ func WithEmbedder(e *embed.Embedder) Option {
 	return func(r *Retriever) { r.emb = e }
 }
 
+// WithShards sets the shard count (default DefaultShards()). Values < 1
+// are ignored.
+func WithShards(n int) Option {
+	return func(r *Retriever) {
+		if n >= 1 {
+			r.numShards = n
+		}
+	}
+}
+
+// WithWorkers sets the embedding worker-pool size used by bulk ingest
+// (default GOMAXPROCS). Values < 1 are ignored.
+func WithWorkers(n int) Option {
+	return func(r *Retriever) {
+		if n >= 1 {
+			r.workers = n
+		}
+	}
+}
+
 // New creates an empty retriever.
 func New(opts ...Option) *Retriever {
 	r := &Retriever{
-		emb:  embed.New(),
-		byID: make(map[string]docs.Document),
-		mode: ModeHybrid,
+		emb:       embed.New(),
+		mode:      ModeHybrid,
+		workers:   runtime.GOMAXPROCS(0),
+		numShards: DefaultShards(),
 	}
 	for _, o := range opts {
 		o(r)
 	}
-	r.vec = hnsw.New(r.emb.Dim(), hnsw.Config{Seed: 20260118})
-	r.lex = bm25.New(bm25.Params{})
+	r.shards = make([]*shard, r.numShards)
+	for i := range r.shards {
+		r.shards[i] = &shard{
+			vec:  hnsw.New(r.emb.Dim(), hnsw.Config{Seed: hnswSeed + int64(i)}),
+			lex:  bm25.New(bm25.Params{}),
+			byID: make(map[string]docs.Document),
+		}
+	}
 	return r
+}
+
+// NumShards returns the shard count.
+func (r *Retriever) NumShards() int { return len(r.shards) }
+
+// Version returns the mutation counter: it increases on every successful
+// ingest or delete, so equal versions imply identical index contents.
+func (r *Retriever) Version() uint64 { return r.version.Load() }
+
+// shardIndex routes a document ID to its shard slot by FNV-1a hash. Every
+// routing decision — ingest, lookup, delete — must go through here so the
+// partitions can never diverge.
+func (r *Retriever) shardIndex(id string) int {
+	if len(r.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+func (r *Retriever) shardFor(id string) *shard {
+	return r.shards[r.shardIndex(id)]
 }
 
 // IndexTable adds a table to the index via its canonical document.
@@ -75,75 +170,214 @@ func (r *Retriever) IndexTable(t *table.Table) error {
 	return r.IndexDocument(docs.TableDocument(t))
 }
 
+// IndexTables bulk-ingests a corpus of tables: canonical documents are
+// built and embedded with the worker pool, then all shards are written
+// concurrently. This is the fast path Seeker assembly and the CLIs use.
+func (r *Retriever) IndexTables(ts []*table.Table) error {
+	ds := make([]docs.Document, len(ts))
+	for i, t := range ts {
+		ds[i] = docs.TableDocument(t)
+	}
+	return r.IndexDocuments(ds)
+}
+
 // IndexDocument adds an arbitrary document to the hybrid index. The same
 // indexer serves the Document Database (§3.3: "uses Pneuma-Retriever's
 // indexer to store domain knowledge").
 func (r *Retriever) IndexDocument(d docs.Document) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.vec.Add(d.ID, r.emb.Embed(d.Content)); err != nil {
+	vec := r.emb.Embed(d.Content)
+	s := r.shardFor(d.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.vec.Add(d.ID, vec); err != nil {
 		return err
 	}
-	r.lex.Add(d.ID, d.Content)
-	r.byID[d.ID] = d
+	s.lex.Add(d.ID, d.Content)
+	s.byID[d.ID] = d
+	r.version.Add(1)
 	return nil
 }
 
-// Delete removes a document from both halves of the index.
+// IndexDocuments bulk-ingests documents. Embeddings are computed with the
+// configured worker pool, then each shard is populated by its own
+// goroutine. Documents are sorted by ID first, so every shard sees its
+// partition in the same order on every ingest of the same corpus — the
+// resulting HNSW graphs, and therefore search results, are deterministic
+// regardless of input permutation or goroutine scheduling.
+func (r *Retriever) IndexDocuments(ds []docs.Document) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	sorted := make([]docs.Document, len(ds))
+	copy(sorted, ds)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	texts := make([]string, len(sorted))
+	for i, d := range sorted {
+		texts[i] = d.Content
+	}
+	vecs := r.emb.EmbedBatch(texts, r.workers)
+
+	// Partition (in sorted order) so each shard goroutine inserts its
+	// documents sequentially under its own lock.
+	parts := make([][]int, len(r.shards))
+	for i, d := range sorted {
+		si := r.shardIndex(d.ID)
+		parts[si] = append(parts[si], i)
+	}
+
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for si, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, part []int) {
+			defer wg.Done()
+			s := r.shards[si]
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, i := range part {
+				d := sorted[i]
+				if err := s.vec.Add(d.ID, vecs[i]); err != nil {
+					errs[si] = err
+					return
+				}
+				s.lex.Add(d.ID, d.Content)
+				s.byID[d.ID] = d
+			}
+		}(si, part)
+	}
+	wg.Wait()
+	r.version.Add(1)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a document from both halves of its shard.
 func (r *Retriever) Delete(id string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.byID[id]
-	if !ok {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
 		return false
 	}
-	delete(r.byID, id)
-	r.vec.Delete(id)
-	r.lex.Delete(id)
+	delete(s.byID, id)
+	s.vec.Delete(id)
+	s.lex.Delete(id)
+	r.version.Add(1)
 	return true
 }
 
-// Len returns the number of indexed documents.
+// Len returns the number of indexed documents across all shards.
 func (r *Retriever) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.byID)
+	n := 0
+	for _, s := range r.shards {
+		s.mu.RLock()
+		n += len(s.byID)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Document returns the stored document by ID.
 func (r *Retriever) Document(id string) (docs.Document, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.byID[id]
+	s := r.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.byID[id]
 	return d, ok
 }
 
+// shardHits is one shard's raw candidates for a query.
+type shardHits struct {
+	vec []hnsw.Result
+	lex []bm25.Result
+}
+
 // Search returns the top-k documents for the query under the configured
-// mode. Scores are RRF scores for hybrid mode, raw scores otherwise.
+// mode. Scores are RRF scores for hybrid mode, raw scores otherwise. The
+// query fans out to all shards concurrently; per-shard candidate lists are
+// merged by score with ties broken by document ID, so results are
+// deterministic for a fixed index.
 func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 
-	// Over-fetch each side so fusion has enough candidates.
+	// Over-fetch each side so fusion has enough candidates. Each shard
+	// over-fetches the full budget: the global top-fetch is then always a
+	// subset of the union of per-shard top-fetch lists.
 	fetch := k * 3
 	if fetch < 10 {
 		fetch = 10
 	}
 
-	var vecRes []hnsw.Result
-	var lexRes []bm25.Result
-	var err error
+	var qvec []float32
 	if r.mode != ModeBM25Only {
-		vecRes, err = r.vec.Search(r.emb.Embed(query), fetch)
+		qvec = r.emb.Embed(query)
+	}
+
+	hits := make([]shardHits, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for si, s := range r.shards {
+		wg.Add(1)
+		go func(si int, s *shard) {
+			defer wg.Done()
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if r.mode != ModeBM25Only {
+				vr, err := s.vec.Search(qvec, fetch)
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				hits[si].vec = vr
+			}
+			if r.mode != ModeVectorOnly {
+				hits[si].lex = s.lex.Search(query, fetch)
+			}
+		}(si, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	if r.mode != ModeVectorOnly {
-		lexRes = r.lex.Search(query, fetch)
+
+	var vecRes []hnsw.Result
+	var lexRes []bm25.Result
+	for _, h := range hits {
+		vecRes = append(vecRes, h.vec...)
+		lexRes = append(lexRes, h.lex...)
+	}
+	// Re-rank the merged candidate lists globally. BM25 scores use
+	// per-shard corpus statistics (as in any distributed inverted index);
+	// hash partitioning keeps shard statistics near the global ones.
+	sort.Slice(vecRes, func(i, j int) bool {
+		if vecRes[i].Score != vecRes[j].Score {
+			return vecRes[i].Score > vecRes[j].Score
+		}
+		return vecRes[i].ID < vecRes[j].ID
+	})
+	sort.Slice(lexRes, func(i, j int) bool {
+		if lexRes[i].Score != lexRes[j].Score {
+			return lexRes[i].Score > lexRes[j].Score
+		}
+		return lexRes[i].ID < lexRes[j].ID
+	})
+	if len(vecRes) > fetch {
+		vecRes = vecRes[:fetch]
+	}
+	if len(lexRes) > fetch {
+		lexRes = lexRes[:fetch]
 	}
 
 	type scored struct {
@@ -184,7 +418,7 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 	}
 	out := make([]docs.Document, 0, len(ranked))
 	for _, s := range ranked {
-		d, ok := r.byID[s.id]
+		d, ok := r.Document(s.id)
 		if !ok {
 			continue
 		}

@@ -15,6 +15,7 @@ package websearch
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pneuma/internal/docs"
 	"pneuma/internal/retriever"
@@ -38,13 +39,18 @@ type Engine struct {
 	index   *retriever.Retriever
 	pages   map[string]Page
 	enabled bool
+	// version counts mutations that can change query results (page adds
+	// and enable/disable toggles); the IR System's query cache keys on it.
+	version atomic.Uint64
 }
 
 // New creates an engine over the given corpus. A nil corpus yields an empty
 // (but enabled) engine; use BuiltinCorpus for the default pages.
 func New(corpus []Page) *Engine {
+	// A single shard: the synthetic web corpus is small and grows one page
+	// at a time, so shard fan-out would only fragment BM25 statistics.
 	e := &Engine{
-		index:   retriever.New(),
+		index:   retriever.New(retriever.WithShards(1)),
 		pages:   make(map[string]Page),
 		enabled: true,
 	}
@@ -68,6 +74,9 @@ func (e *Engine) AddPage(p Page) {
 		Table:   p.Table,
 		Meta:    map[string]string{"url": p.URL},
 	})
+	// Increment only after the page is searchable: a concurrent reader
+	// must never cache a page-less result under the post-mutation version.
+	e.version.Add(1)
 }
 
 // SetEnabled toggles the engine. Benchmarks disable it, matching §4's
@@ -76,7 +85,12 @@ func (e *Engine) SetEnabled(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.enabled = on
+	e.version.Add(1)
 }
+
+// Version returns the mutation counter; equal versions imply identical
+// query results for identical queries.
+func (e *Engine) Version() uint64 { return e.version.Load() }
 
 // Enabled reports whether the engine answers queries.
 func (e *Engine) Enabled() bool {

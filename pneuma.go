@@ -18,6 +18,21 @@
 // the deterministic SimModel language substrate, the table store and SQL
 // engine, the benchmark datasets, and the evaluation harness that
 // regenerates every table and figure of the paper.
+//
+// # Retrieval architecture
+//
+// The IR System (§3.3) is built on a sharded hybrid index: documents are
+// hash-partitioned by ID across N shards (default derived from
+// GOMAXPROCS), each shard owning its own HNSW graph, BM25 inverted index
+// and lock. Corpus ingest embeds documents with a worker pool and builds
+// all shards concurrently; queries fan out to every shard and to every
+// source (tables, knowledge, web) concurrently, and results are merged
+// with reciprocal-rank fusion and cached in a bounded LRU that index
+// mutations invalidate. Ingest parallelism, shard count and cache size are
+// configurable (Config.Shards, Config.IndexWorkers, RetrieverKnobs), and
+// results for a fixed corpus are deterministic regardless of worker
+// scheduling: shards always ingest their partition in sorted document
+// order and every merge breaks ties by document ID.
 package pneuma
 
 import (
@@ -80,8 +95,32 @@ func NewSeeker(cfg Config, corpus map[string]*Table, web *WebSearch, kb *Knowled
 // NewEngine creates an empty SQL engine.
 func NewEngine() *Engine { return sqlengine.NewEngine() }
 
-// NewRetriever creates an empty hybrid retrieval index.
+// NewRetriever creates an empty hybrid retrieval index with default
+// sharding (GOMAXPROCS-derived).
 func NewRetriever() *Retriever { return retriever.New() }
+
+// RetrieverKnobs are the scaling knobs of the sharded hybrid index. Zero
+// values select the defaults (GOMAXPROCS-derived shard count, GOMAXPROCS
+// embedding workers).
+type RetrieverKnobs struct {
+	// Shards is the number of hash partitions of the index.
+	Shards int
+	// Workers sizes the embedding worker pool used by bulk ingest.
+	Workers int
+}
+
+// NewRetrieverWith creates an empty hybrid retrieval index with explicit
+// scaling knobs.
+func NewRetrieverWith(k RetrieverKnobs) *Retriever {
+	var opts []retriever.Option
+	if k.Shards > 0 {
+		opts = append(opts, retriever.WithShards(k.Shards))
+	}
+	if k.Workers > 0 {
+		opts = append(opts, retriever.WithWorkers(k.Workers))
+	}
+	return retriever.New(opts...)
+}
 
 // NewKnowledgeDB creates an empty knowledge store.
 func NewKnowledgeDB() *KnowledgeDB { return docdb.New() }
@@ -110,6 +149,10 @@ func ArchaeologyDataset() map[string]*Table { return kramabench.Archaeology() }
 // EnvironmentDataset generates the synthetic environment benchmark dataset
 // (36 tables, Table 1 shape).
 func EnvironmentDataset() map[string]*Table { return kramabench.Environment() }
+
+// SyntheticDataset generates an n-table domain-structured corpus for
+// ingest and retrieval scale testing (seeded, deterministic).
+func SyntheticDataset(n int) map[string]*Table { return kramabench.Synthetic(n) }
 
 // ArchaeologyQuestions returns the 12 archaeology benchmark questions with
 // oracle answers.
