@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet tier1 race bench ingest-bench
+# DOC_PKGS are the packages whose exported API must be fully documented
+# (enforced by `make docs` via cmd/pneuma-doccheck).
+DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 .
+
+.PHONY: verify fmt-check vet tier1 race bench ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet,
-# and the tier-1 build+test command from ROADMAP.md.
-verify: fmt-check vet tier1
+# the documentation gate, and the tier-1 build+test command from
+# ROADMAP.md.
+verify: fmt-check vet tier1 docs
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,3 +33,11 @@ bench:
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:
 	$(GO) run ./cmd/pneuma-bench -ingest
+
+# docs is the documentation gate: every example must build, vet must be
+# clean (via the vet prerequisite, so `make verify` doesn't run it
+# twice), and every exported symbol in the core packages must carry a
+# doc comment.
+docs: vet
+	$(GO) build ./examples/...
+	$(GO) run ./cmd/pneuma-doccheck $(DOC_PKGS)

@@ -369,12 +369,7 @@ const ingestCorpusSize = 500
 
 func syntheticTables(b *testing.B, n int) []*table.Table {
 	b.Helper()
-	corpus := kramabench.Synthetic(n)
-	out := make([]*table.Table, 0, len(corpus))
-	for _, t := range corpus {
-		out = append(out, t)
-	}
-	return out
+	return kramabench.SyntheticSlice(n)
 }
 
 // BenchmarkIngestSequential measures the seed ingest path: a single-shard
@@ -416,12 +411,7 @@ func BenchmarkRetrievalLatency(b *testing.B) {
 	if err := ret.IndexTables(tables); err != nil {
 		b.Fatal(err)
 	}
-	queries := []string{
-		"freight container transit from port", "turbine output capacity",
-		"warehouse stock levels and reorder", "rainfall readings by station",
-		"portfolio yield and maturity", "clinic admission wait times",
-		"Malta region records", "gross tonnage of vessels",
-	}
+	queries := kramabench.RetrievalQueries()
 	lat := make([]time.Duration, 0, b.N)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

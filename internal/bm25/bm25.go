@@ -1,10 +1,3 @@
-// Package bm25 implements an Okapi BM25 inverted index (Robertson &
-// Zaragoza 2009), the lexical half of Pneuma-Retriever's hybrid index and
-// the engine behind the FTS baseline.
-//
-// Documents are added incrementally; scoring uses the standard BM25 term
-// weighting with the "plus 1" IDF variant so that terms present in more
-// than half the corpus never receive negative weight.
 package bm25
 
 import (
@@ -45,6 +38,10 @@ type docInfo struct {
 	id      string
 	length  int
 	deleted bool
+	// tf keeps the document's term frequencies when the index feeds a
+	// shared Stats object, so Delete and re-Add can reverse the document's
+	// contribution exactly. Nil otherwise.
+	tf map[string]int
 }
 
 // Index is an inverted index with BM25 ranking. Safe for concurrent use.
@@ -56,14 +53,27 @@ type Index struct {
 	byID     map[string]int
 	totalLen int
 	liveDocs int
+	// stats, when non-nil, is the shared corpus-statistics object this
+	// index contributes to and scores against (see NewWithStats).
+	stats *Stats
 }
 
-// New creates an empty index.
+// New creates an empty index scored with its own local statistics.
 func New(params Params) *Index {
+	return NewWithStats(params, nil)
+}
+
+// NewWithStats creates an empty index that contributes its documents to the
+// shared corpus statistics st and scores queries against st's global
+// document count, average length and document frequencies instead of its
+// own. Several shard indexes sharing one Stats rank exactly like a single
+// index over the union of their corpora. A nil st is equivalent to New.
+func NewWithStats(params Params, st *Stats) *Index {
 	return &Index{
 		params:   params.withDefaults(),
 		postings: make(map[string][]posting),
 		byID:     make(map[string]int),
+		stats:    st,
 	}
 }
 
@@ -86,18 +96,26 @@ func (ix *Index) Add(id, text string) {
 			ix.docs[old].deleted = true
 			ix.totalLen -= ix.docs[old].length
 			ix.liveDocs--
+			if ix.stats != nil {
+				ix.stats.removeDoc(ix.docs[old].tf, ix.docs[old].length)
+			}
 		}
 	}
-	docIdx := len(ix.docs)
-	ix.docs = append(ix.docs, docInfo{id: id, length: len(tokens)})
-	ix.byID[id] = docIdx
-	ix.totalLen += len(tokens)
-	ix.liveDocs++
-
 	tf := make(map[string]int, len(tokens))
 	for _, t := range tokens {
 		tf[t]++
 	}
+	docIdx := len(ix.docs)
+	info := docInfo{id: id, length: len(tokens)}
+	if ix.stats != nil {
+		info.tf = tf
+		ix.stats.addDoc(tf, len(tokens))
+	}
+	ix.docs = append(ix.docs, info)
+	ix.byID[id] = docIdx
+	ix.totalLen += len(tokens)
+	ix.liveDocs++
+
 	for term, f := range tf {
 		ix.postings[term] = append(ix.postings[term], posting{doc: docIdx, tf: f})
 	}
@@ -114,6 +132,9 @@ func (ix *Index) Delete(id string) bool {
 	ix.docs[idx].deleted = true
 	ix.totalLen -= ix.docs[idx].length
 	ix.liveDocs--
+	if ix.stats != nil {
+		ix.stats.removeDoc(ix.docs[idx].tf, ix.docs[idx].length)
+	}
 	delete(ix.byID, id)
 	return true
 }
@@ -139,33 +160,59 @@ func (ix *Index) Search(query string, k int) []Result {
 	if ix.liveDocs == 0 {
 		return nil
 	}
-	avgLen := float64(ix.totalLen) / float64(ix.liveDocs)
+	// Corpus statistics: global when a shared Stats object is attached
+	// (shard-partitioned deployment), local otherwise.
+	var corpusDocs float64
+	var avgLen float64
+	if ix.stats != nil {
+		corpusDocs = float64(ix.stats.DocCount())
+		avgLen = ix.stats.AvgDocLen()
+	} else {
+		corpusDocs = float64(ix.liveDocs)
+		avgLen = float64(ix.totalLen) / float64(ix.liveDocs)
+	}
 	if avgLen == 0 {
 		avgLen = 1
 	}
 
-	// Deduplicate query terms but keep multiplicity as query weight.
+	// Deduplicate query terms but keep multiplicity as query weight. The
+	// distinct terms are then processed in sorted order, NOT map order:
+	// per-document scores are float sums over terms, float addition is not
+	// associative, and Go randomizes map iteration — so map-order
+	// accumulation would make a score's last ULP (and with it the order of
+	// near-tied documents) vary run to run, breaking the determinism
+	// contract.
 	qtf := make(map[string]int, len(terms))
 	for _, t := range terms {
 		qtf[t]++
 	}
+	qterms := make([]string, 0, len(qtf))
+	for t := range qtf {
+		qterms = append(qterms, t)
+	}
+	sort.Strings(qterms)
 
 	scores := make(map[int]float64)
-	for term, qw := range qtf {
+	for _, term := range qterms {
+		qw := qtf[term]
 		plist, ok := ix.postings[term]
 		if !ok {
 			continue
 		}
 		df := 0
-		for _, p := range plist {
-			if !ix.docs[p.doc].deleted {
-				df++
+		if ix.stats != nil {
+			df = ix.stats.DocFreq(term)
+		} else {
+			for _, p := range plist {
+				if !ix.docs[p.doc].deleted {
+					df++
+				}
 			}
 		}
 		if df == 0 {
 			continue
 		}
-		idf := math.Log(1 + (float64(ix.liveDocs)-float64(df)+0.5)/(float64(df)+0.5))
+		idf := math.Log(1 + (corpusDocs-float64(df)+0.5)/(float64(df)+0.5))
 		for _, p := range plist {
 			di := ix.docs[p.doc]
 			if di.deleted {

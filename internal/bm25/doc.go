@@ -1,0 +1,26 @@
+// Package bm25 implements an Okapi BM25 inverted index (Robertson &
+// Zaragoza 2009), the lexical half of Pneuma-Retriever's hybrid index and
+// the engine behind the FTS baseline.
+//
+// Documents are added incrementally with Index.Add and tombstoned by
+// Index.Delete; scoring uses the standard BM25 term weighting with the
+// "plus 1" IDF variant so that terms present in more than half the corpus
+// never receive negative weight.
+//
+// # Global statistics for sharded deployments
+//
+// BM25 scores depend on corpus-wide statistics: the document count N, the
+// average document length avgdl, and per-term document frequencies. When a
+// corpus is hash-partitioned across shard indexes, each shard's local
+// statistics drift from the global ones — badly so on small corpora — and
+// per-shard scores stop being comparable to a single index's. NewWithStats
+// solves this: every shard contributes its documents to one shared Stats
+// object and scores queries against it, so a document's BM25 score is
+// bit-identical to the score a monolithic index over the whole corpus
+// would assign. Stats updates are commutative (incremental add/remove, no
+// rescans), which preserves the determinism contract of the sharded
+// retriever: the final statistics after a concurrent bulk ingest do not
+// depend on goroutine interleaving.
+//
+// All types in this package are safe for concurrent use.
+package bm25

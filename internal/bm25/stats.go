@@ -1,0 +1,81 @@
+package bm25
+
+import "sync"
+
+// Stats holds corpus-wide BM25 statistics — document count, total token
+// length (for avgdl) and per-term document frequencies — shared by a set of
+// shard-partitioned indexes. When every shard of a partitioned index scores
+// against the same Stats object, a document receives exactly the score it
+// would receive in one monolithic index over the whole corpus, so sharded
+// ranking is identical to single-index ranking even on corpora small enough
+// that per-shard statistics would diverge badly from the global ones.
+//
+// Stats is updated incrementally by the owning indexes on Add and Delete
+// (including re-Add replacement), never recomputed by scanning, so all
+// updates are commutative: the final state after a bulk ingest is
+// independent of the order shard goroutines interleave in. All methods are
+// safe for concurrent use.
+type Stats struct {
+	mu       sync.RWMutex
+	docCount int
+	totalLen int
+	df       map[string]int
+}
+
+// NewStats creates an empty corpus-statistics object.
+func NewStats() *Stats {
+	return &Stats{df: make(map[string]int)}
+}
+
+// addDoc folds one document's distinct-term frequencies and token length
+// into the corpus statistics.
+func (s *Stats) addDoc(tf map[string]int, length int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docCount++
+	s.totalLen += length
+	for term := range tf {
+		s.df[term]++
+	}
+}
+
+// removeDoc reverses addDoc for a deleted or replaced document.
+func (s *Stats) removeDoc(tf map[string]int, length int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docCount--
+	s.totalLen -= length
+	for term := range tf {
+		if s.df[term] > 1 {
+			s.df[term]--
+		} else {
+			delete(s.df, term)
+		}
+	}
+}
+
+// DocCount returns the number of live documents across all owning indexes.
+func (s *Stats) DocCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docCount
+}
+
+// AvgDocLen returns the corpus-wide average document length in tokens
+// (1 when the corpus is empty or all-empty, so scoring never divides by
+// zero).
+func (s *Stats) AvgDocLen() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.docCount == 0 || s.totalLen == 0 {
+		return 1
+	}
+	return float64(s.totalLen) / float64(s.docCount)
+}
+
+// DocFreq returns the number of live documents containing term.
+func (s *Stats) DocFreq(term string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.df[term]
+}

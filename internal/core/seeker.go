@@ -38,6 +38,13 @@ type Config struct {
 	// IndexWorkers sizes the embedding worker pool used by bulk corpus
 	// ingest (default GOMAXPROCS).
 	IndexWorkers int
+	// Backend selects the table-index shard storage engine (default
+	// retriever.Memory; retriever.Disk persists shards to append-only
+	// segment files under IndexDir).
+	Backend retriever.Backend
+	// IndexDir is the directory the Disk backend stores segment files in
+	// (default: a fresh temporary directory).
+	IndexDir string
 }
 
 // Seeker is the assembled Pneuma-Seeker system (Figure 1): Conductor, IR
@@ -73,16 +80,41 @@ func New(cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *
 	if cfg.IndexWorkers > 0 {
 		ropts = append(ropts, retriever.WithWorkers(cfg.IndexWorkers))
 	}
-	ret := retriever.New(ropts...)
+	if cfg.Backend != "" {
+		ropts = append(ropts, retriever.WithBackend(cfg.Backend))
+	}
+	if cfg.IndexDir != "" {
+		ropts = append(ropts, retriever.WithDir(cfg.IndexDir))
+	}
+	ret, err := retriever.Open(ropts...)
+	if err != nil {
+		return nil, err
+	}
 	// Bulk ingest: embedding runs on the worker pool and all index shards
 	// build concurrently. The retriever orders documents internally, so
-	// map iteration order cannot affect the built index.
-	tables := make([]*table.Table, 0, len(corpus))
-	for _, t := range corpus {
-		tables = append(tables, t)
-	}
-	if err := ret.IndexTables(tables); err != nil {
-		return nil, err
+	// map iteration order cannot affect the built index. A disk-backed
+	// index reopened from a populated IndexDir is served as-is —
+	// re-ingesting would only append replacement records and grow the
+	// segment log every construction; delete the directory to rebuild
+	// from the corpus.
+	if ret.Len() == 0 {
+		tables := make([]*table.Table, 0, len(corpus))
+		for _, t := range corpus {
+			tables = append(tables, t)
+		}
+		if err := ret.IndexTables(tables); err != nil {
+			ret.Close()
+			return nil, err
+		}
+		// Make the freshly built corpus durable right away for
+		// disk-backed indexes (a no-op for the memory backend): the
+		// table index does not mutate after assembly, so this is the one
+		// flush that matters even if the caller never invokes
+		// Seeker.Close.
+		if err := ret.Flush(); err != nil {
+			ret.Close()
+			return nil, err
+		}
 	}
 	if web != nil {
 		web.SetEnabled(cfg.WebSearch)
@@ -125,6 +157,17 @@ func (s *Seeker) IR() *ir.System { return s.irsys }
 
 // Knowledge exposes the Document Database.
 func (s *Seeker) Knowledge() *docdb.DB { return s.knowledge }
+
+// Close flushes and releases the table index. It matters for disk-backed
+// retrievers (Config.Backend = retriever.Disk), whose segment files stay
+// open until closed; for the default memory backend it is a no-op. The
+// Seeker must not be used afterwards.
+func (s *Seeker) Close() error {
+	if s.irsys == nil || s.irsys.Tables == nil {
+		return nil
+	}
+	return s.irsys.Tables.Close()
+}
 
 // Session is one user's conversation: the shared state, the accumulated
 // retrieved documents, and the message history.

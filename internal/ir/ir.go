@@ -1,9 +1,3 @@
-// Package ir implements the paper's IR System (§3.3): the facade that
-// "supports Conductor and Materializer by retrieving relevant data from
-// multiple sources", abstracting heterogeneous retrieval formats into
-// uniform Document objects. Three retrievers are wired in, exactly as in
-// the paper: Pneuma-Retriever (tables), the Document Database (domain
-// knowledge) and Web Search.
 package ir
 
 import (

@@ -3,6 +3,7 @@ package kramabench
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"pneuma/internal/table"
 	"pneuma/internal/value"
@@ -72,4 +73,33 @@ func Synthetic(n int) map[string]*table.Table {
 		out[name] = t
 	}
 	return out
+}
+
+// SyntheticSlice returns Synthetic(n) as a slice sorted by table name —
+// the canonical deterministic ingest order the benchmarks and CLIs share.
+func SyntheticSlice(n int) []*table.Table {
+	corpus := Synthetic(n)
+	names := make([]string, 0, len(corpus))
+	for name := range corpus {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*table.Table, 0, len(names))
+	for _, name := range names {
+		out = append(out, corpus[name])
+	}
+	return out
+}
+
+// RetrievalQueries returns the canonical query mix over the synthetic
+// corpus domains, shared by the retrieval-latency benchmarks and
+// `pneuma-bench -ingest` so CLI reports and the benchmark suite measure
+// the same workload.
+func RetrievalQueries() []string {
+	return []string{
+		"freight container transit from port", "turbine output capacity",
+		"warehouse stock levels and reorder", "rainfall readings by station",
+		"portfolio yield and maturity", "clinic admission wait times",
+		"Malta region records", "gross tonnage of vessels",
+	}
 }

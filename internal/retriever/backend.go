@@ -1,0 +1,134 @@
+package retriever
+
+import (
+	"fmt"
+
+	"pneuma/internal/bm25"
+	"pneuma/internal/docs"
+	"pneuma/internal/hnsw"
+)
+
+// Backend names a shard storage engine.
+type Backend string
+
+// The available shard backends.
+const (
+	// Memory keeps every shard fully in RAM (HNSW graph + BM25 inverted
+	// index + document map). This is the default and the fastest option.
+	Memory Backend = "memory"
+	// Disk additionally persists every shard to an append-only segment
+	// file; the in-memory posting/vector structures are rebuilt from the
+	// segment log on Open, and Flush/Close make writes durable. Search
+	// runs against the same in-memory structures as Memory, so results
+	// and latency are identical — the segment log buys restartability,
+	// not a different ranking.
+	Disk Backend = "disk"
+)
+
+// ParseBackend converts a user-supplied string (CLI flag, config value)
+// into a Backend. The empty string selects Memory.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "", Memory:
+		return Memory, nil
+	case Disk:
+		return Disk, nil
+	default:
+		return "", fmt.Errorf("retriever: unknown backend %q (want %q or %q)", s, Memory, Disk)
+	}
+}
+
+// ShardBackend is the storage engine behind one shard of the hybrid index:
+// it owns the vector and lexical halves plus the document store for one
+// hash partition of the corpus. Implementations need not be internally
+// synchronized — the Retriever serializes access with one RWMutex per
+// shard — but they must be deterministic: indexing the same (document,
+// vector) sequence must yield a backend that answers SearchVector and
+// SearchLexical identically across implementations and across reopens.
+type ShardBackend interface {
+	// Index adds (or replaces) one embedded document.
+	Index(d docs.Document, vec []float32) error
+	// Delete removes a document; it reports whether the ID was present.
+	Delete(id string) bool
+	// Document returns the stored document by ID.
+	Document(id string) (docs.Document, bool)
+	// SearchVector returns the top-k nearest documents to the query
+	// vector.
+	SearchVector(query []float32, k int) ([]hnsw.Result, error)
+	// SearchLexical returns the top-k BM25 hits for the query text.
+	SearchLexical(query string, k int) []bm25.Result
+	// Len returns the number of live documents in this shard.
+	Len() int
+	// Flush makes all writes since the last Flush durable. A no-op for
+	// purely in-memory backends.
+	Flush() error
+	// Close flushes and releases any resources. The backend must not be
+	// used afterwards.
+	Close() error
+}
+
+// memoryBackend is the in-RAM shard: an HNSW graph, a BM25 inverted index
+// and the document map. It is the Memory backend and the substrate the
+// Disk backend replays its segment log into.
+type memoryBackend struct {
+	vec  *hnsw.Index
+	lex  *bm25.Index
+	byID map[string]docs.Document
+}
+
+// newMemoryBackend creates an empty in-memory shard. seed fixes the HNSW
+// level generator so equal ingest sequences build equal graphs; st is the
+// retriever-wide BM25 statistics object shared by every shard.
+func newMemoryBackend(dim int, seed int64, st *bm25.Stats) *memoryBackend {
+	return &memoryBackend{
+		vec:  hnsw.New(dim, hnsw.Config{Seed: seed}),
+		lex:  bm25.NewWithStats(bm25.Params{}, st),
+		byID: make(map[string]docs.Document),
+	}
+}
+
+// Index adds the embedded document to both halves and the document map.
+func (m *memoryBackend) Index(d docs.Document, vec []float32) error {
+	if err := m.vec.Add(d.ID, vec); err != nil {
+		return err
+	}
+	m.lex.Add(d.ID, d.Content)
+	m.byID[d.ID] = d
+	return nil
+}
+
+// Delete removes the document from both halves.
+func (m *memoryBackend) Delete(id string) bool {
+	if _, ok := m.byID[id]; !ok {
+		return false
+	}
+	delete(m.byID, id)
+	m.vec.Delete(id)
+	m.lex.Delete(id)
+	return true
+}
+
+// Document returns the stored document by ID.
+func (m *memoryBackend) Document(id string) (docs.Document, bool) {
+	d, ok := m.byID[id]
+	return d, ok
+}
+
+// SearchVector queries the HNSW half.
+func (m *memoryBackend) SearchVector(query []float32, k int) ([]hnsw.Result, error) {
+	return m.vec.Search(query, k)
+}
+
+// SearchLexical queries the BM25 half.
+func (m *memoryBackend) SearchLexical(query string, k int) []bm25.Result {
+	return m.lex.Search(query, k)
+}
+
+// Len returns the number of live documents.
+func (m *memoryBackend) Len() int { return len(m.byID) }
+
+// Flush is a no-op: memory shards have no durable state.
+func (m *memoryBackend) Flush() error { return nil }
+
+// Close is a no-op: memory shards hold no external resources.
+func (m *memoryBackend) Close() error { return nil }

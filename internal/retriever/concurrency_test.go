@@ -257,7 +257,7 @@ func TestShardPartitioning(t *testing.T) {
 	}
 	occupied := 0
 	for _, s := range r.shards {
-		if len(s.byID) > 0 {
+		if s.be.Len() > 0 {
 			occupied++
 		}
 	}

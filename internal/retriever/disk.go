@@ -1,0 +1,304 @@
+package retriever
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pneuma/internal/bm25"
+	"pneuma/internal/docs"
+	"pneuma/internal/table"
+	"pneuma/internal/value"
+)
+
+// manifestName is the per-index metadata file written next to the segment
+// files. It pins the shard count and embedding dimensionality so a reopen
+// routes documents to the same shards they were written to.
+const manifestName = "manifest.json"
+
+// manifest is the durable index metadata.
+type manifest struct {
+	Shards int `json:"shards"`
+	Dim    int `json:"dim"`
+}
+
+// loadOrCreateManifest reads dir's manifest, or writes a fresh one with the
+// given shape if none exists. The returned manifest is authoritative: on
+// reopen its shard count overrides the caller's, because hash routing must
+// match the layout the segments were written under.
+func loadOrCreateManifest(dir string, shards, dim int) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return manifest{}, fmt.Errorf("retriever: corrupt manifest %s: %w", path, err)
+		}
+		if m.Shards < 1 {
+			return manifest{}, fmt.Errorf("retriever: manifest %s has invalid shard count %d", path, m.Shards)
+		}
+		if m.Dim != dim {
+			return manifest{}, fmt.Errorf("retriever: index at %s was built with embedding dim %d, embedder wants %d", dir, m.Dim, dim)
+		}
+		return m, nil
+	}
+	if !os.IsNotExist(err) {
+		return manifest{}, err
+	}
+	m := manifest{Shards: shards, Dim: dim}
+	raw, err = json.Marshal(m)
+	if err != nil {
+		return manifest{}, err
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return manifest{}, err
+	}
+	return m, nil
+}
+
+// Segment log record ops.
+const (
+	opAdd = "add"
+	opDel = "del"
+)
+
+// segRecord is one line of a shard's append-only segment file.
+type segRecord struct {
+	Op  string    `json:"op"`
+	ID  string    `json:"id"`
+	Vec []float32 `json:"vec,omitempty"`
+	Doc *segDoc   `json:"doc,omitempty"`
+}
+
+// segDoc is the durable form of docs.Document (minus ID, carried on the
+// record, and Score, which is query-scoped).
+type segDoc struct {
+	Kind    string            `json:"kind"`
+	Title   string            `json:"title"`
+	Content string            `json:"content"`
+	Source  string            `json:"source"`
+	Meta    map[string]string `json:"meta,omitempty"`
+	Table   *segTable         `json:"table,omitempty"`
+}
+
+// segTable is the durable form of a structured table payload: full schema
+// metadata plus rows in canonical string encoding (value.Value.String),
+// decoded back through the declared column kinds.
+type segTable struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Columns     []segColumn `json:"columns"`
+	Rows        [][]string  `json:"rows"`
+}
+
+// segColumn is one durable schema column.
+type segColumn struct {
+	Name        string `json:"name"`
+	Type        uint8  `json:"type"`
+	Description string `json:"description,omitempty"`
+	Unit        string `json:"unit,omitempty"`
+}
+
+// encodeDoc converts a document to its durable form.
+func encodeDoc(d docs.Document) *segDoc {
+	sd := &segDoc{
+		Kind:    string(d.Kind),
+		Title:   d.Title,
+		Content: d.Content,
+		Source:  d.Source,
+		Meta:    d.Meta,
+	}
+	if d.Table != nil {
+		st := &segTable{
+			Name:        d.Table.Schema.Name,
+			Description: d.Table.Schema.Description,
+		}
+		for _, c := range d.Table.Schema.Columns {
+			st.Columns = append(st.Columns, segColumn{
+				Name: c.Name, Type: uint8(c.Type), Description: c.Description, Unit: c.Unit,
+			})
+		}
+		st.Rows = make([][]string, len(d.Table.Rows))
+		for i, row := range d.Table.Rows {
+			rec := make([]string, len(row))
+			for j, v := range row {
+				rec[j] = v.String()
+			}
+			st.Rows[i] = rec
+		}
+		sd.Table = st
+	}
+	return sd
+}
+
+// decodeDoc converts a durable record back into a document.
+func decodeDoc(id string, sd *segDoc) docs.Document {
+	d := docs.Document{
+		ID:      id,
+		Kind:    docs.Kind(sd.Kind),
+		Title:   sd.Title,
+		Content: sd.Content,
+		Source:  sd.Source,
+		Meta:    sd.Meta,
+	}
+	if sd.Table != nil {
+		schema := table.Schema{Name: sd.Table.Name, Description: sd.Table.Description}
+		for _, c := range sd.Table.Columns {
+			schema.Columns = append(schema.Columns, table.Column{
+				Name: c.Name, Type: value.Kind(c.Type), Description: c.Description, Unit: c.Unit,
+			})
+		}
+		t := table.New(schema)
+		for _, rec := range sd.Table.Rows {
+			row := make(table.Row, len(rec))
+			for j, cell := range rec {
+				coerced, ok := value.CoerceKind(value.Infer(cell), schema.Columns[j].Type)
+				if !ok {
+					coerced = value.Null()
+				}
+				row[j] = coerced
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		d.Table = t
+	}
+	return d
+}
+
+// diskBackend is the Disk shard: the in-memory structures of memoryBackend
+// plus an append-only JSON-lines segment file replayed on open. Every
+// Index/Delete appends one record; the record order is exactly the live
+// mutation order, so a replayed shard rebuilds bit-identical HNSW and BM25
+// structures (same seed, same insertion sequence) and answers queries
+// byte-identically to the shard that wrote the log.
+type diskBackend struct {
+	*memoryBackend
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// openDiskBackend opens (or creates) the segment file at path, replays any
+// existing records into a fresh in-memory shard, and positions the file
+// for appending. A trailing partially-written record — the signature of a
+// crash between write and flush — is truncated away rather than treated as
+// corruption.
+func openDiskBackend(path string, dim int, seed int64, st *bm25.Stats) (*diskBackend, error) {
+	mem := newMemoryBackend(dim, seed, st)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good, err := replaySegment(f, mem)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("retriever: replay %s: %w", path, err)
+	}
+	// Drop any trailing garbage past the last whole record, then seek to
+	// the end so new records append after it.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &diskBackend{
+		memoryBackend: mem,
+		path:          path,
+		f:             f,
+		w:             bufio.NewWriterSize(f, 1<<20),
+	}, nil
+}
+
+// replaySegment applies every whole (newline-terminated, well-formed)
+// record in f to mem and returns the byte offset just past the last one.
+// Anything after that offset — an unterminated or unparsable tail left by
+// a crash mid-write — is for the caller to truncate.
+func replaySegment(f *os.File, mem *memoryBackend) (int64, error) {
+	var good int64
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// Trailing bytes without a newline are a torn record, never
+			// a whole one; stop at the last good offset.
+			return good, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		var rec segRecord
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			return good, nil
+		}
+		switch rec.Op {
+		case opAdd:
+			if rec.Doc == nil {
+				return good, nil
+			}
+			if ierr := mem.Index(decodeDoc(rec.ID, rec.Doc), rec.Vec); ierr != nil {
+				return 0, ierr
+			}
+		case opDel:
+			mem.Delete(rec.ID)
+		default:
+			return good, nil
+		}
+		good += int64(len(line))
+	}
+}
+
+// append writes one record to the segment buffer. Durability is deferred
+// to Flush/Close.
+func (b *diskBackend) append(rec segRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := b.w.Write(raw); err != nil {
+		return err
+	}
+	return b.w.WriteByte('\n')
+}
+
+// Index adds the document to the in-memory shard and logs it.
+func (b *diskBackend) Index(d docs.Document, vec []float32) error {
+	if err := b.memoryBackend.Index(d, vec); err != nil {
+		return err
+	}
+	return b.append(segRecord{Op: opAdd, ID: d.ID, Vec: vec, Doc: encodeDoc(d)})
+}
+
+// Delete removes the document and logs a tombstone record.
+func (b *diskBackend) Delete(id string) bool {
+	if !b.memoryBackend.Delete(id) {
+		return false
+	}
+	// A failed tombstone append leaves the delete visible in memory but
+	// not durable; the reopened index resurrects the document. That is
+	// the backend's documented durability boundary (crash-after-delete).
+	_ = b.append(segRecord{Op: opDel, ID: id})
+	return true
+}
+
+// Flush drains the write buffer and fsyncs the segment file.
+func (b *diskBackend) Flush() error {
+	if err := b.w.Flush(); err != nil {
+		return err
+	}
+	return b.f.Sync()
+}
+
+// Close flushes and closes the segment file.
+func (b *diskBackend) Close() error {
+	if err := b.Flush(); err != nil {
+		b.f.Close()
+		return err
+	}
+	return b.f.Close()
+}

@@ -1,0 +1,53 @@
+// Package retriever implements Pneuma-Retriever (Balaka et al., SIGMOD
+// 2025), the table-discovery system the paper builds on: a hybrid index
+// combining an HNSW vector store with a BM25 inverted index (§3.3), fused
+// with reciprocal-rank fusion.
+//
+// # Sharding
+//
+// The index is sharded: documents are hash-partitioned by ID across N
+// shards (default DefaultShards, GOMAXPROCS-derived), each shard owning a
+// storage backend and a lock. Bulk ingest (IndexTables/IndexDocuments)
+// embeds documents with a worker pool and builds all shards concurrently;
+// Search fans out to every shard concurrently and merges the per-shard
+// candidate lists deterministically (score descending, document ID
+// ascending) before rank fusion.
+//
+// # Backends
+//
+// Each shard's storage engine is a ShardBackend, selected with
+// WithBackend:
+//
+//   - Memory (default) keeps the HNSW graph, BM25 inverted index and
+//     document map entirely in RAM.
+//   - Disk additionally writes every mutation to an append-only segment
+//     file per shard under the index directory (WithDir); the in-memory
+//     structures are rebuilt by replaying the log on Open, and
+//     Flush/Close make writes durable. Queries run against the same
+//     in-memory structures as Memory, so the two backends return
+//     identical results at identical latency.
+//
+// Disk-backed retrievers are created with Open (the error-returning
+// constructor); New panics on I/O failure and is meant for Memory-backed
+// use.
+//
+// # Global BM25 statistics
+//
+// All shards share one bm25.Stats object carrying the corpus-wide
+// document count, average document length and per-term document
+// frequencies, so a document's BM25 score is exactly what a single
+// unsharded index over the whole corpus would assign — shard count never
+// changes ranking, even on corpora of a handful of documents where
+// per-shard statistics would diverge badly.
+//
+// # Determinism contract
+//
+// Results for a fixed corpus are identical regardless of shard count,
+// backend, worker count, goroutine scheduling or GOMAXPROCS: bulk ingest
+// sorts documents by ID and writes each shard's partition sequentially
+// under its lock, HNSW level generation is seeded per shard, BM25
+// statistics updates are commutative, and every merge breaks score ties
+// by document ID. A Disk-backed index reopened from its segment files
+// replays the exact mutation order and therefore answers queries
+// byte-identically to the index that wrote them.
+package retriever

@@ -1,21 +1,10 @@
-// Package retriever implements Pneuma-Retriever (Balaka et al., SIGMOD
-// 2025), the table-discovery system the paper builds on: a hybrid index
-// combining an HNSW vector store with a BM25 inverted index (§3.3), fused
-// with reciprocal-rank fusion.
-//
-// The index is sharded: documents are hash-partitioned by ID across N
-// shards, each shard owning its own HNSW graph, BM25 inverted index and
-// lock. Ingest embeds documents with a worker pool and builds all shards
-// concurrently; Search fans out to every shard concurrently and merges the
-// per-shard candidate lists deterministically (score descending, document
-// ID ascending) before rank fusion. Because each shard is always built in
-// the same document order — bulk ingest sorts by ID and writes one shard
-// per goroutine — results for a fixed corpus are identical regardless of
-// worker scheduling or GOMAXPROCS.
 package retriever
 
 import (
+	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -64,14 +53,13 @@ func DefaultShards() int {
 	return n
 }
 
-// shard is one hash partition of the hybrid index. Its lock covers both
-// halves plus the document store, so a reader always sees the two halves
-// in agreement.
+// shard is one hash partition of the hybrid index: a storage backend plus
+// the lock that serializes access to it. The lock covers both halves of
+// the backend plus its document store, so a reader always sees the two
+// halves in agreement.
 type shard struct {
-	mu   sync.RWMutex
-	vec  *hnsw.Index
-	lex  *bm25.Index
-	byID map[string]docs.Document
+	mu sync.RWMutex
+	be ShardBackend
 }
 
 // Retriever is the sharded hybrid table-discovery index. All methods are
@@ -81,7 +69,13 @@ type Retriever struct {
 	mode      Mode
 	workers   int
 	numShards int
-	shards    []*shard
+	backend   Backend
+	dir       string
+	// stats is the corpus-wide BM25 statistics object every shard's
+	// lexical index contributes to and scores against, so per-shard BM25
+	// scores equal single-index scores on the same corpus.
+	stats  *bm25.Stats
+	shards []*shard
 	// version counts index mutations (ingest and delete); callers that
 	// cache query results use it for invalidation.
 	version atomic.Uint64
@@ -120,30 +114,144 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// New creates an empty retriever.
-func New(opts ...Option) *Retriever {
+// WithBackend selects the shard storage backend (default Memory). The Disk
+// backend persists each shard to an append-only segment file under the
+// index directory (see WithDir) and rebuilds the in-memory structures from
+// it on Open.
+func WithBackend(b Backend) Option {
+	return func(r *Retriever) {
+		if b != "" {
+			r.backend = b
+		}
+	}
+}
+
+// WithDir sets the index directory the Disk backend stores its manifest
+// and segment files in. Opening a directory that already holds an index
+// loads it; an empty or missing directory starts a fresh index. Ignored by
+// the Memory backend. When unset, the Disk backend uses a fresh temporary
+// directory (ephemeral across processes, durable within one).
+func WithDir(path string) Option {
+	return func(r *Retriever) {
+		if path != "" {
+			r.dir = path
+		}
+	}
+}
+
+// Open creates a retriever, loading any existing index when the Disk
+// backend points at a directory with persisted segments. This is the
+// error-returning constructor; New is the panicking convenience wrapper
+// for configurations that cannot fail (the Memory backend).
+func Open(opts ...Option) (*Retriever, error) {
 	r := &Retriever{
 		emb:       embed.New(),
 		mode:      ModeHybrid,
 		workers:   runtime.GOMAXPROCS(0),
 		numShards: DefaultShards(),
+		backend:   Memory,
+		stats:     bm25.NewStats(),
 	}
 	for _, o := range opts {
 		o(r)
 	}
-	r.shards = make([]*shard, r.numShards)
-	for i := range r.shards {
-		r.shards[i] = &shard{
-			vec:  hnsw.New(r.emb.Dim(), hnsw.Config{Seed: hnswSeed + int64(i)}),
-			lex:  bm25.New(bm25.Params{}),
-			byID: make(map[string]docs.Document),
+	switch r.backend {
+	case Memory:
+		r.shards = make([]*shard, r.numShards)
+		for i := range r.shards {
+			r.shards[i] = &shard{be: newMemoryBackend(r.emb.Dim(), hnswSeed+int64(i), r.stats)}
 		}
+	case Disk:
+		if r.dir == "" {
+			dir, err := os.MkdirTemp("", "pneuma-retriever-*")
+			if err != nil {
+				return nil, err
+			}
+			r.dir = dir
+		}
+		if err := os.MkdirAll(r.dir, 0o755); err != nil {
+			return nil, err
+		}
+		m, err := loadOrCreateManifest(r.dir, r.numShards, r.emb.Dim())
+		if err != nil {
+			return nil, err
+		}
+		// The manifest's shard count wins: hash routing must match the
+		// layout the segments were written under.
+		r.numShards = m.Shards
+		r.shards = make([]*shard, r.numShards)
+		for i := range r.shards {
+			path := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.seg", i))
+			be, err := openDiskBackend(path, r.emb.Dim(), hnswSeed+int64(i), r.stats)
+			if err != nil {
+				// Don't leak the segment files already opened for the
+				// preceding shards.
+				for _, s := range r.shards[:i] {
+					s.be.Close()
+				}
+				return nil, err
+			}
+			r.shards[i] = &shard{be: be}
+		}
+	default:
+		return nil, fmt.Errorf("retriever: unknown backend %q", r.backend)
+	}
+	return r, nil
+}
+
+// New creates an empty retriever, panicking if the configuration cannot be
+// opened. Only the Disk backend can fail (I/O); Memory-backed construction
+// never panics. Callers selecting WithBackend(Disk) should prefer Open.
+func New(opts ...Option) *Retriever {
+	r, err := Open(opts...)
+	if err != nil {
+		panic(err)
 	}
 	return r
 }
 
 // NumShards returns the shard count.
 func (r *Retriever) NumShards() int { return len(r.shards) }
+
+// Backend returns the configured shard storage backend.
+func (r *Retriever) Backend() Backend { return r.backend }
+
+// Dir returns the index directory (empty for the Memory backend).
+func (r *Retriever) Dir() string {
+	if r.backend == Memory {
+		return ""
+	}
+	return r.dir
+}
+
+// Flush makes all shards durable (fsync of every segment file for the Disk
+// backend; a no-op for Memory).
+func (r *Retriever) Flush() error {
+	for _, s := range r.shards {
+		s.mu.Lock()
+		err := s.be.Flush()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases every shard. The retriever must not be used
+// afterwards (Disk-backed shards have closed their segment files).
+func (r *Retriever) Close() error {
+	var first error
+	for _, s := range r.shards {
+		s.mu.Lock()
+		err := s.be.Close()
+		s.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Version returns the mutation counter: it increases on every successful
 // ingest or delete, so equal versions imply identical index contents.
@@ -189,11 +297,9 @@ func (r *Retriever) IndexDocument(d docs.Document) error {
 	s := r.shardFor(d.ID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.vec.Add(d.ID, vec); err != nil {
+	if err := s.be.Index(d, vec); err != nil {
 		return err
 	}
-	s.lex.Add(d.ID, d.Content)
-	s.byID[d.ID] = d
 	r.version.Add(1)
 	return nil
 }
@@ -239,13 +345,10 @@ func (r *Retriever) IndexDocuments(ds []docs.Document) error {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			for _, i := range part {
-				d := sorted[i]
-				if err := s.vec.Add(d.ID, vecs[i]); err != nil {
+				if err := s.be.Index(sorted[i], vecs[i]); err != nil {
 					errs[si] = err
 					return
 				}
-				s.lex.Add(d.ID, d.Content)
-				s.byID[d.ID] = d
 			}
 		}(si, part)
 	}
@@ -264,12 +367,9 @@ func (r *Retriever) Delete(id string) bool {
 	s := r.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.byID[id]; !ok {
+	if !s.be.Delete(id) {
 		return false
 	}
-	delete(s.byID, id)
-	s.vec.Delete(id)
-	s.lex.Delete(id)
 	r.version.Add(1)
 	return true
 }
@@ -279,7 +379,7 @@ func (r *Retriever) Len() int {
 	n := 0
 	for _, s := range r.shards {
 		s.mu.RLock()
-		n += len(s.byID)
+		n += s.be.Len()
 		s.mu.RUnlock()
 	}
 	return n
@@ -290,14 +390,32 @@ func (r *Retriever) Document(id string) (docs.Document, bool) {
 	s := r.shardFor(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	d, ok := s.byID[id]
-	return d, ok
+	return s.be.Document(id)
 }
 
 // shardHits is one shard's raw candidates for a query.
 type shardHits struct {
 	vec []hnsw.Result
 	lex []bm25.Result
+}
+
+// queryShard collects one shard's candidates for a query under its read
+// lock.
+func (r *Retriever) queryShard(s *shard, qvec []float32, query string, fetch int) (shardHits, error) {
+	var h shardHits
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r.mode != ModeBM25Only {
+		vr, err := s.be.SearchVector(qvec, fetch)
+		if err != nil {
+			return shardHits{}, err
+		}
+		h.vec = vr
+	}
+	if r.mode != ModeVectorOnly {
+		h.lex = s.be.SearchLexical(query, fetch)
+	}
+	return h, nil
 }
 
 // Search returns the top-k documents for the query under the configured
@@ -324,31 +442,30 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 	}
 
 	hits := make([]shardHits, len(r.shards))
-	errs := make([]error, len(r.shards))
-	var wg sync.WaitGroup
-	for si, s := range r.shards {
-		wg.Add(1)
-		go func(si int, s *shard) {
-			defer wg.Done()
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			if r.mode != ModeBM25Only {
-				vr, err := s.vec.Search(qvec, fetch)
-				if err != nil {
-					errs[si] = err
-					return
-				}
-				hits[si].vec = vr
-			}
-			if r.mode != ModeVectorOnly {
-				hits[si].lex = s.lex.Search(query, fetch)
-			}
-		}(si, s)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if len(r.shards) == 1 {
+		// Single-shard indexes (docdb, websearch, ablation baselines) run
+		// inline: a goroutine + WaitGroup per query buys nothing when
+		// there is no fan-out to overlap.
+		h, err := r.queryShard(r.shards[0], qvec, query, fetch)
 		if err != nil {
 			return nil, err
+		}
+		hits[0] = h
+	} else {
+		errs := make([]error, len(r.shards))
+		var wg sync.WaitGroup
+		for si, s := range r.shards {
+			wg.Add(1)
+			go func(si int, s *shard) {
+				defer wg.Done()
+				hits[si], errs[si] = r.queryShard(s, qvec, query, fetch)
+			}(si, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -358,9 +475,10 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 		vecRes = append(vecRes, h.vec...)
 		lexRes = append(lexRes, h.lex...)
 	}
-	// Re-rank the merged candidate lists globally. BM25 scores use
-	// per-shard corpus statistics (as in any distributed inverted index);
-	// hash partitioning keeps shard statistics near the global ones.
+	// Re-rank the merged candidate lists globally. BM25 scores are
+	// computed against the shared corpus-wide statistics object, so
+	// per-shard scores are directly comparable and equal to what a single
+	// monolithic index would assign.
 	sort.Slice(vecRes, func(i, j int) bool {
 		if vecRes[i].Score != vecRes[j].Score {
 			return vecRes[i].Score > vecRes[j].Score

@@ -1,38 +1,3 @@
-// Package pneuma is the public API of the Pneuma Project reproduction: an
-// LLM-powered data-discovery and preparation system that reifies a user's
-// information need as a relational schema (T, Q) and converges it toward
-// the latent need through iterative, language-guided interaction (Balaka &
-// Castro Fernandez, CIDR 2026).
-//
-// Quick start:
-//
-//	corpus := pneuma.ArchaeologyDataset()
-//	seeker, _ := pneuma.NewSeeker(pneuma.Config{}, corpus, nil, nil)
-//	sess := seeker.NewSession("analyst")
-//	reply, _ := sess.Send("What is the average organic matter percentage " +
-//	    "for soil samples in the Malta region? Round your answer to 4 decimal places.")
-//	fmt.Println(reply.Answer)
-//
-// The package re-exports the load-bearing types from the internal packages:
-// the Seeker system (Conductor + IR System + Materializer + shared state),
-// the deterministic SimModel language substrate, the table store and SQL
-// engine, the benchmark datasets, and the evaluation harness that
-// regenerates every table and figure of the paper.
-//
-// # Retrieval architecture
-//
-// The IR System (§3.3) is built on a sharded hybrid index: documents are
-// hash-partitioned by ID across N shards (default derived from
-// GOMAXPROCS), each shard owning its own HNSW graph, BM25 inverted index
-// and lock. Corpus ingest embeds documents with a worker pool and builds
-// all shards concurrently; queries fan out to every shard and to every
-// source (tables, knowledge, web) concurrently, and results are merged
-// with reciprocal-rank fusion and cached in a bounded LRU that index
-// mutations invalidate. Ingest parallelism, shard count and cache size are
-// configurable (Config.Shards, Config.IndexWorkers, RetrieverKnobs), and
-// results for a fixed corpus are deterministic regardless of worker
-// scheduling: shards always ingest their partition in sorted document
-// order and every merge breaks ties by document ID.
 package pneuma
 
 import (
@@ -96,22 +61,42 @@ func NewSeeker(cfg Config, corpus map[string]*Table, web *WebSearch, kb *Knowled
 func NewEngine() *Engine { return sqlengine.NewEngine() }
 
 // NewRetriever creates an empty hybrid retrieval index with default
-// sharding (GOMAXPROCS-derived).
+// sharding (GOMAXPROCS-derived) and the in-memory backend.
 func NewRetriever() *Retriever { return retriever.New() }
+
+// Backend selects the shard storage engine of the hybrid index.
+type Backend = retriever.Backend
+
+// The available shard storage backends.
+const (
+	// BackendMemory keeps every shard in RAM (the default).
+	BackendMemory = retriever.Memory
+	// BackendDisk persists every shard to an append-only segment file,
+	// reloaded on open; Retriever.Flush/Close make writes durable.
+	BackendDisk = retriever.Disk
+)
 
 // RetrieverKnobs are the scaling knobs of the sharded hybrid index. Zero
 // values select the defaults (GOMAXPROCS-derived shard count, GOMAXPROCS
-// embedding workers).
+// embedding workers, in-memory backend).
 type RetrieverKnobs struct {
 	// Shards is the number of hash partitions of the index.
 	Shards int
 	// Workers sizes the embedding worker pool used by bulk ingest.
 	Workers int
+	// Backend selects the shard storage engine (BackendMemory or
+	// BackendDisk).
+	Backend Backend
+	// Dir is the index directory for BackendDisk (default: a fresh
+	// temporary directory). Opening a directory that already holds an
+	// index loads it.
+	Dir string
 }
 
-// NewRetrieverWith creates an empty hybrid retrieval index with explicit
-// scaling knobs.
-func NewRetrieverWith(k RetrieverKnobs) *Retriever {
+// NewRetrieverWith creates a hybrid retrieval index with explicit scaling
+// knobs, loading any existing index when BackendDisk points at a directory
+// with persisted segments.
+func NewRetrieverWith(k RetrieverKnobs) (*Retriever, error) {
 	var opts []retriever.Option
 	if k.Shards > 0 {
 		opts = append(opts, retriever.WithShards(k.Shards))
@@ -119,8 +104,18 @@ func NewRetrieverWith(k RetrieverKnobs) *Retriever {
 	if k.Workers > 0 {
 		opts = append(opts, retriever.WithWorkers(k.Workers))
 	}
-	return retriever.New(opts...)
+	if k.Backend != "" {
+		opts = append(opts, retriever.WithBackend(k.Backend))
+	}
+	if k.Dir != "" {
+		opts = append(opts, retriever.WithDir(k.Dir))
+	}
+	return retriever.Open(opts...)
 }
+
+// ParseBackend converts a user-supplied string ("memory", "disk", or empty
+// for the default) into a Backend.
+func ParseBackend(s string) (Backend, error) { return retriever.ParseBackend(s) }
 
 // NewKnowledgeDB creates an empty knowledge store.
 func NewKnowledgeDB() *KnowledgeDB { return docdb.New() }
