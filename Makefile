@@ -4,12 +4,13 @@ GO ?= go
 # (enforced by `make docs` via cmd/pneuma-doccheck).
 DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 .
 
-.PHONY: verify fmt-check vet tier1 race bench ingest-bench docs
+.PHONY: verify fmt-check vet tier1 race bench bench-compare bench-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet,
-# the documentation gate, and the tier-1 build+test command from
-# ROADMAP.md.
-verify: fmt-check vet tier1 docs
+# the documentation gate, the tier-1 build+test command from ROADMAP.md
+# (which includes the AllocsPerRun budget guards), and a short-mode smoke
+# of the retrieval benchmark pipeline.
+verify: fmt-check vet tier1 docs bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,9 +27,27 @@ tier1:
 race:
 	$(GO) test -race ./internal/retriever/... ./internal/ir/... ./internal/embed/...
 
-# bench smoke-runs the sharded IR stack benchmarks.
+# bench runs the retrieval micro-benchmarks with allocation reporting and
+# writes the machine-readable BENCH_retrieval.json perf report for the
+# 1k-table synthetic corpus, diffed against the committed baseline.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkIngest|BenchmarkRetrievalLatency|BenchmarkIRQueryCached' -benchtime 3x .
+	$(GO) test -run XXX -bench 'BenchmarkIngest|BenchmarkRetrievalLatency|BenchmarkIRQueryCached|BenchmarkRetrieverSearch' -benchmem -benchtime 20x .
+	$(GO) test -run XXX -bench 'BenchmarkSearch|BenchmarkHybridSearch' -benchmem ./internal/hnsw/ ./internal/bm25/ ./internal/retriever/
+	$(GO) run ./cmd/pneuma-bench -ingest -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+
+# bench-compare re-measures the 1k-table workload and prints the
+# benchstat-style delta table against the committed BENCH_baseline.json
+# without overwriting BENCH_retrieval.json.
+bench-compare:
+	$(GO) run ./cmd/pneuma-bench -ingest -tables 1000 -json '' -baseline BENCH_baseline.json
+
+# bench-smoke is the short-mode gate wired into `make verify`: a tiny
+# corpus proves the bench pipeline still runs end to end and emits valid
+# JSON; the throwaway report is removed afterwards.
+bench-smoke:
+	@$(GO) run ./cmd/pneuma-bench -ingest -tables 60 -rounds 2 -json .bench-smoke.json >/dev/null
+	@rm -f .bench-smoke.json
+	@echo "bench-smoke: ok"
 
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:

@@ -266,6 +266,7 @@ func BenchmarkRetrieverSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ret.Search("nitrate concentration in river water", 5); err != nil {
@@ -413,6 +414,7 @@ func BenchmarkRetrievalLatency(b *testing.B) {
 	}
 	queries := kramabench.RetrievalQueries()
 	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := time.Now()

@@ -16,12 +16,21 @@
 //	pneuma-bench -ingest                  # 500-table corpus, memory backend
 //	pneuma-bench -ingest -tables 2000
 //	pneuma-bench -ingest -backend disk    # append-only segment files (+ flush cost)
+//	pneuma-bench -ingest -ef 128          # wider HNSW beam (recall vs. latency)
+//
+// Every -ingest run also writes a machine-readable report (ingest
+// throughput, query latency percentiles, allocs/op) to the -json path, and
+// -baseline diffs the fresh numbers against a previously committed report
+// in benchstat-style columns:
+//
+//	pneuma-bench -ingest -json BENCH_retrieval.json -baseline BENCH_baseline.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -40,12 +49,26 @@ func main() {
 	workers := flag.Int("workers", 0, "embedding workers for -ingest (0 = GOMAXPROCS)")
 	backendName := flag.String("backend", "", "shard backend for -ingest: memory (default) or disk")
 	indexDir := flag.String("index-dir", "", "segment directory for -backend disk (default: temp dir)")
+	ef := flag.Int("ef", 0, "HNSW query beam width for -ingest (0 = default 64)")
+	rounds := flag.Int("rounds", 25, "query-mix repetitions for the -ingest latency measurement")
+	jsonPath := flag.String("json", "BENCH_retrieval.json", "write the -ingest report here (empty = skip)")
+	baselinePath := flag.String("baseline", "", "diff the -ingest report against this committed report")
 	flag.Parse()
 
 	if *ingest {
 		backend, err := retriever.ParseBackend(*backendName)
 		fail(err)
-		runIngestBench(*nTables, *shards, *workers, backend, *indexDir)
+		runIngestBench(ingestConfig{
+			tables:   *nTables,
+			shards:   *shards,
+			workers:  *workers,
+			backend:  backend,
+			indexDir: *indexDir,
+			ef:       *ef,
+			rounds:   *rounds,
+			jsonPath: *jsonPath,
+			baseline: *baselinePath,
+		})
 		return
 	}
 
@@ -112,16 +135,35 @@ func fail(err error) {
 	}
 }
 
+// ingestConfig bundles the -ingest workload knobs.
+type ingestConfig struct {
+	tables   int
+	shards   int
+	workers  int
+	backend  retriever.Backend
+	indexDir string
+	ef       int
+	rounds   int
+	jsonPath string
+	baseline string
+}
+
 // runIngestBench compares the sequential seed ingest path (one shard, one
 // worker, one table at a time) against the concurrent sharded bulk path on
-// the same synthetic corpus, then reports retrieval latency percentiles on
-// the sharded index. The parallel index uses the selected backend; for the
-// disk backend the flush (fsync) cost is reported separately so ingest
-// throughput stays comparable with the memory backend.
-func runIngestBench(n, shards, workers int, backend retriever.Backend, indexDir string) {
+// the same synthetic corpus, then reports retrieval latency percentiles
+// and per-query heap traffic on the sharded index. The parallel index uses
+// the selected backend; for the disk backend the flush (fsync) cost is
+// reported separately so ingest throughput stays comparable with the
+// memory backend. The measurements are written to cfg.jsonPath and, when
+// cfg.baseline names a committed report, diffed against it.
+func runIngestBench(cfg ingestConfig) {
+	if cfg.rounds < 1 {
+		cfg.rounds = 1
+	}
+	n := cfg.tables
 	tables := kramabench.SyntheticSlice(n)
 
-	fmt.Printf("Ingest benchmark: %d synthetic tables (%s backend)\n\n", n, backend)
+	fmt.Printf("Ingest benchmark: %d synthetic tables (%s backend)\n\n", n, cfg.backend)
 
 	seq := retriever.New(retriever.WithShards(1), retriever.WithWorkers(1))
 	start := time.Now()
@@ -130,15 +172,18 @@ func runIngestBench(n, shards, workers int, backend retriever.Backend, indexDir 
 	}
 	seqDur := time.Since(start)
 
-	popts := []retriever.Option{retriever.WithBackend(backend)}
-	if shards > 0 {
-		popts = append(popts, retriever.WithShards(shards))
+	popts := []retriever.Option{retriever.WithBackend(cfg.backend)}
+	if cfg.shards > 0 {
+		popts = append(popts, retriever.WithShards(cfg.shards))
 	}
-	if workers > 0 {
-		popts = append(popts, retriever.WithWorkers(workers))
+	if cfg.workers > 0 {
+		popts = append(popts, retriever.WithWorkers(cfg.workers))
 	}
-	if indexDir != "" {
-		popts = append(popts, retriever.WithDir(indexDir))
+	if cfg.indexDir != "" {
+		popts = append(popts, retriever.WithDir(cfg.indexDir))
+	}
+	if cfg.ef > 0 {
+		popts = append(popts, retriever.WithEf(cfg.ef))
 	}
 	par, err := retriever.Open(popts...)
 	fail(err)
@@ -159,7 +204,7 @@ func runIngestBench(n, shards, workers int, backend retriever.Backend, indexDir 
 	fmt.Printf("  parallel   (%d shards, pooled):   %8v  %7.0f tables/sec\n",
 		par.NumShards(), parDur.Round(time.Millisecond), float64(n)/parDur.Seconds())
 	fmt.Printf("  speedup: %.2fx\n", seqDur.Seconds()/parDur.Seconds())
-	if backend == retriever.Disk {
+	if cfg.backend == retriever.Disk {
 		start = time.Now()
 		fail(par.Flush())
 		fmt.Printf("  flush (fsync %d segment files): %8v   [%s]\n",
@@ -168,20 +213,68 @@ func runIngestBench(n, shards, workers int, backend retriever.Backend, indexDir 
 	fmt.Println()
 
 	queries := kramabench.RetrievalQueries()
-	const rounds = 25
-	lat := make([]time.Duration, 0, rounds*len(queries))
-	for r := 0; r < rounds; r++ {
+	const k = 10
+	// Warm-up pass: fault in the scratch pools and stabilize the caches so
+	// the measured loop sees steady state, which is what allocs/op claims.
+	for _, q := range queries {
+		if _, err := par.Search(q, k); err != nil {
+			fail(err)
+		}
+	}
+	lat := make([]time.Duration, 0, cfg.rounds*len(queries))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for r := 0; r < cfg.rounds; r++ {
 		for _, q := range queries {
 			qs := time.Now()
-			if _, err := par.Search(q, 10); err != nil {
+			if _, err := par.Search(q, k); err != nil {
 				fail(err)
 			}
 			lat = append(lat, time.Since(qs))
 		}
 	}
+	runtime.ReadMemStats(&ms1)
+	nq := len(lat)
+	allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(nq)
+	bytesPerOp := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(nq)
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	p := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
-	fmt.Printf("Retrieval latency over %d queries (k=10, %d shards):\n", len(lat), par.NumShards())
+	fmt.Printf("Retrieval latency over %d queries (k=%d, %d shards, ef=%d):\n", nq, k, par.NumShards(), par.Ef())
 	fmt.Printf("  p50 %v   p99 %v   max %v\n",
-		p(0.50).Round(time.Microsecond), p(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+		p(0.50).Round(time.Microsecond), p(0.99).Round(time.Microsecond), lat[nq-1].Round(time.Microsecond))
+	fmt.Printf("  %.0f allocs/op   %.0f bytes/op\n", allocsPerOp, bytesPerOp)
+
+	report := benchReport{
+		GeneratedAt: nowStamp(),
+		Corpus:      n,
+		Shards:      par.NumShards(),
+		Backend:     string(cfg.backend),
+		Ef:          par.Ef(),
+		Ingest: ingestStats{
+			SeqTablesPerSec: float64(n) / seqDur.Seconds(),
+			ParTablesPerSec: float64(n) / parDur.Seconds(),
+			Speedup:         seqDur.Seconds() / parDur.Seconds(),
+		},
+		Query: queryStats{
+			Count:       nq,
+			K:           k,
+			P50Micros:   float64(p(0.50)) / float64(time.Microsecond),
+			P99Micros:   float64(p(0.99)) / float64(time.Microsecond),
+			MaxMicros:   float64(lat[nq-1]) / float64(time.Microsecond),
+			AllocsPerOp: allocsPerOp,
+			BytesPerOp:  bytesPerOp,
+		},
+	}
+	if cfg.baseline != "" {
+		old, err := loadReport(cfg.baseline)
+		fail(err)
+		old.Baseline = nil
+		report.Baseline = &old
+		fmt.Println()
+		compareReports(old, report)
+	}
+	if cfg.jsonPath != "" {
+		fail(writeReport(cfg.jsonPath, report))
+		fmt.Printf("\nreport written to %s\n", cfg.jsonPath)
+	}
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// benchReport is the machine-readable payload written to
+// BENCH_retrieval.json by every -ingest run. It records the workload shape
+// (corpus size, shard count, backend, ef) next to the measurements so a
+// later run can refuse to diff apples against oranges, and optionally
+// embeds the baseline it was compared to, making the file a self-contained
+// before/after record of the repo's perf trajectory.
+type benchReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	Corpus      int          `json:"corpus_tables"`
+	Shards      int          `json:"shards"`
+	Backend     string       `json:"backend"`
+	Ef          int          `json:"ef"`
+	Ingest      ingestStats  `json:"ingest"`
+	Query       queryStats   `json:"query"`
+	Baseline    *benchReport `json:"baseline,omitempty"`
+}
+
+// ingestStats is bulk-ingest throughput: the sequential seed path vs. the
+// concurrent sharded path over the same corpus.
+type ingestStats struct {
+	SeqTablesPerSec float64 `json:"seq_tables_per_sec"`
+	ParTablesPerSec float64 `json:"par_tables_per_sec"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// queryStats is hybrid query-path cost: latency percentiles over the bench
+// query mix plus per-operation heap traffic measured via runtime.MemStats
+// around the timed loop.
+type queryStats struct {
+	Count       int     `json:"count"`
+	K           int     `json:"k"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	MaxMicros   float64 `json:"max_us"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// writeReport marshals the report to path (indented, trailing newline).
+func writeReport(path string, r benchReport) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// loadReport reads a previously written benchReport.
+func loadReport(path string) (benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return benchReport{}, fmt.Errorf("corrupt bench report %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compareReports prints a benchstat-style old-vs-new table. Lower is better
+// for every row except the throughput and speedup rows, where the sign of
+// "better" flips; the delta column is always (new-old)/old.
+func compareReports(old, cur benchReport) {
+	if old.Corpus != cur.Corpus || old.Backend != cur.Backend {
+		fmt.Printf("note: baseline workload differs (corpus %d/%s vs %d/%s); deltas are indicative only\n",
+			old.Corpus, old.Backend, cur.Corpus, cur.Backend)
+	}
+	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	row := func(name string, o, n float64, higherIsBetter bool) {
+		delta := "~"
+		if o != 0 {
+			pct := 100 * (n - o) / o
+			mark := ""
+			if (higherIsBetter && pct > 0) || (!higherIsBetter && pct < 0) {
+				mark = " ✓"
+			}
+			delta = fmt.Sprintf("%+.1f%%%s", pct, mark)
+		}
+		fmt.Printf("%-28s %12.1f %12.1f %9s\n", name, o, n, delta)
+	}
+	row("ingest seq (tables/sec)", old.Ingest.SeqTablesPerSec, cur.Ingest.SeqTablesPerSec, true)
+	row("ingest par (tables/sec)", old.Ingest.ParTablesPerSec, cur.Ingest.ParTablesPerSec, true)
+	row("query p50 (µs)", old.Query.P50Micros, cur.Query.P50Micros, false)
+	row("query p99 (µs)", old.Query.P99Micros, cur.Query.P99Micros, false)
+	row("query allocs/op", old.Query.AllocsPerOp, cur.Query.AllocsPerOp, false)
+	row("query bytes/op", old.Query.BytesPerOp, cur.Query.BytesPerOp, false)
+}
+
+// nowStamp is the human-readable timestamp recorded in reports.
+func nowStamp() string { return time.Now().UTC().Format(time.RFC3339) }

@@ -38,9 +38,10 @@ type docInfo struct {
 	id      string
 	length  int
 	deleted bool
-	// tf keeps the document's term frequencies when the index feeds a
-	// shared Stats object, so Delete and re-Add can reverse the document's
-	// contribution exactly. Nil otherwise.
+	// tf keeps the document's term frequencies so Delete and re-Add can
+	// reverse the document's contribution exactly — from the shared Stats
+	// object when one is attached, and from the local live document
+	// frequencies otherwise.
 	tf map[string]int
 }
 
@@ -53,9 +54,17 @@ type Index struct {
 	byID     map[string]int
 	totalLen int
 	liveDocs int
+	// df holds live per-term document frequencies, maintained incrementally
+	// by Add/Delete when the index scores against its own local statistics
+	// (stats == nil). It replaces the per-query posting-list scan that used
+	// to count tombstones. Nil when a shared Stats carries the frequencies.
+	df map[string]int
 	// stats, when non-nil, is the shared corpus-statistics object this
 	// index contributes to and scores against (see NewWithStats).
 	stats *Stats
+	// scratch pools *searchScratch values so steady-state Search reuses its
+	// dense score accumulator instead of allocating per query.
+	scratch sync.Pool
 }
 
 // New creates an empty index scored with its own local statistics.
@@ -69,12 +78,16 @@ func New(params Params) *Index {
 // own. Several shard indexes sharing one Stats rank exactly like a single
 // index over the union of their corpora. A nil st is equivalent to New.
 func NewWithStats(params Params, st *Stats) *Index {
-	return &Index{
+	ix := &Index{
 		params:   params.withDefaults(),
 		postings: make(map[string][]posting),
 		byID:     make(map[string]int),
 		stats:    st,
 	}
+	if st == nil {
+		ix.df = make(map[string]int)
+	}
+	return ix
 }
 
 // Len returns the number of live documents.
@@ -96,9 +109,7 @@ func (ix *Index) Add(id, text string) {
 			ix.docs[old].deleted = true
 			ix.totalLen -= ix.docs[old].length
 			ix.liveDocs--
-			if ix.stats != nil {
-				ix.stats.removeDoc(ix.docs[old].tf, ix.docs[old].length)
-			}
+			ix.removeFreqsLocked(ix.docs[old].tf, ix.docs[old].length)
 		}
 	}
 	tf := make(map[string]int, len(tokens))
@@ -106,15 +117,17 @@ func (ix *Index) Add(id, text string) {
 		tf[t]++
 	}
 	docIdx := len(ix.docs)
-	info := docInfo{id: id, length: len(tokens)}
-	if ix.stats != nil {
-		info.tf = tf
-		ix.stats.addDoc(tf, len(tokens))
-	}
-	ix.docs = append(ix.docs, info)
+	ix.docs = append(ix.docs, docInfo{id: id, length: len(tokens), tf: tf})
 	ix.byID[id] = docIdx
 	ix.totalLen += len(tokens)
 	ix.liveDocs++
+	if ix.stats != nil {
+		ix.stats.addDoc(tf, len(tokens))
+	} else {
+		for term := range tf {
+			ix.df[term]++
+		}
+	}
 
 	for term, f := range tf {
 		ix.postings[term] = append(ix.postings[term], posting{doc: docIdx, tf: f})
@@ -132,17 +145,114 @@ func (ix *Index) Delete(id string) bool {
 	ix.docs[idx].deleted = true
 	ix.totalLen -= ix.docs[idx].length
 	ix.liveDocs--
-	if ix.stats != nil {
-		ix.stats.removeDoc(ix.docs[idx].tf, ix.docs[idx].length)
-	}
+	ix.removeFreqsLocked(ix.docs[idx].tf, ix.docs[idx].length)
 	delete(ix.byID, id)
 	return true
+}
+
+// removeFreqsLocked reverses a document's statistics contribution: from the
+// shared Stats object when one is attached, from the local live document
+// frequencies otherwise.
+func (ix *Index) removeFreqsLocked(tf map[string]int, length int) {
+	if ix.stats != nil {
+		ix.stats.removeDoc(tf, length)
+		return
+	}
+	for term := range tf {
+		if ix.df[term] > 1 {
+			ix.df[term]--
+		} else {
+			delete(ix.df, term)
+		}
+	}
 }
 
 // Result is one ranked hit.
 type Result struct {
 	ID    string
 	Score float64
+}
+
+// lexHit is one scored document during top-k selection.
+type lexHit struct {
+	doc   int32
+	score float64
+}
+
+// searchScratch is the reusable per-query working state: a dense score
+// accumulator and per-document length-norm cache (both epoch-stamped so a
+// recycled scratch needs no zeroing), the touched-document list, and the
+// bounded top-k heap. Instances cycle through Index.scratch; the sync.Pool
+// contract applies (GC may drop pooled instances, so only steady-state
+// queries are allocation-free).
+type searchScratch struct {
+	stamp   []uint32
+	epoch   uint32
+	scores  []float64
+	norms   []float64
+	touched []int32
+	topk    []lexHit
+}
+
+// begin readies the scratch for a query over n document slots. Stale
+// scores/norms from earlier queries are invalidated by bumping the epoch,
+// not by clearing; the arrays are zeroed only on uint32 epoch wrap.
+func (s *searchScratch) begin(n int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.scores = make([]float64, n)
+		s.norms = make([]float64, n)
+		s.epoch = 0
+	}
+	s.stamp = s.stamp[:cap(s.stamp)]
+	s.scores = s.scores[:len(s.stamp)]
+	s.norms = s.norms[:len(s.stamp)]
+	s.touched = s.touched[:0]
+	s.topk = s.topk[:0]
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
+// worseHit reports whether a ranks strictly below b in the result ordering
+// (score descending, ID ascending). It is the top-k heap's "less", so the
+// worst kept hit sits at the root.
+func worseHit(ds []docInfo, a, b lexHit) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return ds[a.doc].id > ds[b.doc].id
+}
+
+func siftUpHit(ds []docInfo, h []lexHit, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worseHit(ds, h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDownHit(ds []docInfo, h []lexHit, i int) {
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && worseHit(ds, h[r], h[c]) {
+			c = r
+		}
+		if !worseHit(ds, h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 }
 
 // Search returns the top-k documents for the query, ranked by BM25 score.
@@ -175,69 +285,97 @@ func (ix *Index) Search(query string, k int) []Result {
 		avgLen = 1
 	}
 
-	// Deduplicate query terms but keep multiplicity as query weight. The
-	// distinct terms are then processed in sorted order, NOT map order:
-	// per-document scores are float sums over terms, float addition is not
-	// associative, and Go randomizes map iteration — so map-order
-	// accumulation would make a score's last ULP (and with it the order of
-	// near-tied documents) vary run to run, breaking the determinism
-	// contract.
-	qtf := make(map[string]int, len(terms))
-	for _, t := range terms {
-		qtf[t]++
-	}
-	qterms := make([]string, 0, len(qtf))
-	for t := range qtf {
-		qterms = append(qterms, t)
-	}
-	sort.Strings(qterms)
+	// Query terms are deduplicated (multiplicity becomes the query weight)
+	// by sorting the token slice in place and walking runs — no map, no
+	// second slice. The sorted order is also load-bearing: per-document
+	// scores are float sums over terms, float addition is not associative,
+	// and Go randomizes map iteration — so map-order accumulation would
+	// make a score's last ULP (and with it the order of near-tied
+	// documents) vary run to run, breaking the determinism contract.
+	sort.Strings(terms)
 
-	scores := make(map[int]float64)
-	for _, term := range qterms {
-		qw := qtf[term]
+	s, _ := ix.scratch.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{}
+	}
+	defer ix.scratch.Put(s)
+	s.begin(len(ix.docs))
+
+	k1 := ix.params.K1
+	b := ix.params.B
+	for i := 0; i < len(terms); {
+		term := terms[i]
+		j := i + 1
+		for j < len(terms) && terms[j] == term {
+			j++
+		}
+		qw := float64(j - i)
+		i = j
+
 		plist, ok := ix.postings[term]
 		if !ok {
 			continue
 		}
-		df := 0
+		var df int
 		if ix.stats != nil {
 			df = ix.stats.DocFreq(term)
 		} else {
-			for _, p := range plist {
-				if !ix.docs[p.doc].deleted {
-					df++
-				}
-			}
+			df = ix.df[term]
 		}
 		if df == 0 {
 			continue
 		}
 		idf := math.Log(1 + (corpusDocs-float64(df)+0.5)/(float64(df)+0.5))
 		for _, p := range plist {
-			di := ix.docs[p.doc]
+			di := &ix.docs[p.doc]
 			if di.deleted {
 				continue
 			}
+			// The length norm depends only on the document and the
+			// query-constant avgLen, so it is computed once per touched
+			// document, not once per posting.
+			if s.stamp[p.doc] != s.epoch {
+				s.stamp[p.doc] = s.epoch
+				s.scores[p.doc] = 0
+				s.norms[p.doc] = k1 * (1 - b + b*float64(di.length)/avgLen)
+				s.touched = append(s.touched, int32(p.doc))
+			}
 			tf := float64(p.tf)
-			norm := ix.params.K1 * (1 - ix.params.B + ix.params.B*float64(di.length)/avgLen)
-			scores[p.doc] += float64(qw) * idf * (tf * (ix.params.K1 + 1)) / (tf + norm)
+			s.scores[p.doc] += qw * idf * (tf * (k1 + 1)) / (tf + s.norms[p.doc])
 		}
 	}
-	if len(scores) == 0 {
+	if len(s.touched) == 0 {
 		return nil
 	}
-	out := make([]Result, 0, len(scores))
-	for doc, s := range scores {
-		out = append(out, Result{ID: ix.docs[doc].id, Score: s})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+
+	// Bounded top-k selection: a k-sized heap with the worst kept hit on
+	// top, instead of materializing and sorting every scored document. The
+	// comparator is the total result order (score desc, ID asc; IDs are
+	// unique), so the selected set and its final sorted order are identical
+	// to what a full sort would produce, regardless of accumulation order.
+	h := s.topk
+	for _, d := range s.touched {
+		hit := lexHit{doc: d, score: s.scores[d]}
+		if len(h) < k {
+			h = append(h, hit)
+			siftUpHit(ix.docs, h, len(h)-1)
+		} else if worseHit(ix.docs, h[0], hit) {
+			h[0] = hit
+			siftDownHit(ix.docs, h, 0)
 		}
-		return out[i].ID < out[j].ID
-	})
-	if len(out) > k {
-		out = out[:k]
+	}
+	s.topk = h
+
+	// Drain the heap worst-first into the result slice back to front, so
+	// the caller sees best-first order.
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		top := h[0]
+		out[i] = Result{ID: ix.docs[top.doc].id, Score: top.score}
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		siftDownHit(ix.docs, h, 0)
 	}
 	return out
 }

@@ -22,5 +22,19 @@
 // retriever: the final statistics after a concurrent bulk ingest do not
 // depend on goroutine interleaving.
 //
+// # Query-path allocation discipline
+//
+// Search accumulates scores in a pooled dense array indexed by document
+// slot (epoch-stamped, so recycled scratch needs no zeroing), caches each
+// touched document's length norm once per query, deduplicates query terms
+// by sorting the token slice in place, reads document frequencies from
+// incrementally maintained counters instead of scanning posting lists for
+// tombstones, and selects the top k with a bounded heap rather than
+// sorting every scored document. Steady-state queries allocate only the
+// tokenizer output and the returned result slice; the committed ceiling is
+// enforced by an AllocsPerRun test. The usual sync.Pool caveat applies: a
+// GC cycle may drop the pooled scratch, so the first query after a
+// collection re-grows it.
+//
 // All types in this package are safe for concurrent use.
 package bm25

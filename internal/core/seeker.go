@@ -45,6 +45,10 @@ type Config struct {
 	// IndexDir is the directory the Disk backend stores segment files in
 	// (default: a fresh temporary directory).
 	IndexDir string
+	// Ef is the table-index HNSW query beam width (default
+	// hnsw.DefaultEfSearch via the retriever). Larger values trade query
+	// latency for vector-search recall.
+	Ef int
 }
 
 // Seeker is the assembled Pneuma-Seeker system (Figure 1): Conductor, IR
@@ -85,6 +89,9 @@ func New(cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *
 	}
 	if cfg.IndexDir != "" {
 		ropts = append(ropts, retriever.WithDir(cfg.IndexDir))
+	}
+	if cfg.Ef > 0 {
+		ropts = append(ropts, retriever.WithEf(cfg.Ef))
 	}
 	ret, err := retriever.Open(ropts...)
 	if err != nil {

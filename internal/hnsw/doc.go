@@ -1,0 +1,40 @@
+// Package hnsw implements the Hierarchical Navigable Small World
+// approximate-nearest-neighbour index of Malkov & Yashunin (2018), the
+// vector half of Pneuma-Retriever's hybrid index.
+//
+// The implementation follows the paper's Algorithms 1-5: multi-layer greedy
+// search from a single entry point, ef-bounded best-first search per layer,
+// and the heuristic neighbour-selection rule that keeps the graph navigable
+// by preferring diverse neighbours. Level assignment uses the standard
+// exponential distribution with normalization factor 1/ln(M), drawn from a
+// seeded deterministic PRNG so index builds are reproducible.
+//
+// # Memory layout
+//
+// Nodes are stored struct-of-arrays: all vectors live in one contiguous
+// float32 arena (node i's vector is the dim-sized window at i*dim), with
+// parallel slices for IDs, levels, tombstone flags, per-layer adjacency
+// lists and precomputed vector norms. Beam search therefore walks flat
+// slices instead of chasing per-node pointers, and result scoring reuses
+// the stored norms instead of recomputing two norms per candidate.
+//
+// # Search scratch and the sync.Pool lifecycle
+//
+// The per-search working state — the candidate min-heap, the result
+// max-heap, the epoch-stamped visited array and the output buffer — lives
+// in a searchScratch obtained from a package-level sync.Pool, so a
+// steady-state Search performs no heap allocation beyond the caller-owned
+// result slice. Two caveats follow from the sync.Pool contract:
+//
+//   - Pooled scratch is dropped wholesale at any GC cycle, so the first
+//     search after a collection re-grows its heaps and visited array; only
+//     steady-state searches are allocation-free. Allocation budgets in
+//     tests must leave headroom for that refill.
+//   - A scratch must never be retained past the Search call that got it
+//     (nothing searchLayerLocked returns may alias scratch memory after
+//     the public method returns a fresh []Result), and the visited array
+//     is epoch-stamped precisely so a recycled scratch needs no clearing:
+//     each search bumps the epoch and stale marks from earlier searches —
+//     possibly against other Index instances sharing the pool — compare
+//     unequal. On uint32 epoch wrap-around the array is zeroed once.
+package hnsw

@@ -1,17 +1,6 @@
-// Package hnsw implements the Hierarchical Navigable Small World
-// approximate-nearest-neighbour index of Malkov & Yashunin (2018), the
-// vector half of Pneuma-Retriever's hybrid index.
-//
-// The implementation follows the paper's Algorithms 1-5: multi-layer greedy
-// search from a single entry point, ef-bounded best-first search per layer,
-// and the heuristic neighbour-selection rule that keeps the graph navigable
-// by preferring diverse neighbours. Level assignment uses the standard
-// exponential distribution with normalization factor 1/ln(M), drawn from a
-// seeded deterministic PRNG so index builds are reproducible.
 package hnsw
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +9,10 @@ import (
 	"pneuma/internal/vecmath"
 )
 
+// DefaultEfSearch is the query beam width used when Config.EfSearch is
+// unset.
+const DefaultEfSearch = 64
+
 // Config holds HNSW construction parameters.
 type Config struct {
 	// M is the maximum number of bidirectional links per node per layer
@@ -27,7 +20,8 @@ type Config struct {
 	M int
 	// EfConstruction is the beam width used while inserting. Default 200.
 	EfConstruction int
-	// EfSearch is the default beam width for queries. Default 64.
+	// EfSearch is the default beam width for queries. Default
+	// DefaultEfSearch.
 	EfSearch int
 	// Seed seeds the level generator. Builds with equal seeds and insert
 	// order produce identical graphs.
@@ -42,13 +36,18 @@ func (c Config) withDefaults() Config {
 		c.EfConstruction = 200
 	}
 	if c.EfSearch <= 0 {
-		c.EfSearch = 64
+		c.EfSearch = DefaultEfSearch
 	}
 	return c
 }
 
 // Index is an HNSW graph over float32 vectors with string external IDs.
 // All public methods are safe for concurrent use.
+//
+// Node storage is struct-of-arrays (see the package comment): vectors live
+// in one contiguous arena indexed by node slot, with parallel slices for
+// everything else, so beam search touches flat memory instead of chasing
+// per-node pointers.
 type Index struct {
 	mu     sync.RWMutex
 	cfg    Config
@@ -56,18 +55,17 @@ type Index struct {
 	levelM float64
 	rng    *rand.Rand
 
-	nodes  []*node
-	byID   map[string]int
-	entry  int // index into nodes, -1 when empty
-	maxLvl int
-}
+	ids     []string  // external ID per node slot
+	vecs    []float32 // contiguous vector arena; slot i at [i*dim, (i+1)*dim)
+	norms   []float32 // Euclidean norm per slot, computed once at Add
+	levels  []int32   // top layer per slot
+	deleted []bool    // tombstone flags
+	links   [][][]int32
 
-type node struct {
-	id      string
-	vec     []float32
-	level   int
-	links   [][]int32 // per-layer neighbour lists (indices into nodes)
-	deleted bool
+	byID   map[string]int
+	entry  int // slot index, -1 when empty
+	maxLvl int
+	live   int // live (non-tombstoned) node count, maintained by Add/Delete
 }
 
 // New creates an empty index for vectors of the given dimensionality.
@@ -88,17 +86,19 @@ func New(dim int, cfg Config) *Index {
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	n := 0
-	for _, nd := range ix.nodes {
-		if !nd.deleted {
-			n++
-		}
-	}
-	return n
+	return ix.live
 }
 
 // Dim returns the vector dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
+
+// EfSearch returns the default query beam width.
+func (ix *Index) EfSearch() int { return ix.cfg.EfSearch }
+
+// vecAt returns slot i's vector window in the arena.
+func (ix *Index) vecAt(i int) []float32 {
+	return ix.vecs[i*ix.dim : (i+1)*ix.dim]
+}
 
 // Add inserts a vector under the given ID. Re-adding an existing ID replaces
 // its vector (implemented as delete + fresh insert).
@@ -106,14 +106,13 @@ func (ix *Index) Add(id string, vec []float32) error {
 	if len(vec) != ix.dim {
 		return fmt.Errorf("hnsw: vector for %q has dim %d, index wants %d", id, len(vec), ix.dim)
 	}
-	cp := make([]float32, len(vec))
-	copy(cp, vec)
 
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 
 	if old, ok := ix.byID[id]; ok {
-		ix.nodes[old].deleted = true
+		ix.deleted[old] = true
+		ix.live--
 		delete(ix.byID, id)
 		if ix.entry == old {
 			ix.resetEntryLocked()
@@ -121,16 +120,25 @@ func (ix *Index) Add(id string, vec []float32) error {
 	}
 
 	level := ix.randomLevel()
-	nd := &node{id: id, vec: cp, level: level, links: make([][]int32, level+1)}
-	idx := len(ix.nodes)
-	ix.nodes = append(ix.nodes, nd)
+	idx := len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, vec...)
+	ix.norms = append(ix.norms, vecmath.Norm(vec))
+	ix.levels = append(ix.levels, int32(level))
+	ix.deleted = append(ix.deleted, false)
+	ix.links = append(ix.links, make([][]int32, level+1))
 	ix.byID[id] = idx
+	ix.live++
+	cp := ix.vecAt(idx)
 
 	if ix.entry < 0 {
 		ix.entry = idx
 		ix.maxLvl = level
 		return nil
 	}
+
+	s := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(s)
 
 	ep := ix.entry
 	// Phase 1: greedy descent through layers above the new node's level.
@@ -144,17 +152,17 @@ func (ix *Index) Add(id string, vec []float32) error {
 		top = ix.maxLvl
 	}
 	for lvl := top; lvl >= 0; lvl-- {
-		candidates := ix.searchLayerLocked(cp, ep, ix.cfg.EfConstruction, lvl)
+		candidates := ix.searchLayerLocked(s, cp, ep, ix.cfg.EfConstruction, lvl)
 		m := ix.cfg.M
 		if lvl == 0 {
 			m = 2 * ix.cfg.M
 		}
 		selected := ix.selectHeuristicLocked(cp, candidates, ix.cfg.M)
 		for _, c := range selected {
-			ix.linkLocked(idx, c.idx, lvl, m)
+			ix.linkLocked(idx, int(c.idx), lvl, m)
 		}
 		if len(candidates) > 0 {
-			ep = candidates[0].idx
+			ep = int(candidates[0].idx)
 		}
 	}
 
@@ -174,7 +182,8 @@ func (ix *Index) Delete(id string) bool {
 	if !ok {
 		return false
 	}
-	ix.nodes[idx].deleted = true
+	ix.deleted[idx] = true
+	ix.live--
 	delete(ix.byID, id)
 	if ix.entry == idx {
 		ix.resetEntryLocked()
@@ -185,12 +194,12 @@ func (ix *Index) Delete(id string) bool {
 func (ix *Index) resetEntryLocked() {
 	ix.entry = -1
 	ix.maxLvl = -1
-	for i, nd := range ix.nodes {
-		if nd.deleted {
+	for i := range ix.ids {
+		if ix.deleted[i] {
 			continue
 		}
-		if nd.level > ix.maxLvl {
-			ix.maxLvl = nd.level
+		if int(ix.levels[i]) > ix.maxLvl {
+			ix.maxLvl = int(ix.levels[i])
 			ix.entry = i
 		}
 	}
@@ -226,18 +235,26 @@ func (ix *Index) SearchEf(query []float32, k, ef int) ([]Result, error) {
 	if ix.entry < 0 {
 		return nil, nil
 	}
+
+	s := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(s)
+
 	ep := ix.entry
 	for lvl := ix.maxLvl; lvl > 0; lvl-- {
 		ep = ix.greedyClosestLocked(query, ep, lvl)
 	}
-	cands := ix.searchLayerLocked(query, ep, ef, 0)
+	cands := ix.searchLayerLocked(s, query, ep, ef, 0)
+	qNorm := vecmath.Norm(query)
 	out := make([]Result, 0, k)
 	for _, c := range cands {
-		nd := ix.nodes[c.idx]
-		if nd.deleted {
+		ci := int(c.idx)
+		if ix.deleted[ci] {
 			continue
 		}
-		out = append(out, Result{ID: nd.id, Score: vecmath.Cosine(query, nd.vec)})
+		out = append(out, Result{
+			ID:    ix.ids[ci],
+			Score: vecmath.CosineWithNorms(query, ix.vecAt(ci), qNorm, ix.norms[ci]),
+		})
 		if len(out) == k {
 			break
 		}
@@ -259,13 +276,13 @@ func (ix *Index) randomLevel() int {
 // returns the local minimum.
 func (ix *Index) greedyClosestLocked(query []float32, ep, lvl int) int {
 	cur := ep
-	curDist := vecmath.SquaredL2(query, ix.nodes[cur].vec)
+	curDist := vecmath.SquaredL2(query, ix.vecAt(cur))
 	for {
 		improved := false
-		nd := ix.nodes[cur]
-		if lvl < len(nd.links) {
-			for _, nb := range nd.links[lvl] {
-				d := vecmath.SquaredL2(query, ix.nodes[nb].vec)
+		nbs := ix.links[cur]
+		if lvl < len(nbs) {
+			for _, nb := range nbs[lvl] {
+				d := vecmath.SquaredL2(query, ix.vecAt(int(nb)))
 				if d < curDist {
 					cur, curDist = int(nb), d
 					improved = true
@@ -278,77 +295,147 @@ func (ix *Index) greedyClosestLocked(query []float32, ep, lvl int) int {
 	}
 }
 
-// cand pairs a node index with its distance to the query.
+// cand pairs a node slot with its distance to the query.
 type cand struct {
-	idx  int
+	idx  int32
 	dist float32
 }
 
-type minHeap []cand
-
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// candHeap is a binary heap of candidates ordered by distance: a min-heap
+// by default, a max-heap when max is set. One concrete type replaces the
+// former container/heap min/max pair, so pushes and pops move 8-byte cand
+// values directly instead of boxing them through interface{}.
+type candHeap struct {
+	items []cand
+	max   bool
 }
 
-type maxHeap []cand
+func (h *candHeap) len() int  { return len(h.items) }
+func (h *candHeap) top() cand { return h.items[0] }
+func (h *candHeap) reset()    { h.items = h.items[:0] }
+func (h *candHeap) before(a, b cand) bool {
+	if h.max {
+		return a.dist > b.dist
+	}
+	return a.dist < b.dist
+}
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *candHeap) push(c cand) {
+	h.items = append(h.items, c)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *candHeap) pop() cand {
+	it := h.items
+	root := it[0]
+	n := len(it) - 1
+	it[0] = it[n]
+	h.items = it[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.before(it[r], it[c]) {
+			c = r
+		}
+		if !h.before(it[c], it[i]) {
+			break
+		}
+		it[i], it[c] = it[c], it[i]
+		i = c
+	}
+	return root
+}
+
+// searchScratch is the reusable per-search working state: both beam-search
+// heaps, the epoch-stamped visited array and the output buffer. Instances
+// cycle through scratchPool; see the package comment for the lifecycle
+// rules (no retention past the search, GC may drop pooled instances).
+type searchScratch struct {
+	visited []uint32
+	epoch   uint32
+	cands   candHeap // min-heap: next candidate to expand
+	results candHeap // max-heap: worst of the ef best so far on top
+	out     []cand
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &searchScratch{results: candHeap{max: true}}
+	},
+}
+
+// begin readies the scratch for a search over n node slots: both heaps are
+// emptied and the visited epoch advances, invalidating every mark left by
+// earlier searches (against this index or any other sharing the pool)
+// without touching the array. On epoch wrap-around the array is zeroed so
+// stale uint32 stamps from 2^32 searches ago cannot collide.
+func (s *searchScratch) begin(n int) {
+	s.cands.reset()
+	s.results.reset()
+	if cap(s.visited) < n {
+		grown := make([]uint32, n)
+		s.visited = grown
+		s.epoch = 0
+	}
+	s.visited = s.visited[:cap(s.visited)]
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.visited)
+		s.epoch = 1
+	}
 }
 
 // searchLayerLocked is Algorithm 2: ef-bounded best-first search on one
-// layer. The result is sorted ascending by distance.
-func (ix *Index) searchLayerLocked(query []float32, ep, ef, lvl int) []cand {
-	visited := map[int]struct{}{ep: {}}
-	epDist := vecmath.SquaredL2(query, ix.nodes[ep].vec)
-	candidates := minHeap{{ep, epDist}}
-	results := maxHeap{{ep, epDist}}
-	heap.Init(&candidates)
-	heap.Init(&results)
+// layer. The result is sorted ascending by distance and aliases s.out — it
+// is valid only until the next search using the same scratch.
+func (ix *Index) searchLayerLocked(s *searchScratch, query []float32, ep, ef, lvl int) []cand {
+	s.begin(len(ix.ids))
+	s.visited[ep] = s.epoch
+	epDist := vecmath.SquaredL2(query, ix.vecAt(ep))
+	s.cands.push(cand{int32(ep), epDist})
+	s.results.push(cand{int32(ep), epDist})
 
-	for candidates.Len() > 0 {
-		c := heap.Pop(&candidates).(cand)
-		if results.Len() >= ef && c.dist > results[0].dist {
+	for s.cands.len() > 0 {
+		c := s.cands.pop()
+		if s.results.len() >= ef && c.dist > s.results.top().dist {
 			break
 		}
-		nd := ix.nodes[c.idx]
-		if lvl < len(nd.links) {
-			for _, nb := range nd.links[lvl] {
-				nbi := int(nb)
-				if _, seen := visited[nbi]; seen {
+		nbs := ix.links[c.idx]
+		if lvl < len(nbs) {
+			for _, nb := range nbs[lvl] {
+				if s.visited[nb] == s.epoch {
 					continue
 				}
-				visited[nbi] = struct{}{}
-				d := vecmath.SquaredL2(query, ix.nodes[nbi].vec)
-				if results.Len() < ef || d < results[0].dist {
-					heap.Push(&candidates, cand{nbi, d})
-					heap.Push(&results, cand{nbi, d})
-					if results.Len() > ef {
-						heap.Pop(&results)
+				s.visited[nb] = s.epoch
+				d := vecmath.SquaredL2(query, ix.vecAt(int(nb)))
+				if s.results.len() < ef || d < s.results.top().dist {
+					s.cands.push(cand{nb, d})
+					s.results.push(cand{nb, d})
+					if s.results.len() > ef {
+						s.results.pop()
 					}
 				}
 			}
 		}
 	}
-	out := make([]cand, results.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&results).(cand)
+	n := s.results.len()
+	if cap(s.out) < n {
+		s.out = make([]cand, n)
+	}
+	out := s.out[:n]
+	for i := n - 1; i >= 0; i-- {
+		out[i] = s.results.pop()
 	}
 	return out
 }
@@ -367,7 +454,7 @@ func (ix *Index) selectHeuristicLocked(query []float32, cands []cand, m int) []c
 		}
 		ok := true
 		for _, k := range kept {
-			if vecmath.SquaredL2(ix.nodes[c.idx].vec, ix.nodes[k.idx].vec) < c.dist {
+			if vecmath.SquaredL2(ix.vecAt(int(c.idx)), ix.vecAt(int(k.idx))) < c.dist {
 				ok = false
 				break
 			}
@@ -378,7 +465,7 @@ func (ix *Index) selectHeuristicLocked(query []float32, cands []cand, m int) []c
 	}
 	// Backfill with nearest rejected candidates if diversity pruned too hard.
 	if len(kept) < m {
-		seen := make(map[int]struct{}, len(kept))
+		seen := make(map[int32]struct{}, len(kept))
 		for _, k := range kept {
 			seen[k.idx] = struct{}{}
 		}
@@ -405,34 +492,38 @@ func (ix *Index) linkLocked(a, b, lvl, maxLinks int) {
 }
 
 func (ix *Index) addEdgeLocked(from, to, lvl, maxLinks int) {
-	nd := ix.nodes[from]
-	if lvl >= len(nd.links) {
+	nbs := ix.links[from]
+	if lvl >= len(nbs) {
 		return
 	}
-	for _, existing := range nd.links[lvl] {
+	for _, existing := range nbs[lvl] {
 		if int(existing) == to {
 			return
 		}
 	}
-	nd.links[lvl] = append(nd.links[lvl], int32(to))
-	if len(nd.links[lvl]) > maxLinks {
+	nbs[lvl] = append(nbs[lvl], int32(to))
+	if len(nbs[lvl]) > maxLinks {
 		// Re-select the best maxLinks neighbours relative to this node.
-		cands := make([]cand, 0, len(nd.links[lvl]))
-		for _, nb := range nd.links[lvl] {
-			cands = append(cands, cand{int(nb), vecmath.SquaredL2(nd.vec, ix.nodes[nb].vec)})
+		vec := ix.vecAt(from)
+		cands := make([]cand, 0, len(nbs[lvl]))
+		for _, nb := range nbs[lvl] {
+			cands = append(cands, cand{nb, vecmath.SquaredL2(vec, ix.vecAt(int(nb)))})
 		}
 		sortCands(cands)
-		kept := ix.selectHeuristicLocked(nd.vec, cands, maxLinks)
+		kept := ix.selectHeuristicLocked(vec, cands, maxLinks)
 		links := make([]int32, 0, len(kept))
 		for _, k := range kept {
-			links = append(links, int32(k.idx))
+			links = append(links, k.idx)
 		}
-		nd.links[lvl] = links
+		nbs[lvl] = links
 	}
 }
 
+// sortCands orders a neighbour candidate list ascending by distance. Still
+// needed by addEdgeLocked's overflow re-selection (which never goes through
+// the beam-search heaps); insertion sort, because neighbour lists are tiny
+// (≤ 2M+1).
 func sortCands(cs []cand) {
-	// insertion sort; neighbour lists are tiny (≤ 2M+1)
 	for i := 1; i < len(cs); i++ {
 		for j := i; j > 0 && cs[j].dist < cs[j-1].dist; j-- {
 			cs[j], cs[j-1] = cs[j-1], cs[j]

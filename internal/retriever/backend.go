@@ -78,10 +78,11 @@ type memoryBackend struct {
 
 // newMemoryBackend creates an empty in-memory shard. seed fixes the HNSW
 // level generator so equal ingest sequences build equal graphs; st is the
-// retriever-wide BM25 statistics object shared by every shard.
-func newMemoryBackend(dim int, seed int64, st *bm25.Stats) *memoryBackend {
+// retriever-wide BM25 statistics object shared by every shard; ef is the
+// HNSW query beam width (0 selects hnsw.DefaultEfSearch).
+func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int) *memoryBackend {
 	return &memoryBackend{
-		vec:  hnsw.New(dim, hnsw.Config{Seed: seed}),
+		vec:  hnsw.New(dim, hnsw.Config{Seed: seed, EfSearch: ef}),
 		lex:  bm25.NewWithStats(bm25.Params{}, st),
 		byID: make(map[string]docs.Document),
 	}

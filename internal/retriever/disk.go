@@ -185,9 +185,11 @@ type diskBackend struct {
 // existing records into a fresh in-memory shard, and positions the file
 // for appending. A trailing partially-written record — the signature of a
 // crash between write and flush — is truncated away rather than treated as
-// corruption.
-func openDiskBackend(path string, dim int, seed int64, st *bm25.Stats) (*diskBackend, error) {
-	mem := newMemoryBackend(dim, seed, st)
+// corruption. ef is the HNSW query beam width (0 selects
+// hnsw.DefaultEfSearch); it is a query-time knob, so it is not pinned in
+// the manifest.
+func openDiskBackend(path string, dim int, seed int64, st *bm25.Stats, ef int) (*diskBackend, error) {
+	mem := newMemoryBackend(dim, seed, st, ef)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err

@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -71,6 +73,7 @@ type Retriever struct {
 	numShards int
 	backend   Backend
 	dir       string
+	ef        int
 	// stats is the corpus-wide BM25 statistics object every shard's
 	// lexical index contributes to and scores against, so per-shard BM25
 	// scores equal single-index scores on the same corpus.
@@ -79,6 +82,9 @@ type Retriever struct {
 	// version counts index mutations (ingest and delete); callers that
 	// cache query results use it for invalidation.
 	version atomic.Uint64
+	// scratch pools *searchScratch values so steady-state Search reuses
+	// its merge buffers and fusion map instead of allocating per query.
+	scratch sync.Pool
 }
 
 // Option configures a Retriever.
@@ -139,6 +145,18 @@ func WithDir(path string) Option {
 	}
 }
 
+// WithEf sets the HNSW query beam width ef for every shard (default
+// hnsw.DefaultEfSearch). Larger values trade latency for recall; the knob
+// only affects queries, so an existing disk index can be reopened with a
+// different ef. Values < 1 are ignored.
+func WithEf(ef int) Option {
+	return func(r *Retriever) {
+		if ef >= 1 {
+			r.ef = ef
+		}
+	}
+}
+
 // Open creates a retriever, loading any existing index when the Disk
 // backend points at a directory with persisted segments. This is the
 // error-returning constructor; New is the panicking convenience wrapper
@@ -159,7 +177,7 @@ func Open(opts ...Option) (*Retriever, error) {
 	case Memory:
 		r.shards = make([]*shard, r.numShards)
 		for i := range r.shards {
-			r.shards[i] = &shard{be: newMemoryBackend(r.emb.Dim(), hnswSeed+int64(i), r.stats)}
+			r.shards[i] = &shard{be: newMemoryBackend(r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef)}
 		}
 	case Disk:
 		if r.dir == "" {
@@ -182,7 +200,7 @@ func Open(opts ...Option) (*Retriever, error) {
 		r.shards = make([]*shard, r.numShards)
 		for i := range r.shards {
 			path := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.seg", i))
-			be, err := openDiskBackend(path, r.emb.Dim(), hnswSeed+int64(i), r.stats)
+			be, err := openDiskBackend(path, r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef)
 			if err != nil {
 				// Don't leak the segment files already opened for the
 				// preceding shards.
@@ -212,6 +230,14 @@ func New(opts ...Option) *Retriever {
 
 // NumShards returns the shard count.
 func (r *Retriever) NumShards() int { return len(r.shards) }
+
+// Ef returns the effective HNSW query beam width.
+func (r *Retriever) Ef() int {
+	if r.ef > 0 {
+		return r.ef
+	}
+	return hnsw.DefaultEfSearch
+}
 
 // Backend returns the configured shard storage backend.
 func (r *Retriever) Backend() Backend { return r.backend }
@@ -399,6 +425,48 @@ type shardHits struct {
 	lex []bm25.Result
 }
 
+// scored is one fused candidate during global re-ranking.
+type scored struct {
+	id    string
+	score float64
+}
+
+// searchScratch is the reusable per-query working state of Retriever.Search:
+// the per-shard hit table, the merged candidate lists, the RRF fusion map
+// and the ranked buffer. Instances cycle through Retriever.scratch; the
+// sync.Pool contract applies (GC may drop pooled instances, so only
+// steady-state queries are allocation-free), and nothing handed back to the
+// caller may alias scratch memory.
+type searchScratch struct {
+	hits   []shardHits
+	errs   []error
+	vecRes []hnsw.Result
+	lexRes []bm25.Result
+	fused  map[string]float64
+	ranked []scored
+}
+
+// begin readies the scratch for a query fanning out to n shards.
+func (s *searchScratch) begin(n int) {
+	if cap(s.hits) < n {
+		s.hits = make([]shardHits, n)
+		s.errs = make([]error, n)
+	}
+	s.hits = s.hits[:n]
+	s.errs = s.errs[:n]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	s.vecRes = s.vecRes[:0]
+	s.lexRes = s.lexRes[:0]
+	s.ranked = s.ranked[:0]
+	if s.fused == nil {
+		s.fused = make(map[string]float64)
+	} else {
+		clear(s.fused)
+	}
+}
+
 // queryShard collects one shard's candidates for a query under its read
 // lock.
 func (r *Retriever) queryShard(s *shard, qvec []float32, query string, fetch int) (shardHits, error) {
@@ -441,7 +509,13 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 		qvec = r.emb.Embed(query)
 	}
 
-	hits := make([]shardHits, len(r.shards))
+	sc, _ := r.scratch.Get().(*searchScratch)
+	if sc == nil {
+		sc = &searchScratch{}
+	}
+	defer r.scratch.Put(sc)
+	sc.begin(len(r.shards))
+
 	if len(r.shards) == 1 {
 		// Single-shard indexes (docdb, websearch, ablation baselines) run
 		// inline: a goroutine + WaitGroup per query buys nothing when
@@ -450,47 +524,56 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 		if err != nil {
 			return nil, err
 		}
-		hits[0] = h
+		sc.hits[0] = h
 	} else {
-		errs := make([]error, len(r.shards))
 		var wg sync.WaitGroup
 		for si, s := range r.shards {
 			wg.Add(1)
 			go func(si int, s *shard) {
 				defer wg.Done()
-				hits[si], errs[si] = r.queryShard(s, qvec, query, fetch)
+				sc.hits[si], sc.errs[si] = r.queryShard(s, qvec, query, fetch)
 			}(si, s)
 		}
 		wg.Wait()
-		for _, err := range errs {
+		for _, err := range sc.errs {
 			if err != nil {
 				return nil, err
 			}
 		}
 	}
 
-	var vecRes []hnsw.Result
-	var lexRes []bm25.Result
-	for _, h := range hits {
+	vecRes := sc.vecRes
+	lexRes := sc.lexRes
+	for _, h := range sc.hits {
 		vecRes = append(vecRes, h.vec...)
 		lexRes = append(lexRes, h.lex...)
 	}
 	// Re-rank the merged candidate lists globally. BM25 scores are
 	// computed against the shared corpus-wide statistics object, so
 	// per-shard scores are directly comparable and equal to what a single
-	// monolithic index would assign.
-	sort.Slice(vecRes, func(i, j int) bool {
-		if vecRes[i].Score != vecRes[j].Score {
-			return vecRes[i].Score > vecRes[j].Score
+	// monolithic index would assign. The comparators are total orders
+	// (document IDs are unique across shards), so the unstable sort is
+	// still deterministic.
+	slices.SortFunc(vecRes, func(a, b hnsw.Result) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return vecRes[i].ID < vecRes[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
-	sort.Slice(lexRes, func(i, j int) bool {
-		if lexRes[i].Score != lexRes[j].Score {
-			return lexRes[i].Score > lexRes[j].Score
+	slices.SortFunc(lexRes, func(a, b bm25.Result) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return lexRes[i].ID < lexRes[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
+	sc.vecRes = vecRes
+	sc.lexRes = lexRes
 	if len(vecRes) > fetch {
 		vecRes = vecRes[:fetch]
 	}
@@ -498,11 +581,7 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 		lexRes = lexRes[:fetch]
 	}
 
-	type scored struct {
-		id    string
-		score float64
-	}
-	var ranked []scored
+	ranked := sc.ranked
 	switch r.mode {
 	case ModeVectorOnly:
 		for _, h := range vecRes {
@@ -514,7 +593,7 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 		}
 	default:
 		// Reciprocal-rank fusion across both lists.
-		fused := make(map[string]float64)
+		fused := sc.fused
 		for rank, h := range vecRes {
 			fused[h.ID] += 1.0 / (rrfK + float64(rank+1))
 		}
@@ -525,12 +604,16 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 			ranked = append(ranked, scored{id, s})
 		}
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
+	slices.SortFunc(ranked, func(a, b scored) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
 		}
-		return ranked[i].id < ranked[j].id
+		return strings.Compare(a.id, b.id)
 	})
+	sc.ranked = ranked
 	if len(ranked) > k {
 		ranked = ranked[:k]
 	}

@@ -1,6 +1,14 @@
 // Package vecmath provides the small float32 vector kernel used by the
 // embedder and the HNSW index: dot product, norms, cosine similarity and
 // squared Euclidean distance.
+//
+// The kernels are unrolled four-wide with independent accumulators so the
+// per-element multiply-adds pipeline instead of serializing on one
+// accumulator's latency chain. The reduction order (lane sums combined as
+// (s0+s1)+(s2+s3)) is fixed, so results are deterministic run to run and
+// identical everywhere the same kernel is used — but they differ in the
+// last ULP from a naive sequential sum, which is why every caller in the
+// repo goes through this package rather than hand-rolling a loop.
 package vecmath
 
 import "math"
@@ -11,20 +19,34 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
 	}
-	var s float32
-	for i := range a {
-		s += a[i] * b[i]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm returns the Euclidean norm of v.
 func Norm(v []float32) float32 {
-	var s float32
-	for _, x := range v {
-		s += x * x
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * v[i]
+		s1 += v[i+1] * v[i+1]
+		s2 += v[i+2] * v[i+2]
+		s3 += v[i+3] * v[i+3]
 	}
-	return float32(math.Sqrt(float64(s)))
+	for ; i < len(v); i++ {
+		s0 += v[i] * v[i]
+	}
+	return float32(math.Sqrt(float64((s0 + s1) + (s2 + s3))))
 }
 
 // Normalize scales v to unit length in place and returns it. The zero vector
@@ -51,15 +73,36 @@ func Cosine(a, b []float32) float32 {
 	return Dot(a, b) / (na * nb)
 }
 
+// CosineWithNorms is Cosine for callers that already know both vector norms
+// (the HNSW index stores them at insert time); it skips the two norm
+// recomputations. Semantics match Cosine exactly: 0 when either norm is 0.
+func CosineWithNorms(a, b []float32, na, nb float32) float32 {
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
 // SquaredL2 returns the squared Euclidean distance between a and b.
 func SquaredL2(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
 	}
-	var s float32
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }

@@ -60,6 +60,91 @@ func TestSquaredL2(t *testing.T) {
 	}
 }
 
+// TestUnrolledKernelsMatchReference pins the four-wide unrolled kernels
+// against naive sequential reference loops at every length from 0 to 19,
+// covering each tail-remainder case. The unrolled reduction order differs
+// from sequential summation only in the last ULPs, so a loose relative
+// tolerance is enough to catch indexing bugs without flagging legitimate
+// reassociation.
+func TestUnrolledKernelsMatchReference(t *testing.T) {
+	refDot := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			s += float64(a[i]) * float64(b[i])
+		}
+		return s
+	}
+	refL2 := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			s += d * d
+		}
+		return s
+	}
+	close := func(got float32, want float64) bool {
+		return math.Abs(float64(got)-want) <= 1e-4*(1+math.Abs(want))
+	}
+	for n := 0; n < 20; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = float32(i)*0.25 - 1
+			b[i] = 2 - float32(i)*0.5
+		}
+		if got, want := Dot(a, b), refDot(a, b); !close(got, want) {
+			t.Fatalf("Dot len %d = %v, reference %v", n, got, want)
+		}
+		if got, want := SquaredL2(a, b), refL2(a, b); !close(got, want) {
+			t.Fatalf("SquaredL2 len %d = %v, reference %v", n, got, want)
+		}
+		if got, want := Norm(a), math.Sqrt(refDot(a, a)); !close(got, want) {
+			t.Fatalf("Norm len %d = %v, reference %v", n, got, want)
+		}
+	}
+}
+
+func TestCosineWithNorms(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got, want := CosineWithNorms(a, b, Norm(a), Norm(b)), Cosine(a, b); got != want {
+		t.Fatalf("CosineWithNorms = %v, Cosine = %v; must be bit-identical", got, want)
+	}
+	if got := CosineWithNorms(a, b, 0, Norm(b)); got != 0 {
+		t.Fatalf("zero-norm CosineWithNorms = %v, want 0", got)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	x := make([]float32, 256)
+	y := make([]float32, 256)
+	for i := range x {
+		x[i] = float32(i) * 0.01
+		y[i] = 1 - float32(i)*0.01
+	}
+	b.ResetTimer()
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += Dot(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkSquaredL2(b *testing.B) {
+	x := make([]float32, 256)
+	y := make([]float32, 256)
+	for i := range x {
+		x[i] = float32(i) * 0.01
+		y[i] = 1 - float32(i)*0.01
+	}
+	b.ResetTimer()
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += SquaredL2(x, y)
+	}
+	_ = s
+}
+
 func TestSquaredL2Properties(t *testing.T) {
 	symmetric := func(a, b [8]float32) bool {
 		return SquaredL2(a[:], b[:]) == SquaredL2(b[:], a[:])

@@ -91,6 +91,11 @@ type RetrieverKnobs struct {
 	// temporary directory). Opening a directory that already holds an
 	// index loads it.
 	Dir string
+	// Ef is the HNSW query beam width (default 64). Larger values trade
+	// query latency for vector-search recall; the knob is query-time
+	// only, so an existing disk index may be reopened with a different
+	// value.
+	Ef int
 }
 
 // NewRetrieverWith creates a hybrid retrieval index with explicit scaling
@@ -109,6 +114,9 @@ func NewRetrieverWith(k RetrieverKnobs) (*Retriever, error) {
 	}
 	if k.Dir != "" {
 		opts = append(opts, retriever.WithDir(k.Dir))
+	}
+	if k.Ef > 0 {
+		opts = append(opts, retriever.WithEf(k.Ef))
 	}
 	return retriever.Open(opts...)
 }
