@@ -2,15 +2,16 @@ GO ?= go
 
 # DOC_PKGS are the packages whose exported API must be fully documented
 # (enforced by `make docs` via cmd/pneuma-doccheck).
-DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 .
+DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr .
 
-.PHONY: verify fmt-check vet tier1 race bench bench-compare bench-smoke ingest-bench docs
+.PHONY: verify fmt-check vet tier1 race race-smoke bench bench-compare bench-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet,
 # the documentation gate, the tier-1 build+test command from ROADMAP.md
-# (which includes the AllocsPerRun budget guards), and a short-mode smoke
-# of the retrieval benchmark pipeline.
-verify: fmt-check vet tier1 docs bench-smoke
+# (which includes the AllocsPerRun budget guards), a short-mode smoke of
+# the retrieval benchmark pipeline, and a short-mode race pass over the
+# concurrent serving path (Service scheduler, cancellation fan-out).
+verify: fmt-check vet tier1 docs bench-smoke race-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,7 +26,15 @@ tier1:
 
 # race runs the concurrency-sensitive packages under the race detector.
 race:
-	$(GO) test -race ./internal/retriever/... ./internal/ir/... ./internal/embed/...
+	$(GO) test -race . ./internal/retriever/... ./internal/ir/... ./internal/embed/... ./internal/docdb/... ./internal/llm/...
+
+# race-smoke is the short-mode race gate wired into `make verify`: it
+# drives N concurrent sessions through one Service, cancels a Search
+# mid-fan-out, and checks the goroutine-leak guard — the serving paths a
+# sequential test run never stresses.
+race-smoke:
+	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled' . ./internal/retriever/ ./internal/ir/
+	@echo "race-smoke: ok"
 
 # bench runs the retrieval micro-benchmarks with allocation reporting and
 # writes the machine-readable BENCH_retrieval.json perf report for the

@@ -1,6 +1,7 @@
 package pneuma_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := seeker.NewSession("api-test")
-	reply, err := sess.Send("What is the average organic matter percentage for soil samples in the Malta region? Round your answer to 4 decimal places.")
+	reply, err := sess.Send(context.Background(), "What is the average organic matter percentage for soil samples in the Malta region? Round your answer to 4 decimal places.")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +47,11 @@ func TestPublicAPIEngine(t *testing.T) {
 func TestPublicAPIRetriever(t *testing.T) {
 	ret := pneuma.NewRetriever()
 	for _, tb := range pneuma.ArchaeologyDataset() {
-		if err := ret.IndexTable(tb); err != nil {
+		if err := ret.IndexTable(context.Background(), tb); err != nil {
 			t.Fatal(err)
 		}
 	}
-	hits, err := ret.Search("radiocarbon dating results", 2)
+	hits, err := ret.Search(context.Background(), "radiocarbon dating results", 2)
 	if err != nil || len(hits) == 0 {
 		t.Fatalf("search: %v %v", hits, err)
 	}

@@ -10,6 +10,7 @@
 package pneuma_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,13 +40,13 @@ func fullEvals(b *testing.B) (harness.DatasetEvaluation, harness.DatasetEvaluati
 	b.Helper()
 	evalOnce.Do(func() {
 		arch := kramabench.Archaeology()
-		archEval, evalErr = harness.RunFullEvaluation("Archeology", arch,
+		archEval, evalErr = harness.RunFullEvaluation(context.Background(), "Archeology", arch,
 			kramabench.ArchaeologyQuestions(arch), harness.EvalOptions{})
 		if evalErr != nil {
 			return
 		}
 		env := kramabench.Environment()
-		envEval, evalErr = harness.RunFullEvaluation("Environment", env,
+		envEval, evalErr = harness.RunFullEvaluation(context.Background(), "Environment", env,
 			kramabench.EnvironmentQuestions(env), harness.EvalOptions{})
 	})
 	if evalErr != nil {
@@ -161,7 +162,7 @@ func seekerConvergencePct(b *testing.B, cfg *core.Config) (float64, float64) {
 		b.Fatal(err)
 	}
 	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
-	sum, err := harness.RunConvergence(sys, questions, sim, harness.DefaultMaxTurns)
+	sum, err := harness.RunConvergence(context.Background(), sys, questions, sim, harness.DefaultMaxTurns)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -202,11 +203,11 @@ func BenchmarkAblationContextSpecialization(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sum, err := harness.RunConvergence(sys, questions, sim, harness.DefaultMaxTurns)
+			sum, err := harness.RunConvergence(context.Background(), sys, questions, sim, harness.DefaultMaxTurns)
 			if err != nil {
 				b.Fatal(err)
 			}
-			return sum.Pct, sys.Seeker().Meter().Total.InTokens / len(questions)
+			return sum.Pct, sys.Seeker().Meter().Snapshot().Total.InTokens / len(questions)
 		}
 		specConv, specTok := run(true)
 		megaConv, megaTok := run(false)
@@ -262,14 +263,14 @@ func BenchmarkRetrieverSearch(b *testing.B) {
 	corpus := kramabench.Environment()
 	ret := retriever.New()
 	for _, t := range corpus {
-		if err := ret.IndexTable(t); err != nil {
+		if err := ret.IndexTable(context.Background(), t); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ret.Search("nitrate concentration in river water", 5); err != nil {
+		if _, err := ret.Search(context.Background(), "nitrate concentration in river water", 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -311,14 +312,14 @@ func BenchmarkSQLHashJoin(b *testing.B) {
 // state → materialize → execute → respond) end to end.
 func BenchmarkSeekerTurn(b *testing.B) {
 	corpus := kramabench.Archaeology()
-	seeker, err := core.New(core.Config{}, corpus, nil, nil)
+	seeker, err := core.New(context.Background(), core.Config{}, corpus, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sess := seeker.NewSession("bench")
-		if _, err := sess.Send("What is the average organic matter percentage for soil samples in the Malta region?"); err != nil {
+		if _, err := sess.Send(context.Background(), "What is the average organic matter percentage for soil samples in the Malta region?"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -331,7 +332,7 @@ func BenchmarkFTSRespond(b *testing.B) {
 	conv := fts.StartConversation()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := conv.Respond("potassium levels in Malta soil samples"); err != nil {
+		if _, err := conv.Respond(context.Background(), "potassium levels in Malta soil samples"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -381,7 +382,7 @@ func BenchmarkIngestSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ret := retriever.New(retriever.WithShards(1), retriever.WithWorkers(1))
 		for _, t := range tables {
-			if err := ret.IndexTable(t); err != nil {
+			if err := ret.IndexTable(context.Background(), t); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -397,7 +398,7 @@ func BenchmarkIngestParallelBulk(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ret := retriever.New()
-		if err := ret.IndexTables(tables); err != nil {
+		if err := ret.IndexTables(context.Background(), tables); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -409,7 +410,7 @@ func BenchmarkIngestParallelBulk(b *testing.B) {
 func BenchmarkRetrievalLatency(b *testing.B) {
 	tables := syntheticTables(b, ingestCorpusSize)
 	ret := retriever.New()
-	if err := ret.IndexTables(tables); err != nil {
+	if err := ret.IndexTables(context.Background(), tables); err != nil {
 		b.Fatal(err)
 	}
 	queries := kramabench.RetrievalQueries()
@@ -418,7 +419,7 @@ func BenchmarkRetrievalLatency(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		if _, err := ret.Search(queries[i%len(queries)], 10); err != nil {
+		if _, err := ret.Search(context.Background(), queries[i%len(queries)], 10); err != nil {
 			b.Fatal(err)
 		}
 		lat = append(lat, time.Since(start))
@@ -437,14 +438,14 @@ func BenchmarkRetrievalLatency(b *testing.B) {
 func BenchmarkIRQueryCached(b *testing.B) {
 	corpus := kramabench.Environment()
 	cfg := core.Config{}
-	sys, err := core.New(cfg, corpus, nil, nil)
+	sys, err := core.New(context.Background(), cfg, corpus, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	irsys := sys.IR()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := irsys.Query(ir.Request{Query: "nitrate concentration in river water", K: 5}); err != nil {
+		if _, err := irsys.Query(context.Background(), ir.Request{Query: "nitrate concentration in river water", K: 5}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,9 +27,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"time"
@@ -40,6 +42,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	tableN := flag.Int("table", 0, "regenerate one table (1, 2 or 3); 0 = all")
 	figureN := flag.Int("figure", 0, "regenerate one figure (4 or 5); 0 = all")
 	latency := flag.Bool("latency", false, "print only the latency trade-off")
@@ -58,7 +63,7 @@ func main() {
 	if *ingest {
 		backend, err := retriever.ParseBackend(*backendName)
 		fail(err)
-		runIngestBench(ingestConfig{
+		runIngestBench(ctx, ingestConfig{
 			tables:   *nTables,
 			shards:   *shards,
 			workers:  *workers,
@@ -95,12 +100,12 @@ func main() {
 	var err error
 	if needArch {
 		fmt.Fprintln(os.Stderr, "running archaeology evaluation (12 questions x 4 systems + RQ2)...")
-		archEval, err = harness.RunFullEvaluation("Archeology", arch, kramabench.ArchaeologyQuestions(arch), harness.EvalOptions{})
+		archEval, err = harness.RunFullEvaluation(ctx, "Archeology", arch, kramabench.ArchaeologyQuestions(arch), harness.EvalOptions{})
 		fail(err)
 	}
 	if needEnv {
 		fmt.Fprintln(os.Stderr, "running environment evaluation (20 questions x 4 systems + RQ2)...")
-		envEval, err = harness.RunFullEvaluation("Environment", env, kramabench.EnvironmentQuestions(env), harness.EvalOptions{})
+		envEval, err = harness.RunFullEvaluation(ctx, "Environment", env, kramabench.EnvironmentQuestions(env), harness.EvalOptions{})
 		fail(err)
 	}
 
@@ -156,7 +161,7 @@ type ingestConfig struct {
 // reported separately so ingest throughput stays comparable with the
 // memory backend. The measurements are written to cfg.jsonPath and, when
 // cfg.baseline names a committed report, diffed against it.
-func runIngestBench(cfg ingestConfig) {
+func runIngestBench(ctx context.Context, cfg ingestConfig) {
 	if cfg.rounds < 1 {
 		cfg.rounds = 1
 	}
@@ -168,7 +173,7 @@ func runIngestBench(cfg ingestConfig) {
 	seq := retriever.New(retriever.WithShards(1), retriever.WithWorkers(1))
 	start := time.Now()
 	for _, t := range tables {
-		fail(seq.IndexTable(t))
+		fail(seq.IndexTable(ctx, t))
 	}
 	seqDur := time.Since(start)
 
@@ -196,7 +201,7 @@ func runIngestBench(cfg ingestConfig) {
 		os.Exit(2)
 	}
 	start = time.Now()
-	fail(par.IndexTables(tables))
+	fail(par.IndexTables(ctx, tables))
 	parDur := time.Since(start)
 
 	fmt.Printf("  sequential (1 shard, 1 worker):  %8v  %7.0f tables/sec\n",
@@ -217,17 +222,22 @@ func runIngestBench(cfg ingestConfig) {
 	// Warm-up pass: fault in the scratch pools and stabilize the caches so
 	// the measured loop sees steady state, which is what allocs/op claims.
 	for _, q := range queries {
-		if _, err := par.Search(q, k); err != nil {
+		if _, err := par.Search(ctx, q, k); err != nil {
 			fail(err)
 		}
 	}
+	// The measured loop runs under a non-cancellable context on purpose:
+	// that is the allocation-free steady-state serving path whose
+	// allocs/op the committed reports claim (a cancellable context buys
+	// prompt abandonment at the cost of a completion channel per query).
+	bgCtx := context.Background()
 	lat := make([]time.Duration, 0, cfg.rounds*len(queries))
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	for r := 0; r < cfg.rounds; r++ {
 		for _, q := range queries {
 			qs := time.Now()
-			if _, err := par.Search(q, k); err != nil {
+			if _, err := par.Search(bgCtx, q, k); err != nil {
 				fail(err)
 			}
 			lat = append(lat, time.Since(qs))

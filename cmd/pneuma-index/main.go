@@ -15,15 +15,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"pneuma"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	dir := flag.String("dir", "", "CSV directory to index")
 	query := flag.String("q", "", "query to run against the index")
 	k := flag.Int("k", 5, "number of results")
@@ -70,7 +75,7 @@ func main() {
 			tables = append(tables, t)
 		}
 		start := time.Now()
-		if err := ret.IndexTables(tables); err != nil {
+		if err := ret.IndexTables(ctx, tables); err != nil {
 			fmt.Fprintln(os.Stderr, "pneuma-index:", err)
 			os.Exit(1)
 		}
@@ -83,7 +88,7 @@ func main() {
 			len(corpus), ret.NumShards(), where, elapsed.Round(time.Millisecond),
 			float64(len(corpus))/elapsed.Seconds())
 	}
-	hits, err := ret.Search(*query, *k)
+	hits, err := ret.Search(ctx, *query, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
 		os.Exit(1)

@@ -9,18 +9,22 @@
 // Type messages at the prompt; the Conductor plans, retrieves, materializes
 // and executes, then prints its reply and the updated state. Type
 // ":state" to re-print the state view, ":actions" to see the last turn's
-// action trace, ":quit" to exit.
+// action trace, ":quit" to exit. Ctrl-C cancels the in-flight turn (the
+// request's context propagates into retrieval and model calls) without
+// killing the session.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"pneuma"
-	"pneuma/internal/core"
 )
 
 func main() {
@@ -45,21 +49,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	var web *pneuma.WebSearch
+	var opts []pneuma.Option
 	if *webOn {
-		web = pneuma.NewWebSearch()
+		opts = append(opts, pneuma.WithWebSearch(nil))
 	}
-	seeker, err := pneuma.NewSeeker(pneuma.Config{WebSearch: *webOn}, corpus, web, nil)
+	// Assembly (corpus ingest) is interrupt-cancellable too: Ctrl-C during
+	// a large index build exits promptly instead of embedding to the end.
+	buildCtx, stopBuild := signal.NotifyContext(context.Background(), os.Interrupt)
+	svc, err := pneuma.NewContext(buildCtx, corpus, opts...)
+	stopBuild()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pneuma-seeker:", err)
 		os.Exit(1)
 	}
-	sess := seeker.NewSession(*user)
+	defer svc.Close()
+	sess := svc.NewSession(*user)
+	state := sess.Session()
 
 	fmt.Printf("Pneuma-Seeker — %d tables loaded. Ask away (:quit to exit).\n\n", len(corpus))
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	var lastReply core.Reply
+	var lastReply pneuma.Reply
 	for {
 		fmt.Print("you> ")
 		if !scanner.Scan() {
@@ -72,7 +82,7 @@ func main() {
 		case line == ":quit" || line == ":q":
 			return
 		case line == ":state":
-			fmt.Println(sess.State.View())
+			fmt.Println(state.State.View())
 			continue
 		case line == ":actions":
 			for _, a := range lastReply.Actions {
@@ -87,16 +97,24 @@ func main() {
 			}
 			continue
 		}
-		reply, err := sess.Send(line)
+		// Each turn runs under its own interrupt-bound context: Ctrl-C
+		// cancels this request end-to-end but keeps the session alive.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		reply, err := sess.Send(ctx, line)
+		stop()
 		if err != nil {
+			if errors.Is(err, pneuma.ErrCanceled) {
+				fmt.Println("\n(turn canceled)")
+				continue
+			}
 			fmt.Println("system error:", err)
 			continue
 		}
 		lastReply = reply
 		fmt.Println("\nseeker>", reply.Message)
 		fmt.Println()
-		fmt.Println(sess.State.View())
+		fmt.Println(state.State.View())
 		fmt.Printf("(simulated turn latency: %.1fs; type :actions for the action trace)\n\n",
-			sess.TurnLatency.Seconds())
+			state.TurnLatency.Seconds())
 	}
 }

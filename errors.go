@@ -1,0 +1,53 @@
+package pneuma
+
+import (
+	"pneuma/internal/pnerr"
+)
+
+// Error is the typed error of the serving API. Every failure crossing the
+// public surface — Service.Search, Session.Send, retriever and IR System
+// calls — wraps one, so callers dispatch with the standard library instead
+// of matching message strings:
+//
+//	_, err := sess.Send(ctx, msg)
+//	switch {
+//	case errors.Is(err, pneuma.ErrCanceled):  // request canceled / deadline
+//	case errors.Is(err, pneuma.ErrBadQuery):  // malformed request, don't retry
+//	case errors.Is(err, pneuma.ErrClosed):    // service shut down
+//	}
+//
+// errors.As(err, &pe) with pe *pneuma.Error exposes the failing operation
+// (pe.Op) and the cause chain (pe.Err, possibly an errors.Join of
+// per-source failures). errors.Is(err, context.Canceled) also holds for
+// canceled requests, because the context error stays in the chain.
+type Error = pnerr.Error
+
+// ErrorCode classifies an Error; the constants below are the vocabulary.
+// ErrorCode implements error, so the constants double as errors.Is
+// sentinels.
+type ErrorCode = pnerr.Code
+
+// The typed error vocabulary of the serving API.
+const (
+	// ErrCanceled: the request's context was canceled or its deadline
+	// expired; partial work was abandoned.
+	ErrCanceled = pnerr.ErrCanceled
+	// ErrBadQuery: the request is malformed (empty message, unknown
+	// retrieval source, invalid parameter); retrying unchanged cannot
+	// succeed.
+	ErrBadQuery = pnerr.ErrBadQuery
+	// ErrIndexCorrupt: persisted index state failed to load or disagrees
+	// with the configuration (wrong embedding dim, unreadable manifest).
+	ErrIndexCorrupt = pnerr.ErrIndexCorrupt
+	// ErrClosed: the Service (or retriever) was closed before the request
+	// was admitted.
+	ErrClosed = pnerr.ErrClosed
+	// ErrDegraded: every selected retrieval source failed; when only some
+	// fail, the query succeeds with partial fusion instead (see
+	// ir.Result.Degraded).
+	ErrDegraded = pnerr.ErrDegraded
+)
+
+// ErrorCodeOf extracts the ErrorCode from an error chain, or "" when the
+// chain carries no typed *Error.
+func ErrorCodeOf(err error) ErrorCode { return pnerr.CodeOf(err) }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
-	res, err := harness.RunConversation(sys, q, sim, harness.DefaultMaxTurns)
+	res, err := harness.RunConversation(context.Background(), sys, q, sim, harness.DefaultMaxTurns)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,22 +13,24 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	corpus := pneuma.ArchaeologyDataset()
 	kb := pneuma.NewKnowledgeDB()
 
-	seeker, err := pneuma.NewSeeker(pneuma.Config{}, corpus, nil, kb)
+	svc, err := pneuma.New(corpus, pneuma.WithKnowledge(kb))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer svc.Close()
 
 	// User 1 externalizes tacit knowledge mid-conversation.
-	alice := seeker.NewSession("alice")
+	alice := svc.NewSession("alice")
 	msgs := []string{
 		"What is the average Potassium concentration for soil samples in the Malta region?",
 		"Note that potassium values should be interpolated between samples; assume the measurements are linearly interpolated when values are missing.",
 	}
 	for _, m := range msgs {
-		if _, err := alice.Send(m); err != nil {
+		if _, err := alice.Send(ctx, m); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -38,17 +41,17 @@ func main() {
 
 	// User 2 asks about the same topic: the captured knowledge surfaces in
 	// their session context without Alice being involved.
-	bob := seeker.NewSession("bob")
-	if _, err := bob.Send("I want to analyze potassium measurements in soil samples across regions."); err != nil {
+	bob := svc.NewSession("bob")
+	if _, err := bob.Send(ctx, "I want to analyze potassium measurements in soil samples across regions."); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nBob's session automatically carries %d knowledge note(s):\n", len(bob.KnowledgeNotes))
-	for _, n := range bob.KnowledgeNotes {
+	fmt.Printf("\nBob's session automatically carries %d knowledge note(s):\n", len(bob.Session().KnowledgeNotes))
+	for _, n := range bob.Session().KnowledgeNotes {
 		fmt.Printf("  - %q\n", n)
 	}
 
 	// The notes are also searchable directly — organizational memory.
-	hits, err := kb.Search("how should tariff or potassium assumptions be handled", 3)
+	hits, err := kb.Search(ctx, "how should tariff or potassium assumptions be handled", 3)
 	if err != nil {
 		log.Fatal(err)
 	}

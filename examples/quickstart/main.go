@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,14 +11,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The synthetic archaeology benchmark dataset (5 tables).
 	corpus := pneuma.ArchaeologyDataset()
 
-	seeker, err := pneuma.NewSeeker(pneuma.Config{}, corpus, nil, nil)
+	// New assembles the concurrency-safe serving facade; options replace
+	// the old Config/RetrieverKnobs split (none needed for defaults).
+	svc, err := pneuma.New(corpus)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess := seeker.NewSession("quickstart-user")
+	defer svc.Close()
+	sess := svc.NewSession("quickstart-user")
 
 	// One vague opener, then a concrete question — the Conductor retrieves,
 	// defines (T, Q), materializes T, executes Q and reports.
@@ -26,7 +31,7 @@ func main() {
 		"What is the average organic matter percentage for soil samples in the Malta region? Round your answer to 4 decimal places.",
 	} {
 		fmt.Printf(">>> %s\n\n", msg)
-		reply, err := sess.Send(msg)
+		reply, err := sess.Send(ctx, msg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,8 +40,9 @@ func main() {
 	}
 
 	// The state view (the paper's Figure 2, box 3).
-	fmt.Println(sess.State.View())
-	if ans, ok := sess.State.Answer(); ok {
+	state := sess.Session().State
+	fmt.Println(state.View())
+	if ans, ok := state.Answer(); ok {
 		fmt.Printf("Final answer: %s\n", ans)
 	}
 }

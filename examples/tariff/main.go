@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -78,15 +79,19 @@ func procurementCorpus() map[string]*pneuma.Table {
 }
 
 func main() {
+	ctx := context.Background()
 	// Web Search is ENABLED here (it is disabled only for benchmarks): the
 	// built-in synthetic web corpus includes the 2026 tariff schedule.
-	web := pneuma.NewWebSearch()
 	kb := pneuma.NewKnowledgeDB()
-	seeker, err := pneuma.NewSeeker(pneuma.Config{WebSearch: true}, procurementCorpus(), web, kb)
+	svc, err := pneuma.New(procurementCorpus(),
+		pneuma.WithWebSearch(pneuma.NewWebSearch()),
+		pneuma.WithKnowledge(kb),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess := seeker.NewSession("finance-analyst")
+	defer svc.Close()
+	sess := svc.NewSession("finance-analyst")
 
 	for _, msg := range []string{
 		// The paper's opening question, made price-concrete.
@@ -96,7 +101,7 @@ func main() {
 		"Impact should be calculated relative to the previous active tariff, not just the current rate. What is the average price of procurement records from Germany relative to the previous tariff?",
 	} {
 		fmt.Printf(">>> %s\n\n", msg)
-		reply, err := sess.Send(msg)
+		reply, err := sess.Send(ctx, msg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,7 +109,7 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Println(sess.State.View())
+	fmt.Println(sess.Session().State.View())
 
 	// The clarification was captured as organizational knowledge (§3.3):
 	// future tariff conversations — by anyone — retrieve it.

@@ -6,6 +6,8 @@
 package baselines
 
 import (
+	"context"
+
 	"pneuma/internal/llm"
 )
 
@@ -43,6 +45,7 @@ type System interface {
 
 // Conversation is one ongoing dialogue.
 type Conversation interface {
-	// Respond handles one user utterance.
-	Respond(utterance string) (Output, error)
+	// Respond handles one user utterance. The context bounds the
+	// system's whole turn (retrieval and model calls).
+	Respond(ctx context.Context, utterance string) (Output, error)
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestFTSReturnsRawTables(t *testing.T) {
 	if fts.Kind() != "static" {
 		t.Fatalf("kind = %q", fts.Kind())
 	}
-	out, err := fts.StartConversation().Respond("potassium Malta")
+	out, err := fts.StartConversation().Respond(context.Background(), "potassium Malta")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestFTSHasNoDescriptionGrounding(t *testing.T) {
 	// "potassium" lives only in a column description; FTS (name+values
 	// index) must miss it while the hybrid retriever finds it.
 	fts := NewFTS(smallCorpus())
-	out, _ := fts.StartConversation().Respond("potassium")
+	out, _ := fts.StartConversation().Respond(context.Background(), "potassium")
 	for _, ti := range out.ShownTables {
 		if ti.Name == "soil_samples" {
 			t.Fatal("FTS should not match on descriptions")
@@ -79,7 +80,7 @@ func TestFTSHasNoDescriptionGrounding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _ = ro.StartConversation().Respond("potassium")
+	out, _ = ro.StartConversation().Respond(context.Background(), "potassium")
 	found := false
 	for _, ti := range out.ShownTables {
 		if ti.Name == "soil_samples" {
@@ -100,7 +101,7 @@ func TestRAGInterpretsButCannotCompute(t *testing.T) {
 		t.Fatalf("kind = %q", rag.Kind())
 	}
 	conv := rag.StartConversation()
-	out, err := conv.Respond("I'm interested in the Potassium concentration measurements.")
+	out, err := conv.Respond(context.Background(), "I'm interested in the Potassium concentration measurements.")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRAGInterpretsButCannotCompute(t *testing.T) {
 	if out.Answer != "" {
 		t.Fatal("RAG must not compute")
 	}
-	if rag.Meter().Calls == 0 {
+	if rag.Meter().Snapshot().Calls == 0 {
 		t.Error("RAG model calls must be metered")
 	}
 }
@@ -119,7 +120,7 @@ func TestDSGuruEasyQuestion(t *testing.T) {
 	corpus := kramabench.Archaeology()
 	questions := kramabench.ArchaeologyQuestions(corpus)
 	g := NewDSGuru(corpus, nil)
-	ans, err := g.AnswerQuestion(questions[0]) // A1, transparent name
+	ans, err := g.AnswerQuestion(context.Background(), questions[0]) // A1, transparent name
 	if err != nil {
 		t.Fatalf("A1: %v", err)
 	}
@@ -133,7 +134,7 @@ func TestDSGuruEasyQuestion(t *testing.T) {
 			a5 = q
 		}
 	}
-	if _, err := g.AnswerQuestion(a5); err == nil {
+	if _, err := g.AnswerQuestion(context.Background(), a5); err == nil {
 		t.Fatal("DS-Guru should fail on opaque column names")
 	}
 }
@@ -143,7 +144,7 @@ func TestFullContextOverflowAndSmallTable(t *testing.T) {
 	questions := kramabench.ArchaeologyQuestions(corpus)
 	o3 := NewFullContext(corpus, nil)
 	// A1 targets the 42k-row soil table: must overflow.
-	_, err := o3.AnswerQuestion(questions[0])
+	_, err := o3.AnswerQuestion(context.Background(), questions[0])
 	if !errors.Is(err, llm.ErrContextLengthExceeded) {
 		t.Fatalf("A1 err = %v, want context overflow", err)
 	}
@@ -158,7 +159,7 @@ func TestFullContextOverflowAndSmallTable(t *testing.T) {
 			a10 = q
 		}
 	}
-	ans, err := o3.AnswerQuestion(a10)
+	ans, err := o3.AnswerQuestion(context.Background(), a10)
 	if err != nil {
 		t.Fatalf("A10 should fit: %v", err)
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ import (
 // the RQ2 accuracy interface.
 type Answerer interface {
 	Name() string
-	AnswerQuestion(q kramabench.Question) (string, error)
+	AnswerQuestion(ctx context.Context, q kramabench.Question) (string, error)
 }
 
 // DSGuru is KramaBench's reference framework (§4.2): it "instructs an LLM
@@ -59,8 +60,8 @@ func (g *DSGuru) Name() string { return "DS-Guru (O3)" }
 
 // AnswerQuestion implements Answerer: decompose → synthesize plan →
 // execute once. Any execution error is final (no repair loop).
-func (g *DSGuru) AnswerQuestion(q kramabench.Question) (string, error) {
-	resp, err := g.model.Complete(llm.Request{
+func (g *DSGuru) AnswerQuestion(ctx context.Context, q kramabench.Question) (string, error) {
+	resp, err := g.model.Complete(ctx, llm.Request{
 		Task: llm.TaskDecompose,
 		System: "You are DS-Guru. Decompose the question into subtasks, reason " +
 			"through each step, and synthesize the code implementing the plan.",
@@ -82,7 +83,7 @@ func (g *DSGuru) AnswerQuestion(q kramabench.Question) (string, error) {
 
 	// One-shot execution: zero repair attempts.
 	mat := core.NewMaterializer(g.model, 0)
-	res, err := mat.Materialize(plan.Spec, g.corpusDocs, plan.Queries)
+	res, err := mat.Materialize(ctx, plan.Spec, g.corpusDocs, plan.Queries)
 	if err != nil {
 		return "", err
 	}

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 
@@ -73,7 +74,7 @@ func (f *FullContext) ContextTokensFor(q kramabench.Question) int {
 }
 
 // AnswerQuestion implements Answerer.
-func (f *FullContext) AnswerQuestion(q kramabench.Question) (string, error) {
+func (f *FullContext) AnswerQuestion(ctx context.Context, q kramabench.Question) (string, error) {
 	inTokens := f.ContextTokensFor(q) + llm.EstimateTokens(q.Need.QuestionText)
 	if inTokens > f.model.ContextLimit() {
 		return "", fmt.Errorf("%w: relevant tables serialize to %d tokens, %s allows %d",
@@ -113,7 +114,7 @@ func (f *FullContext) AnswerQuestion(q kramabench.Question) (string, error) {
 	// A reading model skips malformed values rather than crashing: all
 	// transforms run leniently, without a repair loop.
 	mat := core.NewMaterializer(f.model, 0)
-	plan, err := mat.PlanOnly(spec, corpusDocs, queries)
+	plan, err := mat.PlanOnly(ctx, spec, corpusDocs, queries)
 	if err != nil {
 		return "", err
 	}

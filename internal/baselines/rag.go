@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"pneuma/internal/llm"
 	"pneuma/internal/retriever"
 	"pneuma/internal/table"
@@ -24,7 +25,7 @@ type RAG struct {
 func NewRAG(corpus map[string]*table.Table, model llm.Model) (*RAG, error) {
 	ret := retriever.New(retriever.WithMode(retriever.ModeVectorOnly))
 	for _, name := range sortedNames(corpus) {
-		if err := ret.IndexTable(corpus[name]); err != nil {
+		if err := ret.IndexTable(context.Background(), corpus[name]); err != nil {
 			return nil, err
 		}
 	}
@@ -59,9 +60,9 @@ type ragConv struct {
 	messages []string
 }
 
-func (c *ragConv) Respond(utterance string) (Output, error) {
+func (c *ragConv) Respond(ctx context.Context, utterance string) (Output, error) {
 	c.messages = append(c.messages, utterance)
-	hits, err := c.r.ret.Search(utterance, c.r.topK)
+	hits, err := c.r.ret.Search(ctx, utterance, c.r.topK)
 	if err != nil {
 		return Output{}, err
 	}
@@ -69,7 +70,7 @@ func (c *ragConv) Respond(utterance string) (Output, error) {
 	for _, h := range hits {
 		in.Docs = append(in.Docs, llm.NewDocInfo(h, 12))
 	}
-	resp, err := c.r.model.Complete(llm.Request{
+	resp, err := c.r.model.Complete(ctx, llm.Request{
 		Task: llm.TaskInterpret,
 		System: "You are a retrieval-augmented assistant. Interpret the retrieved " +
 			"context for the user. You cannot execute code or queries.",

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -77,7 +78,8 @@ func (f *FTS) StartConversation() Conversation { return &ftsConv{f} }
 
 type ftsConv struct{ f *FTS }
 
-func (c *ftsConv) Respond(utterance string) (Output, error) {
+func (c *ftsConv) Respond(ctx context.Context, utterance string) (Output, error) {
+	_ = ctx // the FTS index is purely in-memory and non-blocking
 	hits := c.f.index.Search(utterance, staticTopK)
 	var tables []*table.Table
 	for _, h := range hits {
@@ -98,7 +100,7 @@ type RetrieverOnly struct {
 func NewRetrieverOnly(corpus map[string]*table.Table) (*RetrieverOnly, error) {
 	ret := retriever.New()
 	for _, name := range sortedNames(corpus) {
-		if err := ret.IndexTable(corpus[name]); err != nil {
+		if err := ret.IndexTable(context.Background(), corpus[name]); err != nil {
 			return nil, err
 		}
 	}
@@ -116,8 +118,8 @@ func (r *RetrieverOnly) StartConversation() Conversation { return &retrieverConv
 
 type retrieverConv struct{ r *RetrieverOnly }
 
-func (c *retrieverConv) Respond(utterance string) (Output, error) {
-	hits, err := c.r.ret.Search(utterance, staticTopK)
+func (c *retrieverConv) Respond(ctx context.Context, utterance string) (Output, error) {
+	hits, err := c.r.ret.Search(ctx, utterance, staticTopK)
 	if err != nil {
 		return Output{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -108,29 +109,33 @@ func NewConductor(cfg ConductorConfig) *Conductor {
 }
 
 // Turn runs one user turn: up to maxActions Conductor actions ending in a
-// user-facing message.
-func (c *Conductor) Turn(sess *Session, userMessage string) (Reply, error) {
+// user-facing message. The context bounds every model call and retrieval
+// the turn makes.
+func (c *Conductor) Turn(ctx context.Context, sess *Session, userMessage string) (Reply, error) {
 	sess.UserMessages = append(sess.UserMessages, userMessage)
 	if c.dynamicPlanning {
-		return c.dynamicTurn(sess)
+		return c.dynamicTurn(ctx, sess)
 	}
-	return c.staticTurn(sess)
+	return c.staticTurn(ctx, sess)
 }
 
 // dynamicTurn is the paper's conductor loop.
-func (c *Conductor) dynamicTurn(sess *Session) (Reply, error) {
+func (c *Conductor) dynamicTurn(ctx context.Context, sess *Session) (Reply, error) {
 	var reply Reply
 	lastError := ""
 	retrievalRounds := sess.RetrievalRounds
 
 	for action := 0; action < c.maxActions; action++ {
-		decision, err := c.plan(sess, lastError, action, retrievalRounds)
+		if err := ctx.Err(); err != nil {
+			return Reply{}, err
+		}
+		decision, err := c.plan(ctx, sess, lastError, action, retrievalRounds)
 		if err != nil {
 			if errors.Is(err, llm.ErrContextLengthExceeded) {
 				// Specialization failed to bound the context; shed the
 				// lowest-ranked documents and retry once per action.
 				sess.shedDocs()
-				decision, err = c.plan(sess, lastError, action, retrievalRounds)
+				decision, err = c.plan(ctx, sess, lastError, action, retrievalRounds)
 			}
 			if err != nil {
 				return Reply{}, err
@@ -141,7 +146,7 @@ func (c *Conductor) dynamicTurn(sess *Session) (Reply, error) {
 
 		switch decision.Action {
 		case llm.ActionRetrieve:
-			res, err := c.irsys.Query(ir.Request{
+			res, err := c.irsys.Query(ctx, ir.Request{
 				Query:   decision.RetrievalQuery,
 				K:       8,
 				Sources: toSources(decision.Sources, c.webSearch),
@@ -154,6 +159,11 @@ func (c *Conductor) dynamicTurn(sess *Session) (Reply, error) {
 				retrievalRounds++
 				sess.RetrievalRounds = retrievalRounds
 				log.Detail = fmt.Sprintf("query=%q added=%d", decision.RetrievalQuery, added)
+				if res.Degraded != nil {
+					// Partial fusion: good sources answered, the failures
+					// ride along in the action log for the trace.
+					log.Err = res.Degraded.Error()
+				}
 			}
 
 		case llm.ActionUpdateState:
@@ -167,7 +177,7 @@ func (c *Conductor) dynamicTurn(sess *Session) (Reply, error) {
 				break
 			}
 			for _, spec := range sess.State.Specs {
-				res, err := c.materializer.Materialize(spec, sess.Docs, sess.State.Queries)
+				res, err := c.materializer.Materialize(ctx, spec, sess.Docs, sess.State.Queries)
 				if err != nil {
 					lastError = err.Error()
 					log.Err = lastError
@@ -219,23 +229,31 @@ func (c *Conductor) dynamicTurn(sess *Session) (Reply, error) {
 // staticTurn is the fixed pipeline of §3.5: retrieve top-k → define (T, Q)
 // → materialize → execute → respond, with no re-planning, no clarification
 // recovery and no extra retrieval rounds.
-func (c *Conductor) staticTurn(sess *Session) (Reply, error) {
+func (c *Conductor) staticTurn(ctx context.Context, sess *Session) (Reply, error) {
 	var reply Reply
 
 	// Step 1 (fixed): retrieve with the latest message.
-	res, err := c.irsys.Query(ir.Request{
+	res, err := c.irsys.Query(ctx, ir.Request{
 		Query:   sess.UserMessages[len(sess.UserMessages)-1],
 		K:       5,
 		Sources: toSources(nil, c.webSearch),
 	})
+	step1 := ActionLog{Action: llm.ActionRetrieve, Reasoning: "static pipeline step 1"}
 	if err == nil {
 		sess.mergeDocs(res.Documents)
 		sess.RetrievalRounds++
+		if res.Degraded != nil {
+			// Partial fusion: record the per-source failures in the trace,
+			// exactly as the dynamic conductor loop does.
+			step1.Err = res.Degraded.Error()
+		}
+	} else {
+		step1.Err = err.Error()
 	}
-	sess.pushAction(ActionLog{Action: llm.ActionRetrieve, Reasoning: "static pipeline step 1"})
+	sess.pushAction(step1)
 
 	// Step 2 (fixed): one planning call to define (T, Q).
-	decision, err := c.plan(sess, "", 0, sess.RetrievalRounds)
+	decision, err := c.plan(ctx, sess, "", 0, sess.RetrievalRounds)
 	if err != nil {
 		return Reply{}, err
 	}
@@ -247,7 +265,7 @@ func (c *Conductor) staticTurn(sess *Session) (Reply, error) {
 		// own budget (which the Seeker sets to zero in static mode).
 		matFailed := false
 		for _, spec := range sess.State.Specs {
-			mres, err := c.materializer.Materialize(spec, sess.Docs, sess.State.Queries)
+			mres, err := c.materializer.Materialize(ctx, spec, sess.Docs, sess.State.Queries)
 			if err != nil {
 				matFailed = true
 				sess.pushAction(ActionLog{Action: llm.ActionMaterialize, Err: err.Error()})
@@ -279,7 +297,7 @@ func (c *Conductor) staticTurn(sess *Session) (Reply, error) {
 }
 
 // plan makes one conductor-plan model call with the specialized context.
-func (c *Conductor) plan(sess *Session, lastError string, actionsTaken, retrievalRounds int) (llm.ConductorDecision, error) {
+func (c *Conductor) plan(ctx context.Context, sess *Session, lastError string, actionsTaken, retrievalRounds int) (llm.ConductorDecision, error) {
 	sampleVals := c.sampleVals
 	if !c.specialized {
 		// Ablation: the merged mega-context carries materializer-grade
@@ -325,7 +343,7 @@ func (c *Conductor) plan(sess *Session, lastError string, actionsTaken, retrieva
 		}
 		req.Sections = append(req.Sections, llm.Section{Title: "ALL_CONTEXT", Body: b.String()})
 	}
-	resp, err := c.model.Complete(req)
+	resp, err := c.model.Complete(ctx, req)
 	if err != nil {
 		return llm.ConductorDecision{}, err
 	}

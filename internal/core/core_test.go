@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestMaterializerRepairLoopOnDirtyDates(t *testing.T) {
 			{Kind: "parse_dates", Column: "catalog_date"},
 		},
 	}
-	res, err := m.Materialize(spec, dirtyCorpusDocs(), []string{
+	res, err := m.Materialize(context.Background(), spec, dirtyCorpusDocs(), []string{
 		"SELECT AVG(grade) AS answer FROM target_artifacts WHERE YEAR(catalog_date) BETWEEN 1970 AND 1980",
 	})
 	if err != nil {
@@ -132,7 +133,7 @@ func TestMaterializerNoRepairBudgetFails(t *testing.T) {
 			{Kind: "parse_dates", Column: "catalog_date"},
 		},
 	}
-	_, err := m.Materialize(spec, dirtyCorpusDocs(), []string{
+	_, err := m.Materialize(context.Background(), spec, dirtyCorpusDocs(), []string{
 		"SELECT AVG(grade) AS answer FROM target_artifacts WHERE YEAR(catalog_date) BETWEEN 1970 AND 1980",
 	})
 	if err == nil {
@@ -143,7 +144,7 @@ func TestMaterializerNoRepairBudgetFails(t *testing.T) {
 func TestMaterializerMissingBaseTable(t *testing.T) {
 	m := NewMaterializer(llm.NewSimModel(), 1)
 	spec := llm.TableSpec{Name: "t", BaseTable: "ghost", Columns: []string{"x"}}
-	_, err := m.Materialize(spec, dirtyCorpusDocs(), nil)
+	_, err := m.Materialize(context.Background(), spec, dirtyCorpusDocs(), nil)
 	if err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Fatalf("err = %v", err)
 	}
@@ -173,12 +174,12 @@ func smallCorpus() map[string]*table.Table {
 }
 
 func TestSeekerEndToEndTurn(t *testing.T) {
-	seeker, err := New(Config{}, smallCorpus(), nil, nil)
+	seeker, err := New(context.Background(), Config{}, smallCorpus(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sess := seeker.NewSession("tester")
-	reply, err := sess.Send("What is the average organic matter percentage for soil samples in the Malta region? Round your answer to 2 decimal places.")
+	reply, err := sess.Send(context.Background(), "What is the average organic matter percentage for soil samples in the Malta region? Round your answer to 2 decimal places.")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestSeekerEndToEndTurn(t *testing.T) {
 		}
 	}
 	// The meter must have billed tokens.
-	if seeker.Meter().Total.InTokens == 0 {
+	if seeker.Meter().Snapshot().Total.InTokens == 0 {
 		t.Error("no tokens metered")
 	}
 	if sess.TurnLatency == 0 {
@@ -209,15 +210,15 @@ func TestSeekerEndToEndTurn(t *testing.T) {
 }
 
 func TestSeekerRefinementInvalidatesAndRecomputes(t *testing.T) {
-	seeker, err := New(Config{}, smallCorpus(), nil, nil)
+	seeker, err := New(context.Background(), Config{}, smallCorpus(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sess := seeker.NewSession("tester")
-	if _, err := sess.Send("What is the average organic matter percentage for soil samples in the Malta region?"); err != nil {
+	if _, err := sess.Send(context.Background(), "What is the average organic matter percentage for soil samples in the Malta region?"); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := sess.Send("Actually, what is the average organic matter percentage in the Gozo region since 1960?")
+	reply, err := sess.Send(context.Background(), "Actually, what is the average organic matter percentage in the Gozo region since 1960?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,12 +228,12 @@ func TestSeekerRefinementInvalidatesAndRecomputes(t *testing.T) {
 }
 
 func TestSeekerActionCapForcesMessage(t *testing.T) {
-	seeker, err := New(Config{MaxActions: 1}, smallCorpus(), nil, nil)
+	seeker, err := New(context.Background(), Config{MaxActions: 1}, smallCorpus(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sess := seeker.NewSession("tester")
-	reply, err := sess.Send("What is the average organic matter percentage in the Malta region?")
+	reply, err := sess.Send(context.Background(), "What is the average organic matter percentage in the Malta region?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,12 +246,12 @@ func TestSeekerActionCapForcesMessage(t *testing.T) {
 }
 
 func TestKnowledgeCapture(t *testing.T) {
-	seeker, err := New(Config{}, smallCorpus(), nil, nil)
+	seeker, err := New(context.Background(), Config{}, smallCorpus(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sess := seeker.NewSession("alice")
-	if _, err := sess.Send("Note that organic matter should be calculated on dry weight; assume values are comparable across years."); err != nil {
+	if _, err := sess.Send(context.Background(), "Note that organic matter should be calculated on dry weight; assume values are comparable across years."); err != nil {
 		t.Fatal(err)
 	}
 	if seeker.Knowledge().Len() != 1 {
@@ -258,7 +259,7 @@ func TestKnowledgeCapture(t *testing.T) {
 	}
 	// A second user's session surfaces it.
 	bob := seeker.NewSession("bob")
-	if _, err := bob.Send("Tell me about organic matter values across years."); err != nil {
+	if _, err := bob.Send(context.Background(), "Tell me about organic matter values across years."); err != nil {
 		t.Fatal(err)
 	}
 	if len(bob.KnowledgeNotes) == 0 {
@@ -268,12 +269,12 @@ func TestKnowledgeCapture(t *testing.T) {
 
 func TestStaticPipelineMode(t *testing.T) {
 	off := false
-	seeker, err := New(Config{DynamicPlanning: &off}, smallCorpus(), nil, nil)
+	seeker, err := New(context.Background(), Config{DynamicPlanning: &off}, smallCorpus(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sess := seeker.NewSession("tester")
-	reply, err := sess.Send("What is the average organic matter percentage for soil samples in the Malta region?")
+	reply, err := sess.Send(context.Background(), "What is the average organic matter percentage for soil samples in the Malta region?")
 	if err != nil {
 		t.Fatal(err)
 	}

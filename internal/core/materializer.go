@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,8 +41,10 @@ type MaterializeResult struct {
 }
 
 // Materialize builds the target table for spec out of the retrieved
-// documents, running the plan → execute → repair loop.
-func (m *Materializer) Materialize(spec llm.TableSpec, retrieved []docs.Document, queries []string) (MaterializeResult, error) {
+// documents, running the plan → execute → repair loop. The context bounds
+// every planning (model) call; cancellation ends the repair loop early
+// with ctx.Err().
+func (m *Materializer) Materialize(ctx context.Context, spec llm.TableSpec, retrieved []docs.Document, queries []string) (MaterializeResult, error) {
 	var res MaterializeResult
 
 	// Specialized context: only table documents, only integration data.
@@ -56,7 +59,7 @@ func (m *Materializer) Materialize(spec llm.TableSpec, retrieved []docs.Document
 	}
 
 	in := llm.MaterializeInput{Spec: spec, Docs: docDTOs, Queries: queries}
-	plan, err := m.plan(in)
+	plan, err := m.plan(ctx, in)
 	if err != nil {
 		return res, err
 	}
@@ -75,7 +78,7 @@ func (m *Materializer) Materialize(spec llm.TableSpec, retrieved []docs.Document
 		// Repair: same skill, now with the error and the previous plan.
 		in.LastError = execErr.Error()
 		in.PrevPlan = &plan
-		repaired, planErr := m.plan(in)
+		repaired, planErr := m.plan(ctx, in)
 		if planErr != nil {
 			return res, planErr
 		}
@@ -87,14 +90,14 @@ func (m *Materializer) Materialize(spec llm.TableSpec, retrieved []docs.Document
 
 // PlanOnly produces the integration plan for a spec without executing it;
 // the full-context baseline runs plans with its own lenient policy.
-func (m *Materializer) PlanOnly(spec llm.TableSpec, retrieved []docs.Document, queries []string) (llm.MaterializePlan, error) {
+func (m *Materializer) PlanOnly(ctx context.Context, spec llm.TableSpec, retrieved []docs.Document, queries []string) (llm.MaterializePlan, error) {
 	var docDTOs []llm.DocInfo
 	for _, d := range retrieved {
 		if d.Table != nil {
 			docDTOs = append(docDTOs, llm.NewDocInfo(d, m.sampleVals))
 		}
 	}
-	return m.plan(llm.MaterializeInput{Spec: spec, Docs: docDTOs, Queries: queries})
+	return m.plan(ctx, llm.MaterializeInput{Spec: spec, Docs: docDTOs, Queries: queries})
 }
 
 // ExecutePlan runs an integration plan against the retrieved documents.
@@ -108,8 +111,8 @@ func (m *Materializer) ExecutePlan(plan llm.MaterializePlan, spec llm.TableSpec,
 	return m.execute(plan, spec, byName)
 }
 
-func (m *Materializer) plan(in llm.MaterializeInput) (llm.MaterializePlan, error) {
-	resp, err := m.model.Complete(llm.Request{
+func (m *Materializer) plan(ctx context.Context, in llm.MaterializeInput) (llm.MaterializePlan, error) {
+	resp, err := m.model.Complete(ctx, llm.Request{
 		Task: llm.TaskMaterializePlan,
 		System: "You are the Materializer of Pneuma-Seeker. Your sole purpose is to " +
 			"populate the target table T by integrating and transforming the retrieved " +

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"pneuma/internal/docs"
 	"pneuma/internal/ir"
 	"pneuma/internal/llm"
+	"pneuma/internal/pnerr"
 	"pneuma/internal/retriever"
 	"pneuma/internal/table"
 	"pneuma/internal/websearch"
@@ -64,8 +66,10 @@ type Seeker struct {
 }
 
 // New assembles a Seeker over a corpus of tables. web and kb may be nil
-// (a fresh knowledge DB is created when kb is nil).
-func New(cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *docdb.DB) (*Seeker, error) {
+// (a fresh knowledge DB is created when kb is nil). The context governs
+// corpus ingest — canceling it abandons index construction and returns a
+// typed pnerr.ErrCanceled.
+func New(ctx context.Context, cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *docdb.DB) (*Seeker, error) {
 	if cfg.Model == nil {
 		cfg.Model = llm.NewSimModel()
 	}
@@ -109,7 +113,7 @@ func New(cfg Config, corpus map[string]*table.Table, web *websearch.Engine, kb *
 		for _, t := range corpus {
 			tables = append(tables, t)
 		}
-		if err := ret.IndexTables(tables); err != nil {
+		if err := ret.IndexTables(ctx, tables); err != nil {
 			ret.Close()
 			return nil, err
 		}
@@ -177,7 +181,11 @@ func (s *Seeker) Close() error {
 }
 
 // Session is one user's conversation: the shared state, the accumulated
-// retrieved documents, and the message history.
+// retrieved documents, and the message history. A Session is a
+// single-caller object — one conversation has one author — but distinct
+// sessions of the same Seeker may run concurrently (the Service admits
+// them through its scheduler); everything they share (IR System, Document
+// Database, meters) is concurrency-safe.
 type Session struct {
 	seeker *Seeker
 	// User identifies the user for knowledge capture.
@@ -196,6 +204,11 @@ type Session struct {
 	// TurnLatency is the simulated latency of the last turn.
 	TurnLatency time.Duration
 
+	// meter accumulates this session's own model usage; the system meter
+	// keeps recording global totals in parallel, so per-session accounting
+	// works under concurrency without double-locking the shared meter on
+	// the caller side.
+	meter   *llm.Meter
 	actions []ActionLog
 	docIDs  map[string]struct{}
 }
@@ -206,25 +219,53 @@ func (s *Seeker) NewSession(user string) *Session {
 		seeker: s,
 		User:   user,
 		State:  NewState(),
+		meter:  llm.NewMeter(),
 		docIDs: make(map[string]struct{}),
 	}
 }
 
+// Meter exposes the session's own token/latency accounting (the
+// per-session slice of Table 2).
+func (sess *Session) Meter() *llm.Meter { return sess.meter }
+
 // Send delivers one user message and runs the Conductor turn. The returned
 // Reply always carries a user-facing message and the current state view.
-func (sess *Session) Send(message string) (Reply, error) {
+// The context bounds the whole turn: every model call, retrieval fan-out
+// and materialization checks it, and cancellation surfaces as a typed
+// pnerr.ErrCanceled. An empty message is rejected with pnerr.ErrBadQuery
+// before any model call is billed.
+func (sess *Session) Send(ctx context.Context, message string) (Reply, error) {
+	if strings.TrimSpace(message) == "" {
+		return Reply{}, pnerr.BadQueryf("session: send", "empty message")
+	}
+	if err := ctx.Err(); err != nil {
+		return Reply{}, pnerr.Canceled("session: send", err)
+	}
 	s := sess.seeker
-	latBefore := s.meter.TotalLatency
+	// Attribute every model call in this turn to the session's own meter
+	// (in addition to the system meter the MeteredModel already records
+	// on); the turn latency below is read from the session meter, so
+	// concurrent sessions cannot bleed latency into each other.
+	ctx = llm.WithMeter(ctx, sess.meter)
+	latBefore := sess.meter.Snapshot().TotalLatency
 
 	// Knowledge capture (§3.3, §5.2): assumptions the user externalizes are
-	// saved to the Document Database for cross-user transfer.
+	// saved to the Document Database for cross-user transfer. Repeating the
+	// identical message must not pile up duplicate notes, so the capture is
+	// skipped when the database already holds the content verbatim.
 	if captured, topic := captureKnowledge(message); captured != "" {
-		if _, err := s.knowledge.Save(topic, captured, sess.User); err == nil {
+		if !s.knowledge.Contains(topic, captured) {
+			if _, err := s.knowledge.Save(ctx, topic, captured, sess.User); err == nil {
+				sess.KnowledgeNotes = append(sess.KnowledgeNotes, captured)
+			}
+		} else if !containsNote(sess.KnowledgeNotes, captured) {
+			// Already in organizational memory (this or another session);
+			// still surface it in this session's context.
 			sess.KnowledgeNotes = append(sess.KnowledgeNotes, captured)
 		}
 	}
 	// Surface previously captured knowledge relevant to this message.
-	if notes, err := s.knowledge.Search(message, 3); err == nil {
+	if notes, err := s.knowledge.Search(ctx, message, 3); err == nil {
 		for _, n := range notes {
 			body := n.Content
 			// Document content is "topic\nbody"; sessions carry the body.
@@ -237,9 +278,15 @@ func (sess *Session) Send(message string) (Reply, error) {
 		}
 	}
 
-	reply, err := s.conductor.Turn(sess, message)
-	sess.TurnLatency = s.meter.TotalLatency - latBefore
-	return reply, err
+	reply, err := s.conductor.Turn(ctx, sess, message)
+	sess.TurnLatency = sess.meter.Snapshot().TotalLatency - latBefore
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return reply, pnerr.Canceled("session: send", ctxErr)
+		}
+		return reply, err
+	}
+	return reply, nil
 }
 
 // mergeDocs adds newly retrieved documents, deduplicating by ID; returns

@@ -6,6 +6,7 @@
 package docdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -34,8 +35,13 @@ type DB struct {
 	mu    sync.RWMutex
 	seq   int
 	notes map[string]Note
-	index *retriever.Retriever
-	clock func() time.Time
+	// byContent maps topic+"\n"+body to the note ID that first captured
+	// it, so repeated identical knowledge is recognized instead of saved
+	// again (§3.3: the Document Database is shared organizational memory,
+	// not a chat log).
+	byContent map[string]string
+	index     *retriever.Retriever
+	clock     func() time.Time
 }
 
 // Option configures a DB.
@@ -51,9 +57,10 @@ func New(opts ...Option) *DB {
 	// A single shard: knowledge notes arrive one at a time and the corpus
 	// stays small, so shard fan-out would only fragment BM25 statistics.
 	d := &DB{
-		notes: make(map[string]Note),
-		index: retriever.New(retriever.WithShards(1)),
-		clock: time.Now,
+		notes:     make(map[string]Note),
+		byContent: make(map[string]string),
+		index:     retriever.New(retriever.WithShards(1)),
+		clock:     time.Now,
 	}
 	for _, o := range opts {
 		o(d)
@@ -62,29 +69,53 @@ func New(opts ...Option) *DB {
 }
 
 // Save captures a knowledge note and indexes it. It returns the stored note
-// with its assigned ID.
-func (d *DB) Save(topic, body, author string) (Note, error) {
+// with its assigned ID. Saving content (topic, body) that the database
+// already holds verbatim is a no-op that returns the existing note — the
+// store deduplicates so repeated identical user messages cannot pile up
+// duplicate notes. A failed save (e.g. canceled ctx) stores nothing: the
+// note and its dedupe key are only committed after indexing succeeds, so
+// a retry with the same content is a real save, not a silent no-op
+// returning an unsearchable note.
+func (d *DB) Save(ctx context.Context, topic, body, author string) (Note, error) {
+	key := topic + "\n" + body
+	// The whole save runs under d.mu so two concurrent saves of the same
+	// content cannot both pass the dedupe check; the index has its own
+	// locking and never takes d.mu, so there is no ordering cycle.
 	d.mu.Lock()
-	d.seq++
+	defer d.mu.Unlock()
+	if id, dup := d.byContent[key]; dup {
+		return d.notes[id], nil
+	}
 	n := Note{
-		ID:        fmt.Sprintf("note:%d", d.seq),
+		ID:        fmt.Sprintf("note:%d", d.seq+1),
 		Topic:     topic,
 		Body:      body,
 		Author:    author,
 		CreatedAt: d.clock(),
 	}
-	d.notes[n.ID] = n
-	d.mu.Unlock()
-
-	err := d.index.IndexDocument(docs.Document{
+	if err := d.index.IndexDocument(ctx, docs.Document{
 		ID:      n.ID,
 		Kind:    docs.KindKnowledge,
 		Title:   topic,
-		Content: topic + "\n" + body,
+		Content: key,
 		Source:  "document-db",
 		Meta:    map[string]string{"author": author},
-	})
-	return n, err
+	}); err != nil {
+		return Note{}, err
+	}
+	d.seq++
+	d.notes[n.ID] = n
+	d.byContent[key] = n.ID
+	return n, nil
+}
+
+// Contains reports whether the database already holds a note with exactly
+// this topic and body — the dedupe check Session.Send runs before capture.
+func (d *DB) Contains(topic, body string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.byContent[topic+"\n"+body]
+	return ok
 }
 
 // Version returns the underlying index's mutation counter; the IR
@@ -92,8 +123,9 @@ func (d *DB) Save(topic, body, author string) (Note, error) {
 func (d *DB) Version() uint64 { return d.index.Version() }
 
 // Search returns the top-k knowledge notes relevant to the query.
-func (d *DB) Search(query string, k int) ([]docs.Document, error) {
-	return d.index.Search(query, k)
+// Cancellation propagates to the underlying hybrid index.
+func (d *DB) Search(ctx context.Context, query string, k int) ([]docs.Document, error) {
+	return d.index.Search(ctx, query, k)
 }
 
 // Get returns a note by ID.

@@ -1,6 +1,7 @@
 package docdb
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -12,14 +13,14 @@ func fixedClock() func() time.Time {
 
 func TestSaveAndSearch(t *testing.T) {
 	db := New(WithClock(fixedClock()))
-	n, err := db.Save("tariff impact", "Tariff impact must account for both direct and indirect tariffs.", "alice")
+	n, err := db.Save(context.Background(), "tariff impact", "Tariff impact must account for both direct and indirect tariffs.", "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n.ID == "" || n.Author != "alice" {
 		t.Fatalf("note = %+v", n)
 	}
-	hits, err := db.Search("how do I estimate tariff impacts?", 3)
+	hits, err := db.Search(context.Background(), "how do I estimate tariff impacts?", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,10 +32,10 @@ func TestSaveAndSearch(t *testing.T) {
 func TestCrossUserTransfer(t *testing.T) {
 	// The paper's §3.3 scenario: one user's insight serves later users.
 	db := New()
-	if _, err := db.Save("tariff impact", "account for direct and indirect tariffs", "alice"); err != nil {
+	if _, err := db.Save(context.Background(), "tariff impact", "account for direct and indirect tariffs", "alice"); err != nil {
 		t.Fatal(err)
 	}
-	hits, err := db.Search("tariff", 1)
+	hits, err := db.Search(context.Background(), "tariff", 1)
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("bob cannot retrieve alice's note: %v %v", hits, err)
 	}
@@ -45,8 +46,8 @@ func TestCrossUserTransfer(t *testing.T) {
 
 func TestGetAllLen(t *testing.T) {
 	db := New(WithClock(fixedClock()))
-	n1, _ := db.Save("a", "body a", "u1")
-	_, _ = db.Save("b", "body b", "u2")
+	n1, _ := db.Save(context.Background(), "a", "body a", "u1")
+	_, _ = db.Save(context.Background(), "b", "body b", "u2")
 	if db.Len() != 2 || len(db.All()) != 2 {
 		t.Fatalf("len = %d", db.Len())
 	}
@@ -59,5 +60,44 @@ func TestGetAllLen(t *testing.T) {
 	}
 	if !got.CreatedAt.Equal(fixedClock()()) {
 		t.Errorf("clock not applied: %v", got.CreatedAt)
+	}
+}
+
+// TestSaveDeduplicates: saving identical (topic, body) content returns the
+// existing note instead of storing and indexing a duplicate — the
+// store-level half of the knowledge-capture dedupe.
+func TestSaveDeduplicates(t *testing.T) {
+	db := New(WithClock(fixedClock()))
+	ctx := context.Background()
+	first, err := db.Save(ctx, "tariff impact", "account for direct and indirect tariffs", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	versionAfterFirst := db.Version()
+	dup, err := db.Save(ctx, "tariff impact", "account for direct and indirect tariffs", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != first.ID {
+		t.Fatalf("duplicate save created a new note %s (first %s)", dup.ID, first.ID)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	if db.Version() != versionAfterFirst {
+		t.Fatal("duplicate save mutated the index (cache invalidation storm)")
+	}
+	if !db.Contains("tariff impact", "account for direct and indirect tariffs") {
+		t.Fatal("Contains = false for stored content")
+	}
+	if db.Contains("tariff impact", "different body") {
+		t.Fatal("Contains = true for unstored content")
+	}
+	// Different body under the same topic is still new knowledge.
+	if _, err := db.Save(ctx, "tariff impact", "previous active tariff is the reference point", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
 	}
 }

@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -19,7 +20,10 @@ func TestEmbedBatchMatchesSequential(t *testing.T) {
 		want[i] = e.Embed(s)
 	}
 	for _, workers := range []int{0, 1, 2, 4, 64} {
-		got := e.EmbedBatch(texts, workers)
+		got, err := e.EmbedBatch(context.Background(), texts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: len = %d", workers, len(got))
 		}
@@ -35,8 +39,8 @@ func TestEmbedBatchMatchesSequential(t *testing.T) {
 
 func TestEmbedAllEmpty(t *testing.T) {
 	e := New()
-	if got := e.EmbedAll(nil); len(got) != 0 {
-		t.Fatalf("EmbedAll(nil) = %v", got)
+	if got, err := e.EmbedAll(context.Background(), nil); err != nil || len(got) != 0 {
+		t.Fatalf("EmbedAll(nil) = %v, %v", got, err)
 	}
 }
 
@@ -56,12 +60,34 @@ func TestEmbedFieldsBatchMatchesSequential(t *testing.T) {
 	for i, f := range batch {
 		want[i] = e.EmbedFields(f)
 	}
-	got := e.EmbedFieldsBatch(batch, 3)
+	got, err := e.EmbedFieldsBatch(context.Background(), batch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range got {
 		for d := range got[i] {
 			if got[i][d] != want[i][d] {
 				t.Fatalf("vector %d dim %d diverged", i, d)
 			}
 		}
+	}
+}
+
+// TestEmbedBatchCanceled: a canceled context stops dispatch and returns
+// ctx.Err() instead of a partial result.
+func TestEmbedBatchCanceled(t *testing.T) {
+	e := New()
+	texts := make([]string, 100)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("document %d", i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EmbedBatch(ctx, texts, 4); err == nil {
+		t.Fatal("EmbedBatch with canceled ctx returned no error")
+	}
+	// Sequential path (workers=1) honors cancellation too.
+	if _, err := e.EmbedBatch(ctx, texts, 1); err == nil {
+		t.Fatal("sequential EmbedBatch with canceled ctx returned no error")
 	}
 }

@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"context"
 	"hash/fnv"
 	"runtime"
 	"sync"
@@ -112,35 +113,44 @@ type WeightedText struct {
 // negative means GOMAXPROCS). The result is positionally aligned with the
 // input and bit-identical to embedding each text sequentially: each worker
 // writes only its own output slot, so scheduling order cannot affect the
-// vectors. This is the amortized path bulk ingest uses.
-func (e *Embedder) EmbedBatch(texts []string, workers int) [][]float32 {
+// vectors. This is the amortized path bulk ingest uses. A canceled ctx
+// stops handing texts to the pool: already-started texts finish, un-started
+// ones are abandoned, and ctx.Err() is returned.
+func (e *Embedder) EmbedBatch(ctx context.Context, texts []string, workers int) ([][]float32, error) {
 	out := make([][]float32, len(texts))
-	forEachParallel(len(texts), workers, func(i int) {
+	if err := forEachParallel(ctx, len(texts), workers, func(i int) {
 		out[i] = e.Embed(texts[i])
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EmbedAll is EmbedBatch with the default worker count (GOMAXPROCS).
-func (e *Embedder) EmbedAll(texts []string) [][]float32 {
-	return e.EmbedBatch(texts, 0)
+func (e *Embedder) EmbedAll(ctx context.Context, texts []string) ([][]float32, error) {
+	return e.EmbedBatch(ctx, texts, 0)
 }
 
 // EmbedFieldsBatch embeds many multi-field documents with a worker pool of
 // the given size (0 or negative means GOMAXPROCS). Output is positionally
-// aligned with the input, exactly as EmbedBatch.
-func (e *Embedder) EmbedFieldsBatch(batch [][]WeightedText, workers int) [][]float32 {
+// aligned with the input, exactly as EmbedBatch; cancellation behaves the
+// same way.
+func (e *Embedder) EmbedFieldsBatch(ctx context.Context, batch [][]WeightedText, workers int) ([][]float32, error) {
 	out := make([][]float32, len(batch))
-	forEachParallel(len(batch), workers, func(i int) {
+	if err := forEachParallel(ctx, len(batch), workers, func(i int) {
 		out[i] = e.EmbedFields(batch[i])
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // forEachParallel runs fn(i) for i in [0,n) across a bounded worker pool.
 // Indices are handed out through a channel, so work stays balanced even
-// when individual items vary widely in cost.
-func forEachParallel(n, workers int, fn func(i int)) {
+// when individual items vary widely in cost. Cancellation is checked at
+// each hand-off: remaining indices are never dispatched and ctx.Err() is
+// returned after in-flight items drain.
+func forEachParallel(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -149,9 +159,12 @@ func forEachParallel(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -164,11 +177,20 @@ func forEachParallel(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return err
 }
 
 // add hashes the feature into a bucket with a deterministic sign. Using a

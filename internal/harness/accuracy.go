@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 
 	"pneuma/internal/baselines"
@@ -34,11 +35,11 @@ type AccuracySummary struct {
 
 // RunAccuracy evaluates an answerer over a question bank against the
 // oracle's ground truth.
-func RunAccuracy(sys baselines.Answerer, questions []kramabench.Question) AccuracySummary {
+func RunAccuracy(ctx context.Context, sys baselines.Answerer, questions []kramabench.Question) AccuracySummary {
 	sum := AccuracySummary{System: sys.Name(), Total: len(questions)}
 	for _, q := range questions {
 		outcome := QuestionOutcome{QuestionID: q.ID, Expected: q.Answer}
-		ans, err := sys.AnswerQuestion(q)
+		ans, err := sys.AnswerQuestion(ctx, q)
 		if err != nil {
 			outcome.Err = err.Error()
 			outcome.ContextExceeded = errors.Is(err, llm.ErrContextLengthExceeded)
@@ -80,8 +81,8 @@ func NewRAGAnswerer(system baselines.System, sim llm.Model) *RAGAnswerer {
 func (a *RAGAnswerer) Name() string { return a.system.Name() }
 
 // AnswerQuestion implements baselines.Answerer.
-func (a *RAGAnswerer) AnswerQuestion(q kramabench.Question) (string, error) {
-	res, err := RunConversation(a.system, q, a.sim, DefaultMaxTurns)
+func (a *RAGAnswerer) AnswerQuestion(ctx context.Context, q kramabench.Question) (string, error) {
+	res, err := RunConversation(ctx, a.system, q, a.sim, DefaultMaxTurns)
 	if err != nil {
 		return "", err
 	}

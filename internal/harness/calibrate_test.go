@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestCalibrationSweep(t *testing.T) {
 
 		sums := map[string]ConvergenceSummary{}
 		for _, sys := range []baselines.System{fts, retOnly, rag, seeker} {
-			sum, err := RunConvergence(sys, questions, sim, DefaultMaxTurns)
+			sum, err := RunConvergence(context.Background(), sys, questions, sim, DefaultMaxTurns)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", ds.name, sys.Name(), err)
 			}
@@ -65,12 +66,12 @@ func TestCalibrationSweep(t *testing.T) {
 		}
 
 		// RQ2.
-		seekerAcc := RunAccuracy(NewSeekerAnswerer(seeker, sim), questions)
+		seekerAcc := RunAccuracy(context.Background(), NewSeekerAnswerer(seeker, sim), questions)
 		dsguru := baselines.NewDSGuru(corpus, nil)
-		dsguruAcc := RunAccuracy(dsguru, questions)
-		ragAcc := RunAccuracy(NewRAGAnswerer(rag, sim), questions)
+		dsguruAcc := RunAccuracy(context.Background(), dsguru, questions)
+		ragAcc := RunAccuracy(context.Background(), NewRAGAnswerer(rag, sim), questions)
 		o3 := baselines.NewFullContext(corpus, nil)
-		o3Acc := RunAccuracy(o3, questions)
+		o3Acc := RunAccuracy(context.Background(), o3, questions)
 
 		for _, acc := range []AccuracySummary{ragAcc, dsguruAcc, seekerAcc, o3Acc} {
 			t.Logf("[%s] RQ2 %-18s acc=%d/%d (%.2f%%) ctxExceeded=%d", ds.name, acc.System, acc.Correct, acc.Total, acc.Pct, acc.ContextExceededCount)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -42,8 +43,9 @@ type TranscriptEntry struct {
 }
 
 // RunConversation simulates one user (Figure 3) against one system for one
-// benchmark question.
-func RunConversation(sys baselines.System, q kramabench.Question, simModel llm.Model, maxTurns int) (ConversationResult, error) {
+// benchmark question. The context bounds every model call and system turn;
+// cancellation aborts the conversation with ctx.Err().
+func RunConversation(ctx context.Context, sys baselines.System, q kramabench.Question, simModel llm.Model, maxTurns int) (ConversationResult, error) {
 	if maxTurns <= 0 {
 		maxTurns = DefaultMaxTurns
 	}
@@ -70,7 +72,7 @@ func RunConversation(sys baselines.System, q kramabench.Question, simModel llm.M
 			LastAnswer:        last.Answer,
 			ContextOverflowed: overflowed,
 		}
-		resp, err := simModel.Complete(llm.Request{
+		resp, err := simModel.Complete(ctx, llm.Request{
 			Task:    llm.TaskUserSim,
 			System:  "You are simulating a domain expert exploring an enterprise dataset.",
 			Payload: llm.MarshalPayload(in),
@@ -99,7 +101,7 @@ func RunConversation(sys baselines.System, q kramabench.Question, simModel llm.M
 			probeCount = 0
 		}
 
-		out, err := conv.Respond(move.Utterance)
+		out, err := conv.Respond(ctx, move.Utterance)
 		if err != nil {
 			return res, err
 		}
@@ -140,13 +142,13 @@ type ConvergenceSummary struct {
 }
 
 // RunConvergence evaluates one system over a bank of questions.
-func RunConvergence(sys baselines.System, questions []kramabench.Question, simModel llm.Model, maxTurns int) (ConvergenceSummary, error) {
+func RunConvergence(ctx context.Context, sys baselines.System, questions []kramabench.Question, simModel llm.Model, maxTurns int) (ConvergenceSummary, error) {
 	start := time.Now()
 	sum := ConvergenceSummary{System: sys.Name()}
 	var turns []int
 	converged := 0
 	for _, q := range questions {
-		r, err := RunConversation(sys, q, simModel, maxTurns)
+		r, err := RunConversation(ctx, sys, q, simModel, maxTurns)
 		if err != nil {
 			return sum, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestDebugQuestion(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
-	res, err := RunConversation(sys, q, sim, DefaultMaxTurns)
+	res, err := RunConversation(context.Background(), sys, q, sim, DefaultMaxTurns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDebugQuestion(t *testing.T) {
 	if os.Getenv("PNEUMA_DEBUG_REPLAY") != "" {
 		conv := sys.StartConversation().(*seekerConv)
 		for _, e := range res.Transcript {
-			reply, err := conv.sess.Send(e.User)
+			reply, err := conv.sess.Send(context.Background(), e.User)
 			if err != nil {
 				t.Logf("REPLAY error: %v", err)
 				continue

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestConvergenceRunnerOnFakeSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
-	sum, err := RunConvergence(sys, questions, sim, 15)
+	sum, err := RunConvergence(context.Background(), sys, questions, sim, 15)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -208,8 +209,10 @@ type DatasetEvaluation struct {
 	Tokens      TokenUsageRow
 }
 
-// RunFullEvaluation runs everything the paper's §4 reports for one dataset.
-func RunFullEvaluation(dataset string, corpus map[string]*table.Table, questions []kramabench.Question, opts EvalOptions) (DatasetEvaluation, error) {
+// RunFullEvaluation runs everything the paper's §4 reports for one
+// dataset. The context bounds the whole sweep; cancellation aborts
+// between conversations.
+func RunFullEvaluation(ctx context.Context, dataset string, corpus map[string]*table.Table, questions []kramabench.Question, opts EvalOptions) (DatasetEvaluation, error) {
 	if opts.MaxTurns <= 0 {
 		opts.MaxTurns = DefaultMaxTurns
 	}
@@ -232,7 +235,7 @@ func RunFullEvaluation(dataset string, corpus map[string]*table.Table, questions
 
 	// RQ1 (Figure 4/5): the four systems in the paper's legend order.
 	for _, sys := range []baselines.System{fts, retOnly, rag, seeker} {
-		sum, err := RunConvergence(sys, questions, sim, opts.MaxTurns)
+		sum, err := RunConvergence(ctx, sys, questions, sim, opts.MaxTurns)
 		if err != nil {
 			return out, err
 		}
@@ -241,7 +244,7 @@ func RunFullEvaluation(dataset string, corpus map[string]*table.Table, questions
 
 	// Table 2: average seeker-side token usage per interaction, measured
 	// during the RQ1 sweep.
-	meter := seeker.Seeker().Meter()
+	meter := seeker.Seeker().Meter().Snapshot()
 	n := len(questions)
 	avgIn := meter.Total.InTokens / n
 	avgOut := meter.Total.OutTokens / n
@@ -269,11 +272,11 @@ func RunFullEvaluation(dataset string, corpus map[string]*table.Table, questions
 		return out, err
 	}
 	out.RQ2 = []AccuracySummary{
-		RunAccuracy(NewRAGAnswerer(rag2, sim), questions),
-		RunAccuracy(baselines.NewDSGuru(corpus, nil), questions),
-		RunAccuracy(NewSeekerAnswerer(seeker2, sim), questions),
+		RunAccuracy(ctx, NewRAGAnswerer(rag2, sim), questions),
+		RunAccuracy(ctx, baselines.NewDSGuru(corpus, nil), questions),
+		RunAccuracy(ctx, NewSeekerAnswerer(seeker2, sim), questions),
 	}
-	out.O3 = RunAccuracy(baselines.NewFullContext(corpus, nil), questions)
+	out.O3 = RunAccuracy(ctx, baselines.NewFullContext(corpus, nil), questions)
 	return out, nil
 }
 

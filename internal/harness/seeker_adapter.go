@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pneuma/internal/baselines"
@@ -28,7 +29,7 @@ func NewSeekerSystem(corpus map[string]*table.Table, cfg *core.Config) (*SeekerS
 	if cfg != nil {
 		c = *cfg
 	}
-	s, err := core.New(c, corpus, nil, nil)
+	s, err := core.New(context.Background(), c, corpus, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -53,8 +54,8 @@ type seekerConv struct {
 	sess *core.Session
 }
 
-func (c *seekerConv) Respond(utterance string) (baselines.Output, error) {
-	reply, err := c.sess.Send(utterance)
+func (c *seekerConv) Respond(ctx context.Context, utterance string) (baselines.Output, error) {
+	reply, err := c.sess.Send(ctx, utterance)
 	if err != nil {
 		// A hard system error still yields a user-visible surface; the
 		// conversation continues (and likely fails to converge), matching
@@ -108,8 +109,8 @@ func (a *SeekerAnswerer) Name() string { return "Pneuma-Seeker" }
 
 // AnswerQuestion implements baselines.Answerer: the answer is whatever the
 // system has computed by the end of the simulated conversation.
-func (a *SeekerAnswerer) AnswerQuestion(q kramabench.Question) (string, error) {
-	res, err := RunConversation(a.system, q, a.sim, DefaultMaxTurns)
+func (a *SeekerAnswerer) AnswerQuestion(ctx context.Context, q kramabench.Question) (string, error) {
+	res, err := RunConversation(ctx, a.system, q, a.sim, DefaultMaxTurns)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"pneuma/internal/kramabench"
@@ -18,7 +19,7 @@ func TestSmokeSeekerA1(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := llm.NewSimModel(llm.WithProfile("gpt-4o"))
-	res, err := RunConversation(sys, q, sim, DefaultMaxTurns)
+	res, err := RunConversation(context.Background(), sys, q, sim, DefaultMaxTurns)
 	if err != nil {
 		t.Fatal(err)
 	}

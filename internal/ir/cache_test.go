@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -25,15 +26,15 @@ func mkTable(name, desc, colDesc string) *table.Table {
 
 func TestRRFFusionAcrossSources(t *testing.T) {
 	ret := retriever.New()
-	if err := ret.IndexTable(mkTable("potassium_levels", "Potassium measurements", "potassium concentration")); err != nil {
+	if err := ret.IndexTable(context.Background(), mkTable("potassium_levels", "Potassium measurements", "potassium concentration")); err != nil {
 		t.Fatal(err)
 	}
 	kb := docdb.New()
-	if _, err := kb.Save("potassium", "potassium should be interpolated", "alice"); err != nil {
+	if _, err := kb.Save(context.Background(), "potassium", "potassium should be interpolated", "alice"); err != nil {
 		t.Fatal(err)
 	}
 	s := New(ret, kb, nil)
-	res, err := s.Query(Request{Query: "potassium", K: 3})
+	res, err := s.Query(context.Background(), Request{Query: "potassium", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +61,14 @@ func TestQueryCacheHitAndCopy(t *testing.T) {
 	if s.CacheLen() != 0 {
 		t.Fatalf("fresh system has %d cache entries", s.CacheLen())
 	}
-	res1, err := s.Query(Request{Query: "potassium samples", K: 3})
+	res1, err := s.Query(context.Background(), Request{Query: "potassium samples", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.CacheLen() != 1 {
 		t.Fatalf("cache len = %d after first query", s.CacheLen())
 	}
-	res2, err := s.Query(Request{Query: "potassium samples", K: 3})
+	res2, err := s.Query(context.Background(), Request{Query: "potassium samples", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestQueryCacheHitAndCopy(t *testing.T) {
 	// The cache must hand out copies: mutating a result must not corrupt
 	// later hits.
 	res2.Documents[0].Score = -1
-	res3, _ := s.Query(Request{Query: "potassium samples", K: 3})
+	res3, _ := s.Query(context.Background(), Request{Query: "potassium samples", K: 3})
 	if res3.Documents[0].Score == -1 {
 		t.Fatal("cache returned aliased slice")
 	}
@@ -93,13 +94,13 @@ func TestQueryCacheHitAndCopy(t *testing.T) {
 
 func TestCacheInvalidationOnMutation(t *testing.T) {
 	ret := retriever.New()
-	if err := ret.IndexTable(mkTable("soil_samples", "Soil chemistry", "potassium concentration")); err != nil {
+	if err := ret.IndexTable(context.Background(), mkTable("soil_samples", "Soil chemistry", "potassium concentration")); err != nil {
 		t.Fatal(err)
 	}
 	kb := docdb.New()
 	s := New(ret, kb, nil)
 
-	res, err := s.Query(Request{Query: "potassium interpolation", K: 5})
+	res, err := s.Query(context.Background(), Request{Query: "potassium interpolation", K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +110,10 @@ func TestCacheInvalidationOnMutation(t *testing.T) {
 		}
 	}
 	// Mutate one source; the cached entry must not be served.
-	if _, err := kb.Save("potassium interpolation", "potassium should be interpolated between samples", "bob"); err != nil {
+	if _, err := kb.Save(context.Background(), "potassium interpolation", "potassium should be interpolated between samples", "bob"); err != nil {
 		t.Fatal(err)
 	}
-	res, err = s.Query(Request{Query: "potassium interpolation", K: 5})
+	res, err = s.Query(context.Background(), Request{Query: "potassium interpolation", K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +128,10 @@ func TestCacheInvalidationOnMutation(t *testing.T) {
 	}
 
 	// Table-index mutation invalidates too.
-	if err := ret.IndexTable(mkTable("potassium_extra", "Extra potassium data", "potassium reading")); err != nil {
+	if err := ret.IndexTable(context.Background(), mkTable("potassium_extra", "Extra potassium data", "potassium reading")); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = s.Query(Request{Query: "potassium interpolation", K: 5})
+	res, _ = s.Query(context.Background(), Request{Query: "potassium interpolation", K: 5})
 	seen := false
 	for _, d := range res.Documents {
 		if d.ID == "table:potassium_extra" {
@@ -144,12 +145,12 @@ func TestCacheInvalidationOnMutation(t *testing.T) {
 
 func TestCacheEvictionAndDisable(t *testing.T) {
 	ret := retriever.New()
-	if err := ret.IndexTable(mkTable("t1", "data", "metric")); err != nil {
+	if err := ret.IndexTable(context.Background(), mkTable("t1", "data", "metric")); err != nil {
 		t.Fatal(err)
 	}
 	s := New(ret, nil, nil, WithCacheSize(2))
 	for i := 0; i < 5; i++ {
-		if _, err := s.Query(Request{Query: fmt.Sprintf("query %d", i), K: 2}); err != nil {
+		if _, err := s.Query(context.Background(), Request{Query: fmt.Sprintf("query %d", i), K: 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func TestCacheEvictionAndDisable(t *testing.T) {
 	}
 
 	off := New(ret, nil, nil, WithCacheSize(0))
-	if _, err := off.Query(Request{Query: "anything", K: 2}); err != nil {
+	if _, err := off.Query(context.Background(), Request{Query: "anything", K: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if off.CacheLen() != 0 {
@@ -171,7 +172,7 @@ func TestCacheEvictionAndDisable(t *testing.T) {
 // the cache or the fan-out.
 func TestConcurrentQueriesAndMutations(t *testing.T) {
 	ret := retriever.New()
-	if err := ret.IndexTable(mkTable("base", "base data", "baseline metric")); err != nil {
+	if err := ret.IndexTable(context.Background(), mkTable("base", "base data", "baseline metric")); err != nil {
 		t.Fatal(err)
 	}
 	kb := docdb.New()
@@ -183,7 +184,7 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := s.Query(Request{Query: fmt.Sprintf("metric %d", (g+i)%3), K: 3}); err != nil {
+				if _, err := s.Query(context.Background(), Request{Query: fmt.Sprintf("metric %d", (g+i)%3), K: 3}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -194,7 +195,7 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 10; i++ {
-			if _, err := kb.Save("note", fmt.Sprintf("knowledge body %d", i), "x"); err != nil {
+			if _, err := kb.Save(context.Background(), "note", fmt.Sprintf("knowledge body %d", i), "x"); err != nil {
 				t.Error(err)
 				return
 			}
@@ -203,7 +204,7 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 10; i++ {
-			if err := ret.IndexTable(mkTable(fmt.Sprintf("t%d", i), "more data", "another metric")); err != nil {
+			if err := ret.IndexTable(context.Background(), mkTable(fmt.Sprintf("t%d", i), "more data", "another metric")); err != nil {
 				t.Error(err)
 				return
 			}

@@ -1,6 +1,8 @@
 package ir
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +11,7 @@ import (
 
 	"pneuma/internal/docdb"
 	"pneuma/internal/docs"
+	"pneuma/internal/pnerr"
 	"pneuma/internal/retriever"
 	"pneuma/internal/table"
 	"pneuma/internal/websearch"
@@ -98,6 +101,12 @@ type Request struct {
 // Result is the merged retrieval response.
 type Result struct {
 	Documents []docs.Document
+	// Degraded carries the per-source failures of a partially successful
+	// query (errors.Join of one typed error per failed source, nil when
+	// every source answered). Documents still holds the fusion of the
+	// sources that succeeded — one failing source no longer discards the
+	// others' good results.
+	Degraded error
 }
 
 // TableDocs filters the result to table documents.
@@ -141,7 +150,16 @@ func (r Result) Summary(sampleRows int) string {
 // document ID, so the merged order is deterministic. Results are served
 // from a bounded LRU cache keyed on (query, k, sources) and invalidated
 // whenever any source's index mutates.
-func (s *System) Query(req Request) (Result, error) {
+//
+// Failure semantics: a canceled ctx returns a typed pnerr.ErrCanceled; an
+// unknown source returns pnerr.ErrBadQuery; and when only some sources
+// fail, the query degrades instead of discarding the good results — the
+// returned Result fuses the successful sources and carries the per-source
+// failures (errors.Join) in Result.Degraded. Only when every source fails
+// is an error (pnerr.ErrDegraded wrapping the join) returned. Degraded
+// results are never cached, so a recovered source is consulted again on
+// the next identical query.
+func (s *System) Query(ctx context.Context, req Request) (Result, error) {
 	k := req.K
 	if k <= 0 {
 		k = 5
@@ -154,8 +172,11 @@ func (s *System) Query(req Request) (Result, error) {
 		switch src {
 		case SourceTables, SourceKnowledge, SourceWeb:
 		default:
-			return Result{}, fmt.Errorf("ir: unknown source %q", src)
+			return Result{}, pnerr.BadQueryf("ir: query", "unknown source %q", src)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, pnerr.Canceled("ir: query", err)
 	}
 
 	key := cacheKey(req.Query, k, sources)
@@ -166,7 +187,8 @@ func (s *System) Query(req Request) (Result, error) {
 
 	// Fan out to all requested sources concurrently; slot i of lists holds
 	// source i's ranked results, so the fusion below is order-independent
-	// of goroutine completion.
+	// of goroutine completion. Each source is ctx-aware, so cancellation
+	// propagates into the shard fan-outs and the wait stays short.
 	lists := make([][]docs.Document, len(sources))
 	errs := make([]error, len(sources))
 	var wg sync.WaitGroup
@@ -177,24 +199,36 @@ func (s *System) Query(req Request) (Result, error) {
 			switch src {
 			case SourceTables:
 				if s.Tables != nil {
-					lists[i], errs[i] = s.Tables.Search(req.Query, k)
+					lists[i], errs[i] = s.Tables.Search(ctx, req.Query, k)
 				}
 			case SourceKnowledge:
 				if s.Knowledge != nil {
-					lists[i], errs[i] = s.Knowledge.Search(req.Query, k)
+					lists[i], errs[i] = s.Knowledge.Search(ctx, req.Query, k)
 				}
 			case SourceWeb:
 				if s.Web != nil {
-					lists[i], errs[i] = s.Web.Search(req.Query, k)
+					lists[i], errs[i] = s.Web.Search(ctx, req.Query, k)
 				}
 			}
 		}(i, src)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, pnerr.Canceled("ir: query", err)
+	}
+	// Partial-failure policy: degrade to fusing the sources that answered.
+	var sourceErrs []error
+	failed := 0
 	for i, err := range errs {
 		if err != nil {
-			return Result{}, fmt.Errorf("ir: source %s: %w", sources[i], err)
+			failed++
+			sourceErrs = append(sourceErrs, fmt.Errorf("ir: source %s: %w", sources[i], err))
+			lists[i] = nil
 		}
+	}
+	degraded := errors.Join(sourceErrs...)
+	if failed == len(sources) {
+		return Result{}, pnerr.Degraded("ir: query", degraded)
 	}
 
 	// Reciprocal-rank fusion across sources. IDs are namespaced per source
@@ -227,8 +261,12 @@ func (s *System) Query(req Request) (Result, error) {
 		return merged[i].ID < merged[j].ID
 	})
 
-	s.cache.put(key, vers, merged)
-	return Result{Documents: merged}, nil
+	if degraded == nil {
+		// Only complete results enter the cache: caching a degraded fusion
+		// would keep serving the gap after the failing source recovers.
+		s.cache.put(key, vers, merged)
+	}
+	return Result{Documents: merged, Degraded: degraded}, nil
 }
 
 // cacheKey builds the cache key for a normalized request. Sources arrive

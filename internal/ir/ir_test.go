@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"testing"
 
 	"pneuma/internal/docdb"
@@ -22,11 +23,11 @@ func fixtureSystem(t *testing.T) *System {
 		},
 	})
 	soil.MustAppend(table.Row{value.Float(42)})
-	if err := ret.IndexTable(soil); err != nil {
+	if err := ret.IndexTable(context.Background(), soil); err != nil {
 		t.Fatal(err)
 	}
 	kb := docdb.New()
-	if _, err := kb.Save("potassium analysis", "potassium should be interpolated between samples", "alice"); err != nil {
+	if _, err := kb.Save(context.Background(), "potassium analysis", "potassium should be interpolated between samples", "alice"); err != nil {
 		t.Fatal(err)
 	}
 	web := websearch.New(websearch.BuiltinCorpus())
@@ -35,7 +36,7 @@ func fixtureSystem(t *testing.T) *System {
 
 func TestQueryMergesSources(t *testing.T) {
 	s := fixtureSystem(t)
-	res, err := s.Query(Request{Query: "potassium samples", K: 3})
+	res, err := s.Query(context.Background(), Request{Query: "potassium samples", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestQueryMergesSources(t *testing.T) {
 
 func TestSourceRestriction(t *testing.T) {
 	s := fixtureSystem(t)
-	res, err := s.Query(Request{Query: "potassium", Sources: []Source{SourceKnowledge}})
+	res, err := s.Query(context.Background(), Request{Query: "potassium", Sources: []Source{SourceKnowledge}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,14 +64,14 @@ func TestSourceRestriction(t *testing.T) {
 
 func TestUnknownSourceErrors(t *testing.T) {
 	s := fixtureSystem(t)
-	if _, err := s.Query(Request{Query: "x", Sources: []Source{"bogus"}}); err == nil {
+	if _, err := s.Query(context.Background(), Request{Query: "x", Sources: []Source{"bogus"}}); err == nil {
 		t.Fatal("unknown source must error")
 	}
 }
 
 func TestNilComponentsAreSafe(t *testing.T) {
 	s := New(nil, nil, nil)
-	res, err := s.Query(Request{Query: "anything"})
+	res, err := s.Query(context.Background(), Request{Query: "anything"})
 	if err != nil || len(res.Documents) != 0 {
 		t.Fatalf("nil components: %v %v", res, err)
 	}
@@ -89,7 +90,7 @@ func TestLookupTable(t *testing.T) {
 
 func TestResultHelpers(t *testing.T) {
 	s := fixtureSystem(t)
-	res, _ := s.Query(Request{Query: "potassium samples"})
+	res, _ := s.Query(context.Background(), Request{Query: "potassium samples"})
 	if len(res.TableDocs()) == 0 {
 		t.Error("TableDocs empty")
 	}

@@ -1,0 +1,112 @@
+// Package leakcheck is a test helper that fails a test if it leaves
+// goroutines behind — the guard the concurrent-serving and cancellation
+// tests run under, so an abandoned fan-out can never silently leak its
+// shard workers.
+//
+// Usage: defer leakcheck.Check(t)() at the top of the test. The returned
+// func compares the goroutine population after the test against the
+// population before it, retrying with backoff to let legitimately
+// finishing goroutines (pool workers draining, closed channels unwinding)
+// exit before declaring a leak.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// Check snapshots the current goroutines and returns a func that verifies
+// no new ones remain. Stacks that belong to the runtime's own machinery
+// (GC, finalizers, test runner) are ignored.
+func Check(t TB) func() {
+	before := interesting()
+	return func() {
+		t.Helper()
+		// Give exiting goroutines a moment to unwind; the deadline bounds
+		// a genuinely leaked goroutine to a short test delay.
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = diff(before, interesting())
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g)
+		}
+	}
+}
+
+// interesting returns one stack trace per live goroutine, excluding
+// runtime/testing infrastructure that outlives any single test.
+func interesting() map[string]int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	out := make(map[string]int)
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if g == "" || !isInteresting(g) {
+			continue
+		}
+		out[signature(g)]++
+	}
+	return out
+}
+
+// isInteresting filters out goroutines the checker must tolerate.
+func isInteresting(stack string) bool {
+	for _, skip := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"runtime.goexit",
+		"runtime.MHeap_Scavenger",
+		"runtime.gc",
+		"runtime.ensureSigM",
+		"signal.signal_recv",
+		"created by runtime",
+		"leakcheck.interesting",
+	} {
+		if strings.Contains(stack, skip) {
+			return false
+		}
+	}
+	return true
+}
+
+// signature normalizes a goroutine stack to its function frames, dropping
+// goroutine IDs and argument values so identical logic compares equal.
+func signature(stack string) string {
+	var frames []string
+	for _, line := range strings.Split(stack, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		if i := strings.IndexByte(line, '('); i > 0 && !strings.HasPrefix(line, "/") {
+			line = line[:i]
+		}
+		frames = append(frames, line)
+	}
+	return strings.Join(frames, "\n")
+}
+
+// diff reports stacks present now that were not present before (or are
+// present in greater numbers).
+func diff(before, after map[string]int) []string {
+	var leaked []string
+	for sig, n := range after {
+		if n > before[sig] {
+			leaked = append(leaked, sig)
+		}
+	}
+	return leaked
+}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -71,7 +72,7 @@ func TestLatencyModel(t *testing.T) {
 
 func TestSimModelContextLimit(t *testing.T) {
 	m := NewSimModel(WithContextLimit(50))
-	_, err := m.Complete(Request{
+	_, err := m.Complete(context.Background(), Request{
 		Task:    TaskUserSim,
 		System:  strings.Repeat("very long system prompt ", 50),
 		Payload: MarshalPayload(UserSimInput{}),
@@ -83,7 +84,7 @@ func TestSimModelContextLimit(t *testing.T) {
 
 func TestSimModelUnknownSkill(t *testing.T) {
 	m := NewSimModel()
-	if _, err := m.Complete(Request{Task: "no-such-skill"}); err == nil {
+	if _, err := m.Complete(context.Background(), Request{Task: "no-such-skill"}); err == nil {
 		t.Fatal("unknown skill must error")
 	}
 }
@@ -98,17 +99,18 @@ func TestSimModelProfiles(t *testing.T) {
 func TestMeteredModel(t *testing.T) {
 	meter := NewMeter()
 	m := &MeteredModel{Inner: NewSimModel(), Meter: meter, Component: "test"}
-	_, err := m.Complete(Request{
+	_, err := m.Complete(context.Background(), Request{
 		Task:    TaskUserSim,
 		Payload: MarshalPayload(UserSimInput{Need: NeedSpec{Topic: "things", QuestionText: "q"}}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meter.Calls != 1 || meter.Total.InTokens == 0 || meter.Total.OutTokens == 0 {
-		t.Fatalf("meter not recording: %+v", meter)
+	snap := meter.Snapshot()
+	if snap.Calls != 1 || snap.Total.InTokens == 0 || snap.Total.OutTokens == 0 {
+		t.Fatalf("meter not recording: %+v", snap)
 	}
-	if meter.ByComponent["test"] == nil {
+	if _, ok := snap.ByComponent["test"]; !ok {
 		t.Fatal("per-component usage missing")
 	}
 }
@@ -121,5 +123,48 @@ func TestRequestRenderIncludesPayload(t *testing.T) {
 		if !strings.Contains(r, want) {
 			t.Errorf("render missing %q:\n%s", want, r)
 		}
+	}
+}
+
+// TestMeterFromContext: a per-request meter attached to the context is
+// recorded in addition to the model's own meter — the mechanism behind
+// per-session accounting under the Service.
+func TestMeterFromContext(t *testing.T) {
+	system := NewMeter()
+	session := NewMeter()
+	m := &MeteredModel{Inner: NewSimModel(), Meter: system, Component: "conductor"}
+	ctx := WithMeter(context.Background(), session)
+	if got := MeterFromContext(ctx); got != session {
+		t.Fatal("MeterFromContext did not return the attached meter")
+	}
+	if _, err := m.Complete(ctx, Request{
+		Task:    TaskUserSim,
+		Payload: MarshalPayload(UserSimInput{Need: NeedSpec{Topic: "things", QuestionText: "q"}}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys, sess := system.Snapshot(), session.Snapshot()
+	if sess.Calls != 1 || sys.Calls != 1 {
+		t.Fatalf("calls: system=%d session=%d, want 1/1", sys.Calls, sess.Calls)
+	}
+	if sess.Total != sys.Total {
+		t.Fatalf("usage diverged: system=%+v session=%+v", sys.Total, sess.Total)
+	}
+	if MeterFromContext(context.Background()) != nil {
+		t.Fatal("MeterFromContext on a bare context should be nil")
+	}
+}
+
+// TestCompleteHonorsContext: a canceled context aborts before billing.
+func TestCompleteHonorsContext(t *testing.T) {
+	meter := NewMeter()
+	m := &MeteredModel{Inner: NewSimModel(), Meter: meter, Component: "x"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Complete(ctx, Request{Task: TaskUserSim}); err == nil {
+		t.Fatal("Complete with canceled ctx succeeded")
+	}
+	if meter.Snapshot().Calls != 0 {
+		t.Fatal("canceled call was billed")
 	}
 }

@@ -19,10 +19,12 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -110,39 +112,99 @@ type Model interface {
 	Name() string
 	// ContextLimit returns the context window in tokens.
 	ContextLimit() int
-	// Complete runs one completion.
-	Complete(req Request) (Response, error)
+	// Complete runs one completion. A canceled ctx aborts the call before
+	// any (simulated) inference happens and returns ctx.Err().
+	Complete(ctx context.Context, req Request) (Response, error)
 }
 
 // Meter accumulates usage and simulated latency across calls, optionally
 // per component — the instrument behind Table 2 and the latency trade-off.
+// Recording is safe for concurrent use (many sessions share the system
+// meter under the Service); the counters are unexported and read through
+// Snapshot, so there is no way to race a recording session by accident.
 type Meter struct {
-	Total        Usage
-	Calls        int
+	mu           sync.Mutex
+	total        Usage
+	calls        int
+	totalLatency time.Duration
+	byComponent  map[string]*Usage
+}
+
+// MeterSnapshot is a consistent point-in-time copy of a Meter, safe to read
+// while other goroutines keep recording.
+type MeterSnapshot struct {
+	// Total is the summed usage at snapshot time.
+	Total Usage
+	// Calls is the completed-call count at snapshot time.
+	Calls int
+	// TotalLatency is the accumulated simulated latency at snapshot time.
 	TotalLatency time.Duration
-	ByComponent  map[string]*Usage
+	// ByComponent holds per-component usage copies.
+	ByComponent map[string]Usage
 }
 
 // NewMeter creates an empty meter.
 func NewMeter() *Meter {
-	return &Meter{ByComponent: make(map[string]*Usage)}
+	return &Meter{byComponent: make(map[string]*Usage)}
 }
 
 // Record adds one call's usage under the given component label.
 func (m *Meter) Record(component string, resp Response) {
-	m.Total.Add(resp.Usage)
-	m.Calls++
-	m.TotalLatency += resp.Latency
-	cu, ok := m.ByComponent[component]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total.Add(resp.Usage)
+	m.calls++
+	m.totalLatency += resp.Latency
+	if m.byComponent == nil {
+		m.byComponent = make(map[string]*Usage)
+	}
+	cu, ok := m.byComponent[component]
 	if !ok {
 		cu = &Usage{}
-		m.ByComponent[component] = cu
+		m.byComponent[component] = cu
 	}
 	cu.Add(resp.Usage)
 }
 
+// Snapshot returns a consistent copy of the meter's counters — the only
+// read path, safe while other goroutines keep recording.
+func (m *Meter) Snapshot() MeterSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MeterSnapshot{
+		Total:        m.total,
+		Calls:        m.calls,
+		TotalLatency: m.totalLatency,
+		ByComponent:  make(map[string]Usage, len(m.byComponent)),
+	}
+	for k, v := range m.byComponent {
+		s.ByComponent[k] = *v
+	}
+	return s
+}
+
+// meterKey is the context key WithMeter stores a per-request meter under.
+type meterKey struct{}
+
+// WithMeter attaches a per-request (typically per-session) meter to the
+// context. Every MeteredModel call made under this context records into it
+// in addition to the model's own (system-wide) meter, which is how Table-2
+// style accounting stays attributable per session under concurrency.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// MeterFromContext returns the meter attached by WithMeter, or nil.
+func MeterFromContext(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}
+
 // MeteredModel wraps a Model so every call is recorded on a Meter under a
-// component label.
+// component label, plus on any per-request meter the context carries.
 type MeteredModel struct {
 	Inner     Model
 	Meter     *Meter
@@ -157,14 +219,19 @@ func (m *MeteredModel) ContextLimit() int { return m.Inner.ContextLimit() }
 
 // Complete implements Model, recording usage on success and on context
 // overflow (a failed over-long call still costs the caller a round trip in
-// practice; we record zero usage for it but count the call).
-func (m *MeteredModel) Complete(req Request) (Response, error) {
-	resp, err := m.Inner.Complete(req)
+// practice; we record zero usage for it but count the call). Usage is
+// recorded on the model's own meter and on the context meter (WithMeter),
+// when the two differ.
+func (m *MeteredModel) Complete(ctx context.Context, req Request) (Response, error) {
+	resp, err := m.Inner.Complete(ctx, req)
 	if err != nil {
 		return resp, err
 	}
 	if m.Meter != nil {
 		m.Meter.Record(m.Component, resp)
+	}
+	if cm := MeterFromContext(ctx); cm != nil && cm != m.Meter {
+		cm.Record(m.Component, resp)
 	}
 	return resp, nil
 }

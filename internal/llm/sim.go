@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -79,8 +80,12 @@ func (m *SimModel) Name() string { return m.name }
 // ContextLimit implements Model.
 func (m *SimModel) ContextLimit() int { return m.context }
 
-// Complete implements Model.
-func (m *SimModel) Complete(req Request) (Response, error) {
+// Complete implements Model. The context is honored before any simulated
+// inference: a canceled ctx returns ctx.Err() without billing tokens.
+func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	prompt := req.Render()
 	inTokens := EstimateTokens(prompt)
 	if m.context > 0 && inTokens > m.context {

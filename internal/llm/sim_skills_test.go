@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func callConductor(t *testing.T, in ConductorInput) ConductorDecision {
 	t.Helper()
 	m := NewSimModel()
-	resp, err := m.Complete(Request{Task: TaskConductorPlan, Payload: MarshalPayload(in)})
+	resp, err := m.Complete(context.Background(), Request{Task: TaskConductorPlan, Payload: MarshalPayload(in)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestConductorRetriesRetrievalBeforeClarifying(t *testing.T) {
 func callMaterializer(t *testing.T, in MaterializeInput) MaterializePlan {
 	t.Helper()
 	m := NewSimModel()
-	resp, err := m.Complete(Request{Task: TaskMaterializePlan, Payload: MarshalPayload(in)})
+	resp, err := m.Complete(context.Background(), Request{Task: TaskMaterializePlan, Payload: MarshalPayload(in)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestMaterializeRepairDropsImpossibleInterpolation(t *testing.T) {
 
 func TestDecomposeSkillNameOnlyGrounding(t *testing.T) {
 	m := NewSimModel()
-	resp, err := m.Complete(Request{Task: TaskDecompose, Payload: MarshalPayload(DecomposeInput{
+	resp, err := m.Complete(context.Background(), Request{Task: TaskDecompose, Payload: MarshalPayload(DecomposeInput{
 		Question: "What is the average Potassium in ppm in the Malta region?",
 		Tables:   testVocab().Tables,
 	})})
@@ -280,7 +281,7 @@ func TestDecomposeSkillNameOnlyGrounding(t *testing.T) {
 		t.Fatalf("decompose should fail on description-only vocabulary: %+v", out)
 	}
 	// A transparent name succeeds.
-	resp, _ = m.Complete(Request{Task: TaskDecompose, Payload: MarshalPayload(DecomposeInput{
+	resp, _ = m.Complete(context.Background(), Request{Task: TaskDecompose, Payload: MarshalPayload(DecomposeInput{
 		Question: "What is the average ph in the Malta region?",
 		Tables:   testVocab().Tables,
 	})})

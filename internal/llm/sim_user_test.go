@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func simNeed() NeedSpec {
 func runUserSim(t *testing.T, in UserSimInput) UserSimOutput {
 	t.Helper()
 	m := NewSimModel()
-	resp, err := m.Complete(Request{Task: TaskUserSim, Payload: MarshalPayload(in)})
+	resp, err := m.Complete(context.Background(), Request{Task: TaskUserSim, Payload: MarshalPayload(in)})
 	if err != nil {
 		t.Fatal(err)
 	}

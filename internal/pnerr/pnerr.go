@@ -1,0 +1,124 @@
+// Package pnerr defines the typed error vocabulary of the public pneuma
+// API. Every error crossing the serving surface (Service, Session, the IR
+// System, the retriever) is an *Error carrying a machine-checkable Code, so
+// callers dispatch on errors.Is/errors.As instead of string matching.
+//
+// Code itself implements error, which makes the sentinel pattern work with
+// the standard library:
+//
+//	if errors.Is(err, pnerr.ErrCanceled) { ... }     // match by code
+//	var pe *pnerr.Error
+//	if errors.As(err, &pe) { log(pe.Op, pe.Code) }   // inspect the wrapper
+//
+// Error.Unwrap exposes the underlying cause, so errors.Is(err,
+// context.Canceled) also works when the cause chain contains it.
+package pnerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code classifies an Error. It implements error so the constants below act
+// as errors.Is sentinels.
+type Code string
+
+// The error vocabulary of the serving API.
+const (
+	// ErrCanceled: the request's context was canceled or its deadline
+	// expired before the work completed.
+	ErrCanceled Code = "canceled"
+	// ErrBadQuery: the request itself is malformed (unknown source, empty
+	// message, invalid parameter) and retrying it unchanged cannot succeed.
+	ErrBadQuery Code = "bad query"
+	// ErrIndexCorrupt: persisted index state (manifest, segment files)
+	// failed to load or disagrees with the configuration.
+	ErrIndexCorrupt Code = "index corrupt"
+	// ErrClosed: the component was closed; the request was never admitted.
+	ErrClosed Code = "closed"
+	// ErrDegraded: a fan-out completed partially — some sources answered,
+	// others failed; partial results accompany the error detail.
+	ErrDegraded Code = "degraded"
+)
+
+// Error implements error.
+func (c Code) Error() string { return "pneuma: " + string(c) }
+
+// Error is the typed error of the serving API: a code, the operation that
+// failed, and the underlying cause (which may be an errors.Join of several
+// causes, e.g. one per failed fan-out source).
+type Error struct {
+	// Code classifies the failure.
+	Code Code
+	// Op names the failing operation, e.g. "ir: query".
+	Op string
+	// Err is the underlying cause; may be nil for pure sentinel errors.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	switch {
+	case e.Err == nil:
+		return fmt.Sprintf("%s: %s", e.Op, string(e.Code))
+	default:
+		return fmt.Sprintf("%s: %s: %v", e.Op, string(e.Code), e.Err)
+	}
+}
+
+// Unwrap exposes the cause chain to errors.Is/errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches Code sentinels and other *Error values with the same code.
+func (e *Error) Is(target error) bool {
+	if c, ok := target.(Code); ok {
+		return e.Code == c
+	}
+	if t, ok := target.(*Error); ok {
+		return e.Code == t.Code
+	}
+	return false
+}
+
+// New wraps err with a code and operation. A nil err is allowed (sentinel
+// use).
+func New(code Code, op string, err error) *Error {
+	return &Error{Code: code, Op: op, Err: err}
+}
+
+// Canceled wraps a context cancellation. The cause defaults to
+// context.Canceled semantics via ctxErr (pass ctx.Err()).
+func Canceled(op string, ctxErr error) *Error {
+	return &Error{Code: ErrCanceled, Op: op, Err: ctxErr}
+}
+
+// BadQueryf builds an ErrBadQuery with a formatted cause.
+func BadQueryf(op, format string, args ...interface{}) *Error {
+	return &Error{Code: ErrBadQuery, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// Corrupt wraps a persisted-state loading failure as ErrIndexCorrupt.
+func Corrupt(op string, err error) *Error {
+	return &Error{Code: ErrIndexCorrupt, Op: op, Err: err}
+}
+
+// Closed builds an ErrClosed for the named operation.
+func Closed(op string) *Error {
+	return &Error{Code: ErrClosed, Op: op}
+}
+
+// Degraded wraps the joined per-source failures of a partially successful
+// fan-out as ErrDegraded.
+func Degraded(op string, err error) *Error {
+	return &Error{Code: ErrDegraded, Op: op, Err: err}
+}
+
+// CodeOf extracts the Code from an error chain, or "" when the chain holds
+// no *Error.
+func CodeOf(err error) Code {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}

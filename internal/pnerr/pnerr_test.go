@@ -1,0 +1,59 @@
+package pnerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCodeSentinels(t *testing.T) {
+	err := Canceled("retriever: search", context.Canceled)
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("errors.Is(err, ErrCanceled) = false")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("cause chain lost context.Canceled")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Error("canceled error matched ErrClosed")
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Op != "retriever: search" || e.Code != ErrCanceled {
+		t.Errorf("errors.As gave %+v", e)
+	}
+}
+
+func TestWrappedThroughLayers(t *testing.T) {
+	inner := Closed("retriever: search")
+	outer := fmt.Errorf("ir: source tables: %w", inner)
+	joined := errors.Join(outer, errors.New("unrelated"))
+	top := Degraded("ir: query", joined)
+
+	if !errors.Is(top, ErrDegraded) {
+		t.Error("top is not ErrDegraded")
+	}
+	if !errors.Is(top, ErrClosed) {
+		t.Error("join traversal lost the inner ErrClosed")
+	}
+	if CodeOf(top) != ErrDegraded {
+		t.Errorf("CodeOf = %q", CodeOf(top))
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if got := Closed("service: send").Error(); got != "service: send: closed" {
+		t.Errorf("Error() = %q", got)
+	}
+	if got := BadQueryf("ir: query", "unknown source %q", "x").Error(); got != `ir: query: bad query: unknown source "x"` {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestErrorIsMatchesSameCode(t *testing.T) {
+	a := Corrupt("retriever: open", errors.New("bad manifest"))
+	b := Corrupt("other", nil)
+	if !errors.Is(a, b) {
+		t.Error("two *Errors with the same code should match via errors.Is")
+	}
+}

@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -24,7 +25,7 @@ var parityQueries = []string{
 // mustSearch runs a query and fails the test on error.
 func mustSearch(t *testing.T, r *Retriever, q string, k int) []docs.Document {
 	t.Helper()
-	hits, err := r.Search(q, k)
+	hits, err := r.Search(context.Background(), q, k)
 	if err != nil {
 		t.Fatalf("search %q: %v", q, err)
 	}
@@ -77,10 +78,10 @@ func TestMemoryDiskParity(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer dsk.Close()
-		if err := mem.IndexTables(tables); err != nil {
+		if err := mem.IndexTables(context.Background(), tables); err != nil {
 			t.Fatal(err)
 		}
-		if err := dsk.IndexTables(tables); err != nil {
+		if err := dsk.IndexTables(context.Background(), tables); err != nil {
 			t.Fatal(err)
 		}
 		for _, q := range parityQueries {
@@ -102,7 +103,7 @@ func TestDiskFlushReopenRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 
 	mem := New(WithShards(6))
-	if err := mem.IndexTables(tables); err != nil {
+	if err := mem.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 
@@ -110,7 +111,7 @@ func TestDiskFlushReopenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dsk.IndexTables(tables); err != nil {
+	if err := dsk.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 	if err := dsk.Flush(); err != nil {
@@ -162,7 +163,7 @@ func TestDiskDeletePersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dsk.IndexTables(tables); err != nil {
+	if err := dsk.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 	victim := "table:" + tables[0].Schema.Name
@@ -196,7 +197,7 @@ func TestDiskTornTailRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dsk.IndexTables(tables); err != nil {
+	if err := dsk.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 	if err := dsk.Close(); err != nil {
@@ -232,10 +233,10 @@ func TestGlobalBM25StatsParity(t *testing.T) {
 	tables := corpusSlice(32)
 	single := New(WithMode(ModeBM25Only), WithShards(1))
 	sharded := New(WithMode(ModeBM25Only), WithShards(8))
-	if err := single.IndexTables(tables); err != nil {
+	if err := single.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
-	if err := sharded.IndexTables(tables); err != nil {
+	if err := sharded.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range parityQueries {
@@ -262,7 +263,7 @@ func TestGlobalBM25StatsParity(t *testing.T) {
 func TestGlobalStatsTrackDeletes(t *testing.T) {
 	tables := corpusSlice(24)
 	sharded := New(WithMode(ModeBM25Only), WithShards(8))
-	if err := sharded.IndexTables(tables); err != nil {
+	if err := sharded.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 	for _, tb := range tables[:8] {
@@ -271,7 +272,7 @@ func TestGlobalStatsTrackDeletes(t *testing.T) {
 		}
 	}
 	single := New(WithMode(ModeBM25Only), WithShards(1))
-	if err := single.IndexTables(tables[8:]); err != nil {
+	if err := single.IndexTables(context.Background(), tables[8:]); err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range parityQueries {

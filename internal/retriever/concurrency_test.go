@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -54,7 +55,7 @@ func TestParallelIngestDeterminism(t *testing.T) {
 		return r
 	}
 	bulk := build(func(r *Retriever) {
-		if err := r.IndexTables(tables); err != nil {
+		if err := r.IndexTables(context.Background(), tables); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -63,7 +64,7 @@ func TestParallelIngestDeterminism(t *testing.T) {
 	copy(perm, tables)
 	rand.New(rand.NewSource(1)).Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 	permuted := build(func(r *Retriever) {
-		if err := r.IndexTables(perm); err != nil {
+		if err := r.IndexTables(context.Background(), perm); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -78,14 +79,14 @@ func TestParallelIngestDeterminism(t *testing.T) {
 	sort.Slice(sortedDocs, func(i, j int) bool { return sortedDocs[i].ID < sortedDocs[j].ID })
 	incremental := build(func(r *Retriever) {
 		for _, d := range sortedDocs {
-			if err := r.IndexDocument(d); err != nil {
+			if err := r.IndexDocument(context.Background(), d); err != nil {
 				t.Fatal(err)
 			}
 		}
 	})
 
 	for _, q := range determinismQueries {
-		want, err := bulk.Search(q, 10)
+		want, err := bulk.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestParallelIngestDeterminism(t *testing.T) {
 			t.Fatalf("query %q returned nothing", q)
 		}
 		for name, r := range map[string]*Retriever{"permuted": permuted, "incremental": incremental} {
-			got, err := r.Search(q, 10)
+			got, err := r.Search(context.Background(), q, 10)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,12 +112,12 @@ func TestRepeatedBulkIngestIdentical(t *testing.T) {
 	var want map[string]string
 	for round := 0; round < 3; round++ {
 		r := New(WithShards(4), WithWorkers(8))
-		if err := r.IndexTables(tables); err != nil {
+		if err := r.IndexTables(context.Background(), tables); err != nil {
 			t.Fatal(err)
 		}
 		got := make(map[string]string)
 		for _, q := range determinismQueries {
-			ds, err := r.Search(q, 10)
+			ds, err := r.Search(context.Background(), q, 10)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -140,7 +141,7 @@ func TestRepeatedBulkIngestIdentical(t *testing.T) {
 func TestConcurrentSearchAndIngest(t *testing.T) {
 	tables := corpusSlice(60)
 	r := New(WithShards(4))
-	if err := r.IndexTables(tables[:20]); err != nil {
+	if err := r.IndexTables(context.Background(), tables[:20]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -151,7 +152,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := r.IndexTables(tables[20:40]); err != nil {
+		if err := r.IndexTables(context.Background(), tables[20:40]); err != nil {
 			errCh <- err
 		}
 	}()
@@ -160,7 +161,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 40 + w; i < 60; i += 4 {
-				if err := r.IndexTable(tables[i]); err != nil {
+				if err := r.IndexTable(context.Background(), tables[i]); err != nil {
 					errCh <- err
 					return
 				}
@@ -174,7 +175,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
 				q := determinismQueries[(g+i)%len(determinismQueries)]
-				if _, err := r.Search(q, 5); err != nil {
+				if _, err := r.Search(context.Background(), q, 5); err != nil {
 					errCh <- err
 					return
 				}
@@ -190,7 +191,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 		d := docs.TableDocument(tables[0])
 		for i := 0; i < 10; i++ {
 			r.Delete(d.ID)
-			if err := r.IndexDocument(d); err != nil {
+			if err := r.IndexDocument(context.Background(), d); err != nil {
 				errCh <- err
 				return
 			}
@@ -206,7 +207,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 		t.Fatalf("after concurrent ingest Len = %d, want 60", got)
 	}
 	for _, q := range determinismQueries {
-		ds, err := r.Search(q, 5)
+		ds, err := r.Search(context.Background(), q, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,14 +222,14 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 func TestVersionCounting(t *testing.T) {
 	r := New(WithShards(2))
 	v0 := r.Version()
-	if err := r.IndexDocument(docs.Document{ID: "a", Content: "alpha doc"}); err != nil {
+	if err := r.IndexDocument(context.Background(), docs.Document{ID: "a", Content: "alpha doc"}); err != nil {
 		t.Fatal(err)
 	}
 	if r.Version() == v0 {
 		t.Fatal("IndexDocument did not bump version")
 	}
 	v1 := r.Version()
-	if _, err := r.Search("alpha", 1); err != nil {
+	if _, err := r.Search(context.Background(), "alpha", 1); err != nil {
 		t.Fatal(err)
 	}
 	r.Len()
@@ -249,7 +250,7 @@ func TestVersionCounting(t *testing.T) {
 func TestShardPartitioning(t *testing.T) {
 	tables := corpusSlice(64)
 	r := New(WithShards(4))
-	if err := r.IndexTables(tables); err != nil {
+	if err := r.IndexTables(context.Background(), tables); err != nil {
 		t.Fatal(err)
 	}
 	if r.NumShards() != 4 {

@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,7 +21,7 @@ func perfCorpus(tb testing.TB, opts ...Option) *Retriever {
 				"river nitrate station sample %d measurement water quality basin sensor", i),
 		}
 	}
-	if err := r.IndexDocuments(ds); err != nil {
+	if err := r.IndexDocuments(context.Background(), ds); err != nil {
 		tb.Fatal(err)
 	}
 	return r
@@ -38,12 +39,12 @@ const hybridSearchAllocBudget = 120
 func TestSearchAllocsWithinBudget(t *testing.T) {
 	r := perfCorpus(t, WithShards(4))
 	for i := 0; i < 10; i++ {
-		if _, err := r.Search("nitrate water quality", 5); err != nil {
+		if _, err := r.Search(context.Background(), "nitrate water quality", 5); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(200, func() {
-		if _, err := r.Search("nitrate water quality", 5); err != nil {
+		if _, err := r.Search(context.Background(), "nitrate water quality", 5); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -65,7 +66,7 @@ func TestWithEfKnob(t *testing.T) {
 	}
 	narrow := perfCorpus(t, WithEf(1)) // clamped to ≥ k per query
 	for _, r := range []*Retriever{wide, narrow} {
-		out, err := r.Search("nitrate water quality", 5)
+		out, err := r.Search(context.Background(), "nitrate water quality", 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func BenchmarkHybridSearch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Search("nitrate water quality", 5); err != nil {
+		if _, err := r.Search(context.Background(), "nitrate water quality", 5); err != nil {
 			b.Fatal(err)
 		}
 	}

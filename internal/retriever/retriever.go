@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"pneuma/internal/docs"
 	"pneuma/internal/embed"
 	"pneuma/internal/hnsw"
+	"pneuma/internal/pnerr"
 	"pneuma/internal/table"
 )
 
@@ -82,6 +84,9 @@ type Retriever struct {
 	// version counts index mutations (ingest and delete); callers that
 	// cache query results use it for invalidation.
 	version atomic.Uint64
+	// closed flips once on Close; every subsequent call fails with a typed
+	// pnerr.ErrClosed instead of touching released backends.
+	closed atomic.Bool
 	// scratch pools *searchScratch values so steady-state Search reuses
 	// its merge buffers and fusion map instead of allocating per query.
 	scratch sync.Pool
@@ -192,7 +197,10 @@ func Open(opts ...Option) (*Retriever, error) {
 		}
 		m, err := loadOrCreateManifest(r.dir, r.numShards, r.emb.Dim())
 		if err != nil {
-			return nil, err
+			if os.IsNotExist(err) || os.IsPermission(err) {
+				return nil, err
+			}
+			return nil, pnerr.Corrupt("retriever: open", err)
 		}
 		// The manifest's shard count wins: hash routing must match the
 		// layout the segments were written under.
@@ -207,7 +215,10 @@ func Open(opts ...Option) (*Retriever, error) {
 				for _, s := range r.shards[:i] {
 					s.be.Close()
 				}
-				return nil, err
+				if os.IsNotExist(err) || os.IsPermission(err) {
+					return nil, err
+				}
+				return nil, pnerr.Corrupt("retriever: open", err)
 			}
 			r.shards[i] = &shard{be: be}
 		}
@@ -253,6 +264,9 @@ func (r *Retriever) Dir() string {
 // Flush makes all shards durable (fsync of every segment file for the Disk
 // backend; a no-op for Memory).
 func (r *Retriever) Flush() error {
+	if r.closed.Load() {
+		return pnerr.Closed("retriever: flush")
+	}
 	for _, s := range r.shards {
 		s.mu.Lock()
 		err := s.be.Flush()
@@ -264,9 +278,13 @@ func (r *Retriever) Flush() error {
 	return nil
 }
 
-// Close flushes and releases every shard. The retriever must not be used
-// afterwards (Disk-backed shards have closed their segment files).
+// Close flushes and releases every shard. Calls after the first return a
+// typed pnerr.ErrClosed, as do all queries and ingests against a closed
+// retriever (Disk-backed shards have closed their segment files).
 func (r *Retriever) Close() error {
+	if r.closed.Swap(true) {
+		return pnerr.Closed("retriever: close")
+	}
 	var first error
 	for _, s := range r.shards {
 		s.mu.Lock()
@@ -300,25 +318,34 @@ func (r *Retriever) shardFor(id string) *shard {
 }
 
 // IndexTable adds a table to the index via its canonical document.
-func (r *Retriever) IndexTable(t *table.Table) error {
-	return r.IndexDocument(docs.TableDocument(t))
+func (r *Retriever) IndexTable(ctx context.Context, t *table.Table) error {
+	return r.IndexDocument(ctx, docs.TableDocument(t))
 }
 
 // IndexTables bulk-ingests a corpus of tables: canonical documents are
 // built and embedded with the worker pool, then all shards are written
 // concurrently. This is the fast path Seeker assembly and the CLIs use.
-func (r *Retriever) IndexTables(ts []*table.Table) error {
+// Cancellation propagates into the embedding pool and the per-shard
+// writers: un-started work is abandoned and ctx.Err() is returned (already
+// inserted documents remain — bulk ingest is not transactional).
+func (r *Retriever) IndexTables(ctx context.Context, ts []*table.Table) error {
 	ds := make([]docs.Document, len(ts))
 	for i, t := range ts {
 		ds[i] = docs.TableDocument(t)
 	}
-	return r.IndexDocuments(ds)
+	return r.IndexDocuments(ctx, ds)
 }
 
 // IndexDocument adds an arbitrary document to the hybrid index. The same
 // indexer serves the Document Database (§3.3: "uses Pneuma-Retriever's
 // indexer to store domain knowledge").
-func (r *Retriever) IndexDocument(d docs.Document) error {
+func (r *Retriever) IndexDocument(ctx context.Context, d docs.Document) error {
+	if r.closed.Load() {
+		return pnerr.Closed("retriever: index")
+	}
+	if err := ctx.Err(); err != nil {
+		return pnerr.Canceled("retriever: index", err)
+	}
 	vec := r.emb.Embed(d.Content)
 	s := r.shardFor(d.ID)
 	s.mu.Lock()
@@ -335,10 +362,18 @@ func (r *Retriever) IndexDocument(d docs.Document) error {
 // goroutine. Documents are sorted by ID first, so every shard sees its
 // partition in the same order on every ingest of the same corpus — the
 // resulting HNSW graphs, and therefore search results, are deterministic
-// regardless of input permutation or goroutine scheduling.
-func (r *Retriever) IndexDocuments(ds []docs.Document) error {
+// regardless of input permutation or goroutine scheduling. A canceled ctx
+// abandons un-started embedding and insertion work and returns a typed
+// pnerr.ErrCanceled; documents already inserted stay in the index.
+func (r *Retriever) IndexDocuments(ctx context.Context, ds []docs.Document) error {
+	if r.closed.Load() {
+		return pnerr.Closed("retriever: index")
+	}
 	if len(ds) == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return pnerr.Canceled("retriever: index", err)
 	}
 	sorted := make([]docs.Document, len(ds))
 	copy(sorted, ds)
@@ -348,7 +383,10 @@ func (r *Retriever) IndexDocuments(ds []docs.Document) error {
 	for i, d := range sorted {
 		texts[i] = d.Content
 	}
-	vecs := r.emb.EmbedBatch(texts, r.workers)
+	vecs, err := r.emb.EmbedBatch(ctx, texts, r.workers)
+	if err != nil {
+		return pnerr.Canceled("retriever: index", err)
+	}
 
 	// Partition (in sorted order) so each shard goroutine inserts its
 	// documents sequentially under its own lock.
@@ -371,6 +409,10 @@ func (r *Retriever) IndexDocuments(ds []docs.Document) error {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			for _, i := range part {
+				if err := ctx.Err(); err != nil {
+					errs[si] = pnerr.Canceled("retriever: index", err)
+					return
+				}
 				if err := s.be.Index(sorted[i], vecs[i]); err != nil {
 					errs[si] = err
 					return
@@ -491,7 +533,20 @@ func (r *Retriever) queryShard(s *shard, qvec []float32, query string, fetch int
 // query fans out to all shards concurrently; per-shard candidate lists are
 // merged by score with ties broken by document ID, so results are
 // deterministic for a fixed index.
-func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
+//
+// Cancellation: a ctx that is already done returns a typed
+// pnerr.ErrCanceled immediately; a ctx canceled mid-fan-out abandons every
+// shard whose query has not started, stops waiting for in-flight shards,
+// and returns promptly. A non-cancellable ctx (context.Background) takes
+// the allocation-free fast path — the scheduler machinery costs nothing in
+// steady state.
+func (r *Retriever) Search(ctx context.Context, query string, k int) ([]docs.Document, error) {
+	if r.closed.Load() {
+		return nil, pnerr.Closed("retriever: search")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, pnerr.Canceled("retriever: search", err)
+	}
 	if k <= 0 {
 		return nil, nil
 	}
@@ -513,7 +568,15 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 	if sc == nil {
 		sc = &searchScratch{}
 	}
-	defer r.scratch.Put(sc)
+	// The scratch returns to the pool only on paths where no fan-out
+	// goroutine can still be writing into it; the canceled path abandons
+	// it to the GC instead (see below).
+	reuse := true
+	defer func() {
+		if reuse {
+			r.scratch.Put(sc)
+		}
+	}()
 	sc.begin(len(r.shards))
 
 	if len(r.shards) == 1 {
@@ -525,7 +588,9 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 			return nil, err
 		}
 		sc.hits[0] = h
-	} else {
+	} else if ctx.Done() == nil {
+		// Non-cancellable context: the zero-allocation fan-out. This is
+		// the steady-state serving path the AllocsPerRun budgets guard.
 		var wg sync.WaitGroup
 		for si, s := range r.shards {
 			wg.Add(1)
@@ -537,6 +602,46 @@ func (r *Retriever) Search(query string, k int) ([]docs.Document, error) {
 		wg.Wait()
 		for _, err := range sc.errs {
 			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Cancellable context: each shard goroutine re-checks the context
+		// before touching its backend, so work that has not started when
+		// cancellation lands is abandoned; the coordinator stops waiting
+		// the moment the context fires. Costs a completion channel and a
+		// waiter goroutine — only paid by requests that can actually be
+		// canceled.
+		var wg sync.WaitGroup
+		for si, s := range r.shards {
+			wg.Add(1)
+			go func(si int, s *shard) {
+				defer wg.Done()
+				if err := ctx.Err(); err != nil {
+					sc.errs[si] = err
+					return
+				}
+				sc.hits[si], sc.errs[si] = r.queryShard(s, qvec, query, fetch)
+			}(si, s)
+		}
+		fanoutDone := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(fanoutDone)
+		}()
+		select {
+		case <-fanoutDone:
+		case <-ctx.Done():
+			// In-flight shard goroutines may still write into the scratch;
+			// hand it to the GC rather than back to the pool.
+			reuse = false
+			return nil, pnerr.Canceled("retriever: search", ctx.Err())
+		}
+		for _, err := range sc.errs {
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, pnerr.Canceled("retriever: search", ctx.Err())
+				}
 				return nil, err
 			}
 		}

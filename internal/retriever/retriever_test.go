@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"testing"
 
 	"pneuma/internal/docs"
@@ -34,7 +35,7 @@ func buildIndex(t *testing.T, mode Mode) *Retriever {
 	t.Helper()
 	r := New(WithMode(mode))
 	for _, tb := range fixtureTables() {
-		if err := r.IndexTable(tb); err != nil {
+		if err := r.IndexTable(context.Background(), tb); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -43,7 +44,7 @@ func buildIndex(t *testing.T, mode Mode) *Retriever {
 
 func TestHybridRanksBySemantics(t *testing.T) {
 	r := buildIndex(t, ModeHybrid)
-	hits, err := r.Search("potassium levels in soil", 3)
+	hits, err := r.Search(context.Background(), "potassium levels in soil", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestDescriptionGrounding(t *testing.T) {
 	// "potassium" appears only in a column description, not in any column
 	// name or value — the capability FTS lacks.
 	r := buildIndex(t, ModeHybrid)
-	hits, _ := r.Search("potassium", 1)
+	hits, _ := r.Search(context.Background(), "potassium", 1)
 	if len(hits) != 1 || hits[0].Title != "soil_samples" {
 		t.Fatalf("description grounding failed: %v", hits)
 	}
@@ -64,7 +65,7 @@ func TestDescriptionGrounding(t *testing.T) {
 
 func TestValueLiteralGrounding(t *testing.T) {
 	r := buildIndex(t, ModeHybrid)
-	hits, _ := r.Search("Germany import rates", 1)
+	hits, _ := r.Search(context.Background(), "Germany import rates", 1)
 	if len(hits) != 1 || hits[0].Title != "tariff_schedule" {
 		t.Fatalf("value grounding failed: %v", hits)
 	}
@@ -73,7 +74,7 @@ func TestValueLiteralGrounding(t *testing.T) {
 func TestModes(t *testing.T) {
 	for _, mode := range []Mode{ModeHybrid, ModeVectorOnly, ModeBM25Only} {
 		r := buildIndex(t, mode)
-		hits, err := r.Search("employee salaries", 2)
+		hits, err := r.Search(context.Background(), "employee salaries", 2)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -94,7 +95,7 @@ func TestDeleteAndLen(t *testing.T) {
 	if r.Delete("table:employees") {
 		t.Fatal("double delete should be false")
 	}
-	hits, _ := r.Search("employee salaries", 3)
+	hits, _ := r.Search(context.Background(), "employee salaries", 3)
 	for _, h := range hits {
 		if h.Title == "employees" {
 			t.Fatal("deleted table surfaced")
@@ -104,14 +105,14 @@ func TestDeleteAndLen(t *testing.T) {
 
 func TestIndexDocumentNonTable(t *testing.T) {
 	r := New()
-	err := r.IndexDocument(docs.Document{
+	err := r.IndexDocument(context.Background(), docs.Document{
 		ID: "note:1", Kind: docs.KindKnowledge, Title: "tariff rule",
 		Content: "tariff impact must consider the previous active tariff rate",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, _ := r.Search("previous tariff", 1)
+	hits, _ := r.Search(context.Background(), "previous tariff", 1)
 	if len(hits) != 1 || hits[0].ID != "note:1" {
 		t.Fatalf("knowledge doc not retrievable: %v", hits)
 	}
@@ -122,7 +123,7 @@ func TestIndexDocumentNonTable(t *testing.T) {
 
 func TestSearchZeroK(t *testing.T) {
 	r := buildIndex(t, ModeHybrid)
-	hits, err := r.Search("anything", 0)
+	hits, err := r.Search(context.Background(), "anything", 0)
 	if err != nil || hits != nil {
 		t.Fatalf("k=0 should return nothing: %v %v", hits, err)
 	}

@@ -14,6 +14,7 @@
 package websearch
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -65,7 +66,7 @@ func (e *Engine) AddPage(p Page) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.pages[p.URL] = p
-	_ = e.index.IndexDocument(docs.Document{
+	_ = e.index.IndexDocument(context.Background(), docs.Document{
 		ID:      p.URL,
 		Kind:    docs.KindWeb,
 		Title:   p.Title,
@@ -100,14 +101,15 @@ func (e *Engine) Enabled() bool {
 }
 
 // Search returns the top-k pages for the query, or nothing when disabled.
-func (e *Engine) Search(query string, k int) ([]docs.Document, error) {
+// Cancellation propagates to the underlying hybrid index.
+func (e *Engine) Search(ctx context.Context, query string, k int) ([]docs.Document, error) {
 	e.mu.RLock()
 	on := e.enabled
 	e.mu.RUnlock()
 	if !on {
 		return nil, nil
 	}
-	return e.index.Search(query, k)
+	return e.index.Search(ctx, query, k)
 }
 
 // Len returns the corpus size.

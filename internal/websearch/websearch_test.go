@@ -1,6 +1,7 @@
 package websearch
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func TestBuiltinCorpusTariffRetrieval(t *testing.T) {
 	if e.Len() != 4 {
 		t.Fatalf("corpus size = %d", e.Len())
 	}
-	hits, err := e.Search("previously active tariff rates by country", 2)
+	hits, err := e.Search(context.Background(), "previously active tariff rates by country", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,12 +31,12 @@ func TestDisableMatchesBenchmarkProtocol(t *testing.T) {
 	if e.Enabled() {
 		t.Fatal("engine should report disabled")
 	}
-	hits, err := e.Search("tariff", 3)
+	hits, err := e.Search(context.Background(), "tariff", 3)
 	if err != nil || hits != nil {
 		t.Fatalf("disabled engine must return nothing: %v %v", hits, err)
 	}
 	e.SetEnabled(true)
-	hits, _ = e.Search("tariff", 3)
+	hits, _ = e.Search(context.Background(), "tariff", 3)
 	if len(hits) == 0 {
 		t.Fatal("re-enabled engine must answer")
 	}
@@ -43,7 +44,7 @@ func TestDisableMatchesBenchmarkProtocol(t *testing.T) {
 
 func TestDistractorsDoNotWin(t *testing.T) {
 	e := New(BuiltinCorpus())
-	hits, _ := e.Search("import tariff schedule", 1)
+	hits, _ := e.Search(context.Background(), "import tariff schedule", 1)
 	if len(hits) != 1 || hits[0].Meta["url"] != "https://trade.example.gov/tariff-schedule-2026" {
 		t.Fatalf("wrong top hit: %v", hits)
 	}
@@ -52,7 +53,7 @@ func TestDistractorsDoNotWin(t *testing.T) {
 func TestAddPage(t *testing.T) {
 	e := New(nil)
 	e.AddPage(Page{URL: "https://x.example/a", Title: "Quarterly Llama Census", Content: "llamas counted quarterly"})
-	hits, _ := e.Search("llama census", 1)
+	hits, _ := e.Search(context.Background(), "llama census", 1)
 	if len(hits) != 1 {
 		t.Fatalf("added page not searchable: %v", hits)
 	}

@@ -1,0 +1,133 @@
+package pneuma
+
+import (
+	"runtime"
+
+	"pneuma/internal/core"
+	"pneuma/internal/docdb"
+	"pneuma/internal/llm"
+	"pneuma/internal/websearch"
+)
+
+// Option configures New. Options are the single knob surface of the
+// serving API, replacing the former split across Config fields,
+// RetrieverKnobs and retriever options; the README's migration table maps
+// every old field to its option.
+type Option func(*settings)
+
+// settings is the resolved configuration New assembles a Service from.
+type settings struct {
+	cfg           core.Config
+	web           *websearch.Engine
+	kb            *docdb.DB
+	maxConcurrent int
+}
+
+// DefaultMaxConcurrent returns the default request-scheduler width:
+// GOMAXPROCS clamped to at least 4, mirroring the shard-count heuristic —
+// enough concurrency to keep every core busy without unbounded fan-out
+// amplification when many sessions arrive at once.
+func DefaultMaxConcurrent() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// WithModel sets the language model (default: the deterministic SimModel
+// with the paper's o4-mini profile).
+func WithModel(m Model) Option {
+	return func(s *settings) { s.cfg.Model = m }
+}
+
+// WithModelProfile sets the language model to a fresh SimModel with the
+// given pricing-catalog profile ("o4-mini", "o3", "gpt-4o", ...).
+func WithModelProfile(profile string) Option {
+	return func(s *settings) { s.cfg.Model = llm.NewSimModel(llm.WithProfile(profile)) }
+}
+
+// WithMaxActions caps the Conductor's consecutive actions per turn (the
+// paper's i = 5).
+func WithMaxActions(n int) Option {
+	return func(s *settings) { s.cfg.MaxActions = n }
+}
+
+// WithMaxRepairs bounds the Materializer's repair loop (default 3).
+func WithMaxRepairs(n int) Option {
+	return func(s *settings) { s.cfg.MaxRepairs = n }
+}
+
+// WithSpecialized toggles context specialization (default true; false is
+// the §5.2 ablation).
+func WithSpecialized(on bool) Option {
+	return func(s *settings) { s.cfg.Specialized = &on }
+}
+
+// WithDynamicPlanning selects conductor-style orchestration (default
+// true; false runs the fixed static pipeline of §3.5).
+func WithDynamicPlanning(on bool) Option {
+	return func(s *settings) { s.cfg.DynamicPlanning = &on }
+}
+
+// WithWebSearch attaches a web-search engine and enables the web
+// retrieval source (the paper disables it for benchmarks; passing nil
+// attaches the built-in synthetic engine).
+func WithWebSearch(web *WebSearch) Option {
+	return func(s *settings) {
+		if web == nil {
+			web = websearch.New(websearch.BuiltinCorpus())
+		}
+		s.web = web
+		s.cfg.WebSearch = true
+	}
+}
+
+// WithKnowledge attaches an existing Document Database, sharing captured
+// knowledge across Services (a fresh one is created when this option is
+// absent).
+func WithKnowledge(kb *KnowledgeDB) Option {
+	return func(s *settings) { s.kb = kb }
+}
+
+// WithShards sets the table-index shard count (default: derived from
+// GOMAXPROCS, clamped to [4,16]).
+func WithShards(n int) Option {
+	return func(s *settings) { s.cfg.Shards = n }
+}
+
+// WithIndexWorkers sizes the embedding worker pool used by bulk corpus
+// ingest (default GOMAXPROCS).
+func WithIndexWorkers(n int) Option {
+	return func(s *settings) { s.cfg.IndexWorkers = n }
+}
+
+// WithBackend selects the table-index shard storage engine
+// (BackendMemory, the default, or BackendDisk).
+func WithBackend(b Backend) Option {
+	return func(s *settings) { s.cfg.Backend = b }
+}
+
+// WithIndexDir sets the segment directory for BackendDisk; opening a
+// directory that already holds an index loads it instead of re-ingesting.
+func WithIndexDir(dir string) Option {
+	return func(s *settings) { s.cfg.IndexDir = dir }
+}
+
+// WithEf sets the HNSW query beam width (default 64): larger values trade
+// query latency for vector-search recall.
+func WithEf(n int) Option {
+	return func(s *settings) { s.cfg.Ef = n }
+}
+
+// WithMaxConcurrent bounds how many requests (Send and Search calls
+// across all sessions) execute simultaneously; excess requests queue and
+// are admitted as slots free, or leave the queue when their context is
+// canceled. Default DefaultMaxConcurrent().
+func WithMaxConcurrent(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.maxConcurrent = n
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package pneuma
 
 import (
+	"context"
 	"io"
 
 	"pneuma/internal/core"
 	"pneuma/internal/docdb"
+	"pneuma/internal/docs"
 	"pneuma/internal/harness"
 	"pneuma/internal/kramabench"
 	"pneuma/internal/llm"
@@ -48,13 +50,21 @@ type (
 	Model = llm.Model
 	// Question is one benchmark item with its oracle answer.
 	Question = kramabench.Question
+	// Document is one retrievable unit (a table, a knowledge note or a
+	// web page) as returned by Service.Search and the retrievers.
+	Document = docs.Document
 )
 
-// NewSeeker assembles a Pneuma-Seeker over a table corpus. web and kb may
-// be nil; a nil cfg.Model defaults to the deterministic SimModel with the
-// paper's o4-mini profile.
+// NewSeeker assembles a bare Pneuma-Seeker over a table corpus. web and kb
+// may be nil; a nil cfg.Model defaults to the deterministic SimModel with
+// the paper's o4-mini profile.
+//
+// Deprecated: use New, which returns a concurrency-safe Service with
+// request scheduling and takes the same knobs as functional options (see
+// the README's migration table). NewSeeker remains for single-session
+// batch use.
 func NewSeeker(cfg Config, corpus map[string]*Table, web *WebSearch, kb *KnowledgeDB) (*Seeker, error) {
-	return core.New(cfg, corpus, web, kb)
+	return core.New(context.Background(), cfg, corpus, web, kb)
 }
 
 // NewEngine creates an empty SQL engine.
@@ -79,6 +89,10 @@ const (
 // RetrieverKnobs are the scaling knobs of the sharded hybrid index. Zero
 // values select the defaults (GOMAXPROCS-derived shard count, GOMAXPROCS
 // embedding workers, in-memory backend).
+//
+// Deprecated: prefer assembling a Service with New and the equivalent
+// options (WithShards, WithIndexWorkers, WithBackend, WithIndexDir,
+// WithEf); RetrieverKnobs remains for standalone-index workflows.
 type RetrieverKnobs struct {
 	// Shards is the number of hash partitions of the index.
 	Shards int
@@ -174,7 +188,8 @@ type Evaluation = harness.DatasetEvaluation
 
 // RunFullEvaluation reproduces the paper's §4 for one dataset: Figure 4/5
 // convergence, Table 2 token usage, Table 3 accuracy and the O3 in-text
-// result.
-func RunFullEvaluation(dataset string, corpus map[string]*Table, questions []Question) (Evaluation, error) {
-	return harness.RunFullEvaluation(dataset, corpus, questions, harness.EvalOptions{})
+// result. The context bounds the whole sweep; cancellation aborts between
+// conversations.
+func RunFullEvaluation(ctx context.Context, dataset string, corpus map[string]*Table, questions []Question) (Evaluation, error) {
+	return harness.RunFullEvaluation(ctx, dataset, corpus, questions, harness.EvalOptions{})
 }

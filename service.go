@@ -1,0 +1,239 @@
+package pneuma
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"pneuma/internal/core"
+	"pneuma/internal/docdb"
+	"pneuma/internal/ir"
+	"pneuma/internal/llm"
+	"pneuma/internal/pnerr"
+	"pneuma/internal/table"
+)
+
+// Service is the concurrency-safe serving facade over one shared Seeker:
+// many user sessions are admitted through a bounded request scheduler, so
+// a burst of traffic queues instead of fanning out without limit, and a
+// slow or abandoned request can be canceled through its context without
+// blocking anyone else's.
+//
+// Scheduling: every request (Send or Search, across all sessions)
+// acquires one of MaxConcurrent slots before touching the shared index.
+// Waiters whose context is canceled leave the queue immediately — there
+// is no head-of-line blocking: a stuck request occupies only its own
+// slot, never the admission queue.
+//
+// Accounting: the Service-wide meter keeps global totals while every
+// session records its own calls on its session meter, so Table-2-style
+// accounting stays attributable per session under concurrency (session
+// usages sum to the service total).
+type Service struct {
+	seeker *core.Seeker
+	sem    chan struct{}
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+	// closeDone is closed (and closeErr set) once the first Close has
+	// fully drained and released the index; later Close calls wait on it
+	// so "Close returned" always means "the index is flushed".
+	closeDone chan struct{}
+	closeErr  error
+}
+
+// New assembles a Service over a table corpus with the unified
+// functional-options API:
+//
+//	svc, err := pneuma.New(corpus,
+//	    pneuma.WithShards(8),
+//	    pneuma.WithBackend(pneuma.BackendDisk),
+//	    pneuma.WithIndexDir("./idx"),
+//	    pneuma.WithMaxConcurrent(64),
+//	)
+//
+// Index construction runs under a background context; use NewContext to
+// make assembly cancellable, and the returned Service's Close to flush
+// and release disk-backed indexes.
+func New(corpus map[string]*Table, opts ...Option) (*Service, error) {
+	return NewContext(context.Background(), corpus, opts...)
+}
+
+// NewContext is New with a caller-supplied context governing corpus
+// ingest: canceling it abandons index construction (the embedding worker
+// pool and the per-shard writers stop at the next document) and returns a
+// typed ErrCanceled.
+func NewContext(ctx context.Context, corpus map[string]*Table, opts ...Option) (*Service, error) {
+	var s settings
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.kb == nil {
+		s.kb = docdb.New()
+	}
+	if s.maxConcurrent <= 0 {
+		s.maxConcurrent = DefaultMaxConcurrent()
+	}
+	seeker, err := core.New(ctx, s.cfg, corpus, s.web, s.kb)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		seeker: seeker,
+		sem:    make(chan struct{}, s.maxConcurrent),
+	}, nil
+}
+
+// acquire admits one request: it rejects closed services, honors
+// cancellation while queueing, and counts the request for Close's drain.
+func (s *Service) acquire(ctx context.Context, op string) error {
+	if err := ctx.Err(); err != nil {
+		return pnerr.Canceled(op, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return pnerr.Closed(op)
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.wg.Done()
+		return pnerr.Canceled(op, ctx.Err())
+	}
+}
+
+// release returns an admitted request's scheduler slot.
+func (s *Service) release() {
+	<-s.sem
+	s.wg.Done()
+}
+
+// NewSession starts a conversation for the named user. Sessions are
+// independent: each is single-caller (one conversation, one author), but
+// any number of them may Send concurrently — the scheduler serializes
+// admission, and everything sessions share is concurrency-safe.
+func (s *Service) NewSession(user string) *ServiceSession {
+	return &ServiceSession{svc: s, inner: s.seeker.NewSession(user)}
+}
+
+// Search runs one request-scoped retrieval against the IR System (all
+// sources, RRF-fused) through the scheduler. It returns typed errors:
+// ErrCanceled when ctx fires (queued or mid-fan-out), ErrBadQuery for an
+// empty query, ErrClosed after Close. When only some sources fail the
+// call degrades instead of losing the good results: the surviving fusion
+// is returned together with a non-nil ErrDegraded-coded error wrapping
+// the per-source failures — check errors.Is(err, ErrDegraded) to accept
+// partial results.
+func (s *Service) Search(ctx context.Context, query string, k int) ([]Document, error) {
+	const op = "service: search"
+	if strings.TrimSpace(query) == "" {
+		return nil, pnerr.BadQueryf(op, "empty query")
+	}
+	if err := s.acquire(ctx, op); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	res, err := s.seeker.IR().Query(ctx, ir.Request{Query: query, K: k})
+	if err != nil {
+		return nil, err
+	}
+	if res.Degraded != nil {
+		return res.Documents, pnerr.Degraded(op, res.Degraded)
+	}
+	return res.Documents, nil
+}
+
+// LookupTable fetches a table by exact name from the shared index — the
+// grounding path for callers that already know what they want.
+func (s *Service) LookupTable(name string) (*table.Table, bool) {
+	return s.seeker.IR().LookupTable(name)
+}
+
+// Meter exposes the service-wide token/latency accounting (the sum over
+// all sessions). Use Snapshot for a consistent read while sessions are
+// active.
+func (s *Service) Meter() *Meter { return s.seeker.Meter() }
+
+// Knowledge exposes the shared Document Database.
+func (s *Service) Knowledge() *KnowledgeDB { return s.seeker.Knowledge() }
+
+// Seeker exposes the underlying assembled system for callers that need
+// the pre-Service surface (harness adapters, tests). Direct Seeker calls
+// bypass the request scheduler.
+func (s *Service) Seeker() *Seeker { return s.seeker }
+
+// MaxConcurrent reports the scheduler width.
+func (s *Service) MaxConcurrent() int { return cap(s.sem) }
+
+// Close stops admitting new requests, waits for in-flight (and
+// already-queued) requests to drain, then flushes and releases the shared
+// index. Subsequent requests fail with a typed ErrClosed. Close is
+// idempotent and every call — including concurrent ones — blocks until
+// the drain and flush have actually completed, so a returned Close always
+// means the index is released.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		done := s.closeDone
+		s.mu.Unlock()
+		<-done
+		return s.closeErr
+	}
+	s.closed = true
+	s.closeDone = make(chan struct{})
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.closeErr = s.seeker.Close()
+	close(s.closeDone)
+	return s.closeErr
+}
+
+// ServiceSession is one user's conversation admitted through the Service
+// scheduler. It wraps a Session: Send acquires a scheduler slot, attaches
+// the session meter to the request context, and maps failures to typed
+// errors.
+type ServiceSession struct {
+	svc   *Service
+	inner *core.Session
+}
+
+// Send delivers one user message and runs the Conductor turn under the
+// request's context: cancellation propagates into retrieval fan-out,
+// model calls and materialization, and surfaces as a typed ErrCanceled.
+// While the request waits for a scheduler slot, cancellation abandons the
+// queue immediately.
+func (ss *ServiceSession) Send(ctx context.Context, message string) (Reply, error) {
+	if err := ss.svc.acquire(ctx, "service: send"); err != nil {
+		return Reply{}, err
+	}
+	defer ss.svc.release()
+	return ss.inner.Send(ctx, message)
+}
+
+// Meter exposes this session's own token/latency accounting — the
+// per-session slice of the service meter.
+func (ss *ServiceSession) Meter() *Meter { return ss.inner.Meter() }
+
+// Session exposes the underlying conversation state (State view,
+// accumulated documents, knowledge notes). Calling Send on it directly
+// bypasses the Service scheduler.
+func (ss *ServiceSession) Session() *Session { return ss.inner }
+
+// User returns the session's user name (knowledge-capture attribution).
+func (ss *ServiceSession) User() string { return ss.inner.User }
+
+// Metering types re-exported for Service/session accounting.
+type (
+	// Meter accumulates token usage and simulated latency; safe for
+	// concurrent recording.
+	Meter = llm.Meter
+	// MeterSnapshot is a consistent point-in-time copy of a Meter.
+	MeterSnapshot = llm.MeterSnapshot
+	// Usage is one token bill (input and output tokens).
+	Usage = llm.Usage
+)

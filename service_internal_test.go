@@ -1,0 +1,160 @@
+package pneuma
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pneuma/internal/pnerr"
+)
+
+// TestServiceQueueCancellation (white-box): with every scheduler slot
+// occupied, a queued request whose context fires must leave the queue with
+// a typed ErrCanceled instead of waiting for a slot — no head-of-line
+// blocking on abandoned requests.
+func TestServiceQueueCancellation(t *testing.T) {
+	svc, err := New(ArchaeologyDataset(), WithMaxConcurrent(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Occupy the only slot directly; the queued Send below can then never
+	// be admitted until we give the slot back.
+	svc.sem <- struct{}{}
+
+	sess := svc.NewSession("queued-user")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.Send(ctx, "What tables describe soil samples?")
+	waited := time.Since(start)
+	if !errors.Is(err, pnerr.ErrCanceled) {
+		t.Fatalf("queued Send = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Send = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if waited > 3*time.Second {
+		t.Fatalf("queued Send took %v to abandon the queue", waited)
+	}
+
+	// Release the slot: the service must serve normally again.
+	<-svc.sem
+	reply, err := sess.Send(context.Background(), "What tables describe soil samples?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Message == "" {
+		t.Error("post-release Send returned an empty reply")
+	}
+}
+
+// TestServiceCloseDrains (white-box): Close waits for an in-flight
+// request before releasing the index.
+func TestServiceCloseDrains(t *testing.T) {
+	svc, err := New(ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := svc.NewSession("drain-user")
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := sess.Send(context.Background(), "What is the average organic matter percentage for soil samples in the Malta region?")
+		inFlight <- err
+	}()
+	// Wait for admission (the slot is taken), then Close concurrently.
+	for i := 0; i < 1000 && len(svc.sem) == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-inFlight; err != nil {
+		t.Fatalf("in-flight request failed during Close: %v", err)
+	}
+	// After the drain, new work is rejected.
+	if _, err := sess.Send(context.Background(), "another"); !errors.Is(err, pnerr.ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestServiceSearchSurfacesDegraded (white-box): when a source dies the
+// public Search returns the surviving fusion together with an
+// ErrDegraded-coded error, never a silent success.
+func TestServiceSearchSurfacesDegraded(t *testing.T) {
+	svc, err := New(ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the knowledge source so something survives the tables outage.
+	if _, err := svc.Knowledge().Save(context.Background(), "potassium", "potassium should be interpolated between samples", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the tables source behind the Service's back.
+	if err := svc.Seeker().IR().Tables.Close(); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := svc.Search(context.Background(), "potassium interpolation in soil", 5)
+	if !errors.Is(err, pnerr.ErrDegraded) {
+		t.Fatalf("Search with a dead source = %v, want ErrDegraded", err)
+	}
+	if !errors.Is(err, pnerr.ErrClosed) {
+		t.Fatalf("err = %v, want the source's ErrClosed preserved", err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("degraded Search discarded the surviving source's documents")
+	}
+}
+
+// TestServiceCloseConcurrent (white-box): no Close call — first or
+// concurrent duplicate — may return while a request is still in flight.
+// The in-flight request is simulated by holding a scheduler slot and a
+// drain-count directly, so the window is deterministic.
+func TestServiceCloseConcurrent(t *testing.T) {
+	svc, err := New(ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate one admitted, still-running request.
+	svc.mu.Lock()
+	svc.wg.Add(1)
+	svc.mu.Unlock()
+	svc.sem <- struct{}{}
+
+	const closers = 4
+	done := make(chan error, closers)
+	for i := 0; i < closers; i++ {
+		go func() { done <- svc.Close() }()
+	}
+	// Every closer — whichever one won the race to be "first" — must
+	// block while the request is outstanding.
+	select {
+	case <-done:
+		t.Fatal("a Close returned while a request was still in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Finish the request: all closers must now return nil.
+	<-svc.sem
+	svc.wg.Done()
+	for i := 0; i < closers; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("closer %d: %v", i, err)
+		}
+	}
+}
+
+// TestServiceSearchWhitespaceQuery: the Search and Send bad-query
+// boundaries agree — whitespace-only input is rejected up front on both.
+func TestServiceSearchWhitespaceQuery(t *testing.T) {
+	svc, err := New(ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Search(context.Background(), "  \t ", 3); !errors.Is(err, pnerr.ErrBadQuery) {
+		t.Fatalf("whitespace Search = %v, want ErrBadQuery", err)
+	}
+}

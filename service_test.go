@@ -1,0 +1,245 @@
+package pneuma_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pneuma"
+	"pneuma/internal/leakcheck"
+)
+
+// serviceQuestion is a benchmark question that triggers the full
+// conductor pipeline (retrieve → define → materialize → execute) without
+// tripping knowledge capture, so concurrent sessions stay independent.
+const serviceQuestion = "What is the average organic matter percentage for soil samples in the Malta region? Round your answer to 4 decimal places."
+
+// TestServiceConcurrentSessions drives N sessions through one Service
+// simultaneously (run under -race via `make race-smoke`): every session
+// must get the same deterministic reply a solo session gets, and the
+// per-session meters must sum exactly to the service-wide meter.
+func TestServiceConcurrentSessions(t *testing.T) {
+	defer leakcheck.Check(t)()
+	corpus := pneuma.ArchaeologyDataset()
+
+	// Reference run: one session on its own Service.
+	ref, err := pneuma.New(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReply, err := ref.NewSession("ref").Send(context.Background(), serviceQuestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refReply.Answer == "" {
+		t.Fatalf("reference run returned no answer: %s", refReply.Message)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := pneuma.New(corpus, pneuma.WithMaxConcurrent(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	sessions := 12
+	if testing.Short() {
+		// The -race smoke gate runs on every verify; four sessions still
+		// oversubscribe the width-4 scheduler.
+		sessions = 6
+	}
+	replies := make([]pneuma.Reply, sessions)
+	errs := make([]error, sessions)
+	sess := make([]*pneuma.ServiceSession, sessions)
+	for i := range sess {
+		sess[i] = svc.NewSession(fmt.Sprintf("user-%d", i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = sess[i].Send(context.Background(), serviceQuestion)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if replies[i].Answer != refReply.Answer {
+			t.Errorf("session %d answer = %q, want %q (deterministic replies per session)",
+				i, replies[i].Answer, refReply.Answer)
+		}
+		if replies[i].Message != refReply.Message {
+			t.Errorf("session %d message diverged from the solo run", i)
+		}
+	}
+
+	// Per-session metering: session meters must sum exactly to the
+	// service totals (Table-2 accounting under concurrency).
+	total := svc.Meter().Snapshot()
+	var sumIn, sumOut, sumCalls int
+	for i := 0; i < sessions; i++ {
+		m := sess[i].Meter().Snapshot()
+		if m.Calls == 0 {
+			t.Errorf("session %d recorded no calls on its own meter", i)
+		}
+		sumIn += m.Total.InTokens
+		sumOut += m.Total.OutTokens
+		sumCalls += m.Calls
+	}
+	if sumIn != total.Total.InTokens || sumOut != total.Total.OutTokens || sumCalls != total.Calls {
+		t.Errorf("session meters sum to (in=%d out=%d calls=%d), service meter has (in=%d out=%d calls=%d)",
+			sumIn, sumOut, sumCalls, total.Total.InTokens, total.Total.OutTokens, total.Calls)
+	}
+}
+
+// TestServiceSendCanceled: a canceled request context surfaces as the
+// typed ErrCanceled (and context.Canceled stays in the chain).
+func TestServiceSendCanceled(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc, err := pneuma.New(pneuma.ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	sess := svc.NewSession("cancel-user")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sess.Send(ctx, serviceQuestion)
+	if !errors.Is(err, pneuma.ErrCanceled) {
+		t.Fatalf("Send = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Send = %v, want context.Canceled in the chain", err)
+	}
+	// The session survives a canceled turn.
+	reply, err := sess.Send(context.Background(), serviceQuestion)
+	if err != nil || reply.Answer == "" {
+		t.Fatalf("post-cancel Send = %v, %v", reply, err)
+	}
+}
+
+// TestServiceTypedErrors covers the ErrBadQuery and ErrClosed corners of
+// the vocabulary, plus errors.As extraction of the Op.
+func TestServiceTypedErrors(t *testing.T) {
+	svc, err := pneuma.New(pneuma.ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := svc.NewSession("typed-errors")
+
+	if _, err := sess.Send(context.Background(), "   "); !errors.Is(err, pneuma.ErrBadQuery) {
+		t.Fatalf("empty Send = %v, want ErrBadQuery", err)
+	}
+	if _, err := svc.Search(context.Background(), "", 3); !errors.Is(err, pneuma.ErrBadQuery) {
+		t.Fatalf("empty Search = %v, want ErrBadQuery", err)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close must be idempotent, got %v", err)
+	}
+	_, err = sess.Send(context.Background(), serviceQuestion)
+	if !errors.Is(err, pneuma.ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	var pe *pneuma.Error
+	if !errors.As(err, &pe) || pe.Code != pneuma.ErrClosed || pe.Op == "" {
+		t.Fatalf("errors.As gave %+v", pe)
+	}
+	if _, err := svc.Search(context.Background(), "soil", 3); !errors.Is(err, pneuma.ErrClosed) {
+		t.Fatalf("Search after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestServiceSearch exercises request-scoped retrieval through the
+// scheduler, concurrently.
+func TestServiceSearch(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc, err := pneuma.New(pneuma.ArchaeologyDataset(), pneuma.WithMaxConcurrent(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	want, err := svc.Search(context.Background(), "soil chemistry samples", 3)
+	if err != nil || len(want) == 0 {
+		t.Fatalf("Search = %v, %v", want, err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	got := make([][]pneuma.Document, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = svc.Search(context.Background(), "soil chemistry samples", 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent search %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(want) {
+			t.Fatalf("concurrent search %d returned %d docs, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j].ID != want[j].ID {
+				t.Errorf("concurrent search %d rank %d = %s, want %s (determinism)", i, j, got[i][j].ID, want[j].ID)
+			}
+		}
+	}
+}
+
+// TestServiceKnowledgeDedupe: repeating the identical knowledge-bearing
+// message — within one session or across sessions — must store exactly one
+// note (the Session.Send dedupe satellite).
+func TestServiceKnowledgeDedupe(t *testing.T) {
+	kb := pneuma.NewKnowledgeDB()
+	svc, err := pneuma.New(pneuma.ArchaeologyDataset(), pneuma.WithKnowledge(kb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	const externalized = "Note that potassium values should be interpolated between samples when missing."
+
+	alice := svc.NewSession("alice")
+	for i := 0; i < 3; i++ {
+		if _, err := alice.Send(context.Background(), externalized); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kb.Len() != 1 {
+		t.Fatalf("repeated identical message saved %d notes, want 1", kb.Len())
+	}
+	// A different user repeating the same assumption still saves nothing
+	// new — but their session surfaces the shared note.
+	bob := svc.NewSession("bob")
+	if _, err := bob.Send(context.Background(), externalized); err != nil {
+		t.Fatal(err)
+	}
+	if kb.Len() != 1 {
+		t.Fatalf("cross-session duplicate saved %d notes, want 1", kb.Len())
+	}
+	if len(bob.Session().KnowledgeNotes) == 0 {
+		t.Error("bob's session did not surface the deduplicated note")
+	}
+	// Different content still saves.
+	if _, err := bob.Send(context.Background(), "Assume tariffs are computed relative to the previous active rate."); err != nil {
+		t.Fatal(err)
+	}
+	if kb.Len() != 2 {
+		t.Fatalf("distinct knowledge saved %d notes, want 2", kb.Len())
+	}
+}
