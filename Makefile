@@ -4,14 +4,15 @@ GO ?= go
 # (enforced by `make docs` via cmd/pneuma-doccheck).
 DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr .
 
-.PHONY: verify fmt-check vet tier1 race race-smoke bench bench-compare bench-smoke ingest-bench docs
+.PHONY: verify fmt-check vet tier1 race race-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet,
 # the documentation gate, the tier-1 build+test command from ROADMAP.md
-# (which includes the AllocsPerRun budget guards), a short-mode smoke of
-# the retrieval benchmark pipeline, and a short-mode race pass over the
-# concurrent serving path (Service scheduler, cancellation fan-out).
-verify: fmt-check vet tier1 docs bench-smoke race-smoke
+# (which includes the AllocsPerRun budget guards), short-mode smokes of
+# the retrieval benchmark pipeline and the disk cold-start pipeline, and
+# a short-mode race pass over the concurrent serving path (Service
+# scheduler, cancellation fan-out, disk-backend sessions).
+verify: fmt-check vet tier1 docs bench-smoke bench-cold-smoke race-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,10 +31,12 @@ race:
 
 # race-smoke is the short-mode race gate wired into `make verify`: it
 # drives N concurrent sessions through one Service, cancels a Search
-# mid-fan-out, and checks the goroutine-leak guard — the serving paths a
-# sequential test run never stresses.
+# mid-fan-out, hammers a disk-backed index with concurrent
+# search/delete/flush (compaction included), and checks the
+# goroutine-leak guard — the serving paths a sequential test run never
+# stresses.
 race-smoke:
-	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled' . ./internal/retriever/ ./internal/ir/
+	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled|TestDiskConcurrent' . ./internal/retriever/ ./internal/ir/
 	@echo "race-smoke: ok"
 
 # bench runs the retrieval micro-benchmarks with allocation reporting and
@@ -57,6 +60,22 @@ bench-smoke:
 	@$(GO) run ./cmd/pneuma-bench -ingest -tables 60 -rounds 2 -json .bench-smoke.json >/dev/null
 	@rm -f .bench-smoke.json
 	@echo "bench-smoke: ok"
+
+# bench-cold measures the disk backend's cold-start trajectory on the
+# 1k-table corpus — snapshot bulk-load open vs full segment replay, with
+# the snapshot/replay/memory parity proof — and merges the cold_start
+# section into BENCH_retrieval.json, diffed against the committed
+# pre-snapshot baseline.
+bench-cold:
+	$(GO) run ./cmd/pneuma-bench -cold -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+
+# bench-cold-smoke is the short-mode disk cold-start gate wired into
+# `make verify`: a tiny corpus proves the snapshot/replay/parity pipeline
+# end to end; the throwaway report is removed afterwards.
+bench-cold-smoke:
+	@$(GO) run ./cmd/pneuma-bench -cold -tables 60 -cold-rounds 1 -json .bench-cold-smoke.json >/dev/null
+	@rm -f .bench-cold-smoke.json
+	@echo "bench-cold-smoke: ok"
 
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"pneuma/internal/docs"
+	"pneuma/internal/kramabench"
+	"pneuma/internal/retriever"
+)
+
+// coldConfig bundles the -cold workload knobs.
+type coldConfig struct {
+	tables   int
+	shards   int
+	rounds   int
+	indexDir string
+	jsonPath string
+	baseline string
+}
+
+// runColdBench measures the disk backend's cold-start trajectory: a
+// synthetic corpus is persisted once, then the index is reopened
+// repeatedly two ways — by full segment replay (snapshots removed, the
+// pre-snapshot behaviour) and from its snapshots (the bulk-load fast
+// path) — reporting the median open time of each, the speedup, and the
+// on-disk footprint. Before reporting, the run proves the determinism
+// contract: the snapshot-loaded, replay-built and memory-backed indexes
+// must return identical results (scores within 1e-9) for the canonical
+// retrieval queries. The cold_start section is merged into the -json
+// report (preserving the -ingest measurements already recorded there).
+func runColdBench(ctx context.Context, cfg coldConfig) {
+	if cfg.rounds < 1 {
+		cfg.rounds = 1
+	}
+	dir := cfg.indexDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "pneuma-cold-*")
+		fail(err)
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	n := cfg.tables
+	tables := kramabench.SyntheticSlice(n)
+	opts := []retriever.Option{retriever.WithBackend(retriever.Disk), retriever.WithDir(dir)}
+	if cfg.shards > 0 {
+		opts = append(opts, retriever.WithShards(cfg.shards))
+	}
+
+	fmt.Printf("Cold-start benchmark: %d synthetic tables (disk backend, %d rounds)\n\n", n, cfg.rounds)
+
+	// Build (or load) the persisted index; Close flushes and snapshots.
+	r, err := retriever.Open(opts...)
+	fail(err)
+	if r.Len() != 0 && r.Len() != n {
+		fmt.Fprintf(os.Stderr, "pneuma-bench: index dir %s holds %d documents, want %d; point -index-dir at a fresh directory\n",
+			dir, r.Len(), n)
+		os.Exit(2)
+	}
+	if r.Len() == 0 {
+		start := time.Now()
+		fail(r.IndexTables(ctx, tables))
+		fmt.Printf("  build (ingest + index):  %8v\n", time.Since(start).Round(time.Millisecond))
+	}
+	shards := r.NumShards()
+	fail(r.Close())
+	// Drop the corpus before the timed rounds: a real cold start has no
+	// multi-megabyte live heap, and GC work during an open scales with
+	// it. The generator is deterministic, so the parity reference below
+	// regenerates the identical tables.
+	tables = nil
+
+	queries := kramabench.RetrievalQueries()
+	const k = 10
+
+	// Replay path: with snapshots removed, Open rebuilds every shard by
+	// replaying its segment log — the only cold path before snapshots.
+	// Each series starts with one untimed warm-up open so the page cache
+	// and allocator are in the same state for both paths; every timed
+	// round runs after an explicit GC, approximating the clean heap of a
+	// genuinely fresh process.
+	replayOpts := append(opts[:len(opts):len(opts)], retriever.WithSnapshotOnFlush(false))
+	replayTimes := make([]time.Duration, 0, cfg.rounds)
+	var replayRes [][]docs.Document
+	for i := -1; i < cfg.rounds; i++ {
+		removeAll(globIn(dir, "shard-*.snap"))
+		runtime.GC()
+		start := time.Now()
+		re, err := retriever.Open(replayOpts...)
+		fail(err)
+		if i >= 0 {
+			replayTimes = append(replayTimes, time.Since(start))
+		}
+		if i == 0 {
+			replayRes = collect(ctx, re, queries, k)
+		}
+		fail(re.Close())
+	}
+
+	// Restore the snapshots, then measure the bulk-load path.
+	re, err := retriever.Open(opts...)
+	fail(err)
+	fail(re.Close())
+	snapTimes := make([]time.Duration, 0, cfg.rounds)
+	var snapRes [][]docs.Document
+	for i := -1; i < cfg.rounds; i++ {
+		runtime.GC()
+		start := time.Now()
+		re, err := retriever.Open(opts...)
+		fail(err)
+		if i >= 0 {
+			snapTimes = append(snapTimes, time.Since(start))
+		}
+		if i == 0 {
+			snapRes = collect(ctx, re, queries, k)
+		}
+		fail(re.Close())
+	}
+
+	// Determinism proof: snapshot-loaded == replay-built == memory.
+	mem := retriever.New(retriever.WithShards(shards))
+	fail(mem.IndexTables(ctx, kramabench.SyntheticSlice(n)))
+	memRes := collect(ctx, mem, queries, k)
+	for qi, q := range queries {
+		assertParity(q, "snapshot-vs-replay", snapRes[qi], replayRes[qi])
+		assertParity(q, "snapshot-vs-memory", snapRes[qi], memRes[qi])
+	}
+
+	replayMed := median(replayTimes)
+	snapMed := median(snapTimes)
+	segBytes := sizeOf(globIn(dir, "shard-*.seg"))
+	snapBytes := sizeOf(globIn(dir, "shard-*.snap"))
+	speedup := float64(replayMed) / float64(snapMed)
+	fmt.Printf("  replay open   (no snapshot): %8v median of %d\n", replayMed.Round(time.Microsecond), len(replayTimes))
+	fmt.Printf("  snapshot open (bulk load):   %8v median of %d\n", snapMed.Round(time.Microsecond), len(snapTimes))
+	fmt.Printf("  speedup: %.1fx   segment %0.1f MiB   snapshot %0.1f MiB\n",
+		speedup, float64(segBytes)/(1<<20), float64(snapBytes)/(1<<20))
+	fmt.Printf("  parity: snapshot == replay == memory over %d queries ✓\n", len(queries))
+
+	cold := &coldStartStats{
+		Tables:             n,
+		Shards:             shards,
+		ReplayOpenMillis:   float64(replayMed) / float64(time.Millisecond),
+		SnapshotOpenMillis: float64(snapMed) / float64(time.Millisecond),
+		Speedup:            speedup,
+		SegmentBytes:       segBytes,
+		SnapshotBytes:      snapBytes,
+	}
+	if cfg.baseline != "" {
+		old, err := loadReport(cfg.baseline)
+		fail(err)
+		fmt.Println()
+		compareColdStart(old.ColdStart, cold)
+	}
+	if cfg.jsonPath != "" {
+		// Merge: keep the -ingest measurements already in the report.
+		report, err := loadReport(cfg.jsonPath)
+		if err != nil {
+			report = benchReport{Corpus: n, Shards: shards, Backend: string(retriever.Disk)}
+		}
+		report.GeneratedAt = nowStamp()
+		report.ColdStart = cold
+		fail(writeReport(cfg.jsonPath, report))
+		fmt.Printf("\ncold_start section written to %s\n", cfg.jsonPath)
+	}
+}
+
+// collect runs every query and keeps the full result lists.
+func collect(ctx context.Context, r *retriever.Retriever, queries []string, k int) [][]docs.Document {
+	out := make([][]docs.Document, len(queries))
+	for i, q := range queries {
+		hits, err := r.Search(ctx, q, k)
+		fail(err)
+		out[i] = hits
+	}
+	return out
+}
+
+// assertParity exits non-zero when two result lists disagree (IDs exact,
+// scores within 1e-9).
+func assertParity(q, label string, a, b []docs.Document) {
+	if len(a) != len(b) {
+		fmt.Fprintf(os.Stderr, "pneuma-bench: %s parity failed for %q: %d vs %d results\n", label, q, len(a), len(b))
+		os.Exit(1)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+			fmt.Fprintf(os.Stderr, "pneuma-bench: %s parity failed for %q at rank %d: (%s %v) vs (%s %v)\n",
+				label, q, i, a[i].ID, a[i].Score, b[i].ID, b[i].Score)
+			os.Exit(1)
+		}
+	}
+}
+
+// globIn expands a pattern under dir.
+func globIn(dir, pattern string) []string {
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
+	fail(err)
+	return matches
+}
+
+// removeAll deletes the given files.
+func removeAll(files []string) {
+	for _, f := range files {
+		fail(os.Remove(f))
+	}
+}
+
+// sizeOf sums file sizes.
+func sizeOf(files []string) int64 {
+	var n int64
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		fail(err)
+		n += fi.Size()
+	}
+	return n
+}
+
+// median returns the middle value of the (sorted) durations.
+func median(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

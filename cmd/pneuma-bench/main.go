@@ -24,6 +24,16 @@
 // in benchstat-style columns:
 //
 //	pneuma-bench -ingest -json BENCH_retrieval.json -baseline BENCH_baseline.json
+//
+// -cold measures the disk backend's cold-start path: how long reopening a
+// persisted index takes from its state snapshots (bulk load) versus by
+// full segment replay (graph rebuild), proving snapshot/replay/memory
+// result parity along the way, and merges a cold_start section into the
+// same report:
+//
+//	pneuma-bench -cold                    # 1000-table corpus, temp dir
+//	pneuma-bench -cold -tables 5000 -index-dir ./idx
+//	pneuma-bench -cold -json BENCH_retrieval.json -baseline BENCH_baseline.json
 package main
 
 import (
@@ -49,16 +59,34 @@ func main() {
 	figureN := flag.Int("figure", 0, "regenerate one figure (4 or 5); 0 = all")
 	latency := flag.Bool("latency", false, "print only the latency trade-off")
 	ingest := flag.Bool("ingest", false, "benchmark sharded ingest throughput and retrieval latency")
-	nTables := flag.Int("tables", 500, "synthetic corpus size for -ingest")
-	shards := flag.Int("shards", 0, "shard count for -ingest (0 = GOMAXPROCS-derived default)")
+	cold := flag.Bool("cold", false, "benchmark disk-backend cold start: snapshot open vs replay rebuild")
+	nTables := flag.Int("tables", 500, "synthetic corpus size for -ingest (-cold defaults to 1000)")
+	shards := flag.Int("shards", 0, "shard count for -ingest/-cold (0 = GOMAXPROCS-derived default)")
 	workers := flag.Int("workers", 0, "embedding workers for -ingest (0 = GOMAXPROCS)")
 	backendName := flag.String("backend", "", "shard backend for -ingest: memory (default) or disk")
-	indexDir := flag.String("index-dir", "", "segment directory for -backend disk (default: temp dir)")
+	indexDir := flag.String("index-dir", "", "segment directory for -backend disk and -cold (default: temp dir)")
 	ef := flag.Int("ef", 0, "HNSW query beam width for -ingest (0 = default 64)")
 	rounds := flag.Int("rounds", 25, "query-mix repetitions for the -ingest latency measurement")
-	jsonPath := flag.String("json", "BENCH_retrieval.json", "write the -ingest report here (empty = skip)")
-	baselinePath := flag.String("baseline", "", "diff the -ingest report against this committed report")
+	coldRounds := flag.Int("cold-rounds", 5, "open repetitions per path for the -cold measurement (median reported)")
+	jsonPath := flag.String("json", "BENCH_retrieval.json", "write the -ingest/-cold report here (empty = skip)")
+	baselinePath := flag.String("baseline", "", "diff the -ingest/-cold report against this committed report")
 	flag.Parse()
+
+	if *cold {
+		tables := *nTables
+		if tables == 500 && !flagProvided("tables") {
+			tables = 1000
+		}
+		runColdBench(ctx, coldConfig{
+			tables:   tables,
+			shards:   *shards,
+			rounds:   *coldRounds,
+			indexDir: *indexDir,
+			jsonPath: *jsonPath,
+			baseline: *baselinePath,
+		})
+		return
+	}
 
 	if *ingest {
 		backend, err := retriever.ParseBackend(*backendName)
@@ -138,6 +166,17 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "pneuma-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// flagProvided reports whether the named flag was set explicitly.
+func flagProvided(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // ingestConfig bundles the -ingest workload knobs.
@@ -284,6 +323,11 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 		compareReports(old, report)
 	}
 	if cfg.jsonPath != "" {
+		// Preserve a cold_start section a previous -cold run recorded in
+		// the same report file.
+		if prev, err := loadReport(cfg.jsonPath); err == nil && prev.ColdStart != nil {
+			report.ColdStart = prev.ColdStart
+		}
 		fail(writeReport(cfg.jsonPath, report))
 		fmt.Printf("\nreport written to %s\n", cfg.jsonPath)
 	}

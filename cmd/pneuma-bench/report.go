@@ -14,14 +14,33 @@ import (
 // embeds the baseline it was compared to, making the file a self-contained
 // before/after record of the repo's perf trajectory.
 type benchReport struct {
-	GeneratedAt string       `json:"generated_at"`
-	Corpus      int          `json:"corpus_tables"`
-	Shards      int          `json:"shards"`
-	Backend     string       `json:"backend"`
-	Ef          int          `json:"ef"`
-	Ingest      ingestStats  `json:"ingest"`
-	Query       queryStats   `json:"query"`
-	Baseline    *benchReport `json:"baseline,omitempty"`
+	GeneratedAt string          `json:"generated_at"`
+	Corpus      int             `json:"corpus_tables"`
+	Shards      int             `json:"shards"`
+	Backend     string          `json:"backend"`
+	Ef          int             `json:"ef"`
+	Ingest      ingestStats     `json:"ingest"`
+	Query       queryStats      `json:"query"`
+	ColdStart   *coldStartStats `json:"cold_start,omitempty"`
+	Baseline    *benchReport    `json:"baseline,omitempty"`
+}
+
+// coldStartStats is the disk-backend cold-open trajectory written by the
+// -cold mode: how long reopening a persisted index takes from its
+// snapshots (bulk state load) versus by full segment replay (graph
+// rebuild), with the on-disk footprint for context. A pre-snapshot
+// baseline report carries only the replay number.
+type coldStartStats struct {
+	Tables           int     `json:"tables"`
+	Shards           int     `json:"shards"`
+	ReplayOpenMillis float64 `json:"replay_open_ms"`
+	// SnapshotOpenMillis is 0 in reports from builds without snapshots
+	// (the pre-snapshot baseline).
+	SnapshotOpenMillis float64 `json:"snapshot_open_ms,omitempty"`
+	// Speedup is replay/snapshot open time within this run.
+	Speedup       float64 `json:"speedup,omitempty"`
+	SegmentBytes  int64   `json:"segment_bytes"`
+	SnapshotBytes int64   `json:"snapshot_bytes,omitempty"`
 }
 
 // ingestStats is bulk-ingest throughput: the sequential seed path vs. the
@@ -77,16 +96,7 @@ func compareReports(old, cur benchReport) {
 	}
 	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "old", "new", "delta")
 	row := func(name string, o, n float64, higherIsBetter bool) {
-		delta := "~"
-		if o != 0 {
-			pct := 100 * (n - o) / o
-			mark := ""
-			if (higherIsBetter && pct > 0) || (!higherIsBetter && pct < 0) {
-				mark = " ✓"
-			}
-			delta = fmt.Sprintf("%+.1f%%%s", pct, mark)
-		}
-		fmt.Printf("%-28s %12.1f %12.1f %9s\n", name, o, n, delta)
+		fmt.Printf("%-28s %12.1f %12.1f %9s\n", name, o, n, deltaPct(o, n, higherIsBetter))
 	}
 	row("ingest seq (tables/sec)", old.Ingest.SeqTablesPerSec, cur.Ingest.SeqTablesPerSec, true)
 	row("ingest par (tables/sec)", old.Ingest.ParTablesPerSec, cur.Ingest.ParTablesPerSec, true)
@@ -94,6 +104,45 @@ func compareReports(old, cur benchReport) {
 	row("query p99 (µs)", old.Query.P99Micros, cur.Query.P99Micros, false)
 	row("query allocs/op", old.Query.AllocsPerOp, cur.Query.AllocsPerOp, false)
 	row("query bytes/op", old.Query.BytesPerOp, cur.Query.BytesPerOp, false)
+	compareColdStart(old.ColdStart, cur.ColdStart)
+}
+
+// compareColdStart prints the cold-open delta rows when both reports
+// carry a cold_start section. The headline number is the new snapshot
+// open against the old replay open — the "how much faster is a restart
+// now" question the trajectory exists to answer.
+func compareColdStart(old, cur *coldStartStats) {
+	if old == nil || cur == nil {
+		return
+	}
+	fmt.Printf("%-28s %12.1f %12.1f %9s\n", "cold replay open (ms)",
+		old.ReplayOpenMillis, cur.ReplayOpenMillis, deltaPct(old.ReplayOpenMillis, cur.ReplayOpenMillis, false))
+	if cur.SnapshotOpenMillis > 0 {
+		fmt.Printf("%-28s %12.1f %12.1f %9s\n", "cold snapshot open (ms)",
+			old.SnapshotOpenMillis, cur.SnapshotOpenMillis,
+			deltaPct(old.SnapshotOpenMillis, cur.SnapshotOpenMillis, false))
+		if old.SnapshotOpenMillis == 0 && cur.SnapshotOpenMillis > 0 {
+			fmt.Printf("%-28s %35.1fx\n", "snapshot vs baseline replay",
+				old.ReplayOpenMillis/cur.SnapshotOpenMillis)
+		}
+	}
+	fmt.Printf("%-28s %12d %12d %9s\n", "segment bytes",
+		old.SegmentBytes, cur.SegmentBytes,
+		deltaPct(float64(old.SegmentBytes), float64(cur.SegmentBytes), false))
+}
+
+// deltaPct formats the (new-old)/old percentage with a ✓ when it moved in
+// the better direction.
+func deltaPct(o, n float64, higherIsBetter bool) string {
+	if o == 0 {
+		return "~"
+	}
+	pct := 100 * (n - o) / o
+	mark := ""
+	if (higherIsBetter && pct > 0) || (!higherIsBetter && pct < 0) {
+		mark = " ✓"
+	}
+	return fmt.Sprintf("%+.1f%%%s", pct, mark)
 }
 
 // nowStamp is the human-readable timestamp recorded in reports.

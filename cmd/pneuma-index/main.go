@@ -37,6 +37,8 @@ func main() {
 	backendName := flag.String("backend", "", "shard storage backend: memory (default) or disk")
 	indexDir := flag.String("index-dir", "", "segment directory for -backend disk (default: temp dir)")
 	reindex := flag.Bool("reindex", false, "re-ingest the CSV directory even if -index-dir already holds an index")
+	syncEvery := flag.Int("sync-every", 0, "fsync disk segments every n records (0 = only on flush/close)")
+	compactRatio := flag.Float64("compaction-ratio", 0, "dead-record fraction triggering disk segment compaction (0 = default 0.5, negative disables)")
 	flag.Parse()
 
 	if *dir == "" || *query == "" {
@@ -55,11 +57,15 @@ func main() {
 	}
 	ret, err := pneuma.NewRetrieverWith(pneuma.RetrieverKnobs{
 		Shards: *shards, Workers: *workers, Backend: backend, Dir: *indexDir,
+		SyncEvery: *syncEvery, CompactionRatio: *compactRatio,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pneuma-index:", err)
 		os.Exit(1)
 	}
+	// Close flushes (snapshotting disk shards for a fast next open) and
+	// releases the index-directory lock.
+	defer ret.Close()
 	where := string(ret.Backend())
 	if d := ret.Dir(); d != "" {
 		where += " @ " + d

@@ -39,6 +39,10 @@ const (
 	// ErrIndexCorrupt: persisted index state failed to load or disagrees
 	// with the configuration (wrong embedding dim, unreadable manifest).
 	ErrIndexCorrupt = pnerr.ErrIndexCorrupt
+	// ErrIndexLocked: another live process holds the index directory
+	// (BackendDisk is single-writer); retry after it closes. Stale locks
+	// left by dead processes are broken automatically.
+	ErrIndexLocked = pnerr.ErrIndexLocked
 	// ErrClosed: the Service (or retriever) was closed before the request
 	// was admitted.
 	ErrClosed = pnerr.ErrClosed

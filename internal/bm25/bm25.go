@@ -34,15 +34,24 @@ type posting struct {
 	tf  int
 }
 
+// termFreq is one distinct term of a document with its in-document
+// frequency.
+type termFreq struct {
+	term string
+	tf   int
+}
+
 type docInfo struct {
 	id      string
 	length  int
 	deleted bool
-	// tf keeps the document's term frequencies so Delete and re-Add can
-	// reverse the document's contribution exactly — from the shared Stats
-	// object when one is attached, and from the local live document
-	// frequencies otherwise.
-	tf map[string]int
+	// tf keeps the document's distinct term frequencies, sorted by term,
+	// so Delete and re-Add can reverse the document's contribution
+	// exactly — from the shared Stats object when one is attached, and
+	// from the local live document frequencies otherwise. A sorted slice
+	// rather than a map: it is only ever iterated, and the snapshot
+	// loader rebuilds all documents' entries in one arena.
+	tf []termFreq
 }
 
 // Index is an inverted index with BM25 ranking. Safe for concurrent use.
@@ -62,6 +71,12 @@ type Index struct {
 	// stats, when non-nil, is the shared corpus-statistics object this
 	// index contributes to and scores against (see NewWithStats).
 	stats *Stats
+	// deferStats marks an index undergoing a two-phase restore (see
+	// DeferStats): ReadFrom parks the live document-frequency aggregate in
+	// pendingAgg instead of materializing df, and AttachStats folds it
+	// into the shared Stats without ever building the local map.
+	deferStats bool
+	pendingAgg []termFreq
 	// scratch pools *searchScratch values so steady-state Search reuses its
 	// dense score accumulator instead of allocating per query.
 	scratch sync.Pool
@@ -101,6 +116,20 @@ func (ix *Index) Len() int {
 // (tombstoned; postings of dead docs are skipped at query time).
 func (ix *Index) Add(id, text string) {
 	tokens := textutil.NormalizeTokens(text)
+	// Distinct terms with frequencies, by sorting the fresh token slice in
+	// place and walking runs — no transient counting map. The sorted order
+	// is also the docInfo.tf invariant the snapshot codec relies on.
+	sort.Strings(tokens)
+	tf := make([]termFreq, 0, len(tokens))
+	for i := 0; i < len(tokens); {
+		j := i + 1
+		for j < len(tokens) && tokens[j] == tokens[i] {
+			j++
+		}
+		tf = append(tf, termFreq{term: tokens[i], tf: j - i})
+		i = j
+	}
+
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 
@@ -112,10 +141,6 @@ func (ix *Index) Add(id, text string) {
 			ix.removeFreqsLocked(ix.docs[old].tf, ix.docs[old].length)
 		}
 	}
-	tf := make(map[string]int, len(tokens))
-	for _, t := range tokens {
-		tf[t]++
-	}
 	docIdx := len(ix.docs)
 	ix.docs = append(ix.docs, docInfo{id: id, length: len(tokens), tf: tf})
 	ix.byID[id] = docIdx
@@ -124,13 +149,13 @@ func (ix *Index) Add(id, text string) {
 	if ix.stats != nil {
 		ix.stats.addDoc(tf, len(tokens))
 	} else {
-		for term := range tf {
-			ix.df[term]++
+		for _, e := range tf {
+			ix.df[e.term]++
 		}
 	}
 
-	for term, f := range tf {
-		ix.postings[term] = append(ix.postings[term], posting{doc: docIdx, tf: f})
+	for _, e := range tf {
+		ix.postings[e.term] = append(ix.postings[e.term], posting{doc: docIdx, tf: e.tf})
 	}
 }
 
@@ -153,16 +178,16 @@ func (ix *Index) Delete(id string) bool {
 // removeFreqsLocked reverses a document's statistics contribution: from the
 // shared Stats object when one is attached, from the local live document
 // frequencies otherwise.
-func (ix *Index) removeFreqsLocked(tf map[string]int, length int) {
+func (ix *Index) removeFreqsLocked(tf []termFreq, length int) {
 	if ix.stats != nil {
 		ix.stats.removeDoc(tf, length)
 		return
 	}
-	for term := range tf {
-		if ix.df[term] > 1 {
-			ix.df[term]--
+	for _, e := range tf {
+		if ix.df[e.term] > 1 {
+			ix.df[e.term]--
 		} else {
-			delete(ix.df, term)
+			delete(ix.df, e.term)
 		}
 	}
 }

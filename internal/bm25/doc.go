@@ -36,5 +36,19 @@
 // GC cycle may drop the pooled scratch, so the first query after a
 // collection re-grows it.
 //
+// # Serialization
+//
+// WriteTo/ReadFrom serialize the index state as one binary section: the
+// document table plus the postings map stored term-wise, from which the
+// restore rebuilds the inverted index with arena-backed posting lists and
+// per-document term-frequency windows — no re-tokenization, one map
+// insert per distinct term. A shared Stats object is never serialized:
+// its updates are commutative, so each restored shard folds its live
+// aggregate back in (immediately when the Stats is already attached, or
+// deferred via DeferStats/AttachStats so a multi-section snapshot can
+// fully validate before any shared state is touched). Compact returns a
+// tombstone-free copy — the state a replay of a compacted segment log
+// would build — without touching the shared Stats.
+//
 // All types in this package are safe for concurrent use.
 package bm25

@@ -1,0 +1,300 @@
+package bm25
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pneuma/internal/wire"
+)
+
+// WriteTo serializes the index state as one length-prefixed binary
+// section, implementing io.WriterTo: the document table (per document:
+// external ID, token length, tombstone flag, distinct-term count) followed
+// by the postings map, term-wise — each term once, with its (document
+// slot, term frequency) list. Storing postings term-wise rather than
+// repeating term strings per document keeps the section compact and lets
+// ReadFrom rebuild the inverted index with one arena allocation instead of
+// tens of thousands of list growths. Terms are written in sorted order,
+// making the serialized bytes deterministic for a fixed index state.
+//
+// The shared corpus Stats object (NewWithStats) is not serialized: its
+// updates are commutative, so each restored shard re-contributes its live
+// documents' aggregate on ReadFrom and the shared totals converge to the
+// same values regardless of shard restore order.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var body wire.Writer
+	body.Uvarint(uint64(len(ix.docs)))
+	for _, d := range ix.docs {
+		body.String(d.id)
+		body.Uvarint(uint64(d.length))
+		if d.deleted {
+			body.Byte(1)
+		} else {
+			body.Byte(0)
+		}
+		body.Uvarint(uint64(len(d.tf)))
+	}
+	terms := make([]string, 0, len(ix.postings))
+	total := 0
+	for t, plist := range ix.postings {
+		terms = append(terms, t)
+		total += len(plist)
+	}
+	sort.Strings(terms)
+	body.Uvarint(uint64(len(terms)))
+	body.Uvarint(uint64(total))
+	for _, t := range terms {
+		body.String(t)
+		plist := ix.postings[t]
+		body.Uvarint(uint64(len(plist)))
+		for _, p := range plist {
+			body.Uvarint(uint64(p.doc))
+			body.Uvarint(uint64(p.tf))
+		}
+	}
+
+	var head wire.Writer
+	head.Uvarint(uint64(body.Len()))
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return int64(head.Len()), err
+	}
+	return int64(head.Len() + body.Len()), nil
+}
+
+// ReadFrom restores state serialized by WriteTo into an empty index,
+// implementing io.ReaderFrom. Posting lists are rebuilt as capacity-
+// limited windows into a single arena (a later Add copies-on-append, so
+// the windows stay immutable), the per-document term-frequency maps that
+// Delete needs are reconstituted from the postings, and the live
+// document-frequency counters fall out of the same pass. When a shared
+// Stats object is attached, the restored live documents' aggregate —
+// document count, total length, per-term live frequencies — is
+// contributed to it at the end, exactly matching a replay of the original
+// Add sequence. A malformed or truncated section leaves the index and the
+// shared Stats unchanged and returns an error.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.docs) != 0 {
+		return 0, fmt.Errorf("bm25: ReadFrom into non-empty index")
+	}
+
+	br := wire.AsByteScanner(r)
+	var read int64
+	size, err := wire.ReadUvarint(br, &read)
+	if err != nil {
+		return read, fmt.Errorf("bm25: snapshot section header: %w", err)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return read, fmt.Errorf("bm25: snapshot section body: %w", err)
+	}
+	read += int64(size)
+
+	// The section buffer is owned by the structures built from it, so
+	// strings decode as zero-copy views (wire.NewSharedReader).
+	rd := wire.NewSharedReader(buf)
+	ndocs := int(rd.Uvarint())
+	// Every document costs at least a few bytes, so a count exceeding the
+	// section size is malformed — reject before allocating for it.
+	if ndocs < 0 || ndocs > len(buf) {
+		return read, fmt.Errorf("bm25: snapshot section claims %d docs in %d bytes", ndocs, len(buf))
+	}
+	docs := make([]docInfo, ndocs)
+	// offs are per-document windows into the term-frequency arena, sized
+	// from the stored distinct-term counts; the postings pass below fills
+	// them in sorted-term order, restoring the docInfo.tf invariant.
+	offs := make([]int32, ndocs+1)
+	for i := range docs {
+		docs[i].id = rd.String()
+		docs[i].length = int(rd.Uvarint())
+		docs[i].deleted = rd.Byte() != 0
+		nt := int(rd.Uvarint())
+		if nt < 0 || nt > len(buf) {
+			return read, fmt.Errorf("bm25: snapshot doc %d claims %d terms", i, nt)
+		}
+		offs[i+1] = offs[i] + int32(nt)
+	}
+	nterms := int(rd.Uvarint())
+	total := int(rd.Uvarint())
+	if nterms < 0 || nterms > rd.Remaining() || total < 0 || total > rd.Remaining() {
+		return read, fmt.Errorf("bm25: snapshot section claims %d terms / %d postings in %d bytes",
+			nterms, total, rd.Remaining())
+	}
+	if int(offs[ndocs]) != total {
+		return read, fmt.Errorf("bm25: snapshot section: %d per-doc terms vs %d postings", offs[ndocs], total)
+	}
+	postings := make(map[string][]posting, nterms)
+	// The live document-frequency aggregate accumulates as a slice (terms
+	// arrive sorted); whether it becomes a local df map, a shared-Stats
+	// contribution or a parked pending aggregate is decided at commit.
+	agg := make([]termFreq, 0, nterms)
+	arena := make([]posting, 0, total)
+	tfArena := make([]termFreq, total)
+	fill := make([]int32, ndocs)
+	for i := 0; i < nterms && rd.Err() == nil; i++ {
+		term := rd.String()
+		np := int(rd.Uvarint())
+		if np < 0 || np > total-len(arena) {
+			return read, fmt.Errorf("bm25: snapshot term %q claims %d postings", term, np)
+		}
+		start := len(arena)
+		live := 0
+		for j := 0; j < np; j++ {
+			doc := int(rd.Uvarint())
+			tf := int(rd.Uvarint())
+			if doc < 0 || doc >= ndocs || tf <= 0 {
+				return read, fmt.Errorf("bm25: snapshot term %q has invalid posting (doc %d, tf %d)", term, doc, tf)
+			}
+			if offs[doc]+fill[doc] >= offs[doc+1] {
+				return read, fmt.Errorf("bm25: snapshot doc %d has more postings than declared terms", doc)
+			}
+			arena = append(arena, posting{doc: doc, tf: tf})
+			tfArena[offs[doc]+fill[doc]] = termFreq{term: term, tf: tf}
+			fill[doc]++
+			if !docs[doc].deleted {
+				live++
+			}
+		}
+		// Capacity-limited window: appending to this term's list later
+		// reallocates instead of stomping the next term's postings.
+		postings[term] = arena[start:len(arena):len(arena)]
+		if live > 0 {
+			agg = append(agg, termFreq{term: term, tf: live})
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return read, fmt.Errorf("bm25: snapshot section: %w", err)
+	}
+	if len(arena) != total {
+		return read, fmt.Errorf("bm25: snapshot section has %d postings, declared %d", len(arena), total)
+	}
+	for i := range docs {
+		docs[i].tf = tfArena[offs[i]:offs[i+1]:offs[i+1]]
+	}
+
+	// Commit.
+	ix.docs = docs
+	ix.postings = postings
+	for slot := range docs {
+		d := &docs[slot]
+		if d.deleted {
+			continue
+		}
+		ix.byID[d.id] = slot
+		ix.totalLen += d.length
+		ix.liveDocs++
+	}
+	switch {
+	case ix.stats != nil:
+		ix.stats.addAggregate(agg, ix.liveDocs, ix.totalLen)
+	case ix.deferStats:
+		ix.pendingAgg = agg
+	default:
+		df := make(map[string]int, len(agg))
+		for _, e := range agg {
+			df[e.term] = e.tf
+		}
+		ix.df = df
+	}
+	return read, nil
+}
+
+// DeferStats marks an empty index for a two-phase restore: a following
+// ReadFrom parks the live document-frequency aggregate instead of
+// materializing the local df map, and AttachStats later folds it straight
+// into the shared Stats object. The index scores no results until
+// AttachStats is called (it has neither local nor shared statistics); the
+// snapshot loader uses this to both defer shared-state mutation until the
+// whole snapshot validates and to skip building a throwaway map per
+// shard.
+func (ix *Index) DeferStats() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.deferStats = true
+}
+
+// AttachStats connects an index built against its own local statistics to
+// a shared corpus Stats object: the live documents' aggregate (document
+// count, total token length, per-term live document frequencies) is
+// contributed to st and the local counters are dropped, after which the
+// index scores exactly as if it had been created with NewWithStats. The
+// snapshot loader uses this to defer shared-state mutation until an
+// entire multi-section snapshot has validated — a half-parsed snapshot
+// must never leave its document frequencies behind in the corpus totals.
+// Calling it on an index that already has a Stats attached is a no-op.
+func (ix *Index) AttachStats(st *Stats) {
+	if st == nil {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.stats != nil {
+		return
+	}
+	if ix.pendingAgg != nil {
+		// Deferred restore: the parked aggregate folds straight in.
+		st.addAggregate(ix.pendingAgg, ix.liveDocs, ix.totalLen)
+		ix.pendingAgg = nil
+	} else {
+		// The local df map is by construction exactly the live documents'
+		// per-term aggregate, so it folds into the shared totals in one
+		// pass.
+		agg := make([]termFreq, 0, len(ix.df))
+		for term, n := range ix.df {
+			agg = append(agg, termFreq{term: term, tf: n})
+		}
+		st.addAggregate(agg, ix.liveDocs, ix.totalLen)
+	}
+	ix.stats = st
+	ix.df = nil
+	ix.deferStats = false
+}
+
+// Compact returns a new index holding only the live documents, in their
+// original relative order, scoring against the same shared Stats object
+// (which is left untouched: the live documents' contributions are
+// identical before and after). The result is exactly the index that
+// re-adding the surviving documents to a fresh NewWithStats index would
+// build — the state segment compaction needs after rewriting a log to its
+// live records. The term-frequency maps are shared with the receiver, so
+// the receiver must be discarded after compacting.
+func (ix *Index) Compact() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := &Index{
+		params:   ix.params,
+		postings: make(map[string][]posting),
+		byID:     make(map[string]int, ix.liveDocs),
+		stats:    ix.stats,
+	}
+	if ix.stats == nil {
+		out.df = make(map[string]int)
+	}
+	for _, d := range ix.docs {
+		if d.deleted {
+			continue
+		}
+		slot := len(out.docs)
+		out.docs = append(out.docs, docInfo{id: d.id, length: d.length, tf: d.tf})
+		out.byID[d.id] = slot
+		out.totalLen += d.length
+		out.liveDocs++
+		for _, e := range d.tf {
+			out.postings[e.term] = append(out.postings[e.term], posting{doc: slot, tf: e.tf})
+		}
+		if out.df != nil {
+			for _, e := range d.tf {
+				out.df[e.term]++
+			}
+		}
+	}
+	return out
+}

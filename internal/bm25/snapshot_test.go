@@ -1,0 +1,162 @@
+package bm25
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// corpusDocs is a small deterministic corpus with vocabulary overlap.
+func corpusDocs(n int) []struct{ id, text string } {
+	subjects := []string{"rainfall station", "freight manifest", "turbine output",
+		"warehouse stock", "portfolio yield", "soil potassium"}
+	out := make([]struct{ id, text string }, n)
+	for i := range out {
+		out[i].id = fmt.Sprintf("d%03d", i)
+		out[i].text = fmt.Sprintf("%s readings series %d with shared vocabulary terms and %s",
+			subjects[i%len(subjects)], i, subjects[(i+1)%len(subjects)])
+	}
+	return out
+}
+
+// assertSameSearch requires two indexes to agree exactly on a query set.
+func assertSameSearch(t *testing.T, a, b *Index) {
+	t.Helper()
+	for _, q := range []string{"rainfall station readings", "freight manifest", "potassium",
+		"shared vocabulary terms", "turbine warehouse"} {
+		ra := a.Search(q, 10)
+		rb := b.Search(q, 10)
+		if len(ra) != len(rb) {
+			t.Fatalf("%q: %d vs %d results", q, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%q rank %d: %+v vs %+v", q, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripLocal serializes an index (with tombstones and a
+// replaced document) scoring against local statistics and restores it:
+// searches, live counts and further mutations must match exactly.
+func TestSnapshotRoundTripLocal(t *testing.T) {
+	orig := New(Params{})
+	for _, d := range corpusDocs(40) {
+		orig.Add(d.id, d.text)
+	}
+	orig.Delete("d003")
+	orig.Delete("d010")
+	orig.Add("d005", "replacement text about rainfall and yield")
+
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Params{})
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), orig.Len())
+	}
+	assertSameSearch(t, orig, restored)
+
+	// Mutations after the restore must track exactly too (df counters,
+	// postings windows, tombstone bookkeeping).
+	for _, ix := range []*Index{orig, restored} {
+		ix.Delete("d007")
+		ix.Add("d100", "fresh post-restore document about turbine output readings")
+	}
+	assertSameSearch(t, orig, restored)
+}
+
+// TestSnapshotRoundTripSharedStats restores two serialized shard indexes
+// against one fresh Stats object (via the deferred-attach path the
+// retriever uses) and requires scores identical to the live shards.
+func TestSnapshotRoundTripSharedStats(t *testing.T) {
+	st := NewStats()
+	shards := []*Index{NewWithStats(Params{}, st), NewWithStats(Params{}, st)}
+	for i, d := range corpusDocs(30) {
+		shards[i%2].Add(d.id, d.text)
+	}
+	shards[0].Delete("d004")
+
+	st2 := NewStats()
+	restored := make([]*Index, 2)
+	for i, ix := range shards {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		re := New(Params{})
+		re.DeferStats()
+		if _, err := re.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		re.AttachStats(st2)
+		restored[i] = re
+	}
+	if st2.DocCount() != st.DocCount() || st2.AvgDocLen() != st.AvgDocLen() {
+		t.Fatalf("restored stats (%d, %v) != live stats (%d, %v)",
+			st2.DocCount(), st2.AvgDocLen(), st.DocCount(), st.AvgDocLen())
+	}
+	for i := range shards {
+		assertSameSearch(t, shards[i], restored[i])
+	}
+}
+
+// TestSnapshotErrors covers the refusal paths: restore into a non-empty
+// index and truncated input, both leaving the index and shared stats
+// untouched.
+func TestSnapshotErrorsBM25(t *testing.T) {
+	orig := New(Params{})
+	for _, d := range corpusDocs(20) {
+		orig.Add(d.id, d.text)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	nonEmpty := New(Params{})
+	nonEmpty.Add("x", "already populated")
+	if _, err := nonEmpty.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFrom into non-empty index succeeded")
+	}
+
+	st := NewStats()
+	truncated := NewWithStats(Params{}, st)
+	if _, err := truncated.ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("ReadFrom of truncated section succeeded")
+	}
+	if truncated.Len() != 0 || st.DocCount() != 0 {
+		t.Fatalf("failed restore leaked state: Len=%d stats=%d", truncated.Len(), st.DocCount())
+	}
+}
+
+// TestCompact verifies the compaction copy: identical search results,
+// live-only document table, and untouched shared statistics.
+func TestCompact(t *testing.T) {
+	st := NewStats()
+	ix := NewWithStats(Params{}, st)
+	for _, d := range corpusDocs(30) {
+		ix.Add(d.id, d.text)
+	}
+	for i := 0; i < 15; i++ {
+		ix.Delete(fmt.Sprintf("d%03d", i*2))
+	}
+	beforeDocs, beforeLen := st.DocCount(), st.AvgDocLen()
+
+	compacted := ix.Compact()
+	if st.DocCount() != beforeDocs || st.AvgDocLen() != beforeLen {
+		t.Fatal("Compact mutated the shared stats")
+	}
+	if compacted.Len() != ix.Len() {
+		t.Fatalf("compacted Len = %d, want %d", compacted.Len(), ix.Len())
+	}
+	if len(compacted.docs) != compacted.Len() {
+		t.Fatalf("compacted doc table has %d slots for %d live docs", len(compacted.docs), compacted.Len())
+	}
+	assertSameSearch(t, ix, compacted)
+}

@@ -29,27 +29,50 @@ func NewStats() *Stats {
 
 // addDoc folds one document's distinct-term frequencies and token length
 // into the corpus statistics.
-func (s *Stats) addDoc(tf map[string]int, length int) {
+func (s *Stats) addDoc(tf []termFreq, length int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.docCount++
 	s.totalLen += length
-	for term := range tf {
-		s.df[term]++
+	for _, e := range tf {
+		s.df[e.term]++
+	}
+}
+
+// addAggregate folds a whole shard's live aggregate — document count,
+// total token length and per-term live document frequencies — into the
+// corpus statistics in one pass. Equivalent to calling addDoc for every
+// live document, but with one map operation per distinct term instead of
+// one per (document, term) pair; the snapshot loader uses it to make bulk
+// restores cheap.
+func (s *Stats) addAggregate(agg []termFreq, docCount, totalLen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.df) == 0 && len(agg) > 0 {
+		// First fold into an empty corpus: re-make the map with room for
+		// this shard and its siblings (shard vocabularies are largely
+		// disjoint on value-heavy corpora, so the union approaches the
+		// sum), instead of rehashing it up from nothing term by term.
+		s.df = make(map[string]int, 4*len(agg))
+	}
+	s.docCount += docCount
+	s.totalLen += totalLen
+	for _, e := range agg {
+		s.df[e.term] += e.tf
 	}
 }
 
 // removeDoc reverses addDoc for a deleted or replaced document.
-func (s *Stats) removeDoc(tf map[string]int, length int) {
+func (s *Stats) removeDoc(tf []termFreq, length int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.docCount--
 	s.totalLen -= length
-	for term := range tf {
-		if s.df[term] > 1 {
-			s.df[term]--
+	for _, e := range tf {
+		if s.df[e.term] > 1 {
+			s.df[e.term]--
 		} else {
-			delete(s.df, term)
+			delete(s.df, e.term)
 		}
 	}
 }

@@ -51,6 +51,14 @@ type Config struct {
 	// hnsw.DefaultEfSearch via the retriever). Larger values trade query
 	// latency for vector-search recall.
 	Ef int
+	// SyncEvery fsyncs Disk-backend segment files every n appended
+	// records instead of only on Flush/Close (0 defers durability to
+	// Flush/Close).
+	SyncEvery int
+	// CompactionRatio is the dead-record fraction that triggers a
+	// Disk-backend segment rewrite at Flush/Close (0 selects the
+	// retriever default of 0.5; negative disables compaction).
+	CompactionRatio float64
 }
 
 // Seeker is the assembled Pneuma-Seeker system (Figure 1): Conductor, IR
@@ -96,6 +104,12 @@ func New(ctx context.Context, cfg Config, corpus map[string]*table.Table, web *w
 	}
 	if cfg.Ef > 0 {
 		ropts = append(ropts, retriever.WithEf(cfg.Ef))
+	}
+	if cfg.SyncEvery > 0 {
+		ropts = append(ropts, retriever.WithSyncEvery(cfg.SyncEvery))
+	}
+	if cfg.CompactionRatio != 0 {
+		ropts = append(ropts, retriever.WithCompactionRatio(cfg.CompactionRatio))
 	}
 	ret, err := retriever.Open(ropts...)
 	if err != nil {

@@ -37,4 +37,17 @@
 //     each search bumps the epoch and stale marks from earlier searches —
 //     possibly against other Index instances sharing the pool — compare
 //     unequal. On uint32 epoch wrap-around the array is zeroed once.
+//
+// # Serialization
+//
+// WriteTo/ReadFrom serialize the struct-of-arrays state directly — the
+// vector arena, the parallel slices, the adjacency lists, the entry point
+// and the level-generator draw count — so a persisted graph is restored
+// by a bulk load instead of re-running construction. The restore is exact:
+// queries answer bit-identically, and because the level generator is
+// fast-forwarded to the writer's stream position, inserts after the
+// restore assign the same levels (and therefore build the same graph) as
+// they would have on the never-serialized index. Construction parameters
+// are not serialized; the reading index must be created with the same
+// Config, in particular the same Seed.
 package hnsw

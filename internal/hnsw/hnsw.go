@@ -66,6 +66,10 @@ type Index struct {
 	entry  int // slot index, -1 when empty
 	maxLvl int
 	live   int // live (non-tombstoned) node count, maintained by Add/Delete
+	// rngDraws counts level-generator draws so a serialized index can
+	// fast-forward a fresh generator to the exact same state (see ReadFrom):
+	// later Adds then assign the same levels a never-serialized index would.
+	rngDraws uint64
 }
 
 // New creates an empty index for vectors of the given dimensionality.
@@ -265,8 +269,10 @@ func (ix *Index) SearchEf(query []float32, k, ef int) ([]Result, error) {
 // randomLevel draws the node level from the exponential distribution of the
 // HNSW paper: floor(-ln(U) · mL).
 func (ix *Index) randomLevel() int {
+	ix.rngDraws++
 	u := ix.rng.Float64()
 	for u == 0 {
+		ix.rngDraws++
 		u = ix.rng.Float64()
 	}
 	return int(math.Floor(-math.Log(u) * ix.levelM))

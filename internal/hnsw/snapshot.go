@@ -1,0 +1,193 @@
+package hnsw
+
+import (
+	"fmt"
+	"io"
+
+	"pneuma/internal/wire"
+)
+
+// WriteTo serializes the index's struct-of-arrays state — the vector
+// arena, the id/level/tombstone/norm slices, the adjacency lists, the
+// entry point and the level-generator draw count — as one length-prefixed
+// binary section, implementing io.WriterTo. An index restored by ReadFrom
+// is bit-identical: it answers every query with the same results and
+// assigns the same levels to future inserts. Construction parameters
+// (M, EfConstruction, EfSearch, Seed) are NOT serialized; the reading
+// index must be created with the same Config.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var body wire.Writer
+	n := len(ix.ids)
+	body.Uvarint(uint64(ix.dim))
+	body.Uvarint(uint64(n))
+	for _, id := range ix.ids {
+		body.String(id)
+	}
+	for _, lvl := range ix.levels {
+		body.Uvarint(uint64(lvl))
+	}
+	for _, d := range ix.deleted {
+		if d {
+			body.Byte(1)
+		} else {
+			body.Byte(0)
+		}
+	}
+	body.Float32s(ix.norms)
+	body.Float32s(ix.vecs)
+	for _, layers := range ix.links {
+		body.Uvarint(uint64(len(layers)))
+		for _, nbs := range layers {
+			body.Uvarint(uint64(len(nbs)))
+			for _, nb := range nbs {
+				body.Uvarint(uint64(nb))
+			}
+		}
+	}
+	body.Varint(int64(ix.entry))
+	body.Varint(int64(ix.maxLvl))
+	body.Uvarint(uint64(ix.live))
+	body.Uvarint(ix.rngDraws)
+
+	var head wire.Writer
+	head.Uvarint(uint64(body.Len()))
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return int64(head.Len()), err
+	}
+	return int64(head.Len() + body.Len()), nil
+}
+
+// ReadFrom restores state serialized by WriteTo into an empty index,
+// implementing io.ReaderFrom. The index must have been created with the
+// same Config (in particular the same Seed) and dimensionality as the
+// writer; the level generator is fast-forwarded to the writer's draw
+// count, so inserts after the restore build exactly the graph the writing
+// index would have built. A malformed or truncated section leaves the
+// index unchanged and returns an error.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.ids) != 0 {
+		return 0, fmt.Errorf("hnsw: ReadFrom into non-empty index")
+	}
+
+	br := wire.AsByteScanner(r)
+	var read int64
+	size, err := wire.ReadUvarint(br, &read)
+	if err != nil {
+		return read, fmt.Errorf("hnsw: snapshot section header: %w", err)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return read, fmt.Errorf("hnsw: snapshot section body: %w", err)
+	}
+	read += int64(size)
+
+	// The section buffer is owned by the restored index, so strings
+	// decode as zero-copy views (wire.NewSharedReader).
+	rd := wire.NewSharedReader(buf)
+	dim := int(rd.Uvarint())
+	n := int(rd.Uvarint())
+	if rd.Err() == nil && dim != ix.dim {
+		return read, fmt.Errorf("hnsw: snapshot has dim %d, index wants %d", dim, ix.dim)
+	}
+	// Every node costs at least a few bytes, so a count exceeding the
+	// section size is malformed — reject before allocating for it.
+	if n < 0 || n > len(buf) {
+		return read, fmt.Errorf("hnsw: snapshot section claims %d nodes in %d bytes", n, len(buf))
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = rd.String()
+	}
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = int32(rd.Uvarint())
+	}
+	deleted := make([]bool, n)
+	for i := range deleted {
+		deleted[i] = rd.Byte() != 0
+	}
+	norms := rd.Float32s()
+	vecs := rd.Float32s()
+	links := make([][][]int32, n)
+	for i := range links {
+		nl := int(rd.Uvarint())
+		if nl < 0 || nl > rd.Remaining() {
+			return read, fmt.Errorf("hnsw: snapshot section claims %d layers in %d bytes", nl, rd.Remaining())
+		}
+		layers := make([][]int32, nl)
+		for l := range layers {
+			cnt := int(rd.Uvarint())
+			if cnt < 0 || cnt > rd.Remaining() {
+				return read, fmt.Errorf("hnsw: snapshot section claims %d links in %d bytes", cnt, rd.Remaining())
+			}
+			nbs := make([]int32, cnt)
+			for j := range nbs {
+				nbs[j] = int32(rd.Uvarint())
+			}
+			layers[l] = nbs
+		}
+		links[i] = layers
+	}
+	entry := int(rd.Varint())
+	maxLvl := int(rd.Varint())
+	live := int(rd.Uvarint())
+	draws := rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return read, fmt.Errorf("hnsw: snapshot section: %w", err)
+	}
+	if len(norms) != n || len(vecs) != n*ix.dim || live > n || entry >= n {
+		return read, fmt.Errorf("hnsw: snapshot section inconsistent (n=%d norms=%d vecs=%d live=%d entry=%d)",
+			n, len(norms), len(vecs), live, entry)
+	}
+
+	ix.ids = ids
+	ix.levels = levels
+	ix.deleted = deleted
+	ix.norms = norms
+	ix.vecs = vecs
+	ix.links = links
+	ix.entry = entry
+	ix.maxLvl = maxLvl
+	ix.live = live
+	byID := make(map[string]int, live)
+	for i, id := range ids {
+		if !deleted[i] {
+			byID[id] = i
+		}
+	}
+	ix.byID = byID
+	// Replay the level generator's consumed draws so the next Add sees the
+	// same stream position a never-serialized index would.
+	for ix.rngDraws < draws {
+		ix.rngDraws++
+		ix.rng.Float64()
+	}
+	return read, nil
+}
+
+// ForEachLive visits every live (non-tombstoned) node in insertion order,
+// passing its external ID and vector. The vector aliases the index's
+// arena — callers must copy it if they retain it past the callback. The
+// walk stops early when fn returns false. Segment compaction uses this to
+// rewrite a log with exactly the surviving inserts, in their original
+// relative order.
+func (ix *Index) ForEachLive(fn func(id string, vec []float32) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for i := range ix.ids {
+		if ix.deleted[i] {
+			continue
+		}
+		if !fn(ix.ids[i], ix.vecAt(i)) {
+			return
+		}
+	}
+}

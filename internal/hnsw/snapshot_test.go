@@ -1,0 +1,158 @@
+package hnsw
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildIndex populates an index with n deterministic vectors, deleting
+// every seventh, so the serialized state includes tombstones.
+func buildIndex(t *testing.T, cfg Config, dim, n int) *Index {
+	t.Helper()
+	ix := New(dim, cfg)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < n; i++ {
+		vec := make([]float32, dim)
+		for d := range vec {
+			vec[d] = rng.Float32()*2 - 1
+		}
+		if err := ix.Add(fmt.Sprintf("v%03d", i), vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 7 {
+		ix.Delete(fmt.Sprintf("v%03d", i))
+	}
+	return ix
+}
+
+// queryVec returns a deterministic query vector.
+func queryVec(dim int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, dim)
+	for d := range v {
+		v[d] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+// TestSnapshotRoundTrip serializes a graph with tombstones and restores
+// it into a fresh index: every query must return bit-identical results,
+// and — the rng fast-forward contract — inserts after the restore must
+// leave both indexes answering identically too.
+func TestSnapshotRoundTrip(t *testing.T) {
+	const dim, n = 16, 120
+	cfg := Config{Seed: 42}
+	orig := buildIndex(t, cfg, dim, n)
+
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(dim, cfg)
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), orig.Len())
+	}
+	for q := int64(0); q < 10; q++ {
+		query := queryVec(dim, q)
+		a, err := orig.Search(query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Search(query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+
+	// Continue building both: the restored index's level generator must be
+	// at the same stream position, so the graphs stay identical.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		vec := make([]float32, dim)
+		for d := range vec {
+			vec[d] = rng.Float32()*2 - 1
+		}
+		id := fmt.Sprintf("post%03d", i)
+		if err := orig.Add(id, vec); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add(id, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := int64(20); q < 26; q++ {
+		query := queryVec(dim, q)
+		a, _ := orig.Search(query, 10)
+		b, _ := restored.Search(query, 10)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("post-restore query %d rank %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotErrors covers the refusal paths: restoring into a non-empty
+// index, a dimensionality mismatch, and a truncated section.
+func TestSnapshotErrors(t *testing.T) {
+	const dim = 8
+	orig := buildIndex(t, Config{Seed: 1}, dim, 30)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	nonEmpty := buildIndex(t, Config{Seed: 1}, dim, 3)
+	if _, err := nonEmpty.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFrom into non-empty index succeeded")
+	}
+	wrongDim := New(dim+1, Config{Seed: 1})
+	if _, err := wrongDim.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFrom with wrong dim succeeded")
+	}
+	truncated := New(dim, Config{Seed: 1})
+	if _, err := truncated.ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("ReadFrom of truncated section succeeded")
+	}
+	if truncated.Len() != 0 {
+		t.Fatalf("failed restore mutated the index: Len = %d", truncated.Len())
+	}
+}
+
+// TestForEachLiveOrder verifies the compaction iterator yields exactly
+// the live nodes in insertion order.
+func TestForEachLiveOrder(t *testing.T) {
+	ix := buildIndex(t, Config{Seed: 5}, 8, 40)
+	var ids []string
+	ix.ForEachLive(func(id string, vec []float32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != ix.Len() {
+		t.Fatalf("visited %d nodes, live %d", len(ids), ix.Len())
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("insertion order violated: %s before %s", ids[i-1], ids[i])
+		}
+	}
+	for _, id := range ids {
+		if id[0] != 'v' {
+			t.Fatalf("unexpected id %q", id)
+		}
+	}
+}

@@ -34,6 +34,10 @@ const (
 	// ErrIndexCorrupt: persisted index state (manifest, segment files)
 	// failed to load or disagrees with the configuration.
 	ErrIndexCorrupt Code = "index corrupt"
+	// ErrIndexLocked: the index directory is held by another live process;
+	// retry after it closes the index (stale locks from dead processes are
+	// broken automatically).
+	ErrIndexLocked Code = "index locked"
 	// ErrClosed: the component was closed; the request was never admitted.
 	ErrClosed Code = "closed"
 	// ErrDegraded: a fan-out completed partially — some sources answered,
@@ -100,6 +104,11 @@ func BadQueryf(op, format string, args ...interface{}) *Error {
 // Corrupt wraps a persisted-state loading failure as ErrIndexCorrupt.
 func Corrupt(op string, err error) *Error {
 	return &Error{Code: ErrIndexCorrupt, Op: op, Err: err}
+}
+
+// Locked wraps an index-directory contention failure as ErrIndexLocked.
+func Locked(op string, err error) *Error {
+	return &Error{Code: ErrIndexLocked, Op: op, Err: err}
 }
 
 // Closed builds an ErrClosed for the named operation.

@@ -69,23 +69,53 @@ type ShardBackend interface {
 
 // memoryBackend is the in-RAM shard: an HNSW graph, a BM25 inverted index
 // and the document map. It is the Memory backend and the substrate the
-// Disk backend replays its segment log into.
+// Disk backend replays its segment log into. The construction parameters
+// are retained so compact can rebuild the graph from scratch.
 type memoryBackend struct {
 	vec  *hnsw.Index
 	lex  *bm25.Index
 	byID map[string]docs.Document
+	dim  int
+	seed int64
+	ef   int
 }
 
 // newMemoryBackend creates an empty in-memory shard. seed fixes the HNSW
 // level generator so equal ingest sequences build equal graphs; st is the
-// retriever-wide BM25 statistics object shared by every shard; ef is the
-// HNSW query beam width (0 selects hnsw.DefaultEfSearch).
+// retriever-wide BM25 statistics object shared by every shard (nil scores
+// against shard-local statistics); ef is the HNSW query beam width (0
+// selects hnsw.DefaultEfSearch).
 func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int) *memoryBackend {
 	return &memoryBackend{
 		vec:  hnsw.New(dim, hnsw.Config{Seed: seed, EfSearch: ef}),
 		lex:  bm25.NewWithStats(bm25.Params{}, st),
 		byID: make(map[string]docs.Document),
+		dim:  dim,
+		seed: seed,
+		ef:   ef,
 	}
+}
+
+// compact rebuilds the shard without its tombstones: the HNSW graph is
+// reconstructed by re-inserting the live vectors in their original
+// relative order into a freshly seeded index — exactly the graph a replay
+// of a compacted segment log builds — and the BM25 index drops its dead
+// document slots (the shared Stats object is untouched; live
+// contributions are identical before and after). The document map is
+// already live-only.
+func (m *memoryBackend) compact() error {
+	nv := hnsw.New(m.dim, hnsw.Config{Seed: m.seed, EfSearch: m.ef})
+	var err error
+	m.vec.ForEachLive(func(id string, vec []float32) bool {
+		err = nv.Add(id, vec)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	m.vec = nv
+	m.lex = m.lex.Compact()
+	return nil
 }
 
 // Index adds the embedded document to both halves and the document map.

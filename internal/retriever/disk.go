@@ -2,27 +2,38 @@ package retriever
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 
 	"pneuma/internal/bm25"
 	"pneuma/internal/docs"
-	"pneuma/internal/table"
-	"pneuma/internal/value"
+	"pneuma/internal/wire"
 )
 
 // manifestName is the per-index metadata file written next to the segment
-// files. It pins the shard count and embedding dimensionality so a reopen
-// routes documents to the same shards they were written to.
+// files. It pins the shard count, embedding dimensionality and segment
+// format so a reopen routes documents to the same shards they were
+// written to and decodes them with the right codec.
 const manifestName = "manifest.json"
+
+// segFormat is the current segment/snapshot format generation. Format 0
+// (manifests written before the field existed) is the JSON-lines log of
+// PR 2, migrated in place on open; formats above segFormat belong to a
+// newer build and fail with a typed corruption error.
+const segFormat = 2
 
 // manifest is the durable index metadata.
 type manifest struct {
 	Shards int `json:"shards"`
 	Dim    int `json:"dim"`
+	// Format is the segment codec generation (see segFormat). Absent in
+	// pre-binary manifests, which unmarshal it as 0.
+	Format int `json:"format"`
 }
 
 // loadOrCreateManifest reads dir's manifest, or writes a fresh one with the
@@ -43,158 +54,194 @@ func loadOrCreateManifest(dir string, shards, dim int) (manifest, error) {
 		if m.Dim != dim {
 			return manifest{}, fmt.Errorf("retriever: index at %s was built with embedding dim %d, embedder wants %d", dir, m.Dim, dim)
 		}
+		if m.Format > segFormat {
+			return manifest{}, fmt.Errorf("retriever: index at %s uses segment format %d, this build supports up to %d", dir, m.Format, segFormat)
+		}
 		return m, nil
 	}
 	if !os.IsNotExist(err) {
 		return manifest{}, err
 	}
-	m := manifest{Shards: shards, Dim: dim}
-	raw, err = json.Marshal(m)
-	if err != nil {
-		return manifest{}, err
-	}
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	m := manifest{Shards: shards, Dim: dim, Format: segFormat}
+	if err := writeManifest(dir, m); err != nil {
 		return manifest{}, err
 	}
 	return m, nil
 }
 
-// Segment log record ops.
+// writeManifest persists the index metadata atomically (tmp + fsync +
+// rename): the manifest pins the shard routing for the whole directory,
+// so a crash mid-rewrite — e.g. while stamping the format after a
+// legacy-index migration — must leave either the old or the new manifest,
+// never a torn one.
+func writeManifest(dir string, m manifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Segment record op bytes.
 const (
-	opAdd = "add"
-	opDel = "del"
+	opAdd = 1
+	opDel = 2
 )
 
-// segRecord is one line of a shard's append-only segment file.
-type segRecord struct {
-	Op  string    `json:"op"`
-	ID  string    `json:"id"`
-	Vec []float32 `json:"vec,omitempty"`
-	Doc *segDoc   `json:"doc,omitempty"`
+// Segment file header: magic, format word and a generation counter that
+// changes on every compaction rewrite, tying a snapshot to the exact
+// segment file it covers (a snapshot whose generation does not match the
+// segment is stale — e.g. a crash landed between a compaction's rename
+// and its snapshot write — and is discarded in favour of a full replay).
+const (
+	segMagic      = "pnsg"
+	segHeaderSize = 4 + 4 + 8 // magic + format u32 + generation u64
+	// maxRecordSize rejects absurd record-length prefixes during replay, so
+	// a corrupted length byte cannot trigger a giant allocation.
+	maxRecordSize = 1 << 28
+)
+
+// writeSegHeader writes the 16-byte segment header at the file's start.
+func writeSegHeader(w io.Writer, gen uint64) error {
+	var h [segHeaderSize]byte
+	copy(h[:4], segMagic)
+	binary.LittleEndian.PutUint32(h[4:8], segFormat)
+	binary.LittleEndian.PutUint64(h[8:16], gen)
+	_, err := w.Write(h[:])
+	return err
 }
 
-// segDoc is the durable form of docs.Document (minus ID, carried on the
-// record, and Score, which is query-scoped).
-type segDoc struct {
-	Kind    string            `json:"kind"`
-	Title   string            `json:"title"`
-	Content string            `json:"content"`
-	Source  string            `json:"source"`
-	Meta    map[string]string `json:"meta,omitempty"`
-	Table   *segTable         `json:"table,omitempty"`
-}
-
-// segTable is the durable form of a structured table payload: full schema
-// metadata plus rows in canonical string encoding (value.Value.String),
-// decoded back through the declared column kinds.
-type segTable struct {
-	Name        string      `json:"name"`
-	Description string      `json:"description,omitempty"`
-	Columns     []segColumn `json:"columns"`
-	Rows        [][]string  `json:"rows"`
-}
-
-// segColumn is one durable schema column.
-type segColumn struct {
-	Name        string `json:"name"`
-	Type        uint8  `json:"type"`
-	Description string `json:"description,omitempty"`
-	Unit        string `json:"unit,omitempty"`
-}
-
-// encodeDoc converts a document to its durable form.
-func encodeDoc(d docs.Document) *segDoc {
-	sd := &segDoc{
-		Kind:    string(d.Kind),
-		Title:   d.Title,
-		Content: d.Content,
-		Source:  d.Source,
-		Meta:    d.Meta,
+// readSegHeader validates the segment header and returns its generation.
+func readSegHeader(f *os.File) (uint64, error) {
+	var h [segHeaderSize]byte
+	if _, err := f.ReadAt(h[:], 0); err != nil {
+		return 0, fmt.Errorf("segment header: %w", err)
 	}
-	if d.Table != nil {
-		st := &segTable{
-			Name:        d.Table.Schema.Name,
-			Description: d.Table.Schema.Description,
-		}
-		for _, c := range d.Table.Schema.Columns {
-			st.Columns = append(st.Columns, segColumn{
-				Name: c.Name, Type: uint8(c.Type), Description: c.Description, Unit: c.Unit,
-			})
-		}
-		st.Rows = make([][]string, len(d.Table.Rows))
-		for i, row := range d.Table.Rows {
-			rec := make([]string, len(row))
-			for j, v := range row {
-				rec[j] = v.String()
-			}
-			st.Rows[i] = rec
-		}
-		sd.Table = st
+	if string(h[:4]) != segMagic {
+		return 0, fmt.Errorf("segment header: bad magic %q", h[:4])
 	}
-	return sd
+	if format := binary.LittleEndian.Uint32(h[4:8]); format != segFormat {
+		return 0, fmt.Errorf("segment header: format %d, want %d", format, segFormat)
+	}
+	return binary.LittleEndian.Uint64(h[8:16]), nil
 }
 
-// decodeDoc converts a durable record back into a document.
-func decodeDoc(id string, sd *segDoc) docs.Document {
-	d := docs.Document{
-		ID:      id,
-		Kind:    docs.Kind(sd.Kind),
-		Title:   sd.Title,
-		Content: sd.Content,
-		Source:  sd.Source,
-		Meta:    sd.Meta,
-	}
-	if sd.Table != nil {
-		schema := table.Schema{Name: sd.Table.Name, Description: sd.Table.Description}
-		for _, c := range sd.Table.Columns {
-			schema.Columns = append(schema.Columns, table.Column{
-				Name: c.Name, Type: value.Kind(c.Type), Description: c.Description, Unit: c.Unit,
-			})
-		}
-		t := table.New(schema)
-		for _, rec := range sd.Table.Rows {
-			row := make(table.Row, len(rec))
-			for j, cell := range rec {
-				coerced, ok := value.CoerceKind(value.Infer(cell), schema.Columns[j].Type)
-				if !ok {
-					coerced = value.Null()
-				}
-				row[j] = coerced
-			}
-			t.Rows = append(t.Rows, row)
-		}
-		d.Table = t
-	}
-	return d
+// diskKnobs bundles the durability and maintenance policy the retriever
+// resolves from its options.
+type diskKnobs struct {
+	// syncEvery fsyncs the segment after every n appended records
+	// (0 = only on Flush/Close).
+	syncEvery int
+	// compactRatio is the dead-record fraction that triggers a compaction
+	// rewrite at Flush/Close. Callers pass a value > 1 to disable.
+	compactRatio float64
+	// snapshot enables writing a state snapshot on Flush/Close.
+	snapshot bool
 }
 
 // diskBackend is the Disk shard: the in-memory structures of memoryBackend
-// plus an append-only JSON-lines segment file replayed on open. Every
-// Index/Delete appends one record; the record order is exactly the live
-// mutation order, so a replayed shard rebuilds bit-identical HNSW and BM25
-// structures (same seed, same insertion sequence) and answers queries
-// byte-identically to the shard that wrote the log.
+// plus an append-only binary segment file and a state snapshot. Every
+// Index/Delete appends one CRC-guarded record; the record order is exactly
+// the live mutation order, so replaying the log rebuilds bit-identical
+// HNSW and BM25 structures. The snapshot serializes the built state
+// directly, letting Open skip graph construction and replay only the
+// records past the snapshot's high-water mark.
 type diskBackend struct {
 	*memoryBackend
-	path string
-	f    *os.File
-	w    *bufio.Writer
+	path     string
+	snapPath string
+	f        *os.File
+	w        *bufio.Writer
+	knobs    diskKnobs
+
+	gen      uint64 // segment generation (bumped by compaction)
+	segSize  int64  // logical segment size: header + whole records, incl. buffered
+	snapSize int64  // segment offset covered by the on-disk snapshot
+	records  int64  // records in the segment (live + dead)
+	unsynced int    // records appended since the last fsync (syncEvery)
+
+	rec   wire.Writer // reusable record payload buffer
+	frame wire.Writer // reusable record frame buffer
 }
 
-// openDiskBackend opens (or creates) the segment file at path, replays any
-// existing records into a fresh in-memory shard, and positions the file
-// for appending. A trailing partially-written record — the signature of a
-// crash between write and flush — is truncated away rather than treated as
-// corruption. ef is the HNSW query beam width (0 selects
-// hnsw.DefaultEfSearch); it is a query-time knob, so it is not pinned in
-// the manifest.
-func openDiskBackend(path string, dim int, seed int64, st *bm25.Stats, ef int) (*diskBackend, error) {
-	mem := newMemoryBackend(dim, seed, st, ef)
+// openDiskBackend opens (or creates) the shard at path. When a valid
+// snapshot for the segment's current generation exists, its state is bulk
+// loaded and only records past its high-water mark are replayed;
+// otherwise the full log is replayed. A trailing torn record or a
+// CRC-mismatching record — the signatures of a crash mid-write — truncate
+// the log at the last whole record rather than failing the open. ef is
+// the HNSW query beam width (0 selects hnsw.DefaultEfSearch); it is a
+// query-time knob, so it is not pinned in the manifest.
+func openDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.Stats, ef int, knobs diskKnobs) (*diskBackend, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	good, err := replaySegment(f, mem)
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
+	gen := uint64(1)
+	if size < segHeaderSize {
+		// Empty, or shorter than the header — the signature of a crash
+		// between file creation and the first sync. A file this short can
+		// hold no records, so resetting it loses nothing.
+		if size > 0 {
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if err := writeSegHeader(f, gen); err != nil {
+			f.Close()
+			return nil, err
+		}
+		size = segHeaderSize
+	} else {
+		if gen, err = readSegHeader(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("retriever: %s: %w", path, err)
+		}
+	}
+
+	mem := newMemoryBackend(dim, seed, st, ef)
+	water := int64(segHeaderSize)
+	var recs int64
+	repairSnap := false
+	if snapMem, snapWater, snapRecs, serr := loadSnapshot(snapPath, gen, size, dim, seed, st, ef); serr == nil {
+		mem, water, recs = snapMem, snapWater, snapRecs
+	} else if !os.IsNotExist(serr) {
+		// A snapshot exists but is unusable (torn tail, CRC mismatch,
+		// different version, stale generation): fall back to a full
+		// replay and rewrite it below so the next open is fast again.
+		repairSnap = true
+	}
+
+	good, replayed, err := replaySegment(f, mem, water)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("retriever: replay %s: %w", path, err)
@@ -209,63 +256,139 @@ func openDiskBackend(path string, dim int, seed int64, st *bm25.Stats, ef int) (
 		f.Close()
 		return nil, err
 	}
-	return &diskBackend{
+	b := &diskBackend{
 		memoryBackend: mem,
 		path:          path,
+		snapPath:      snapPath,
 		f:             f,
 		w:             bufio.NewWriterSize(f, 1<<20),
-	}, nil
+		knobs:         knobs,
+		gen:           gen,
+		segSize:       good,
+		snapSize:      water,
+		records:       recs + replayed,
+	}
+	if repairSnap && knobs.snapshot {
+		if err := b.writeSnapshot(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
-// replaySegment applies every whole (newline-terminated, well-formed)
-// record in f to mem and returns the byte offset just past the last one.
-// Anything after that offset — an unterminated or unparsable tail left by
-// a crash mid-write — is for the caller to truncate.
-func replaySegment(f *os.File, mem *memoryBackend) (int64, error) {
-	var good int64
+// replaySegment applies every whole, CRC-valid record in f starting at
+// byte offset from, and returns the offset just past the last good record
+// plus the number of records applied. Anything after that offset — a torn
+// length prefix, a short payload, a checksum mismatch or an undecodable
+// record — is for the caller to truncate: record boundaries after a
+// corrupt record cannot be trusted, so recovery keeps the longest clean
+// prefix.
+func replaySegment(f *os.File, mem *memoryBackend, from int64) (int64, int64, error) {
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
 	r := bufio.NewReaderSize(f, 1<<20)
+	good := from
+	var recs int64
+	var payload []byte
+	var crcb [4]byte
 	for {
-		line, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			// Trailing bytes without a newline are a torn record, never
-			// a whole one; stop at the last good offset.
-			return good, nil
+		var prefix int64
+		n, err := wire.ReadUvarint(r, &prefix)
+		if err != nil || n == 0 || n > maxRecordSize {
+			return good, recs, nil
 		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, recs, nil
+		}
+		if _, err := io.ReadFull(r, crcb[:]); err != nil {
+			return good, recs, nil
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcb[:]) {
+			return good, recs, nil
+		}
+		ok, err := applyRecord(mem, payload)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		var rec segRecord
-		if uerr := json.Unmarshal(line, &rec); uerr != nil {
-			return good, nil
+		if !ok {
+			return good, recs, nil
 		}
-		switch rec.Op {
-		case opAdd:
-			if rec.Doc == nil {
-				return good, nil
-			}
-			if ierr := mem.Index(decodeDoc(rec.ID, rec.Doc), rec.Vec); ierr != nil {
-				return 0, ierr
-			}
-		case opDel:
-			mem.Delete(rec.ID)
-		default:
-			return good, nil
-		}
-		good += int64(len(line))
+		good += prefix + int64(n) + 4
+		recs++
 	}
 }
 
-// append writes one record to the segment buffer. Durability is deferred
-// to Flush/Close.
-func (b *diskBackend) append(rec segRecord) error {
-	raw, err := json.Marshal(rec)
-	if err != nil {
+// applyRecord decodes one record payload and applies it to the in-memory
+// shard. It returns (false, nil) for an undecodable payload — corruption
+// the caller handles by truncating — and a non-nil error only for real
+// apply failures (which indicate a config mismatch, not disk damage).
+func applyRecord(mem *memoryBackend, payload []byte) (bool, error) {
+	rd := wire.NewReader(payload)
+	op := rd.Byte()
+	id := rd.String()
+	switch op {
+	case opAdd:
+		vec := rd.Float32s()
+		doc, derr := decodeDoc(rd, id)
+		if rd.Err() != nil || derr != nil || len(vec) != mem.dim || rd.Remaining() != 0 {
+			return false, nil
+		}
+		if err := mem.Index(doc, vec); err != nil {
+			return false, err
+		}
+	case opDel:
+		if rd.Err() != nil || rd.Remaining() != 0 {
+			return false, nil
+		}
+		mem.Delete(id)
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+// appendRecord frames the current contents of b.rec (length prefix +
+// payload + CRC32) into the segment buffer and applies the fsync policy.
+// Durability is otherwise deferred to Flush/Close.
+func (b *diskBackend) appendRecord() error {
+	payload := b.rec.Bytes()
+	b.frame.Reset()
+	b.frame.Uvarint(uint64(len(payload)))
+	if _, err := b.w.Write(b.frame.Bytes()); err != nil {
 		return err
 	}
-	if _, err := b.w.Write(raw); err != nil {
+	if _, err := b.w.Write(payload); err != nil {
 		return err
 	}
-	return b.w.WriteByte('\n')
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(payload))
+	if _, err := b.w.Write(crcb[:]); err != nil {
+		return err
+	}
+	b.segSize += int64(b.frame.Len()+len(payload)) + 4
+	b.records++
+	if b.knobs.syncEvery > 0 {
+		b.unsynced++
+		if b.unsynced >= b.knobs.syncEvery {
+			return b.syncSegment()
+		}
+	}
+	return nil
+}
+
+// encodeAddRecord fills b.rec with an add record.
+func (b *diskBackend) encodeAddRecord(d docs.Document, vec []float32) {
+	b.rec.Reset()
+	b.rec.Byte(opAdd)
+	b.rec.String(d.ID)
+	b.rec.Float32s(vec)
+	encodeDoc(&b.rec, d)
 }
 
 // Index adds the document to the in-memory shard and logs it.
@@ -273,7 +396,8 @@ func (b *diskBackend) Index(d docs.Document, vec []float32) error {
 	if err := b.memoryBackend.Index(d, vec); err != nil {
 		return err
 	}
-	return b.append(segRecord{Op: opAdd, ID: d.ID, Vec: vec, Doc: encodeDoc(d)})
+	b.encodeAddRecord(d, vec)
+	return b.appendRecord()
 }
 
 // Delete removes the document and logs a tombstone record.
@@ -283,20 +407,165 @@ func (b *diskBackend) Delete(id string) bool {
 	}
 	// A failed tombstone append leaves the delete visible in memory but
 	// not durable; the reopened index resurrects the document. That is
-	// the backend's documented durability boundary (crash-after-delete).
-	_ = b.append(segRecord{Op: opDel, ID: id})
+	// the backend's documented durability boundary (crash-after-delete);
+	// WithSyncEvery(1) shrinks the window to the single record.
+	b.rec.Reset()
+	b.rec.Byte(opDel)
+	b.rec.String(id)
+	_ = b.appendRecord()
 	return true
 }
 
-// Flush drains the write buffer and fsyncs the segment file.
-func (b *diskBackend) Flush() error {
+// syncSegment drains the write buffer and fsyncs the segment file.
+func (b *diskBackend) syncSegment() error {
+	b.unsynced = 0
 	if err := b.w.Flush(); err != nil {
 		return err
 	}
 	return b.f.Sync()
 }
 
-// Close flushes and closes the segment file.
+// Flush makes the shard durable: the segment is drained and fsynced,
+// then — per the configured policy — a compaction rewrite runs when the
+// dead-record fraction crosses the threshold, and a fresh snapshot is
+// written when records were appended since the last one.
+func (b *diskBackend) Flush() error {
+	if err := b.syncSegment(); err != nil {
+		return err
+	}
+	if b.shouldCompact() {
+		if err := b.compact(); err != nil {
+			return err
+		}
+	}
+	if b.knobs.snapshot && b.segSize != b.snapSize {
+		return b.writeSnapshot()
+	}
+	return nil
+}
+
+// shouldCompact reports whether dead records (superseded adds, deleted
+// documents and the tombstone records themselves) make up at least the
+// configured fraction of the segment.
+func (b *diskBackend) shouldCompact() bool {
+	if b.records == 0 {
+		return false
+	}
+	dead := b.records - int64(b.memoryBackend.Len())
+	if dead <= 0 {
+		return false
+	}
+	return float64(dead)/float64(b.records) >= b.knobs.compactRatio
+}
+
+// compact rewrites the segment to exactly the live documents (in their
+// original insertion order) under a bumped generation, rebuilds the
+// in-memory state to match a replay of the rewritten log — graph
+// construction reruns without the tombstoned nodes, so post-compaction
+// results are those of a fresh index over the surviving corpus — and
+// writes a fresh snapshot.
+func (b *diskBackend) compact() error {
+	size, recs, err := rewriteSegment(b.memoryBackend, b.path, b.gen+1)
+	if err != nil {
+		return err
+	}
+	// Swap the file handle to the rewritten segment.
+	if err := b.f.Close(); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(b.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(size, io.SeekStart); err != nil {
+		nf.Close()
+		return err
+	}
+	b.f = nf
+	b.w.Reset(nf)
+	b.gen++
+	b.segSize = size
+	b.snapSize = 0 // the previous snapshot's generation is now stale
+	b.records = recs
+	b.unsynced = 0
+	if err := b.memoryBackend.compact(); err != nil {
+		return err
+	}
+	if b.knobs.snapshot {
+		return b.writeSnapshot()
+	}
+	return nil
+}
+
+// rewriteSegment writes a fresh segment at path (atomically, via rename)
+// containing one add record per live document of mem, in insertion order,
+// under the given generation. It returns the new logical size and record
+// count. Shared by compaction and the legacy-format migration.
+func rewriteSegment(mem *memoryBackend, path string, gen uint64) (int64, int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.Remove(tmp)
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeSegHeader(w, gen); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	size := int64(segHeaderSize)
+	var recs int64
+	var rec, frame wire.Writer
+	var werr error
+	mem.vec.ForEachLive(func(id string, vec []float32) bool {
+		d, ok := mem.byID[id]
+		if !ok {
+			werr = fmt.Errorf("retriever: compact: document %q in graph but not in store", id)
+			return false
+		}
+		rec.Reset()
+		rec.Byte(opAdd)
+		rec.String(id)
+		rec.Float32s(vec)
+		encodeDoc(&rec, d)
+		payload := rec.Bytes()
+		frame.Reset()
+		frame.Uvarint(uint64(len(payload)))
+		var crcb [4]byte
+		binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(payload))
+		if _, werr = w.Write(frame.Bytes()); werr != nil {
+			return false
+		}
+		if _, werr = w.Write(payload); werr != nil {
+			return false
+		}
+		if _, werr = w.Write(crcb[:]); werr != nil {
+			return false
+		}
+		size += int64(frame.Len()+len(payload)) + 4
+		recs++
+		return true
+	})
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return 0, 0, werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, err
+	}
+	return size, recs, nil
+}
+
+// Close flushes (including any due compaction and snapshot) and closes
+// the segment file.
 func (b *diskBackend) Close() error {
 	if err := b.Flush(); err != nil {
 		b.f.Close()

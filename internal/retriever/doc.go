@@ -20,16 +20,82 @@
 //
 //   - Memory (default) keeps the HNSW graph, BM25 inverted index and
 //     document map entirely in RAM.
-//   - Disk additionally writes every mutation to an append-only segment
-//     file per shard under the index directory (WithDir); the in-memory
-//     structures are rebuilt by replaying the log on Open, and
-//     Flush/Close make writes durable. Queries run against the same
-//     in-memory structures as Memory, so the two backends return
-//     identical results at identical latency.
+//   - Disk additionally writes every mutation to an append-only binary
+//     segment file per shard under the index directory (WithDir) and
+//     serializes the built state to a per-shard snapshot on Flush/Close,
+//     so reopening is a bulk load instead of a graph rebuild. Queries run
+//     against the same in-memory structures as Memory, so the two
+//     backends return identical results at identical latency.
 //
 // Disk-backed retrievers are created with Open (the error-returning
 // constructor); New panics on I/O failure and is meant for Memory-backed
 // use.
+//
+// # On-disk format (format 2)
+//
+// An index directory holds manifest.json (shard count, embedding dim and
+// the segment format generation — all pinned: reopen uses the manifest's
+// layout, and a format from a newer build fails with a typed
+// pnerr.ErrIndexCorrupt), one segment file and at most one snapshot file
+// per shard, and an advisory lock file while the index is open.
+//
+// Segment files (shard-NNNN.seg) begin with a 16-byte header — magic
+// "pnsg", format word, and a generation counter that changes on every
+// compaction rewrite — followed by length-prefixed records:
+//
+//	uvarint payloadLen | payload | CRC32(payload)
+//	payload = op byte (1=add, 2=del) | id string
+//	          [add: vector as raw little-endian float32s | document]
+//
+// Documents are encoded natively: strings length-prefixed, table cells as
+// a kind byte plus an exact payload (zigzag-varint ints, raw IEEE 754
+// doubles, second+nanosecond timestamps normalized to UTC), so values —
+// including sub-second timestamps and NULL-looking string literals —
+// round-trip byte-identically instead of degrading through canonical
+// strings.
+//
+// Snapshot files (shard-NNNN.snap) serialize the built shard state — the
+// document store, the HNSW struct-of-arrays (vector arena, id/level/
+// tombstone/norm slices, adjacency lists, level-generator position) and
+// the BM25 document table with term-wise postings — under a header
+// carrying the snapshot version, the segment generation it belongs to,
+// the covered record count and the high-water mark (segment byte offset
+// folded in). The whole file is CRC32-guarded and written atomically.
+//
+// # Cold start, recovery and compat policy
+//
+// Open bulk-loads each shard from its snapshot and replays only segment
+// records past the high-water mark — O(read) instead of O(rebuild). Every
+// failure degrades toward the segment log, never toward wrong state: a
+// torn or checksum-failing snapshot, a snapshot from a different version,
+// or one whose generation does not match the segment falls back to a full
+// replay (and the snapshot is rewritten so the next open is fast again);
+// a torn segment tail or a mid-segment CRC mismatch truncates the log at
+// the last whole record — boundaries after damage cannot be trusted, so
+// recovery keeps the longest clean prefix. Indexes written by the
+// pre-binary format (a manifest without a format field) are migrated in
+// place on first open: the JSON-lines log is replayed once and rewritten
+// as a compacted binary segment plus snapshot. The snapshot is purely
+// derived state: deleting every .snap file is always safe.
+//
+// # Durability and compaction
+//
+// Records buffer in memory and become durable on Flush/Close;
+// WithSyncEvery(n) additionally fsyncs every n appended records,
+// shrinking the crash-loss window (including tombstones, whose loss
+// resurrects deleted documents). Deletes and replacements accumulate dead
+// records in the log; when their fraction reaches WithCompactionRatio
+// (default 0.5), Flush/Close rewrites the segment to exactly the live
+// documents under a new generation and rebuilds the in-memory state to
+// match a replay of the rewritten log — the HNSW graph is reconstructed
+// without its tombstoned nodes, so post-compaction results are those of a
+// fresh index over the surviving corpus. WithSnapshotOnFlush(false)
+// disables snapshot writes (slower cold starts, cheaper flushes).
+//
+// While open, the Disk backend holds an advisory lock file (PID inside)
+// in the index directory: a second process opening the same directory
+// fails fast with a typed pnerr.ErrIndexLocked instead of interleaving
+// writes; locks left by dead processes are detected and broken.
 //
 // # Global BM25 statistics
 //
@@ -38,7 +104,9 @@
 // frequencies, so a document's BM25 score is exactly what a single
 // unsharded index over the whole corpus would assign — shard count never
 // changes ranking, even on corpora of a handful of documents where
-// per-shard statistics would diverge badly.
+// per-shard statistics would diverge badly. Stats updates are commutative
+// — including the per-shard aggregate folds of snapshot loading — so the
+// restored totals are independent of shard load order.
 //
 // # Determinism contract
 //
@@ -48,6 +116,8 @@
 // under its lock, HNSW level generation is seeded per shard, BM25
 // statistics updates are commutative, and every merge breaks score ties
 // by document ID. A Disk-backed index reopened from its segment files
-// replays the exact mutation order and therefore answers queries
-// byte-identically to the index that wrote them.
+// replays the exact mutation order; one reopened from snapshots restores
+// the exact built state (including the level generator's position) — both
+// answer queries bit-identically to the index that wrote them, at any
+// shard count.
 package retriever

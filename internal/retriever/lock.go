@@ -1,0 +1,108 @@
+package retriever
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"pneuma/internal/pnerr"
+)
+
+// lockName is the advisory lock file guarding an index directory against
+// a second writer.
+const lockName = "pneuma.lock"
+
+// dirLock is an advisory single-writer lock on an index directory: an
+// O_EXCL-created file holding the owner's PID, removed on release. A
+// second process opening the same directory fails fast with a typed
+// pnerr.ErrIndexLocked instead of silently interleaving segment writes.
+// Crashed owners are detected by probing the recorded PID (signal 0) and
+// their stale locks are broken automatically. The lock is advisory: it
+// guards cooperating pneuma processes, not arbitrary writers, and the
+// create-then-write-PID window plus the probe-then-break window are not
+// atomic — acceptable for the corruption class it defends against.
+type dirLock struct {
+	path string
+}
+
+// acquireDirLock takes the advisory lock for dir, breaking at most a few
+// stale locks left by dead processes. Contention returns a typed
+// pnerr.ErrIndexLocked; anything else is an I/O error.
+func acquireDirLock(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, lockName)
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			if _, werr := fmt.Fprintf(f, "%d\n", os.Getpid()); werr != nil {
+				f.Close()
+				os.Remove(path)
+				return nil, werr
+			}
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return nil, cerr
+			}
+			return &dirLock{path: path}, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				continue // raced with a release; retry the create
+			}
+			return nil, rerr
+		}
+		owner := strings.TrimSpace(string(raw))
+		pid, perr := strconv.Atoi(owner)
+		if perr != nil || !processAlive(pid) {
+			// Stale: the recorded owner is gone (or never finished writing
+			// its PID before dying). Break the lock and retry.
+			_ = os.Remove(path)
+			continue
+		}
+		return nil, pnerr.Locked("retriever: open",
+			fmt.Errorf("index directory %s is locked by running process %d (%s)", dir, pid, path))
+	}
+	return nil, pnerr.Locked("retriever: open",
+		fmt.Errorf("index directory %s: lock %s contended", dir, path))
+}
+
+// release removes the lock file. Safe on a nil lock.
+func (l *dirLock) release() error {
+	if l == nil {
+		return nil
+	}
+	err := os.Remove(l.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// processAlive probes pid with signal 0: delivery (or a permission
+// refusal) means the process exists, ESRCH means it does not.
+func processAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, os.ErrProcessDone) || errors.Is(err, syscall.ESRCH) {
+		return false
+	}
+	// EPERM and friends: the process exists but is not ours.
+	return true
+}

@@ -42,6 +42,11 @@ const rrfK = 60.0
 // hnswSeed+i so the shards are deterministic but not identical graphs.
 const hnswSeed = 20260118
 
+// DefaultCompactionRatio is the dead-record fraction that triggers a
+// segment compaction rewrite at Flush/Close when WithCompactionRatio is
+// unset.
+const DefaultCompactionRatio = 0.5
+
 // DefaultShards returns the default shard count: GOMAXPROCS clamped to
 // [4,16]. The floor matters even on a single core — HNSW insertion cost
 // grows with graph size, so four smaller graphs ingest roughly twice as
@@ -76,6 +81,14 @@ type Retriever struct {
 	backend   Backend
 	dir       string
 	ef        int
+	// Disk-backend policy knobs (see WithSyncEvery, WithCompactionRatio,
+	// WithSnapshotOnFlush); ignored by the Memory backend.
+	syncEvery    int
+	compactRatio float64
+	noSnapshot   bool
+	// lock is the advisory single-writer lock on the Disk backend's index
+	// directory, held from Open to Close. Nil for the Memory backend.
+	lock *dirLock
 	// stats is the corpus-wide BM25 statistics object every shard's
 	// lexical index contributes to and scores against, so per-shard BM25
 	// scores equal single-index scores on the same corpus.
@@ -162,6 +175,45 @@ func WithEf(ef int) Option {
 	}
 }
 
+// WithSyncEvery makes the Disk backend fsync a shard's segment file after
+// every n appended records instead of only on Flush/Close, shrinking the
+// crash-loss window (including the resurrected-tombstone window: an
+// unsynced delete record lost in a crash brings the document back on
+// reopen) at the cost of ingest throughput. 0, the default, defers all
+// durability to Flush/Close; values < 0 are ignored. The Memory backend
+// ignores the knob.
+func WithSyncEvery(n int) Option {
+	return func(r *Retriever) {
+		if n >= 0 {
+			r.syncEvery = n
+		}
+	}
+}
+
+// WithCompactionRatio sets the dead-record fraction (superseded adds,
+// deleted documents and their tombstone records, as a share of all
+// segment records) beyond which Flush/Close rewrites a shard's segment to
+// its live records and refreshes the snapshot. 0 selects
+// DefaultCompactionRatio; values in (0, 1] set the threshold; negative
+// values disable compaction entirely. Compaction rebuilds the shard's
+// HNSW graph without the tombstoned nodes — afterwards results are those
+// of a fresh index over the surviving corpus. The Memory backend ignores
+// the knob.
+func WithCompactionRatio(ratio float64) Option {
+	return func(r *Retriever) { r.compactRatio = ratio }
+}
+
+// WithSnapshotOnFlush toggles writing a per-shard state snapshot on
+// Flush/Close (default on). With a current snapshot, reopening the index
+// bulk-loads the built HNSW/BM25 state and replays only the records
+// appended after it — O(read) instead of O(rebuild). Disabling trades
+// slower cold starts for cheaper flushes; the segment log alone remains a
+// complete, durable copy of the index. The Memory backend ignores the
+// knob.
+func WithSnapshotOnFlush(on bool) Option {
+	return func(r *Retriever) { r.noSnapshot = !on }
+}
+
 // Open creates a retriever, loading any existing index when the Disk
 // backend points at a directory with persisted segments. This is the
 // error-returning constructor; New is the panicking convenience wrapper
@@ -195,8 +247,17 @@ func Open(opts ...Option) (*Retriever, error) {
 		if err := os.MkdirAll(r.dir, 0o755); err != nil {
 			return nil, err
 		}
+		// Advisory single-writer lock: a second process opening this
+		// directory fails fast with a typed pnerr.ErrIndexLocked instead
+		// of interleaving segment writes with ours.
+		lock, err := acquireDirLock(r.dir)
+		if err != nil {
+			return nil, err
+		}
+		r.lock = lock
 		m, err := loadOrCreateManifest(r.dir, r.numShards, r.emb.Dim())
 		if err != nil {
+			lock.release()
 			if os.IsNotExist(err) || os.IsPermission(err) {
 				return nil, err
 			}
@@ -205,22 +266,70 @@ func Open(opts ...Option) (*Retriever, error) {
 		// The manifest's shard count wins: hash routing must match the
 		// layout the segments were written under.
 		r.numShards = m.Shards
+		knobs := diskKnobs{
+			syncEvery:    r.syncEvery,
+			compactRatio: r.compactRatio,
+			snapshot:     !r.noSnapshot,
+		}
+		switch {
+		case knobs.compactRatio == 0:
+			knobs.compactRatio = DefaultCompactionRatio
+		case knobs.compactRatio < 0:
+			// Disabled: the dead fraction can never exceed 1.
+			knobs.compactRatio = 2
+		}
+		legacy := m.Format < segFormat
+		// Shards load concurrently: snapshot loads and replays are
+		// independent per shard, and the shared BM25 statistics updates
+		// are commutative, so the built state is identical to a
+		// sequential open regardless of goroutine interleaving.
+		bes := make([]ShardBackend, r.numShards)
+		errs := make([]error, r.numShards)
+		var wg sync.WaitGroup
+		for i := 0; i < r.numShards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				seg := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.seg", i))
+				snap := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.snap", i))
+				if legacy {
+					bes[i], errs[i] = openLegacyDiskBackend(seg, snap, r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef, knobs)
+				} else {
+					bes[i], errs[i] = openDiskBackend(seg, snap, r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef, knobs)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			// Don't leak the segment files the other shards opened.
+			for _, be := range bes {
+				if be != nil {
+					be.Close()
+				}
+			}
+			lock.release()
+			if os.IsNotExist(err) || os.IsPermission(err) {
+				return nil, err
+			}
+			return nil, pnerr.Corrupt("retriever: open", err)
+		}
 		r.shards = make([]*shard, r.numShards)
-		for i := range r.shards {
-			path := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.seg", i))
-			be, err := openDiskBackend(path, r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef)
-			if err != nil {
-				// Don't leak the segment files already opened for the
-				// preceding shards.
-				for _, s := range r.shards[:i] {
+		for i, be := range bes {
+			r.shards[i] = &shard{be: be}
+		}
+		if legacy {
+			// Every shard is now in the binary format; stamp the manifest
+			// so the next open skips the migration path.
+			if err := writeManifest(r.dir, manifest{Shards: m.Shards, Dim: m.Dim, Format: segFormat}); err != nil {
+				for _, s := range r.shards {
 					s.be.Close()
 				}
-				if os.IsNotExist(err) || os.IsPermission(err) {
-					return nil, err
-				}
-				return nil, pnerr.Corrupt("retriever: open", err)
+				lock.release()
+				return nil, err
 			}
-			r.shards[i] = &shard{be: be}
 		}
 	default:
 		return nil, fmt.Errorf("retriever: unknown backend %q", r.backend)
@@ -278,9 +387,10 @@ func (r *Retriever) Flush() error {
 	return nil
 }
 
-// Close flushes and releases every shard. Calls after the first return a
-// typed pnerr.ErrClosed, as do all queries and ingests against a closed
-// retriever (Disk-backed shards have closed their segment files).
+// Close flushes and releases every shard, then drops the index-directory
+// lock. Calls after the first return a typed pnerr.ErrClosed, as do all
+// queries and ingests against a closed retriever (Disk-backed shards have
+// closed their segment files).
 func (r *Retriever) Close() error {
 	if r.closed.Swap(true) {
 		return pnerr.Closed("retriever: close")
@@ -293,6 +403,9 @@ func (r *Retriever) Close() error {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := r.lock.release(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }

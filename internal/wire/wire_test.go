@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRoundTrip encodes one of each primitive and decodes it back.
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Varint(-12345)
+	w.Varint(math.MaxInt64)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.Float64(-math.Pi)
+	w.String("")
+	w.String("snapshot κείμενο")
+	w.Float32s([]float32{1.5, -0.25, float32(math.Inf(1))})
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Fatalf("Byte = %d", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Fatalf("U64 = %x", got)
+	}
+	if got := r.Float64(); got != -math.Pi {
+		t.Fatalf("Float64 = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "snapshot κείμενο" {
+		t.Fatalf("String = %q", got)
+	}
+	fs := r.Float32s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -0.25 || !math.IsInf(float64(fs[2]), 1) {
+		t.Fatalf("Float32s = %v", fs)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+// TestStickyErrors verifies truncated input poisons the reader and every
+// later call returns a zero value instead of panicking or misreading.
+func TestStickyErrors(t *testing.T) {
+	var w Writer
+	w.String("hello")
+	buf := w.Bytes()
+
+	r := NewReader(buf[:3]) // length prefix promises more than is there
+	if got := r.String(); got != "" {
+		t.Fatalf("truncated String = %q", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("no error after truncated decode")
+	}
+	// Sticky: everything after the failure is zero.
+	if r.Byte() != 0 || r.Uvarint() != 0 || r.U64() != 0 || r.String() != "" || r.Float32s() != nil {
+		t.Fatal("poisoned reader returned non-zero values")
+	}
+
+	r2 := NewReader(nil)
+	if r2.Uvarint() != 0 || r2.Err() == nil {
+		t.Fatal("empty reader did not fail")
+	}
+}
+
+// TestSharedReaderZeroCopy verifies NewSharedReader strings alias the
+// buffer (no copy) while NewReader strings do not.
+func TestSharedReaderZeroCopy(t *testing.T) {
+	var w Writer
+	w.String("aliased")
+	buf := append([]byte(nil), w.Bytes()...)
+
+	shared := NewSharedReader(buf).String()
+	copied := NewReader(buf).String()
+	if shared != "aliased" || copied != "aliased" {
+		t.Fatalf("decoded %q / %q", shared, copied)
+	}
+	// Mutating the buffer must show through the shared string only.
+	buf[len(buf)-1] ^= 0xff
+	if shared == "aliased" {
+		t.Fatal("shared string did not alias the buffer")
+	}
+	if copied != "aliased" {
+		t.Fatal("copying reader aliased the buffer")
+	}
+}

@@ -120,6 +120,24 @@ func WithEf(n int) Option {
 	return func(s *settings) { s.cfg.Ef = n }
 }
 
+// WithSyncEvery makes BackendDisk fsync each shard's segment file after
+// every n appended records instead of only on flush/close, shrinking the
+// crash-loss window (including deletes that a crash would otherwise
+// resurrect) at the cost of ingest throughput. 0, the default, defers
+// durability to flush/close. BackendMemory ignores the knob.
+func WithSyncEvery(n int) Option {
+	return func(s *settings) { s.cfg.SyncEvery = n }
+}
+
+// WithCompactionRatio sets the dead-record fraction beyond which
+// BackendDisk rewrites a shard's segment file to its live records (and
+// refreshes its snapshot) at flush/close. 0 selects the default of 0.5;
+// values in (0, 1] set the threshold; negative values disable compaction.
+// BackendMemory ignores the knob.
+func WithCompactionRatio(ratio float64) Option {
+	return func(s *settings) { s.cfg.CompactionRatio = ratio }
+}
+
 // WithMaxConcurrent bounds how many requests (Send and Search calls
 // across all sessions) execute simultaneously; excess requests queue and
 // are admitted as slots free, or leave the queue when their context is

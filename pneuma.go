@@ -110,6 +110,14 @@ type RetrieverKnobs struct {
 	// only, so an existing disk index may be reopened with a different
 	// value.
 	Ef int
+	// SyncEvery fsyncs BackendDisk segment files every n appended records
+	// instead of only on Flush/Close (0, the default, defers durability
+	// to Flush/Close).
+	SyncEvery int
+	// CompactionRatio is the dead-record fraction that triggers a
+	// BackendDisk segment rewrite at Flush/Close (0 = the default 0.5;
+	// negative disables compaction).
+	CompactionRatio float64
 }
 
 // NewRetrieverWith creates a hybrid retrieval index with explicit scaling
@@ -131,6 +139,12 @@ func NewRetrieverWith(k RetrieverKnobs) (*Retriever, error) {
 	}
 	if k.Ef > 0 {
 		opts = append(opts, retriever.WithEf(k.Ef))
+	}
+	if k.SyncEvery > 0 {
+		opts = append(opts, retriever.WithSyncEvery(k.SyncEvery))
+	}
+	if k.CompactionRatio != 0 {
+		opts = append(opts, retriever.WithCompactionRatio(k.CompactionRatio))
 	}
 	return retriever.Open(opts...)
 }
