@@ -4,15 +4,15 @@ GO ?= go
 # (enforced by `make docs` via cmd/pneuma-doccheck).
 DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr .
 
-.PHONY: verify fmt-check vet tier1 race race-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke ingest-bench docs
+.PHONY: verify fmt-check vet tier1 race race-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet,
 # the documentation gate, the tier-1 build+test command from ROADMAP.md
 # (which includes the AllocsPerRun budget guards), short-mode smokes of
-# the retrieval benchmark pipeline and the disk cold-start pipeline, and
-# a short-mode race pass over the concurrent serving path (Service
-# scheduler, cancellation fan-out, disk-backend sessions).
-verify: fmt-check vet tier1 docs bench-smoke bench-cold-smoke race-smoke
+# the retrieval benchmark pipeline, the disk cold-start pipeline and the
+# int8 speed tier, and a short-mode race pass over the concurrent serving
+# path (Service scheduler, cancellation fan-out, disk-backend sessions).
+verify: fmt-check vet tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke race-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -45,7 +45,7 @@ race-smoke:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkIngest|BenchmarkRetrievalLatency|BenchmarkIRQueryCached|BenchmarkRetrieverSearch' -benchmem -benchtime 20x .
 	$(GO) test -run XXX -bench 'BenchmarkSearch|BenchmarkHybridSearch' -benchmem ./internal/hnsw/ ./internal/bm25/ ./internal/retriever/
-	$(GO) run ./cmd/pneuma-bench -ingest -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+	$(GO) run ./cmd/pneuma-bench -ingest -quantize -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
 
 # bench-compare re-measures the 1k-table workload and prints the
 # benchstat-style delta table against the committed BENCH_baseline.json
@@ -67,15 +67,26 @@ bench-smoke:
 # section into BENCH_retrieval.json, diffed against the committed
 # pre-snapshot baseline.
 bench-cold:
-	$(GO) run ./cmd/pneuma-bench -cold -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+	$(GO) run ./cmd/pneuma-bench -cold -tables 1000 -cold-rounds 15 -json BENCH_retrieval.json -baseline BENCH_baseline.json
 
 # bench-cold-smoke is the short-mode disk cold-start gate wired into
-# `make verify`: a tiny corpus proves the snapshot/replay/parity pipeline
-# end to end; the throwaway report is removed afterwards.
+# `make verify`: a tiny corpus proves the snapshot/replay/mmap/parity
+# pipeline end to end; the throwaway report is removed afterwards.
 bench-cold-smoke:
 	@$(GO) run ./cmd/pneuma-bench -cold -tables 60 -cold-rounds 1 -json .bench-cold-smoke.json >/dev/null
 	@rm -f .bench-cold-smoke.json
 	@echo "bench-cold-smoke: ok"
+
+# bench-quant-smoke is the short-mode int8 speed-tier gate wired into
+# `make verify`: a tiny corpus proves the quantized query path end to end
+# and enforces the tier's accuracy floor (recall@10 vs the unquantized
+# index must stay ≥ 0.98); the throwaway report is removed afterwards.
+bench-quant-smoke:
+	@$(GO) run ./cmd/pneuma-bench -ingest -quantize -tables 60 -rounds 2 -json .bench-quant-smoke.json >/dev/null
+	@grep -q '"recall_at_10": \(1\|0\.9[89]\)' .bench-quant-smoke.json || { \
+		echo "bench-quant-smoke: recall@10 below 0.98:"; grep '"recall_at_10"' .bench-quant-smoke.json; rm -f .bench-quant-smoke.json; exit 1; }
+	@rm -f .bench-quant-smoke.json
+	@echo "bench-quant-smoke: ok"
 
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:

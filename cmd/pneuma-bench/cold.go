@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"pneuma/internal/docs"
@@ -103,12 +104,21 @@ func runColdBench(ctx context.Context, cfg coldConfig) {
 		fail(re.Close())
 	}
 
-	// Restore the snapshots, then measure the bulk-load path.
+	// Restore the snapshots, then measure the two snapshot-load paths:
+	// bulk ReadFile+decode, and the same snapshots mapped instead of read
+	// (the section copy disappears and pages are shared with the cache).
+	// The two opens alternate within each round rather than running as
+	// back-to-back series, so machine drift — frequency scaling, noisy
+	// neighbors, page-cache churn — hits both medians equally and their
+	// difference isolates the open path itself. Mmap results can alias the
+	// mapping, so they are deep-copied before Close unmaps it.
 	re, err := retriever.Open(opts...)
 	fail(err)
 	fail(re.Close())
+	mmapOpts := append(opts[:len(opts):len(opts)], retriever.WithMmap(true))
 	snapTimes := make([]time.Duration, 0, cfg.rounds)
-	var snapRes [][]docs.Document
+	mmapTimes := make([]time.Duration, 0, cfg.rounds)
+	var snapRes, mmapRes [][]docs.Document
 	for i := -1; i < cfg.rounds; i++ {
 		runtime.GC()
 		start := time.Now()
@@ -121,45 +131,68 @@ func runColdBench(ctx context.Context, cfg coldConfig) {
 			snapRes = collect(ctx, re, queries, k)
 		}
 		fail(re.Close())
+
+		runtime.GC()
+		start = time.Now()
+		rm, err := retriever.Open(mmapOpts...)
+		fail(err)
+		if i >= 0 {
+			mmapTimes = append(mmapTimes, time.Since(start))
+		}
+		if i == 0 {
+			mmapRes = cloneResults(collect(ctx, rm, queries, k))
+		}
+		fail(rm.Close())
 	}
 
-	// Determinism proof: snapshot-loaded == replay-built == memory.
+	// Determinism proof: mmap == snapshot-loaded == replay-built == memory.
 	mem := retriever.New(retriever.WithShards(shards))
 	fail(mem.IndexTables(ctx, kramabench.SyntheticSlice(n)))
 	memRes := collect(ctx, mem, queries, k)
 	for qi, q := range queries {
 		assertParity(q, "snapshot-vs-replay", snapRes[qi], replayRes[qi])
 		assertParity(q, "snapshot-vs-memory", snapRes[qi], memRes[qi])
+		assertParity(q, "mmap-vs-snapshot", mmapRes[qi], snapRes[qi])
 	}
 
 	replayMed := median(replayTimes)
 	snapMed := median(snapTimes)
+	mmapMed := median(mmapTimes)
 	segBytes := sizeOf(globIn(dir, "shard-*.seg"))
 	snapBytes := sizeOf(globIn(dir, "shard-*.snap"))
 	speedup := float64(replayMed) / float64(snapMed)
 	fmt.Printf("  replay open   (no snapshot): %8v median of %d\n", replayMed.Round(time.Microsecond), len(replayTimes))
 	fmt.Printf("  snapshot open (bulk load):   %8v median of %d\n", snapMed.Round(time.Microsecond), len(snapTimes))
+	fmt.Printf("  mmap open     (zero copy):   %8v median of %d\n", mmapMed.Round(time.Microsecond), len(mmapTimes))
 	fmt.Printf("  speedup: %.1fx   segment %0.1f MiB   snapshot %0.1f MiB\n",
 		speedup, float64(segBytes)/(1<<20), float64(snapBytes)/(1<<20))
-	fmt.Printf("  parity: snapshot == replay == memory over %d queries ✓\n", len(queries))
+	fmt.Printf("  parity: mmap == snapshot == replay == memory over %d queries ✓\n", len(queries))
 
 	cold := &coldStartStats{
 		Tables:             n,
 		Shards:             shards,
 		ReplayOpenMillis:   float64(replayMed) / float64(time.Millisecond),
 		SnapshotOpenMillis: float64(snapMed) / float64(time.Millisecond),
+		MmapOpenMillis:     float64(mmapMed) / float64(time.Millisecond),
 		Speedup:            speedup,
 		SegmentBytes:       segBytes,
 		SnapshotBytes:      snapBytes,
 	}
 	if cfg.baseline != "" {
+		// Same drift rule as -ingest: re-read at report time, hard-fail on
+		// a workload mismatch instead of printing misleading deltas.
 		old, err := loadReport(cfg.baseline)
 		fail(err)
+		if old.ColdStart != nil && (old.ColdStart.Tables != cold.Tables || old.ColdStart.Shards != cold.Shards) {
+			fail(fmt.Errorf("cold baseline workload mismatch: %d tables × %d shards vs %d × %d (rerun the baseline at this shape, or drop -baseline)",
+				old.ColdStart.Tables, old.ColdStart.Shards, cold.Tables, cold.Shards))
+		}
 		fmt.Println()
 		compareColdStart(old.ColdStart, cold)
 	}
 	if cfg.jsonPath != "" {
-		// Merge: keep the -ingest measurements already in the report.
+		// Merge: keep the -ingest measurements (including any quantized
+		// section) already in the report.
 		report, err := loadReport(cfg.jsonPath)
 		if err != nil {
 			report = benchReport{Corpus: n, Shards: shards, Backend: string(retriever.Disk)}
@@ -169,6 +202,24 @@ func runColdBench(ctx context.Context, cfg coldConfig) {
 		fail(writeReport(cfg.jsonPath, report))
 		fmt.Printf("\ncold_start section written to %s\n", cfg.jsonPath)
 	}
+}
+
+// cloneResults deep-copies document strings out of results that may alias
+// a snapshot mapping (WithMmap): the parity comparison below runs after
+// the mmap-backed retriever — and with it the mapping — is closed.
+func cloneResults(res [][]docs.Document) [][]docs.Document {
+	out := make([][]docs.Document, len(res))
+	for i, hits := range res {
+		out[i] = make([]docs.Document, len(hits))
+		for j, d := range hits {
+			d.ID = strings.Clone(d.ID)
+			d.Title = strings.Clone(d.Title)
+			d.Content = strings.Clone(d.Content)
+			d.Source = strings.Clone(d.Source)
+			out[i][j] = d
+		}
+	}
+	return out
 }
 
 // collect runs every query and keeps the full result lists.

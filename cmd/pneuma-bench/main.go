@@ -43,12 +43,15 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"pneuma/internal/harness"
+	"pneuma/internal/hnsw"
 	"pneuma/internal/kramabench"
 	"pneuma/internal/retriever"
+	"pneuma/internal/table"
 )
 
 func main() {
@@ -70,7 +73,30 @@ func main() {
 	coldRounds := flag.Int("cold-rounds", 5, "open repetitions per path for the -cold measurement (median reported)")
 	jsonPath := flag.String("json", "BENCH_retrieval.json", "write the -ingest/-cold report here (empty = skip)")
 	baselinePath := flag.String("baseline", "", "diff the -ingest/-cold report against this committed report")
+	quantize := flag.Bool("quantize", false, "add the int8 speed-tier section to -ingest: quantized latency, recall@10 vs unquantized, arena bytes")
+	mmap := flag.Bool("mmap", false, "use WithMmap for -ingest disk opens; -cold always measures the mmap series where supported")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fail(err)
+			runtime.GC() // report live objects, not garbage awaiting collection
+			fail(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
 
 	if *cold {
 		tables := *nTables
@@ -101,6 +127,8 @@ func main() {
 			rounds:   *rounds,
 			jsonPath: *jsonPath,
 			baseline: *baselinePath,
+			quantize: *quantize,
+			mmap:     *mmap,
 		})
 		return
 	}
@@ -190,6 +218,8 @@ type ingestConfig struct {
 	rounds   int
 	jsonPath string
 	baseline string
+	quantize bool
+	mmap     bool
 }
 
 // runIngestBench compares the sequential seed ingest path (one shard, one
@@ -228,6 +258,9 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 	}
 	if cfg.ef > 0 {
 		popts = append(popts, retriever.WithEf(cfg.ef))
+	}
+	if cfg.mmap {
+		popts = append(popts, retriever.WithMmap(true))
 	}
 	par, err := retriever.Open(popts...)
 	fail(err)
@@ -314,21 +347,139 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 			BytesPerOp:  bytesPerOp,
 		},
 	}
+	if cfg.quantize {
+		report.Quantized = runQuantSection(ctx, cfg, tables, queries, k)
+	}
 	if cfg.baseline != "" {
+		// Re-read the baseline at report time (never a copy captured
+		// earlier in the run) and refuse a shape mismatch outright — a
+		// silently diffed wrong-shape baseline is how stale numbers drift
+		// into committed reports.
 		old, err := loadReport(cfg.baseline)
 		fail(err)
+		fail(checkBaselineShape(old, report))
 		old.Baseline = nil
 		report.Baseline = &old
 		fmt.Println()
 		compareReports(old, report)
 	}
 	if cfg.jsonPath != "" {
-		// Preserve a cold_start section a previous -cold run recorded in
+		// Preserve sections a previous run of the other mode recorded in
 		// the same report file.
-		if prev, err := loadReport(cfg.jsonPath); err == nil && prev.ColdStart != nil {
-			report.ColdStart = prev.ColdStart
+		if prev, err := loadReport(cfg.jsonPath); err == nil {
+			if prev.ColdStart != nil {
+				report.ColdStart = prev.ColdStart
+			}
+			if report.Quantized == nil && prev.Quantized != nil {
+				report.Quantized = prev.Quantized
+			}
 		}
 		fail(writeReport(cfg.jsonPath, report))
 		fmt.Printf("\nreport written to %s\n", cfg.jsonPath)
+	}
+}
+
+// runQuantSection measures the int8 speed tier against the same corpus
+// and query mix as the main -ingest run: hybrid latency and heap traffic
+// on a quantized index, vector-only recall@10 against the unquantized
+// index (hybrid RRF would mask vector-side differences), and the arena
+// footprint of both representations. Always memory-backed — the tier
+// changes the query path, not storage, and this keeps the section
+// comparable across -backend choices.
+func runQuantSection(ctx context.Context, cfg ingestConfig, tables []*table.Table, queries []string, k int) *quantStats {
+	fmt.Println()
+	fmt.Printf("Quantized speed tier (int8 traversal, float32 rescore ×%d):\n", hnsw.DefaultRescoreFactor)
+
+	qopts := []retriever.Option{retriever.WithQuantize(true)}
+	if cfg.shards > 0 {
+		qopts = append(qopts, retriever.WithShards(cfg.shards))
+	}
+	if cfg.workers > 0 {
+		qopts = append(qopts, retriever.WithWorkers(cfg.workers))
+	}
+	if cfg.ef > 0 {
+		qopts = append(qopts, retriever.WithEf(cfg.ef))
+	}
+	quant := retriever.New(qopts...)
+	defer quant.Close()
+	fail(quant.IndexTables(ctx, tables))
+
+	bgCtx := context.Background()
+	for _, q := range queries {
+		_, err := quant.Search(bgCtx, q, k)
+		fail(err)
+	}
+	lat := make([]time.Duration, 0, cfg.rounds*len(queries))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for r := 0; r < cfg.rounds; r++ {
+		for _, q := range queries {
+			qs := time.Now()
+			if _, err := quant.Search(bgCtx, q, k); err != nil {
+				fail(err)
+			}
+			lat = append(lat, time.Since(qs))
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	nq := len(lat)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+
+	// Vector-only recall@10: two fresh indexes differing only in the knob.
+	vopts := append(qopts[1:len(qopts):len(qopts)], retriever.WithMode(retriever.ModeVectorOnly))
+	plainV := retriever.New(vopts...)
+	defer plainV.Close()
+	quantV := retriever.New(append(vopts, retriever.WithQuantize(true))...)
+	defer quantV.Close()
+	fail(plainV.IndexTables(ctx, tables))
+	fail(quantV.IndexTables(ctx, tables))
+	var hit, total int
+	for _, q := range queries {
+		exact, err := plainV.Search(bgCtx, q, k)
+		fail(err)
+		approx, err := quantV.Search(bgCtx, q, k)
+		fail(err)
+		want := make(map[string]bool, len(exact))
+		for _, d := range exact {
+			want[d.ID] = true
+		}
+		for _, d := range approx {
+			if want[d.ID] {
+				hit++
+			}
+		}
+		total += len(exact)
+	}
+	recall := 1.0
+	if total > 0 {
+		recall = float64(hit) / float64(total)
+	}
+
+	fBytes, qBytes := quant.ArenaBytes()
+	ratio := 0.0
+	if fBytes > 0 {
+		ratio = float64(qBytes) / float64(fBytes)
+	}
+	fmt.Printf("  p50 %v   p99 %v   %.0f allocs/op\n",
+		p(0.50).Round(time.Microsecond), p(0.99).Round(time.Microsecond),
+		float64(ms1.Mallocs-ms0.Mallocs)/float64(nq))
+	fmt.Printf("  recall@%d vs unquantized: %.4f (vector-only, %d queries)\n", k, recall, len(queries))
+	fmt.Printf("  arena: float32 %.1f MiB → int8 %.1f MiB (%.0f%%)\n",
+		float64(fBytes)/(1<<20), float64(qBytes)/(1<<20), ratio*100)
+
+	return &quantStats{
+		Count:             nq,
+		K:                 k,
+		RescoreFactor:     hnsw.DefaultRescoreFactor,
+		P50Micros:         float64(p(0.50)) / float64(time.Microsecond),
+		P99Micros:         float64(p(0.99)) / float64(time.Microsecond),
+		MaxMicros:         float64(lat[nq-1]) / float64(time.Microsecond),
+		AllocsPerOp:       float64(ms1.Mallocs-ms0.Mallocs) / float64(nq),
+		BytesPerOp:        float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(nq),
+		RecallAt10:        recall,
+		Float32ArenaBytes: fBytes,
+		Int8ArenaBytes:    qBytes,
+		ArenaRatio:        ratio,
 	}
 }

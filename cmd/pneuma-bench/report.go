@@ -21,8 +21,32 @@ type benchReport struct {
 	Ef          int             `json:"ef"`
 	Ingest      ingestStats     `json:"ingest"`
 	Query       queryStats      `json:"query"`
+	Quantized   *quantStats     `json:"quantized,omitempty"`
 	ColdStart   *coldStartStats `json:"cold_start,omitempty"`
 	Baseline    *benchReport    `json:"baseline,omitempty"`
+}
+
+// quantStats is the int8 speed tier's cost/accuracy record, written by
+// -ingest -quantize: hybrid query latency and heap traffic with quantized
+// traversal, vector-only recall@10 against the unquantized index, and the
+// arena footprint of both representations.
+type quantStats struct {
+	Count         int     `json:"count"`
+	K             int     `json:"k"`
+	RescoreFactor int     `json:"rescore_factor"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+	MaxMicros     float64 `json:"max_us"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	// RecallAt10 is vector-only top-10 agreement with the unquantized
+	// index over the bench query mix (1.0 = identical result sets).
+	RecallAt10 float64 `json:"recall_at_10"`
+	// Arena footprints across all shards; the ratio is the memory price
+	// of the speed tier (int8 codes + per-vector constants vs float32).
+	Float32ArenaBytes int64   `json:"float32_arena_bytes"`
+	Int8ArenaBytes    int64   `json:"int8_arena_bytes"`
+	ArenaRatio        float64 `json:"arena_ratio"`
 }
 
 // coldStartStats is the disk-backend cold-open trajectory written by the
@@ -37,6 +61,10 @@ type coldStartStats struct {
 	// SnapshotOpenMillis is 0 in reports from builds without snapshots
 	// (the pre-snapshot baseline).
 	SnapshotOpenMillis float64 `json:"snapshot_open_ms,omitempty"`
+	// MmapOpenMillis is the snapshot open with WithMmap — the mapping
+	// replaces the read-and-decode copy. 0 in reports from builds
+	// without mmap support.
+	MmapOpenMillis float64 `json:"mmap_open_ms,omitempty"`
 	// Speedup is replay/snapshot open time within this run.
 	Speedup       float64 `json:"speedup,omitempty"`
 	SegmentBytes  int64   `json:"segment_bytes"`
@@ -86,14 +114,27 @@ func loadReport(path string) (benchReport, error) {
 	return r, nil
 }
 
-// compareReports prints a benchstat-style old-vs-new table. Lower is better
-// for every row except the throughput and speedup rows, where the sign of
-// "better" flips; the delta column is always (new-old)/old.
-func compareReports(old, cur benchReport) {
+// checkBaselineShape refuses to diff reports of different workloads: a
+// baseline measured over another corpus size, backend or k would produce
+// deltas that look like regressions (or wins) but are shape artifacts.
+// The old behaviour printed a note and diffed anyway — numbers that then
+// drifted into commit messages. Now it is a hard error.
+func checkBaselineShape(old, cur benchReport) error {
 	if old.Corpus != cur.Corpus || old.Backend != cur.Backend {
-		fmt.Printf("note: baseline workload differs (corpus %d/%s vs %d/%s); deltas are indicative only\n",
+		return fmt.Errorf("baseline workload mismatch: corpus %d/%s vs %d/%s (rerun the baseline at this shape, or drop -baseline)",
 			old.Corpus, old.Backend, cur.Corpus, cur.Backend)
 	}
+	if old.Query.K != 0 && cur.Query.K != 0 && old.Query.K != cur.Query.K {
+		return fmt.Errorf("baseline k mismatch: %d vs %d", old.Query.K, cur.Query.K)
+	}
+	return nil
+}
+
+// compareReports prints a benchstat-style old-vs-new table. Lower is better
+// for every row except the throughput and speedup rows, where the sign of
+// "better" flips; the delta column is always (new-old)/old. Callers must
+// have validated the shapes with checkBaselineShape first.
+func compareReports(old, cur benchReport) {
 	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "old", "new", "delta")
 	row := func(name string, o, n float64, higherIsBetter bool) {
 		fmt.Printf("%-28s %12.1f %12.1f %9s\n", name, o, n, deltaPct(o, n, higherIsBetter))
@@ -104,6 +145,11 @@ func compareReports(old, cur benchReport) {
 	row("query p99 (µs)", old.Query.P99Micros, cur.Query.P99Micros, false)
 	row("query allocs/op", old.Query.AllocsPerOp, cur.Query.AllocsPerOp, false)
 	row("query bytes/op", old.Query.BytesPerOp, cur.Query.BytesPerOp, false)
+	if old.Quantized != nil && cur.Quantized != nil {
+		row("quantized p50 (µs)", old.Quantized.P50Micros, cur.Quantized.P50Micros, false)
+		row("quantized p99 (µs)", old.Quantized.P99Micros, cur.Quantized.P99Micros, false)
+		row("quantized recall@10", old.Quantized.RecallAt10, cur.Quantized.RecallAt10, true)
+	}
 	compareColdStart(old.ColdStart, cur.ColdStart)
 }
 
@@ -125,6 +171,11 @@ func compareColdStart(old, cur *coldStartStats) {
 			fmt.Printf("%-28s %35.1fx\n", "snapshot vs baseline replay",
 				old.ReplayOpenMillis/cur.SnapshotOpenMillis)
 		}
+	}
+	if cur.MmapOpenMillis > 0 {
+		fmt.Printf("%-28s %12.1f %12.1f %9s\n", "cold mmap open (ms)",
+			old.MmapOpenMillis, cur.MmapOpenMillis,
+			deltaPct(old.MmapOpenMillis, cur.MmapOpenMillis, false))
 	}
 	fmt.Printf("%-28s %12d %12d %9s\n", "segment bytes",
 		old.SegmentBytes, cur.SegmentBytes,

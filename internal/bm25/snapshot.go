@@ -100,12 +100,42 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 
 	// The section buffer is owned by the structures built from it, so
 	// strings decode as zero-copy views (wire.NewSharedReader).
-	rd := wire.NewSharedReader(buf)
+	return read, ix.readBody(wire.NewSharedReader(buf))
+}
+
+// ReadFromShared restores state serialized by WriteTo by parsing the
+// length-prefixed section in place from a shared wire.Reader — no section
+// copy, and every term and document ID decodes as a zero-copy view of the
+// reader's buffer. This is the bulk-load path for snapshot opens, where
+// the buffer (a read file or an mmap'd snapshot) is owned by the
+// structures built from it: skipping the section copy removes the largest
+// single heap allocation of an open, which both shortens the open and
+// shrinks the garbage the collector scans while it runs. Semantics
+// otherwise match ReadFrom.
+func (ix *Index) ReadFromShared(rd *wire.Reader) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.docs) != 0 {
+		return fmt.Errorf("bm25: ReadFrom into non-empty index")
+	}
+	size := int(rd.Uvarint())
+	sec := rd.Section(size)
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("bm25: snapshot section header: %w", err)
+	}
+	return ix.readBody(sec)
+}
+
+// readBody parses a WriteTo section body and commits it into the (empty,
+// locked) index. The reader must span exactly the section body and be in
+// shared mode: strings are retained as decoded.
+func (ix *Index) readBody(rd *wire.Reader) error {
+	secLen := rd.Remaining()
 	ndocs := int(rd.Uvarint())
 	// Every document costs at least a few bytes, so a count exceeding the
 	// section size is malformed — reject before allocating for it.
-	if ndocs < 0 || ndocs > len(buf) {
-		return read, fmt.Errorf("bm25: snapshot section claims %d docs in %d bytes", ndocs, len(buf))
+	if ndocs < 0 || ndocs > secLen {
+		return fmt.Errorf("bm25: snapshot section claims %d docs in %d bytes", ndocs, secLen)
 	}
 	docs := make([]docInfo, ndocs)
 	// offs are per-document windows into the term-frequency arena, sized
@@ -117,19 +147,19 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 		docs[i].length = int(rd.Uvarint())
 		docs[i].deleted = rd.Byte() != 0
 		nt := int(rd.Uvarint())
-		if nt < 0 || nt > len(buf) {
-			return read, fmt.Errorf("bm25: snapshot doc %d claims %d terms", i, nt)
+		if nt < 0 || nt > secLen {
+			return fmt.Errorf("bm25: snapshot doc %d claims %d terms", i, nt)
 		}
 		offs[i+1] = offs[i] + int32(nt)
 	}
 	nterms := int(rd.Uvarint())
 	total := int(rd.Uvarint())
 	if nterms < 0 || nterms > rd.Remaining() || total < 0 || total > rd.Remaining() {
-		return read, fmt.Errorf("bm25: snapshot section claims %d terms / %d postings in %d bytes",
+		return fmt.Errorf("bm25: snapshot section claims %d terms / %d postings in %d bytes",
 			nterms, total, rd.Remaining())
 	}
 	if int(offs[ndocs]) != total {
-		return read, fmt.Errorf("bm25: snapshot section: %d per-doc terms vs %d postings", offs[ndocs], total)
+		return fmt.Errorf("bm25: snapshot section: %d per-doc terms vs %d postings", offs[ndocs], total)
 	}
 	postings := make(map[string][]posting, nterms)
 	// The live document-frequency aggregate accumulates as a slice (terms
@@ -143,7 +173,7 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 		term := rd.String()
 		np := int(rd.Uvarint())
 		if np < 0 || np > total-len(arena) {
-			return read, fmt.Errorf("bm25: snapshot term %q claims %d postings", term, np)
+			return fmt.Errorf("bm25: snapshot term %q claims %d postings", term, np)
 		}
 		start := len(arena)
 		live := 0
@@ -151,10 +181,10 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 			doc := int(rd.Uvarint())
 			tf := int(rd.Uvarint())
 			if doc < 0 || doc >= ndocs || tf <= 0 {
-				return read, fmt.Errorf("bm25: snapshot term %q has invalid posting (doc %d, tf %d)", term, doc, tf)
+				return fmt.Errorf("bm25: snapshot term %q has invalid posting (doc %d, tf %d)", term, doc, tf)
 			}
 			if offs[doc]+fill[doc] >= offs[doc+1] {
-				return read, fmt.Errorf("bm25: snapshot doc %d has more postings than declared terms", doc)
+				return fmt.Errorf("bm25: snapshot doc %d has more postings than declared terms", doc)
 			}
 			arena = append(arena, posting{doc: doc, tf: tf})
 			tfArena[offs[doc]+fill[doc]] = termFreq{term: term, tf: tf}
@@ -171,10 +201,10 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 		}
 	}
 	if err := rd.Err(); err != nil {
-		return read, fmt.Errorf("bm25: snapshot section: %w", err)
+		return fmt.Errorf("bm25: snapshot section: %w", err)
 	}
 	if len(arena) != total {
-		return read, fmt.Errorf("bm25: snapshot section has %d postings, declared %d", len(arena), total)
+		return fmt.Errorf("bm25: snapshot section has %d postings, declared %d", len(arena), total)
 	}
 	for i := range docs {
 		docs[i].tf = tfArena[offs[i]:offs[i+1]:offs[i+1]]
@@ -204,7 +234,7 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 		}
 		ix.df = df
 	}
-	return read, nil
+	return nil
 }
 
 // DeferStats marks an empty index for a two-phase restore: a following

@@ -51,14 +51,30 @@ type Config struct {
 	// hnsw.DefaultEfSearch via the retriever). Larger values trade query
 	// latency for vector-search recall.
 	Ef int
-	// SyncEvery fsyncs Disk-backend segment files every n appended
-	// records instead of only on Flush/Close (0 defers durability to
-	// Flush/Close).
+	// SyncEvery triggers a group-commit fsync of a Disk-backend segment
+	// once n records are pending (0 defers durability to Flush/Close
+	// unless another sync knob is set). Prefer SyncBytes/SyncInterval.
 	SyncEvery int
+	// SyncBytes triggers a group-commit fsync of a Disk-backend segment
+	// once the pending records reach n bytes (0 leaves the trigger
+	// unset).
+	SyncBytes int64
+	// SyncInterval bounds how long an acknowledged Disk-backend write may
+	// stay unsynced: the group-commit flusher fsyncs pending records at
+	// most this long after the first arrived (0 leaves the bound unset;
+	// it defaults to 2ms when SyncEvery or SyncBytes is set).
+	SyncInterval time.Duration
 	// CompactionRatio is the dead-record fraction that triggers a
 	// Disk-backend segment rewrite at Flush/Close (0 selects the
 	// retriever default of 0.5; negative disables compaction).
 	CompactionRatio float64
+	// Quantize enables the table index's int8 speed tier: traversal on
+	// scalar-quantized vectors with exact float32 rescoring (default
+	// off).
+	Quantize bool
+	// Mmap makes Disk-backend snapshot loads memory-map the file instead
+	// of reading it (default off; ignored where unsupported).
+	Mmap bool
 }
 
 // Seeker is the assembled Pneuma-Seeker system (Figure 1): Conductor, IR
@@ -108,8 +124,20 @@ func New(ctx context.Context, cfg Config, corpus map[string]*table.Table, web *w
 	if cfg.SyncEvery > 0 {
 		ropts = append(ropts, retriever.WithSyncEvery(cfg.SyncEvery))
 	}
+	if cfg.SyncBytes > 0 {
+		ropts = append(ropts, retriever.WithSyncBytes(cfg.SyncBytes))
+	}
+	if cfg.SyncInterval > 0 {
+		ropts = append(ropts, retriever.WithSyncInterval(cfg.SyncInterval))
+	}
 	if cfg.CompactionRatio != 0 {
 		ropts = append(ropts, retriever.WithCompactionRatio(cfg.CompactionRatio))
+	}
+	if cfg.Quantize {
+		ropts = append(ropts, retriever.WithQuantize(true))
+	}
+	if cfg.Mmap {
+		ropts = append(ropts, retriever.WithMmap(true))
 	}
 	ret, err := retriever.Open(ropts...)
 	if err != nil {

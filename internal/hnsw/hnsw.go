@@ -26,6 +26,17 @@ type Config struct {
 	// Seed seeds the level generator. Builds with equal seeds and insert
 	// order produce identical graphs.
 	Seed int64
+	// Quantize maintains an int8 scalar-quantized copy of every vector
+	// and runs query traversal on it, rescoring finalists with exact
+	// float32 math (see quant.go). Graph construction always uses float32
+	// distances, so the graph is identical with the knob on or off.
+	// Default false.
+	Quantize bool
+	// RescoreFactor is the exact-rescore over-fetch multiplier of the
+	// quantized path: the top k·RescoreFactor quantized candidates are
+	// rescored with float32 CosineWithNorms before the top k are
+	// returned. Default DefaultRescoreFactor. Ignored unless Quantize.
+	RescoreFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -37,6 +48,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EfSearch <= 0 {
 		c.EfSearch = DefaultEfSearch
+	}
+	if c.RescoreFactor <= 0 {
+		c.RescoreFactor = DefaultRescoreFactor
 	}
 	return c
 }
@@ -61,6 +75,14 @@ type Index struct {
 	levels  []int32   // top layer per slot
 	deleted []bool    // tombstone flags
 	links   [][][]int32
+
+	// Quantized side arenas, slot-parallel with vecs (Config.Quantize
+	// only; see quant.go): int8 codes plus per-vector dequantization
+	// constants and precomputed code sums.
+	qvecs  []int8
+	qscale []float32
+	qoff   []float32
+	qsum   []int32
 
 	byID   map[string]int
 	entry  int // slot index, -1 when empty
@@ -134,6 +156,9 @@ func (ix *Index) Add(id string, vec []float32) error {
 	ix.byID[id] = idx
 	ix.live++
 	cp := ix.vecAt(idx)
+	if ix.cfg.Quantize {
+		ix.appendQuantizedLocked(cp)
+	}
 
 	if ix.entry < 0 {
 		ix.entry = idx
@@ -242,6 +267,10 @@ func (ix *Index) SearchEf(query []float32, k, ef int) ([]Result, error) {
 
 	s := scratchPool.Get().(*searchScratch)
 	defer scratchPool.Put(s)
+
+	if ix.quantizedLocked() {
+		return ix.searchQuantizedLocked(s, query, k, ef), nil
+	}
 
 	ep := ix.entry
 	for lvl := ix.maxLvl; lvl > 0; lvl-- {
@@ -373,6 +402,8 @@ type searchScratch struct {
 	cands   candHeap // min-heap: next candidate to expand
 	results candHeap // max-heap: worst of the ef best so far on top
 	out     []cand
+	qvec    []int8 // quantized-query codes (Quantize searches only)
+	resc    []cand // exact-rescore buffer (Quantize searches only)
 }
 
 var scratchPool = sync.Pool{

@@ -2,105 +2,101 @@ package hnsw
 
 import (
 	"fmt"
-	"io"
 
 	"pneuma/internal/wire"
 )
 
-// WriteTo serializes the index's struct-of-arrays state — the vector
-// arena, the id/level/tombstone/norm slices, the adjacency lists, the
-// entry point and the level-generator draw count — as one length-prefixed
-// binary section, implementing io.WriterTo. An index restored by ReadFrom
-// is bit-identical: it answers every query with the same results and
-// assigns the same levels to future inserts. Construction parameters
-// (M, EfConstruction, EfSearch, Seed) are NOT serialized; the reading
-// index must be created with the same Config.
-func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+// AppendSnapshot serializes the index's struct-of-arrays state — the
+// id/level/tombstone slices, the adjacency lists, the entry point, the
+// level-generator draw count, and the vector arenas — into w. The small
+// variable-width fields come first; the bulk arrays (norms, the float32
+// arena and, when Quantize is on, the int8 arenas) are written as
+// wire aligned blobs, padded relative to the *writer start*. Callers that
+// want the blobs mmap-addressable must therefore hand in a writer whose
+// offset 0 lands at file offset 0 (the retriever's snapshot writer does).
+//
+// An index restored by LoadSnapshot is bit-identical: it answers every
+// query with the same results and assigns the same levels to future
+// inserts. Construction parameters (M, EfConstruction, EfSearch, Seed,
+// Quantize) are NOT serialized; the reading index must be created with a
+// compatible Config — Quantize may differ, in which case the quantized
+// arenas are dropped or rebuilt from the float32 arena at load.
+func (ix *Index) AppendSnapshot(w *wire.Writer) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
-	var body wire.Writer
 	n := len(ix.ids)
-	body.Uvarint(uint64(ix.dim))
-	body.Uvarint(uint64(n))
+	w.Uvarint(uint64(ix.dim))
+	w.Uvarint(uint64(n))
 	for _, id := range ix.ids {
-		body.String(id)
+		w.String(id)
 	}
 	for _, lvl := range ix.levels {
-		body.Uvarint(uint64(lvl))
+		w.Uvarint(uint64(lvl))
 	}
 	for _, d := range ix.deleted {
 		if d {
-			body.Byte(1)
+			w.Byte(1)
 		} else {
-			body.Byte(0)
+			w.Byte(0)
 		}
 	}
-	body.Float32s(ix.norms)
-	body.Float32s(ix.vecs)
 	for _, layers := range ix.links {
-		body.Uvarint(uint64(len(layers)))
+		w.Uvarint(uint64(len(layers)))
 		for _, nbs := range layers {
-			body.Uvarint(uint64(len(nbs)))
+			w.Uvarint(uint64(len(nbs)))
 			for _, nb := range nbs {
-				body.Uvarint(uint64(nb))
+				w.Uvarint(uint64(nb))
 			}
 		}
 	}
-	body.Varint(int64(ix.entry))
-	body.Varint(int64(ix.maxLvl))
-	body.Uvarint(uint64(ix.live))
-	body.Uvarint(ix.rngDraws)
-
-	var head wire.Writer
-	head.Uvarint(uint64(body.Len()))
-	if _, err := w.Write(head.Bytes()); err != nil {
-		return 0, err
+	w.Varint(int64(ix.entry))
+	w.Varint(int64(ix.maxLvl))
+	w.Uvarint(uint64(ix.live))
+	w.Uvarint(ix.rngDraws)
+	quant := ix.quantizedLocked()
+	if quant {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
 	}
-	if _, err := w.Write(body.Bytes()); err != nil {
-		return int64(head.Len()), err
+	w.Float32Blob(ix.norms)
+	w.Float32Blob(ix.vecs)
+	if quant {
+		w.Float32Blob(ix.qscale)
+		w.Float32Blob(ix.qoff)
+		w.Int32Blob(ix.qsum)
+		w.Int8Blob(ix.qvecs)
 	}
-	return int64(head.Len() + body.Len()), nil
 }
 
-// ReadFrom restores state serialized by WriteTo into an empty index,
-// implementing io.ReaderFrom. The index must have been created with the
-// same Config (in particular the same Seed) and dimensionality as the
-// writer; the level generator is fast-forwarded to the writer's draw
+// LoadSnapshot restores state appended by AppendSnapshot into an empty
+// index. The reader must be a shared reader over a buffer whose start
+// corresponds to the writer's start (so blob alignment lines up); for a
+// shared reader on a little-endian host the restored arenas are zero-copy
+// views into that buffer — an mmap'd snapshot pages them in lazily, and
+// the buffer must outlive the index (see the package comment's mmap
+// caveats). The level generator is fast-forwarded to the writer's draw
 // count, so inserts after the restore build exactly the graph the writing
-// index would have built. A malformed or truncated section leaves the
-// index unchanged and returns an error.
-func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+// index would have built; appends to the zero-copy arenas reallocate
+// (len == cap), never scribbling on the buffer. A malformed or truncated
+// section leaves the index unchanged and returns an error.
+func (ix *Index) LoadSnapshot(rd *wire.Reader) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if len(ix.ids) != 0 {
-		return 0, fmt.Errorf("hnsw: ReadFrom into non-empty index")
+		return fmt.Errorf("hnsw: LoadSnapshot into non-empty index")
 	}
 
-	br := wire.AsByteScanner(r)
-	var read int64
-	size, err := wire.ReadUvarint(br, &read)
-	if err != nil {
-		return read, fmt.Errorf("hnsw: snapshot section header: %w", err)
-	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return read, fmt.Errorf("hnsw: snapshot section body: %w", err)
-	}
-	read += int64(size)
-
-	// The section buffer is owned by the restored index, so strings
-	// decode as zero-copy views (wire.NewSharedReader).
-	rd := wire.NewSharedReader(buf)
 	dim := int(rd.Uvarint())
 	n := int(rd.Uvarint())
 	if rd.Err() == nil && dim != ix.dim {
-		return read, fmt.Errorf("hnsw: snapshot has dim %d, index wants %d", dim, ix.dim)
+		return fmt.Errorf("hnsw: snapshot has dim %d, index wants %d", dim, ix.dim)
 	}
 	// Every node costs at least a few bytes, so a count exceeding the
-	// section size is malformed — reject before allocating for it.
-	if n < 0 || n > len(buf) {
-		return read, fmt.Errorf("hnsw: snapshot section claims %d nodes in %d bytes", n, len(buf))
+	// remaining section is malformed — reject before allocating for it.
+	if n < 0 || n > rd.Remaining() {
+		return fmt.Errorf("hnsw: snapshot section claims %d nodes in %d bytes", n, rd.Remaining())
 	}
 	ids := make([]string, n)
 	for i := range ids {
@@ -114,19 +110,17 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	for i := range deleted {
 		deleted[i] = rd.Byte() != 0
 	}
-	norms := rd.Float32s()
-	vecs := rd.Float32s()
 	links := make([][][]int32, n)
 	for i := range links {
 		nl := int(rd.Uvarint())
 		if nl < 0 || nl > rd.Remaining() {
-			return read, fmt.Errorf("hnsw: snapshot section claims %d layers in %d bytes", nl, rd.Remaining())
+			return fmt.Errorf("hnsw: snapshot section claims %d layers in %d bytes", nl, rd.Remaining())
 		}
 		layers := make([][]int32, nl)
 		for l := range layers {
 			cnt := int(rd.Uvarint())
 			if cnt < 0 || cnt > rd.Remaining() {
-				return read, fmt.Errorf("hnsw: snapshot section claims %d links in %d bytes", cnt, rd.Remaining())
+				return fmt.Errorf("hnsw: snapshot section claims %d links in %d bytes", cnt, rd.Remaining())
 			}
 			nbs := make([]int32, cnt)
 			for j := range nbs {
@@ -140,12 +134,28 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	maxLvl := int(rd.Varint())
 	live := int(rd.Uvarint())
 	draws := rd.Uvarint()
+	quant := rd.Byte() != 0
+	norms := rd.Float32Blob()
+	vecs := rd.Float32Blob()
+	var qscale, qoff []float32
+	var qsum []int32
+	var qvecs []int8
+	if quant {
+		qscale = rd.Float32Blob()
+		qoff = rd.Float32Blob()
+		qsum = rd.Int32Blob()
+		qvecs = rd.Int8Blob()
+	}
 	if err := rd.Err(); err != nil {
-		return read, fmt.Errorf("hnsw: snapshot section: %w", err)
+		return fmt.Errorf("hnsw: snapshot section: %w", err)
 	}
 	if len(norms) != n || len(vecs) != n*ix.dim || live > n || entry >= n {
-		return read, fmt.Errorf("hnsw: snapshot section inconsistent (n=%d norms=%d vecs=%d live=%d entry=%d)",
+		return fmt.Errorf("hnsw: snapshot section inconsistent (n=%d norms=%d vecs=%d live=%d entry=%d)",
 			n, len(norms), len(vecs), live, entry)
+	}
+	if quant && (len(qscale) != n || len(qoff) != n || len(qsum) != n || len(qvecs) != n*ix.dim) {
+		return fmt.Errorf("hnsw: snapshot quantized arenas inconsistent (n=%d qscale=%d qoff=%d qsum=%d qvecs=%d)",
+			n, len(qscale), len(qoff), len(qsum), len(qvecs))
 	}
 
 	ix.ids = ids
@@ -157,6 +167,16 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	ix.entry = entry
 	ix.maxLvl = maxLvl
 	ix.live = live
+	if ix.cfg.Quantize {
+		if quant {
+			ix.qscale, ix.qoff, ix.qsum, ix.qvecs = qscale, qoff, qsum, qvecs
+		} else {
+			// Snapshot written without quantization: rebuild the int8
+			// arenas from the float32 arena (same codes Add would have
+			// produced — quantizeVec is deterministic).
+			ix.requantizeLocked()
+		}
+	}
 	byID := make(map[string]int, live)
 	for i, id := range ids {
 		if !deleted[i] {
@@ -170,7 +190,7 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 		ix.rngDraws++
 		ix.rng.Float64()
 	}
-	return read, nil
+	return nil
 }
 
 // ForEachLive visits every live (non-tombstoned) node in insertion order,

@@ -1,11 +1,26 @@
 package hnsw
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"pneuma/internal/wire"
 )
+
+// snapshotBytes serializes ix through the wire-writer snapshot API.
+func snapshotBytes(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var w wire.Writer
+	ix.AppendSnapshot(&w)
+	return w.Bytes()
+}
+
+// loadSnapshotBytes restores a snapshot into ix from raw bytes, using a
+// shared reader like the retriever's load path does.
+func loadSnapshotBytes(ix *Index, raw []byte) error {
+	return ix.LoadSnapshot(wire.NewSharedReader(raw))
+}
 
 // buildIndex populates an index with n deterministic vectors, deleting
 // every seventh, so the serialized state includes tombstones.
@@ -47,12 +62,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	cfg := Config{Seed: 42}
 	orig := buildIndex(t, cfg, dim, n)
 
-	var buf bytes.Buffer
-	if _, err := orig.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
+	raw := snapshotBytes(t, orig)
 	restored := New(dim, cfg)
-	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+	if err := loadSnapshotBytes(restored, raw); err != nil {
 		t.Fatal(err)
 	}
 	if restored.Len() != orig.Len() {
@@ -111,22 +123,19 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotErrors(t *testing.T) {
 	const dim = 8
 	orig := buildIndex(t, Config{Seed: 1}, dim, 30)
-	var buf bytes.Buffer
-	if _, err := orig.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
+	raw := snapshotBytes(t, orig)
 
 	nonEmpty := buildIndex(t, Config{Seed: 1}, dim, 3)
-	if _, err := nonEmpty.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
-		t.Fatal("ReadFrom into non-empty index succeeded")
+	if err := loadSnapshotBytes(nonEmpty, raw); err == nil {
+		t.Fatal("LoadSnapshot into non-empty index succeeded")
 	}
 	wrongDim := New(dim+1, Config{Seed: 1})
-	if _, err := wrongDim.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
-		t.Fatal("ReadFrom with wrong dim succeeded")
+	if err := loadSnapshotBytes(wrongDim, raw); err == nil {
+		t.Fatal("LoadSnapshot with wrong dim succeeded")
 	}
 	truncated := New(dim, Config{Seed: 1})
-	if _, err := truncated.ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
-		t.Fatal("ReadFrom of truncated section succeeded")
+	if err := loadSnapshotBytes(truncated, raw[:len(raw)/2]); err == nil {
+		t.Fatal("LoadSnapshot of truncated section succeeded")
 	}
 	if truncated.Len() != 0 {
 		t.Fatalf("failed restore mutated the index: Len = %d", truncated.Len())

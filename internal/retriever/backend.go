@@ -72,29 +72,36 @@ type ShardBackend interface {
 // Disk backend replays its segment log into. The construction parameters
 // are retained so compact can rebuild the graph from scratch.
 type memoryBackend struct {
-	vec  *hnsw.Index
-	lex  *bm25.Index
-	byID map[string]docs.Document
-	dim  int
-	seed int64
-	ef   int
+	vec   *hnsw.Index
+	lex   *bm25.Index
+	byID  map[string]docs.Document
+	dim   int
+	seed  int64
+	ef    int
+	quant bool
 }
 
 // newMemoryBackend creates an empty in-memory shard. seed fixes the HNSW
 // level generator so equal ingest sequences build equal graphs; st is the
 // retriever-wide BM25 statistics object shared by every shard (nil scores
 // against shard-local statistics); ef is the HNSW query beam width (0
-// selects hnsw.DefaultEfSearch).
-func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int) *memoryBackend {
+// selects hnsw.DefaultEfSearch); quant enables the int8 quantized HNSW
+// query path (the graph itself is identical either way).
+func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int, quant bool) *memoryBackend {
 	return &memoryBackend{
-		vec:  hnsw.New(dim, hnsw.Config{Seed: seed, EfSearch: ef}),
-		lex:  bm25.NewWithStats(bm25.Params{}, st),
-		byID: make(map[string]docs.Document),
-		dim:  dim,
-		seed: seed,
-		ef:   ef,
+		vec:   hnsw.New(dim, hnsw.Config{Seed: seed, EfSearch: ef, Quantize: quant}),
+		lex:   bm25.NewWithStats(bm25.Params{}, st),
+		byID:  make(map[string]docs.Document),
+		dim:   dim,
+		seed:  seed,
+		ef:    ef,
+		quant: quant,
 	}
 }
+
+// arenaBytes reports the shard's HNSW vector-arena sizes (float32 bytes,
+// quantized-side bytes) for the bench harness's memory accounting.
+func (m *memoryBackend) arenaBytes() (int, int) { return m.vec.ArenaBytes() }
 
 // compact rebuilds the shard without its tombstones: the HNSW graph is
 // reconstructed by re-inserting the live vectors in their original
@@ -104,7 +111,7 @@ func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int) *memoryBacken
 // contributions are identical before and after). The document map is
 // already live-only.
 func (m *memoryBackend) compact() error {
-	nv := hnsw.New(m.dim, hnsw.Config{Seed: m.seed, EfSearch: m.ef})
+	nv := hnsw.New(m.dim, hnsw.Config{Seed: m.seed, EfSearch: m.ef, Quantize: m.quant})
 	var err error
 	m.vec.ForEachLive(func(id string, vec []float32) bool {
 		err = nv.Add(id, vec)

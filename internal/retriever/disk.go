@@ -147,14 +147,19 @@ func readSegHeader(f *os.File) (uint64, error) {
 // diskKnobs bundles the durability and maintenance policy the retriever
 // resolves from its options.
 type diskKnobs struct {
-	// syncEvery fsyncs the segment after every n appended records
-	// (0 = only on Flush/Close).
-	syncEvery int
 	// compactRatio is the dead-record fraction that triggers a compaction
 	// rewrite at Flush/Close. Callers pass a value > 1 to disable.
 	compactRatio float64
 	// snapshot enables writing a state snapshot on Flush/Close.
 	snapshot bool
+	// quantize enables the int8 quantized HNSW query path; quantized
+	// arenas are persisted in snapshots so a reopen bulk-loads them.
+	quantize bool
+	// mmap makes snapshot loads map the file instead of reading it.
+	mmap bool
+	// gc is the retriever-wide group-commit coordinator; nil defers all
+	// durability to Flush/Close (see groupcommit.go).
+	gc *groupCommit
 }
 
 // diskBackend is the Disk shard: the in-memory structures of memoryBackend
@@ -176,7 +181,20 @@ type diskBackend struct {
 	segSize  int64  // logical segment size: header + whole records, incl. buffered
 	snapSize int64  // segment offset covered by the on-disk snapshot
 	records  int64  // records in the segment (live + dead)
-	unsynced int    // records appended since the last fsync (syncEvery)
+
+	// Group-commit state, guarded by the shard lock like everything else:
+	// records/bytes appended since the last fsync, the first asynchronous
+	// sync error (surfaced at the next Flush/Close), and the cumulative
+	// fsync count (the group-commit benchmark's metric).
+	pendingRecs  int
+	pendingBytes int64
+	syncErr      error
+	fsyncs       uint64
+
+	// snapMap is the snapshot file mapping the shard's arenas and strings
+	// alias when opened with mmap; released only at Close, because even
+	// compaction-rebuilt state retains document strings pointing into it.
+	snapMap []byte
 
 	rec   wire.Writer // reusable record payload buffer
 	frame wire.Writer // reusable record frame buffer
@@ -228,12 +246,13 @@ func openDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.Stats,
 		}
 	}
 
-	mem := newMemoryBackend(dim, seed, st, ef)
+	mem := newMemoryBackend(dim, seed, st, ef, knobs.quantize)
 	water := int64(segHeaderSize)
 	var recs int64
+	var snapMap []byte
 	repairSnap := false
-	if snapMem, snapWater, snapRecs, serr := loadSnapshot(snapPath, gen, size, dim, seed, st, ef); serr == nil {
-		mem, water, recs = snapMem, snapWater, snapRecs
+	if snapMem, snapWater, snapRecs, mapping, serr := loadSnapshot(snapPath, gen, size, dim, seed, st, ef, knobs.quantize, knobs.mmap); serr == nil {
+		mem, water, recs, snapMap = snapMem, snapWater, snapRecs, mapping
 	} else if !os.IsNotExist(serr) {
 		// A snapshot exists but is unusable (torn tail, CRC mismatch,
 		// different version, stale generation): fall back to a full
@@ -241,20 +260,22 @@ func openDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.Stats,
 		repairSnap = true
 	}
 
+	fail := func(err error) (*diskBackend, error) {
+		f.Close()
+		_ = munmapFile(snapMap)
+		return nil, err
+	}
 	good, replayed, err := replaySegment(f, mem, water)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("retriever: replay %s: %w", path, err)
+		return fail(fmt.Errorf("retriever: replay %s: %w", path, err))
 	}
 	// Drop any trailing garbage past the last whole record, then seek to
 	// the end so new records append after it.
 	if err := f.Truncate(good); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
 	b := &diskBackend{
 		memoryBackend: mem,
@@ -267,11 +288,11 @@ func openDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.Stats,
 		segSize:       good,
 		snapSize:      water,
 		records:       recs + replayed,
+		snapMap:       snapMap,
 	}
 	if repairSnap && knobs.snapshot {
 		if err := b.writeSnapshot(); err != nil {
-			f.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	return b, nil
@@ -354,8 +375,12 @@ func applyRecord(mem *memoryBackend, payload []byte) (bool, error) {
 }
 
 // appendRecord frames the current contents of b.rec (length prefix +
-// payload + CRC32) into the segment buffer and applies the fsync policy.
-// Durability is otherwise deferred to Flush/Close.
+// payload + CRC32) into the segment buffer. Writers never fsync inline:
+// when a sync policy is configured the record joins the shard's pending
+// batch and the group-commit flusher is poked (immediately if a count or
+// byte threshold tripped, otherwise after the latency bound — see
+// groupcommit.go). Without a policy, durability is deferred to
+// Flush/Close as before.
 func (b *diskBackend) appendRecord() error {
 	payload := b.rec.Bytes()
 	b.frame.Reset()
@@ -371,13 +396,13 @@ func (b *diskBackend) appendRecord() error {
 	if _, err := b.w.Write(crcb[:]); err != nil {
 		return err
 	}
-	b.segSize += int64(b.frame.Len()+len(payload)) + 4
+	rec := int64(b.frame.Len()+len(payload)) + 4
+	b.segSize += rec
 	b.records++
-	if b.knobs.syncEvery > 0 {
-		b.unsynced++
-		if b.unsynced >= b.knobs.syncEvery {
-			return b.syncSegment()
-		}
+	if gc := b.knobs.gc; gc != nil {
+		b.pendingRecs++
+		b.pendingBytes += rec
+		gc.signal(gc.tripped(b.pendingRecs, b.pendingBytes))
 	}
 	return nil
 }
@@ -416,20 +441,34 @@ func (b *diskBackend) Delete(id string) bool {
 	return true
 }
 
-// syncSegment drains the write buffer and fsyncs the segment file.
+// syncSegment drains the write buffer and fsyncs the segment file,
+// clearing the pending group-commit batch. One call makes every record
+// appended since the previous sync durable — the whole point of group
+// commit is that this runs once per batch, not once per record.
 func (b *diskBackend) syncSegment() error {
-	b.unsynced = 0
+	b.pendingRecs = 0
+	b.pendingBytes = 0
 	if err := b.w.Flush(); err != nil {
 		return err
 	}
-	return b.f.Sync()
+	if err := b.f.Sync(); err != nil {
+		return err
+	}
+	b.fsyncs++
+	return nil
 }
 
 // Flush makes the shard durable: the segment is drained and fsynced,
 // then — per the configured policy — a compaction rewrite runs when the
 // dead-record fraction crosses the threshold, and a fresh snapshot is
-// written when records were appended since the last one.
+// written when records were appended since the last one. Any sync error
+// the group-commit flusher parked since the last Flush surfaces here
+// first.
 func (b *diskBackend) Flush() error {
+	if err := b.syncErr; err != nil {
+		b.syncErr = nil
+		return err
+	}
 	if err := b.syncSegment(); err != nil {
 		return err
 	}
@@ -487,7 +526,8 @@ func (b *diskBackend) compact() error {
 	b.segSize = size
 	b.snapSize = 0 // the previous snapshot's generation is now stale
 	b.records = recs
-	b.unsynced = 0
+	b.pendingRecs = 0
+	b.pendingBytes = 0
 	if err := b.memoryBackend.compact(); err != nil {
 		return err
 	}
@@ -564,12 +604,19 @@ func rewriteSegment(mem *memoryBackend, path string, gen uint64) (int64, int64, 
 	return size, recs, nil
 }
 
-// Close flushes (including any due compaction and snapshot) and closes
-// the segment file.
+// Close flushes (including any due compaction and snapshot), closes the
+// segment file and releases the snapshot mapping. The munmap comes last:
+// until this point the shard's arenas and document strings may alias the
+// mapping, which is why mmap-backed search results must not be retained
+// past Close (see the package doc's mmap caveats).
 func (b *diskBackend) Close() error {
-	if err := b.Flush(); err != nil {
-		b.f.Close()
-		return err
+	err := b.Flush()
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
 	}
-	return b.f.Close()
+	if merr := munmapFile(b.snapMap); err == nil {
+		err = merr
+	}
+	b.snapMap = nil
+	return err
 }

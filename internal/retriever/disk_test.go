@@ -218,7 +218,7 @@ func TestSnapshotVersionMismatchRebuilds(t *testing.T) {
 		}
 		binary.LittleEndian.PutUint32(raw[4:8], 99)
 		body := raw[:len(raw)-4]
-		binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(body))
+		binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.Checksum(body, snapCRCTable))
 		if err := os.WriteFile(snap, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -410,10 +410,36 @@ func TestDirLock(t *testing.T) {
 	re.Close()
 }
 
-// TestSyncEveryDurability indexes with per-record fsync and verifies the
-// records are durable in the segment file before any Flush — by copying
-// the live index directory (minus the lock) aside and opening the copy,
-// simulating a crash of the original process.
+// TestSyncEveryDurability indexes with a sync policy and verifies the
+// records become durable in the segment file without any Flush — by
+// copying the live index directory (minus the lock) aside and opening the
+// copy, simulating a crash of the original process. With group commit the
+// fsync is asynchronous but latency-bounded, so the test polls until the
+// flusher has drained the pending batch.
+// waitSynced blocks until no disk shard has records pending fsync (the
+// group-commit flusher has caught up), failing the test after 5s.
+func waitSynced(t *testing.T, r *Retriever) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pending := 0
+		for _, s := range r.shards {
+			s.mu.RLock()
+			if db, ok := s.be.(*diskBackend); ok {
+				pending += db.pendingRecs
+			}
+			s.mu.RUnlock()
+		}
+		if pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group-commit flusher did not drain: %d records still pending", pending)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestSyncEveryDurability(t *testing.T) {
 	dir := t.TempDir()
 	r, err := Open(WithShards(1), WithBackend(Disk), WithDir(dir), WithSyncEvery(1))
@@ -428,7 +454,10 @@ func TestSyncEveryDurability(t *testing.T) {
 	if !r.Delete("table:" + tables[0].Schema.Name) {
 		t.Fatal("delete failed")
 	}
-	// No Flush: with WithSyncEvery(1) every record is already on disk.
+	// No Flush: the group-commit flusher must make every acknowledged
+	// record durable within the latency bound. Poll (generously, for slow
+	// CI) until the shard reports no pending records.
+	waitSynced(t, r)
 	crash := t.TempDir()
 	for _, name := range []string{manifestName, "shard-0000.seg"} {
 		raw, err := os.ReadFile(filepath.Join(dir, name))

@@ -1,0 +1,141 @@
+package retriever
+
+import "time"
+
+// DefaultSyncInterval is the group-commit latency bound used when a sync
+// policy is enabled (WithSyncEvery or WithSyncBytes) without an explicit
+// WithSyncInterval: an appended record is fsynced at most this long after
+// the append, batched with everything else that arrived in the window.
+const DefaultSyncInterval = 2 * time.Millisecond
+
+// groupCommit coordinates durability between the shard writers and the
+// retriever's single flusher goroutine. Writers never fsync inline: they
+// bump their shard's pending counters under the shard lock, then poke the
+// flusher through the (non-blocking, capacity-1) channels. The flusher
+// waits out the latency bound — or syncs immediately when a threshold
+// trips — and pays one fsync per shard for the whole batch, so N
+// concurrent writers share a single disk barrier instead of issuing N.
+type groupCommit struct {
+	// Trigger thresholds: every fires on pending record count (the
+	// deprecated WithSyncEvery alias), bytes on pending payload bytes,
+	// interval is the latency bound started by the first pending record.
+	every    int
+	bytes    int64
+	interval time.Duration
+
+	notify  chan struct{} // ≥1 record pending somewhere
+	kick    chan struct{} // a count/byte threshold tripped: sync now
+	done    chan struct{} // closed by Close: flush once more and exit
+	stopped chan struct{} // closed by the flusher on exit
+}
+
+// newGroupCommit resolves the configured knobs into a trigger set. A nil
+// return means no sync policy is active and durability stays at
+// Flush/Close, exactly the pre-group-commit default.
+func newGroupCommit(every int, bytes int64, interval time.Duration) *groupCommit {
+	if every <= 0 && bytes <= 0 && interval <= 0 {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultSyncInterval
+	}
+	return &groupCommit{
+		every:    every,
+		bytes:    bytes,
+		interval: interval,
+		notify:   make(chan struct{}, 1),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// signal wakes the flusher; trip requests an immediate sync instead of
+// waiting out the latency bound. Non-blocking — a token already in the
+// channel carries the same information.
+func (g *groupCommit) signal(trip bool) {
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+	if trip {
+		select {
+		case g.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// tripped reports whether the pending counters cross a configured
+// threshold (called by writers under their shard lock).
+func (g *groupCommit) tripped(pendingRecs int, pendingBytes int64) bool {
+	if g.every > 0 && pendingRecs >= g.every {
+		return true
+	}
+	if g.bytes > 0 && pendingBytes >= g.bytes {
+		return true
+	}
+	return false
+}
+
+// flusher is the single group-commit goroutine: it sleeps until a writer
+// signals pending data, waits out the latency bound (cut short by a
+// threshold kick), then fsyncs every shard with pending records. On Close
+// it performs one final sweep so nothing acknowledged to a writer is left
+// unsynced. Sync errors are parked on the shard (diskBackend.syncErr) and
+// surface from the next Flush/Close — the writer that triggered the batch
+// has already returned, which is the documented durability trade of the
+// latency-bound window.
+func (r *Retriever) flusher() {
+	g := r.gc
+	defer close(g.stopped)
+	for {
+		select {
+		case <-g.done:
+			r.syncPendingShards()
+			return
+		case <-g.notify:
+		}
+		t := time.NewTimer(g.interval)
+		select {
+		case <-g.done:
+			t.Stop()
+			r.syncPendingShards()
+			return
+		case <-g.kick:
+			t.Stop()
+		case <-t.C:
+		}
+		r.syncPendingShards()
+	}
+}
+
+// syncPendingShards fsyncs every disk shard that has records appended
+// since its last sync. One fsync covers the whole pending batch.
+func (r *Retriever) syncPendingShards() {
+	for _, s := range r.shards {
+		s.mu.Lock()
+		if db, ok := s.be.(*diskBackend); ok && db.pendingRecs > 0 {
+			if err := db.syncSegment(); err != nil && db.syncErr == nil {
+				db.syncErr = err
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Fsyncs returns the cumulative number of segment-file fsyncs across all
+// disk shards (0 for the Memory backend). The group-commit benchmark uses
+// it to show N writers sharing one barrier; it also counts the syncs
+// issued by Flush/Close and the deprecated count-based trigger.
+func (r *Retriever) Fsyncs() uint64 {
+	var n uint64
+	for _, s := range r.shards {
+		s.mu.RLock()
+		if db, ok := s.be.(*diskBackend); ok {
+			n += db.fsyncs
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -150,7 +150,7 @@ func openLegacyDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.
 		}
 		return openDiskBackend(path, snapPath, dim, seed, st, ef, knobs)
 	}
-	mem := newMemoryBackend(dim, seed, st, ef)
+	mem := newMemoryBackend(dim, seed, st, ef, knobs.quantize)
 	if err := replayLegacySegment(f, mem); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("retriever: legacy replay %s: %w", path, err)

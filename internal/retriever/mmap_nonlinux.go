@@ -1,0 +1,7 @@
+//go:build unix && !linux
+
+package retriever
+
+// mapPopulate is Linux-only; elsewhere pages fault in on first touch
+// (the CRC pass at open touches them all immediately anyway).
+const mapPopulate = 0

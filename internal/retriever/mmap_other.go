@@ -1,0 +1,20 @@
+//go:build !unix
+
+package retriever
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can map snapshot files.
+// WithMmap silently degrades to the ReadFile load path here.
+const mmapSupported = false
+
+// mmapFile is unavailable on this platform.
+func mmapFile(*os.File) ([]byte, error) {
+	return nil, errors.New("retriever: mmap unsupported on this platform")
+}
+
+// munmapFile matches the unix signature; nothing to release.
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package retriever
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map snapshot files.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared. The returned slice
+// aliases the page cache: co-located processes mapping the same snapshot
+// share physical pages. On Linux the mapping is populated up front (see
+// mapPopulate); elsewhere pages fault in on first touch. An empty file
+// maps to nil (mmap of length 0 is an error on Linux).
+func mmapFile(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED|mapPopulate)
+}
+
+// munmapFile releases a mapping returned by mmapFile; nil is a no-op.
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pneuma/internal/bm25"
 	"pneuma/internal/docs"
@@ -81,11 +82,21 @@ type Retriever struct {
 	backend   Backend
 	dir       string
 	ef        int
-	// Disk-backend policy knobs (see WithSyncEvery, WithCompactionRatio,
-	// WithSnapshotOnFlush); ignored by the Memory backend.
+	// Disk-backend policy knobs (see WithSyncEvery, WithSyncBytes,
+	// WithSyncInterval, WithCompactionRatio, WithSnapshotOnFlush,
+	// WithMmap); ignored by the Memory backend.
 	syncEvery    int
+	syncBytes    int64
+	syncInterval time.Duration
 	compactRatio float64
 	noSnapshot   bool
+	useMmap      bool
+	// quantize enables the int8 speed tier on every shard's HNSW index
+	// (see WithQuantize); honoured by both backends.
+	quantize bool
+	// gc is the group-commit coordinator (nil when no sync policy is
+	// configured); its flusher goroutine runs from Open to Close.
+	gc *groupCommit
 	// lock is the advisory single-writer lock on the Disk backend's index
 	// directory, held from Open to Close. Nil for the Memory backend.
 	lock *dirLock
@@ -175,19 +186,82 @@ func WithEf(ef int) Option {
 	}
 }
 
-// WithSyncEvery makes the Disk backend fsync a shard's segment file after
-// every n appended records instead of only on Flush/Close, shrinking the
-// crash-loss window (including the resurrected-tombstone window: an
-// unsynced delete record lost in a crash brings the document back on
-// reopen) at the cost of ingest throughput. 0, the default, defers all
-// durability to Flush/Close; values < 0 are ignored. The Memory backend
-// ignores the knob.
+// WithSyncEvery enables group-commit durability triggered by pending
+// record count: once n records have been appended since the last fsync,
+// the flusher syncs immediately instead of waiting out the latency bound.
+// This shrinks the crash-loss window (including the resurrected-tombstone
+// window: an unsynced delete record lost in a crash brings the document
+// back on reopen) without paying one fsync per record — concurrent
+// writers share each disk barrier. 0, the default, leaves the trigger
+// unset; values < 0 are ignored. The Memory backend ignores the knob.
+//
+// Deprecated: WithSyncEvery is kept as a compatibility alias. New code
+// should bound durability by bytes (WithSyncBytes) or latency
+// (WithSyncInterval); a record count is a proxy for both and tracks
+// neither well.
 func WithSyncEvery(n int) Option {
 	return func(r *Retriever) {
 		if n >= 0 {
 			r.syncEvery = n
 		}
 	}
+}
+
+// WithSyncBytes enables group-commit durability triggered by pending
+// payload volume: once n bytes of records have been appended to a shard
+// since its last fsync, the flusher syncs immediately instead of waiting
+// out the latency bound. 0, the default, leaves the trigger unset; values
+// < 0 are ignored. The Memory backend ignores the knob.
+func WithSyncBytes(n int64) Option {
+	return func(r *Retriever) {
+		if n >= 0 {
+			r.syncBytes = n
+		}
+	}
+}
+
+// WithSyncInterval bounds the time an acknowledged write can remain
+// unsynced: the group-commit flusher fsyncs every shard with pending
+// records at most d after the first of them was appended, batching
+// everything that arrived in the window into one fsync per shard. Setting
+// any sync knob (this one, WithSyncEvery or WithSyncBytes) activates the
+// flusher; the interval defaults to DefaultSyncInterval when another
+// trigger is set without an explicit bound. 0, the default, leaves the
+// bound unset; values < 0 are ignored. The Memory backend ignores the
+// knob.
+func WithSyncInterval(d time.Duration) Option {
+	return func(r *Retriever) {
+		if d >= 0 {
+			r.syncInterval = d
+		}
+	}
+}
+
+// WithQuantize toggles the int8 speed tier (default off). When on, every
+// shard's HNSW index keeps a scalar-quantized int8 copy of the vector
+// arena and runs graph traversal against it — 4× less memory bandwidth
+// per distance — then rescores the top candidates with exact float32
+// arithmetic, so returned scores and ordering are computed at full
+// precision. Graph construction always uses float32: the graph is
+// identical with the knob on or off, and an existing disk index can be
+// reopened with a different setting. See pneuma/internal/hnsw for the
+// quantization scheme and accuracy characteristics.
+func WithQuantize(on bool) Option {
+	return func(r *Retriever) { r.quantize = on }
+}
+
+// WithMmap makes the Disk backend memory-map snapshot files on Open
+// instead of reading them (default off). The shard's vector arenas and
+// document strings then alias the mapping zero-copy: cold start skips the
+// read-and-decode pass, pages fault in on demand, and co-located
+// processes share the page cache. The whole-file checksum is still
+// verified up front, so corruption degrades to a segment replay exactly
+// as in the ReadFile path. Lifetime caveat: because results can alias the
+// mapping, documents returned by a mmap-backed retriever must not be
+// retained after Close. Ignored on platforms without mmap support and by
+// the Memory backend.
+func WithMmap(on bool) Option {
+	return func(r *Retriever) { r.useMmap = on }
 }
 
 // WithCompactionRatio sets the dead-record fraction (superseded adds,
@@ -234,7 +308,7 @@ func Open(opts ...Option) (*Retriever, error) {
 	case Memory:
 		r.shards = make([]*shard, r.numShards)
 		for i := range r.shards {
-			r.shards[i] = &shard{be: newMemoryBackend(r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef)}
+			r.shards[i] = &shard{be: newMemoryBackend(r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef, r.quantize)}
 		}
 	case Disk:
 		if r.dir == "" {
@@ -266,10 +340,13 @@ func Open(opts ...Option) (*Retriever, error) {
 		// The manifest's shard count wins: hash routing must match the
 		// layout the segments were written under.
 		r.numShards = m.Shards
+		r.gc = newGroupCommit(r.syncEvery, r.syncBytes, r.syncInterval)
 		knobs := diskKnobs{
-			syncEvery:    r.syncEvery,
 			compactRatio: r.compactRatio,
 			snapshot:     !r.noSnapshot,
+			quantize:     r.quantize,
+			mmap:         r.useMmap,
+			gc:           r.gc,
 		}
 		switch {
 		case knobs.compactRatio == 0:
@@ -334,6 +411,11 @@ func Open(opts ...Option) (*Retriever, error) {
 	default:
 		return nil, fmt.Errorf("retriever: unknown backend %q", r.backend)
 	}
+	if r.gc != nil {
+		// The flusher starts only once every shard opened — error paths
+		// above return before any goroutine exists to leak.
+		go r.flusher()
+	}
 	return r, nil
 }
 
@@ -395,6 +477,13 @@ func (r *Retriever) Close() error {
 	if r.closed.Swap(true) {
 		return pnerr.Closed("retriever: close")
 	}
+	if r.gc != nil {
+		// Stop the group-commit flusher first: it performs one final sweep
+		// over the shards on its way out, and waiting for it here means no
+		// goroutine can touch a backend after it is closed below.
+		close(r.gc.done)
+		<-r.gc.stopped
+	}
 	var first error
 	for _, s := range r.shards {
 		s.mu.Lock()
@@ -413,6 +502,24 @@ func (r *Retriever) Close() error {
 // Version returns the mutation counter: it increases on every successful
 // ingest or delete, so equal versions imply identical index contents.
 func (r *Retriever) Version() uint64 { return r.version.Load() }
+
+// ArenaBytes returns the total bytes held by the float32 vector arenas
+// and by the int8 quantized arenas (including their per-vector scale,
+// offset and sum arrays) across all shards. The int8 total is 0 unless
+// WithQuantize is on; the benchmark harness reports the ratio as the
+// memory cost of the speed tier.
+func (r *Retriever) ArenaBytes() (float32Bytes, int8Bytes int64) {
+	for _, s := range r.shards {
+		s.mu.RLock()
+		if mb, ok := s.be.(interface{ arenaBytes() (int, int) }); ok {
+			f, q := mb.arenaBytes()
+			float32Bytes += int64(f)
+			int8Bytes += int64(q)
+		}
+		s.mu.RUnlock()
+	}
+	return float32Bytes, int8Bytes
+}
 
 // shardIndex routes a document ID to its shard slot by FNV-1a hash. Every
 // routing decision — ingest, lookup, delete — must go through here so the

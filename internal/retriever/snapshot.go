@@ -1,7 +1,6 @@
 package retriever
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -22,28 +21,46 @@ import (
 // file is CRC32-guarded and written atomically (tmp + rename), so a torn
 // or corrupt snapshot is detected up front and degrades to a full segment
 // replay, never to wrong state.
+//
+// Version 2 lays the HNSW vector arenas (norms, float32 vectors and the
+// optional int8 quantized arrays) out as wire aligned blobs, padded
+// relative to the file start. A WithMmap open maps the whole file and the
+// arenas become zero-copy views of the mapping — cold start pages data in
+// on demand and co-located processes share the page-cache copy. Version-1
+// snapshots (prior builds) fail the version check and degrade to a replay
+// that rewrites the snapshot in the current format.
 const (
 	snapMagic      = "pnss"
-	snapVersion    = 1
+	snapVersion    = 2
 	snapHeaderSize = 4 + 4 + 8 + 8 + 8 // magic + version u32 + generation + watermark + records
 )
 
+// snapCRCTable selects the Castagnoli polynomial for the whole-file
+// snapshot checksum: amd64 and arm64 compute it with the dedicated CRC32
+// instruction, so guarding a multi-megabyte snapshot costs a fraction of
+// a millisecond instead of dominating the open. Part of the version-2
+// format (version 1 used IEEE; its snapshots fail the version check
+// before the polynomial could matter).
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
 // writeSnapshot serializes the shard's current state next to the segment
-// file and advances the snapshot high-water mark. Section order is
-// load-bearing for crash safety on the read side: the document store and
-// HNSW sections carry no shared side effects, while the BM25 section
-// folds document frequencies into the retriever-wide Stats object as it
-// loads — it is parsed last, so a snapshot that fails anywhere leaves the
-// shared statistics untouched.
+// file and advances the snapshot high-water mark. The whole file is built
+// in one wire.Writer so blob padding is relative to file offset 0 — the
+// invariant the mmap load path's zero-copy reinterpretation depends on.
+// Section order is load-bearing for crash safety on the read side: the
+// document store and HNSW sections carry no shared side effects, while
+// the BM25 section folds document frequencies into the retriever-wide
+// Stats object as it loads — it is parsed last, so a snapshot that fails
+// anywhere leaves the shared statistics untouched.
 func (b *diskBackend) writeSnapshot() error {
-	var buf bytes.Buffer
+	var w wire.Writer
 	var head [snapHeaderSize]byte
 	copy(head[:4], snapMagic)
 	binary.LittleEndian.PutUint32(head[4:8], snapVersion)
 	binary.LittleEndian.PutUint64(head[8:16], b.gen)
 	binary.LittleEndian.PutUint64(head[16:24], uint64(b.segSize))
 	binary.LittleEndian.PutUint64(head[24:32], uint64(b.records))
-	buf.Write(head[:])
+	w.Raw(head[:])
 
 	// Document store, sorted by ID so equal states produce equal bytes.
 	ids := make([]string, 0, len(b.byID))
@@ -51,24 +68,20 @@ func (b *diskBackend) writeSnapshot() error {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	var sec wire.Writer
-	sec.Uvarint(uint64(len(ids)))
+	w.Uvarint(uint64(len(ids)))
 	for _, id := range ids {
-		sec.String(id)
-		encodeDoc(&sec, b.byID[id])
+		w.String(id)
+		encodeDoc(&w, b.byID[id])
 	}
-	buf.Write(sec.Bytes())
 
-	if _, err := b.vec.WriteTo(&buf); err != nil {
-		return err
-	}
-	if _, err := b.lex.WriteTo(&buf); err != nil {
+	b.vec.AppendSnapshot(&w)
+	if _, err := b.lex.WriteTo(&w); err != nil {
 		return err
 	}
 
 	var crcb [4]byte
-	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(buf.Bytes()))
-	buf.Write(crcb[:])
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(w.Bytes(), snapCRCTable))
+	w.Raw(crcb[:])
 
 	tmp := b.snapPath + ".tmp"
 	f, err := os.Create(tmp)
@@ -76,7 +89,7 @@ func (b *diskBackend) writeSnapshot() error {
 		return err
 	}
 	defer os.Remove(tmp)
-	if _, err := f.Write(buf.Bytes()); err != nil {
+	if _, err := f.Write(w.Bytes()); err != nil {
 		f.Close()
 		return err
 	}
@@ -96,58 +109,91 @@ func (b *diskBackend) writeSnapshot() error {
 
 // loadSnapshot reads and validates the snapshot at snapPath and, on
 // success, returns a fully built in-memory shard plus the high-water mark
-// and record count it covers. A missing file returns the raw not-exist
-// error (the caller treats it as "no snapshot"); every other failure —
-// torn tail, CRC mismatch, version from a different build, generation not
-// matching the live segment, watermark past the segment's size — returns
-// a descriptive error and the caller falls back to a full replay (and
+// and record count it covers. With useMmap (on supported platforms) the
+// file is mapped instead of read: the returned mapping is non-nil and the
+// built shard's arenas, document strings and IDs alias it zero-copy — the
+// caller owns the mapping and must munmap it only after the shard is
+// discarded (diskBackend.Close). The whole-file CRC is verified in both
+// modes, so a torn or flipped blob is caught up front — an mmap open
+// detects corruption exactly as eagerly as a ReadFile open and falls back
+// to a replay the same way.
+//
+// A missing file returns the raw not-exist error (the caller treats it as
+// "no snapshot"); every other failure — torn tail, CRC mismatch, version
+// from a different build, generation not matching the live segment,
+// watermark past the segment's size — returns a descriptive error, with
+// any mapping released, and the caller falls back to a full replay (and
 // rewrites the snapshot). The shared Stats object is only mutated if the
 // entire snapshot parses.
-func loadSnapshot(snapPath string, expectGen uint64, segSize int64, dim int, seed int64, st *bm25.Stats, ef int) (*memoryBackend, int64, int64, error) {
-	raw, err := os.ReadFile(snapPath)
-	if err != nil {
-		return nil, 0, 0, err
+func loadSnapshot(snapPath string, expectGen uint64, segSize int64, dim int, seed int64, st *bm25.Stats, ef int, quant, useMmap bool) (mem *memoryBackend, water, records int64, mapping []byte, err error) {
+	var raw []byte
+	if useMmap && mmapSupported {
+		f, ferr := os.Open(snapPath)
+		if ferr != nil {
+			return nil, 0, 0, nil, ferr
+		}
+		m, merr := mmapFile(f)
+		f.Close()
+		if merr == nil {
+			raw, mapping = m, m
+		}
+		// On mmap failure fall through to ReadFile below.
+	}
+	ok := false
+	defer func() {
+		if !ok && mapping != nil {
+			_ = munmapFile(mapping)
+		}
+	}()
+	if raw == nil {
+		raw, err = os.ReadFile(snapPath)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
 	}
 	if len(raw) < snapHeaderSize+4 {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: truncated (%d bytes)", snapPath, len(raw))
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: truncated (%d bytes)", snapPath, len(raw))
 	}
 	body, crcb := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcb) {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: checksum mismatch", snapPath)
+	if crc32.Checksum(body, snapCRCTable) != binary.LittleEndian.Uint32(crcb) {
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: checksum mismatch", snapPath)
 	}
 	if string(body[:4]) != snapMagic {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: bad magic %q", snapPath, body[:4])
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: bad magic %q", snapPath, body[:4])
 	}
 	if v := binary.LittleEndian.Uint32(body[4:8]); v != snapVersion {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: version %d, this build reads %d", snapPath, v, snapVersion)
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: version %d, this build reads %d", snapPath, v, snapVersion)
 	}
 	if gen := binary.LittleEndian.Uint64(body[8:16]); gen != expectGen {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: covers segment generation %d, segment is at %d", snapPath, gen, expectGen)
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: covers segment generation %d, segment is at %d", snapPath, gen, expectGen)
 	}
-	water := int64(binary.LittleEndian.Uint64(body[16:24]))
-	records := int64(binary.LittleEndian.Uint64(body[24:32]))
+	water = int64(binary.LittleEndian.Uint64(body[16:24]))
+	records = int64(binary.LittleEndian.Uint64(body[24:32]))
 	if water < segHeaderSize || water > segSize {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: watermark %d outside segment of %d bytes", snapPath, water, segSize)
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: watermark %d outside segment of %d bytes", snapPath, water, segSize)
 	}
 
-	// The snapshot buffer is owned by the documents built from it, so
-	// strings decode as zero-copy views (wire.NewSharedReader).
-	rd := wire.NewSharedReader(body[snapHeaderSize:])
+	// The snapshot buffer is owned by the structures built from it, so
+	// strings and arenas decode as zero-copy views (wire.NewSharedReader).
+	// The reader spans the whole body — offset 0 == file offset 0 — so
+	// blob alignment lines up; the fixed header is skipped, not re-parsed.
+	rd := wire.NewSharedReader(body)
+	rd.Skip(snapHeaderSize)
 	count := int(rd.Uvarint())
 	if count > rd.Remaining() {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: claims %d documents in %d bytes", snapPath, count, rd.Remaining())
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: claims %d documents in %d bytes", snapPath, count, rd.Remaining())
 	}
 	byID := make(map[string]docs.Document, count)
 	for i := 0; i < count; i++ {
 		id := rd.String()
 		d, derr := decodeDoc(rd, id)
 		if derr != nil {
-			return nil, 0, 0, fmt.Errorf("snapshot %s: %w", snapPath, derr)
+			return nil, 0, 0, nil, fmt.Errorf("snapshot %s: %w", snapPath, derr)
 		}
 		byID[id] = d
 	}
 	if err := rd.Err(); err != nil {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: document store: %w", snapPath, err)
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: document store: %w", snapPath, err)
 	}
 
 	// Parse the index sections in deferred-statistics mode: the shared
@@ -155,20 +201,20 @@ func loadSnapshot(snapPath string, expectGen uint64, segSize int64, dim int, see
 	// validated, so a bad snapshot cannot leak document frequencies into
 	// the corpus totals before the caller falls back to a replay — and the
 	// shard never materializes a throwaway local df map on the way.
-	mem := newMemoryBackend(dim, seed, nil, ef)
+	mem = newMemoryBackend(dim, seed, nil, ef, quant)
 	mem.lex.DeferStats()
-	br := bytes.NewReader(rd.Rest())
-	if _, err := mem.vec.ReadFrom(br); err != nil {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: %w", snapPath, err)
+	if err := mem.vec.LoadSnapshot(rd); err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
 	}
-	if _, err := mem.lex.ReadFrom(br); err != nil {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: %w", snapPath, err)
+	if err := mem.lex.ReadFromShared(rd); err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
 	}
 	if mem.vec.Len() != len(byID) || mem.lex.Len() != len(byID) {
-		return nil, 0, 0, fmt.Errorf("snapshot %s: sections disagree (%d docs, %d vectors, %d lexical)",
+		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: sections disagree (%d docs, %d vectors, %d lexical)",
 			snapPath, len(byID), mem.vec.Len(), mem.lex.Len())
 	}
 	mem.byID = byID
 	mem.lex.AttachStats(st)
-	return mem, water, records, nil
+	ok = true
+	return mem, water, records, mapping, nil
 }

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package vecmath
+
+// dotInt8Kernel dispatches to the portable scalar kernel on platforms
+// without an assembly implementation.
+func dotInt8Kernel(a, b []int8) int32 {
+	return dotInt8Scalar(a, b)
+}

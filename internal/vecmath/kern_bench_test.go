@@ -1,0 +1,46 @@
+package vecmath
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmark sinks keep the compiler from eliding the kernel calls.
+var (
+	sinkI int32
+	sinkF float32
+)
+
+// BenchmarkKernels compares the int8 speed-tier kernel (SSE2 on amd64)
+// against the float32 traversal kernel and the portable scalar fallback
+// at the embedding widths that matter: the quantized tier's per-distance
+// advantage is the int8/float32 ratio printed here.
+func BenchmarkKernels(b *testing.B) {
+	for _, dim := range []int{64, 256} {
+		a8 := make([]int8, dim)
+		b8 := make([]int8, dim)
+		af := make([]float32, dim)
+		bf := make([]float32, dim)
+		for i := 0; i < dim; i++ {
+			a8[i] = int8(i*7 - 60)
+			b8[i] = int8(i*3 - 40)
+			af[i] = float32(i) * 0.01
+			bf[i] = float32(i) * 0.02
+		}
+		b.Run(fmt.Sprintf("DotInt8/%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkI = DotInt8(a8, b8)
+			}
+		})
+		b.Run(fmt.Sprintf("DotInt8Scalar/%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkI = dotInt8Scalar(a8, b8)
+			}
+		})
+		b.Run(fmt.Sprintf("SquaredL2/%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF = SquaredL2(af, bf)
+			}
+		})
+	}
+}

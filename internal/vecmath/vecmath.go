@@ -83,6 +83,47 @@ func CosineWithNorms(a, b []float32, na, nb float32) float32 {
 	return Dot(a, b) / (na * nb)
 }
 
+// DotInt8 returns the dot product of two int8 vectors, accumulating in
+// int32. It is the scoring kernel of the quantized HNSW fast path: with
+// components in [-127, 127] the accumulator is exact for any dimension up
+// to 2^31/127^2 (≈133k), far beyond any embedding width here, so the
+// result is bit-identical across the SIMD and scalar implementations. On
+// amd64 the body is an SSE2 kernel (16 lanes per iteration via PMADDWD —
+// SSE2 is in the amd64 baseline, so there is no feature gate); elsewhere
+// it is the unrolled scalar loop of dotInt8Scalar. Integer arithmetic has
+// no rounding, so the dispatch never changes results, only speed. Panics
+// if lengths differ, like Dot.
+func DotInt8(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	return dotInt8Kernel(a, b)
+}
+
+// dotInt8Scalar is the portable reference implementation of DotInt8: the
+// non-amd64 kernel, and the oracle the assembly kernel is tested against.
+// The body is unrolled 16-wide over full-length sub-slices: the re-slices
+// prove all sixteen loads in bounds at once (one check per block instead
+// of one per element — the int8 loads otherwise bounds-check-dominate,
+// unlike the float32 kernels), and four independent accumulators keep the
+// sign-extend/multiply chains pipelined.
+func dotInt8Scalar(a, b []int8) int32 {
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+16 <= len(a) && i+16 <= len(b); i += 16 {
+		aa := a[i : i+16 : i+16]
+		bb := b[i : i+16 : i+16]
+		s0 += int32(aa[0])*int32(bb[0]) + int32(aa[4])*int32(bb[4]) + int32(aa[8])*int32(bb[8]) + int32(aa[12])*int32(bb[12])
+		s1 += int32(aa[1])*int32(bb[1]) + int32(aa[5])*int32(bb[5]) + int32(aa[9])*int32(bb[9]) + int32(aa[13])*int32(bb[13])
+		s2 += int32(aa[2])*int32(bb[2]) + int32(aa[6])*int32(bb[6]) + int32(aa[10])*int32(bb[10]) + int32(aa[14])*int32(bb[14])
+		s3 += int32(aa[3])*int32(bb[3]) + int32(aa[7])*int32(bb[7]) + int32(aa[11])*int32(bb[11]) + int32(aa[15])*int32(bb[15])
+	}
+	for ; i < len(a); i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
 // SquaredL2 returns the squared Euclidean distance between a and b.
 func SquaredL2(a, b []float32) float32 {
 	if len(a) != len(b) {

@@ -2,6 +2,7 @@ package vecmath
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -101,7 +102,107 @@ func TestUnrolledKernelsMatchReference(t *testing.T) {
 		if got, want := Norm(a), math.Sqrt(refDot(a, a)); !close(got, want) {
 			t.Fatalf("Norm len %d = %v, reference %v", n, got, want)
 		}
+		qa := make([]int8, n)
+		qb := make([]int8, n)
+		for i := 0; i < n; i++ {
+			qa[i] = int8(i*13 - 110)
+			qb[i] = int8(90 - i*11)
+		}
+		if got, want := DotInt8(qa, qb), refDotInt8(qa, qb); got != want {
+			t.Fatalf("DotInt8 len %d = %v, reference %v (must be exact)", n, got, want)
+		}
 	}
+}
+
+// refDotInt8 is the naive sequential reference for the int8 kernel.
+// Integer accumulation is associative, so the unrolled kernel must match
+// it bit-for-bit at every length.
+func refDotInt8(a, b []int8) int32 {
+	var s int32
+	for i := range a {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// TestDotInt8KernelMatchesScalar sweeps every length through several SIMD
+// blocks plus all tail residues, on pseudo-random values spanning the full
+// code range including ±127: the dispatched kernel (SSE2 on amd64, scalar
+// elsewhere) and the portable scalar implementation must agree
+// bit-for-bit with the naive reference. This is the differential gate for
+// the assembly path — integer arithmetic leaves no rounding to hide
+// behind.
+func TestDotInt8KernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 100; n++ {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := 0; i < n; i++ {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		if n > 1 { // force extreme codes into both the block body and the tail
+			a[0], b[0] = 127, -127
+			a[n-1], b[n-1] = -127, 127
+		}
+		want := refDotInt8(a, b)
+		if got := DotInt8(a, b); got != want {
+			t.Fatalf("DotInt8 len %d = %d, reference %d", n, got, want)
+		}
+		if got := dotInt8Scalar(a, b); got != want {
+			t.Fatalf("dotInt8Scalar len %d = %d, reference %d", n, got, want)
+		}
+	}
+}
+
+// TestKernelsOnEmptyVectors pins every kernel's zero-length behavior
+// explicitly (the length sweep above covers it too, but an empty arena or
+// zero-dimension index must never panic or return garbage).
+func TestKernelsOnEmptyVectors(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil, nil) = %v, want 0", got)
+	}
+	if got := SquaredL2(nil, nil); got != 0 {
+		t.Fatalf("SquaredL2(nil, nil) = %v, want 0", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Fatalf("Norm(nil) = %v, want 0", got)
+	}
+	if got := DotInt8(nil, nil); got != 0 {
+		t.Fatalf("DotInt8(nil, nil) = %v, want 0", got)
+	}
+	if got := Cosine(nil, nil); got != 0 {
+		t.Fatalf("Cosine(nil, nil) = %v, want 0", got)
+	}
+}
+
+func TestDotInt8Extremes(t *testing.T) {
+	// Saturated components at a realistic embedding width must not
+	// overflow the int32 accumulator: 1024 * 127 * 127 = 16.5M << 2^31.
+	n := 1024
+	a := make([]int8, n)
+	b := make([]int8, n)
+	for i := range a {
+		a[i], b[i] = 127, 127
+	}
+	if got, want := DotInt8(a, b), int32(n)*127*127; got != want {
+		t.Fatalf("saturated DotInt8 = %d, want %d", got, want)
+	}
+	for i := range b {
+		b[i] = -128
+	}
+	if got, want := DotInt8(a, b), int32(n)*127*-128; got != want {
+		t.Fatalf("mixed-sign DotInt8 = %d, want %d", got, want)
+	}
+}
+
+func TestDotInt8PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DotInt8([]int8{1}, []int8{1, 2})
 }
 
 func TestCosineWithNorms(t *testing.T) {
@@ -141,6 +242,21 @@ func BenchmarkSquaredL2(b *testing.B) {
 	var s float32
 	for i := 0; i < b.N; i++ {
 		s += SquaredL2(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkDotInt8(b *testing.B) {
+	x := make([]int8, 256)
+	y := make([]int8, 256)
+	for i := range x {
+		x[i] = int8(i - 128)
+		y[i] = int8(127 - i)
+	}
+	b.ResetTimer()
+	var s int32
+	for i := 0; i < b.N; i++ {
+		s += DotInt8(x, y)
 	}
 	_ = s
 }

@@ -78,6 +78,77 @@ func (w *Writer) Float32s(v []float32) {
 // Raw appends bytes verbatim (no length prefix).
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
 
+// Write implements io.Writer by appending p verbatim, so section encoders
+// that speak io.WriterTo (bm25) can serialize straight into the same
+// buffer as the blob sections without an intermediate copy.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// BlobAlign is the byte alignment of aligned-blob payloads. 64 covers
+// cache lines and every element type's natural alignment, and because
+// snapshot files are written with offset 0 == file offset 0, a page-aligned
+// mmap of the file makes each blob directly addressable as a typed slice.
+const BlobAlign = 64
+
+// hostLittleEndian reports whether the running machine stores multi-byte
+// words little-endian, in which case typed slices can be reinterpreted as
+// their on-disk bytes (the format is little-endian) without per-element
+// conversion.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// PadTo appends zero bytes until the accumulated length is a multiple of
+// align. Blob encoders call it between a blob's count prefix and its
+// payload; it is exported so framing layers can align section starts too.
+func (w *Writer) PadTo(align int) {
+	for w.Len()%align != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Float32Blob appends a count prefix, zero padding to BlobAlign, and the
+// raw little-endian float32 payload. Unlike Float32s, the payload start is
+// aligned relative to the buffer start, so a reader over the same buffer
+// base (e.g. an mmap'd snapshot) can reinterpret it zero-copy.
+func (w *Writer) Float32Blob(v []float32) {
+	w.Uvarint(uint64(len(v)))
+	w.PadTo(BlobAlign)
+	if hostLittleEndian {
+		w.buf = append(w.buf, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*4)...)
+		return
+	}
+	for _, f := range v {
+		w.U32(math.Float32bits(f))
+	}
+}
+
+// Int32Blob appends a count prefix, padding to BlobAlign, and the raw
+// little-endian int32 payload.
+func (w *Writer) Int32Blob(v []int32) {
+	w.Uvarint(uint64(len(v)))
+	w.PadTo(BlobAlign)
+	if hostLittleEndian {
+		w.buf = append(w.buf, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*4)...)
+		return
+	}
+	for _, x := range v {
+		w.U32(uint32(x))
+	}
+}
+
+// Int8Blob appends a count prefix, padding to BlobAlign, and the raw int8
+// payload. Alignment is not needed for single-byte elements but keeps
+// blob starts page-shareable and the framing uniform.
+func (w *Writer) Int8Blob(v []int8) {
+	w.Uvarint(uint64(len(v)))
+	w.PadTo(BlobAlign)
+	w.buf = append(w.buf, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v))...)
+}
+
 // Reader decodes a payload produced by Writer. Errors are sticky: after
 // the first failure every method returns a zero value and Err reports
 // ErrTruncated.
@@ -116,7 +187,121 @@ func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 // length-prefixed io.ReaderFrom section).
 func (r *Reader) Rest() []byte { return r.buf[r.off:] }
 
+// Section consumes the next n bytes and returns a sub-reader over them,
+// inheriting the shared-ownership mode — a length-prefixed section parses
+// in place with no copy. The sub-reader's offsets restart at 0, so
+// aligned blobs must not be decoded through it (their padding is relative
+// to the enclosing buffer's start); varint/string/fixed-width sections
+// are safe. Returns an empty poisoned reader if fewer than n bytes
+// remain.
+func (r *Reader) Section(n int) *Reader {
+	if r.err || n < 0 || n > len(r.buf)-r.off {
+		r.fail()
+		return &Reader{err: true}
+	}
+	sub := &Reader{buf: r.buf[r.off : r.off+n], shared: r.shared}
+	r.off += n
+	return sub
+}
+
 func (r *Reader) fail() { r.err = true }
+
+// Skip consumes n bytes without decoding them (e.g. a fixed-width header
+// already parsed by other means).
+func (r *Reader) Skip(n int) {
+	if r.err || n < 0 || n > len(r.buf)-r.off {
+		r.fail()
+		return
+	}
+	r.off += n
+}
+
+// alignTo consumes the zero padding between a blob's count prefix and its
+// payload, leaving the offset at the next multiple of align relative to
+// the buffer start. Blob framing therefore requires the reader's buffer to
+// begin where the writer's did (offset 0 == file offset 0).
+func (r *Reader) alignTo(align int) {
+	if r.err {
+		return
+	}
+	pad := (align - r.off%align) % align
+	if pad > len(r.buf)-r.off {
+		r.fail()
+		return
+	}
+	r.off += pad
+}
+
+// blob consumes a count prefix, padding and count*size payload bytes,
+// returning the payload view and count. ok is false (and the reader
+// poisoned) on truncation or a crafted count.
+func (r *Reader) blob(size int) (b []byte, n int, ok bool) {
+	c := r.Uvarint()
+	r.alignTo(BlobAlign)
+	// Compare by division, not c*size: a crafted count near 2^62 would
+	// wrap the multiplication and pass the bounds check.
+	if r.err || c > uint64((len(r.buf)-r.off)/size) {
+		r.fail()
+		return nil, 0, false
+	}
+	n = int(c)
+	b = r.buf[r.off : r.off+n*size]
+	r.off += n * size
+	return b, n, true
+}
+
+// Float32Blob decodes an aligned float32 blob. For a NewSharedReader on a
+// little-endian host the returned slice is a zero-copy view of the buffer
+// with len == cap (appends copy, never scribble on the buffer); otherwise
+// it is a fresh copy. Either way the values are identical.
+func (r *Reader) Float32Blob() []float32 {
+	b, n, ok := r.blob(4)
+	if !ok || n == 0 {
+		return nil
+	}
+	if r.shared && hostLittleEndian && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// Int32Blob decodes an aligned int32 blob (zero-copy under the same
+// conditions as Float32Blob).
+func (r *Reader) Int32Blob() []int32 {
+	b, n, ok := r.blob(4)
+	if !ok || n == 0 {
+		return nil
+	}
+	if r.shared && hostLittleEndian && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// Int8Blob decodes an aligned int8 blob (zero-copy for a NewSharedReader;
+// single-byte elements need no alignment or byte-order handling).
+func (r *Reader) Int8Blob() []int8 {
+	b, n, ok := r.blob(1)
+	if !ok || n == 0 {
+		return nil
+	}
+	if r.shared {
+		return unsafe.Slice((*int8)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(b[i])
+	}
+	return out
+}
 
 // Byte decodes one raw byte.
 func (r *Reader) Byte() byte {

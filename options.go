@@ -2,6 +2,7 @@ package pneuma
 
 import (
 	"runtime"
+	"time"
 
 	"pneuma/internal/core"
 	"pneuma/internal/docdb"
@@ -120,13 +121,57 @@ func WithEf(n int) Option {
 	return func(s *settings) { s.cfg.Ef = n }
 }
 
-// WithSyncEvery makes BackendDisk fsync each shard's segment file after
-// every n appended records instead of only on flush/close, shrinking the
-// crash-loss window (including deletes that a crash would otherwise
-// resurrect) at the cost of ingest throughput. 0, the default, defers
-// durability to flush/close. BackendMemory ignores the knob.
+// WithSyncEvery enables group-commit durability for BackendDisk triggered
+// by pending record count: once n records have been appended to a shard
+// since its last fsync, the flusher syncs immediately. Concurrent writers
+// share each disk barrier, so this shrinks the crash-loss window
+// (including deletes that a crash would otherwise resurrect) without
+// paying one fsync per record. 0, the default, leaves the trigger unset.
+// BackendMemory ignores the knob. Prefer WithSyncBytes or
+// WithSyncInterval — a record count is a proxy for both volume and
+// latency and tracks neither well.
 func WithSyncEvery(n int) Option {
 	return func(s *settings) { s.cfg.SyncEvery = n }
+}
+
+// WithSyncBytes enables group-commit durability for BackendDisk triggered
+// by pending byte volume: once n bytes of records have been appended to a
+// shard since its last fsync, the flusher syncs immediately instead of
+// waiting out the latency bound. 0, the default, leaves the trigger
+// unset. BackendMemory ignores the knob.
+func WithSyncBytes(n int64) Option {
+	return func(s *settings) { s.cfg.SyncBytes = n }
+}
+
+// WithSyncInterval bounds how long an acknowledged BackendDisk write may
+// stay unsynced: the group-commit flusher fsyncs every shard with pending
+// records at most d after the first of them arrived, batching the window
+// into one fsync per shard. Setting any sync knob activates the flusher;
+// the bound defaults to 2ms when WithSyncEvery or WithSyncBytes is set
+// without one. 0, the default, leaves the bound unset. BackendMemory
+// ignores the knob.
+func WithSyncInterval(d time.Duration) Option {
+	return func(s *settings) { s.cfg.SyncInterval = d }
+}
+
+// WithQuantize toggles the table index's int8 speed tier (default off):
+// vector search traverses scalar-quantized int8 vectors — a quarter of
+// the memory bandwidth per distance — then rescores finalists with exact
+// float32 arithmetic, so returned scores and ordering stay full
+// precision. The graph itself is built from float32 either way, and an
+// existing disk index can be reopened with a different setting.
+func WithQuantize(on bool) Option {
+	return func(s *settings) { s.cfg.Quantize = on }
+}
+
+// WithMmap makes BackendDisk memory-map snapshot files on open instead of
+// reading them (default off): cold start skips the read-and-decode copy,
+// vector arenas page in on demand, and co-located processes share the
+// page cache. Results may alias the mapping, so documents returned by a
+// mmap-backed service must not be retained after Close. Ignored on
+// platforms without mmap support; BackendMemory ignores the knob.
+func WithMmap(on bool) Option {
+	return func(s *settings) { s.cfg.Mmap = on }
 }
 
 // WithCompactionRatio sets the dead-record fraction beyond which

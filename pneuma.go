@@ -3,6 +3,7 @@ package pneuma
 import (
 	"context"
 	"io"
+	"time"
 
 	"pneuma/internal/core"
 	"pneuma/internal/docdb"
@@ -110,14 +111,28 @@ type RetrieverKnobs struct {
 	// only, so an existing disk index may be reopened with a different
 	// value.
 	Ef int
-	// SyncEvery fsyncs BackendDisk segment files every n appended records
-	// instead of only on Flush/Close (0, the default, defers durability
-	// to Flush/Close).
+	// SyncEvery triggers a group-commit fsync once n BackendDisk records
+	// are pending (0, the default, defers durability to Flush/Close
+	// unless another sync knob is set).
 	SyncEvery int
+	// SyncBytes triggers a group-commit fsync once pending BackendDisk
+	// records reach n bytes (0 leaves the trigger unset).
+	SyncBytes int64
+	// SyncInterval bounds how long an acknowledged BackendDisk write may
+	// stay unsynced (0 leaves the bound unset; defaults to 2ms when
+	// SyncEvery or SyncBytes is set).
+	SyncInterval time.Duration
 	// CompactionRatio is the dead-record fraction that triggers a
 	// BackendDisk segment rewrite at Flush/Close (0 = the default 0.5;
 	// negative disables compaction).
 	CompactionRatio float64
+	// Quantize enables the int8 speed tier: query traversal on
+	// scalar-quantized vectors with exact float32 rescoring (default
+	// off).
+	Quantize bool
+	// Mmap makes BackendDisk snapshot loads memory-map the file instead
+	// of reading it (default off; ignored where unsupported).
+	Mmap bool
 }
 
 // NewRetrieverWith creates a hybrid retrieval index with explicit scaling
@@ -143,8 +158,20 @@ func NewRetrieverWith(k RetrieverKnobs) (*Retriever, error) {
 	if k.SyncEvery > 0 {
 		opts = append(opts, retriever.WithSyncEvery(k.SyncEvery))
 	}
+	if k.SyncBytes > 0 {
+		opts = append(opts, retriever.WithSyncBytes(k.SyncBytes))
+	}
+	if k.SyncInterval > 0 {
+		opts = append(opts, retriever.WithSyncInterval(k.SyncInterval))
+	}
 	if k.CompactionRatio != 0 {
 		opts = append(opts, retriever.WithCompactionRatio(k.CompactionRatio))
+	}
+	if k.Quantize {
+		opts = append(opts, retriever.WithQuantize(true))
+	}
+	if k.Mmap {
+		opts = append(opts, retriever.WithMmap(true))
 	}
 	return retriever.Open(opts...)
 }
