@@ -4,15 +4,17 @@ GO ?= go
 # (enforced by `make docs` via cmd/pneuma-doccheck).
 DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr .
 
-.PHONY: verify fmt-check vet tier1 race race-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke ingest-bench docs
+.PHONY: verify fmt-check vet tier1 race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet,
 # the documentation gate, the tier-1 build+test command from ROADMAP.md
 # (which includes the AllocsPerRun budget guards), short-mode smokes of
-# the retrieval benchmark pipeline, the disk cold-start pipeline and the
-# int8 speed tier, and a short-mode race pass over the concurrent serving
-# path (Service scheduler, cancellation fan-out, disk-backend sessions).
-verify: fmt-check vet tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke race-smoke
+# the retrieval benchmark pipeline, the disk cold-start pipeline, the
+# int8 speed tier and the mixed read/ingest workload, a short-mode race
+# pass over the concurrent serving path (Service scheduler, cancellation
+# fan-out, disk-backend sessions, the live-ingest churn soak), and a
+# 10-second fuzz pass over the binary decoders.
+verify: fmt-check vet tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke race-smoke fuzz-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -32,12 +34,23 @@ race:
 # race-smoke is the short-mode race gate wired into `make verify`: it
 # drives N concurrent sessions through one Service, cancels a Search
 # mid-fan-out, hammers a disk-backed index with concurrent
-# search/delete/flush (compaction included), and checks the
-# goroutine-leak guard — the serving paths a sequential test run never
-# stresses.
+# search/delete/flush (compaction included), runs the live-ingest churn
+# soak (readers pinned on epoch views while a mutator streams batched
+# adds/deletes/flushes, with quiesce parity against a sequential
+# replay), and checks the goroutine-leak guard — the serving paths a
+# sequential test run never stresses.
 race-smoke:
-	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled|TestDiskConcurrent' . ./internal/retriever/ ./internal/ir/
+	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled|TestDiskConcurrent|TestChurn' . ./internal/retriever/ ./internal/ir/
 	@echo "race-smoke: ok"
+
+# fuzz-smoke runs each native fuzz target for 10 seconds — long enough
+# to shake the mutator through the seed corpus's structural neighborhood
+# on every verify, short enough to keep the gate interactive. Go allows
+# one -fuzz pattern per invocation, so the targets run back to back.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzReader$$' -fuzztime 10s
+	$(GO) test ./internal/retriever/ -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s
+	@echo "fuzz-smoke: ok"
 
 # bench runs the retrieval micro-benchmarks with allocation reporting and
 # writes the machine-readable BENCH_retrieval.json perf report for the
@@ -87,6 +100,27 @@ bench-quant-smoke:
 		echo "bench-quant-smoke: recall@10 below 0.98:"; grep '"recall_at_10"' .bench-quant-smoke.json; rm -f .bench-quant-smoke.json; exit 1; }
 	@rm -f .bench-quant-smoke.json
 	@echo "bench-quant-smoke: ok"
+
+# bench-mixed measures query latency under a live ingest stream on the
+# 1k-table corpus — reader goroutines against readers + ingest-stream —
+# proving quiesce determinism along the way, and merges the
+# mixed_workload section into BENCH_retrieval.json. The acceptance bound
+# for live ingest: mixed p99 ≤ 2× the read-only p99 at this shape.
+bench-mixed:
+	$(GO) run ./cmd/pneuma-bench -mixed -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+
+# bench-mixed-smoke is the short-mode gate wired into `make verify`: a
+# tiny corpus proves the mixed read/ingest pipeline (including its
+# churned-vs-fresh parity check) runs end to end and emits the
+# mixed_workload section; percentile ratios at this size are noise, so
+# only the section's presence is enforced. The throwaway report is
+# removed afterwards.
+bench-mixed-smoke:
+	@$(GO) run ./cmd/pneuma-bench -mixed -tables 60 -rounds 2 -json .bench-mixed-smoke.json >/dev/null
+	@grep -q '"mixed_workload"' .bench-mixed-smoke.json || { \
+		echo "bench-mixed-smoke: missing mixed_workload section"; rm -f .bench-mixed-smoke.json; exit 1; }
+	@rm -f .bench-mixed-smoke.json
+	@echo "bench-mixed-smoke: ok"
 
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:

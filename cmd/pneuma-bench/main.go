@@ -63,6 +63,11 @@ func main() {
 	latency := flag.Bool("latency", false, "print only the latency trade-off")
 	ingest := flag.Bool("ingest", false, "benchmark sharded ingest throughput and retrieval latency")
 	cold := flag.Bool("cold", false, "benchmark disk-backend cold start: snapshot open vs replay rebuild")
+	mixed := flag.Bool("mixed", false, "benchmark query latency under a live ingest stream vs read-only")
+	readers := flag.Int("readers", 4, "reader goroutines for the -mixed workload")
+	ingestTables := flag.Int("ingest-tables", 0, "tables streamed during the -mixed phase (0 = corpus/4)")
+	think := flag.Duration("think", 5*time.Millisecond, "per-reader sleep between -mixed queries (closed loop with think time)")
+	ingestRate := flag.Float64("ingest-rate", 100, "offered -mixed stream rate in tables/sec (0 = unpaced bulk load)")
 	nTables := flag.Int("tables", 500, "synthetic corpus size for -ingest (-cold defaults to 1000)")
 	shards := flag.Int("shards", 0, "shard count for -ingest/-cold (0 = GOMAXPROCS-derived default)")
 	workers := flag.Int("workers", 0, "embedding workers for -ingest (0 = GOMAXPROCS)")
@@ -110,6 +115,26 @@ func main() {
 			indexDir: *indexDir,
 			jsonPath: *jsonPath,
 			baseline: *baselinePath,
+		})
+		return
+	}
+
+	if *mixed {
+		backend, err := retriever.ParseBackend(*backendName)
+		fail(err)
+		runMixedBench(ctx, mixedConfig{
+			tables:     *nTables,
+			shards:     *shards,
+			workers:    *workers,
+			backend:    backend,
+			indexDir:   *indexDir,
+			readers:    *readers,
+			ingestN:    *ingestTables,
+			ingestRate: *ingestRate,
+			rounds:     *rounds,
+			think:      *think,
+			jsonPath:   *jsonPath,
+			baseline:   *baselinePath,
 		})
 		return
 	}
@@ -373,6 +398,9 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 			if report.Quantized == nil && prev.Quantized != nil {
 				report.Quantized = prev.Quantized
 			}
+			if prev.Mixed != nil {
+				report.Mixed = prev.Mixed
+			}
 		}
 		fail(writeReport(cfg.jsonPath, report))
 		fmt.Printf("\nreport written to %s\n", cfg.jsonPath)
@@ -409,6 +437,10 @@ func runQuantSection(ctx context.Context, cfg ingestConfig, tables []*table.Tabl
 		_, err := quant.Search(bgCtx, q, k)
 		fail(err)
 	}
+	// Drain the ingest's garbage before timing: on a small machine a
+	// background mark phase left over from the bulk build lands on the
+	// tail percentiles of the measured loop otherwise.
+	runtime.GC()
 	lat := make([]time.Duration, 0, cfg.rounds*len(queries))
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pneuma/internal/kramabench"
+	"pneuma/internal/retriever"
+)
+
+// mixedConfig bundles the -mixed workload knobs.
+type mixedConfig struct {
+	tables     int
+	shards     int
+	workers    int
+	backend    retriever.Backend
+	indexDir   string
+	readers    int
+	ingestN    int
+	ingestRate float64 // offered tables/sec for the stream; 0 = unpaced
+	rounds     int
+	think      time.Duration
+	jsonPath   string
+	baseline   string
+}
+
+// runMixedBench measures what live ingest costs the read path: reader
+// goroutines run the canonical query mix against a pre-built index twice
+// — once with the index quiescent (the read-only baseline) and once while
+// an ingest stream concurrently adds fresh tables through the batched
+// write path. The epoch/RCU claim under test: queries never block on the
+// writers, so the p99 under ingest stays within a small factor of the
+// read-only p99 instead of degrading by lock-convoy multiples. After the
+// stream quiesces the run proves the determinism contract — the churned
+// index must answer exactly like a fresh memory build over the final
+// corpus — then writes a mixed_workload section into the -json report.
+//
+// Both sides of the workload are paced, which is what makes the
+// comparison meaningful. The readers are a closed loop with think time
+// (the YCSB convention), identical in both phases: each reader sleeps
+// -think between queries, so the pool models N sessions at a realistic
+// duty cycle instead of saturating every core with its own queries. The
+// ingest stream is offered at a fixed -ingest-rate so the mixed phase is
+// a steady state rather than a bulk load; an unpaced stream (-ingest-rate
+// 0) measures "queries during a bulk import" instead, which on a small
+// machine is dominated by the import's GC and run-queue pressure, not by
+// anything the read path does. The knobs land in the JSON section so a
+// report is comparable only against its own shape.
+func runMixedBench(ctx context.Context, cfg mixedConfig) {
+	if cfg.rounds < 1 {
+		cfg.rounds = 1
+	}
+	if cfg.readers < 1 {
+		cfg.readers = 4
+	}
+	if cfg.ingestN <= 0 {
+		cfg.ingestN = cfg.tables / 4
+		if cfg.ingestN < 1 {
+			cfg.ingestN = 1
+		}
+	}
+	if cfg.think < 0 {
+		cfg.think = 0
+	}
+	n := cfg.tables
+	corpus := kramabench.SyntheticSlice(n + cfg.ingestN)
+	base, stream := corpus[:n], corpus[n:]
+
+	opts := []retriever.Option{retriever.WithBackend(cfg.backend)}
+	if cfg.shards > 0 {
+		opts = append(opts, retriever.WithShards(cfg.shards))
+	}
+	if cfg.workers > 0 {
+		opts = append(opts, retriever.WithWorkers(cfg.workers))
+	}
+	if cfg.indexDir != "" {
+		opts = append(opts, retriever.WithDir(cfg.indexDir))
+	}
+	r, err := retriever.Open(opts...)
+	fail(err)
+	defer r.Close()
+	if r.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "pneuma-bench: index dir %s already holds %d documents; point -index-dir at a fresh directory\n",
+			r.Dir(), r.Len())
+		os.Exit(2)
+	}
+	fail(r.IndexTables(ctx, base))
+
+	queries := kramabench.RetrievalQueries()
+	const k = 10
+	fmt.Printf("Mixed workload benchmark: %d base tables + %d streamed (%s backend, %d shards, %d readers)\n\n",
+		n, cfg.ingestN, cfg.backend, r.NumShards(), cfg.readers)
+
+	// Warm up the scratch pools so both phases see steady state.
+	for _, q := range queries {
+		_, err := r.Search(ctx, q, k)
+		fail(err)
+	}
+
+	// Phase 1, read-only baseline: the same reader pool as the mixed
+	// phase (contention among readers is part of the baseline, only the
+	// writer is absent), a fixed number of rounds each. The forced
+	// collection keeps the bulk build's garbage from being collected in
+	// the middle of the measurement window — each phase starts from a
+	// clean heap and pays only for its own allocation.
+	runtime.GC()
+	readOnly := runReaders(r, queries, k, cfg.readers, cfg.think, func(stop func()) {
+		stop() // no writer: readers run exactly their fixed rounds
+	}, cfg.rounds)
+	runtime.GC()
+
+	// Phase 2, mixed: the ingest stream defines the measurement window —
+	// readers hammer the index from the moment the stream starts until it
+	// has fully landed, so every recorded latency raced a writer.
+	const batch = 8
+	var ingestDur time.Duration
+	mixed := runReaders(r, queries, k, cfg.readers, cfg.think, func(stop func()) {
+		defer stop()
+		start := time.Now()
+		for off := 0; off < cfg.ingestN; off += batch {
+			end := off + batch
+			if end > cfg.ingestN {
+				end = cfg.ingestN
+			}
+			if cfg.ingestRate > 0 {
+				// Offered-rate pacing: batch off/batch is due at its
+				// schedule slot; sleep off any lead. A stream that falls
+				// behind just runs flat out until it catches up.
+				due := start.Add(time.Duration(float64(off) / cfg.ingestRate * float64(time.Second)))
+				if lead := time.Until(due); lead > 0 {
+					time.Sleep(lead)
+				}
+			}
+			fail(r.IndexTables(ctx, stream[off:end]))
+		}
+		ingestDur = time.Since(start)
+	}, 0)
+
+	if got, want := r.Len(), n+cfg.ingestN; got != want {
+		fmt.Fprintf(os.Stderr, "pneuma-bench: Len = %d after stream, want %d\n", got, want)
+		os.Exit(1)
+	}
+	// Determinism at quiesce: the index that served under churn must
+	// answer exactly like a fresh memory build over the final corpus.
+	fresh := retriever.New(retriever.WithShards(r.NumShards()))
+	defer fresh.Close()
+	fail(fresh.IndexTables(ctx, corpus))
+	churned := collect(ctx, r, queries, k)
+	rebuilt := collect(ctx, fresh, queries, k)
+	for qi, q := range queries {
+		assertParity(q, "churned-vs-fresh", churned[qi], rebuilt[qi])
+	}
+
+	ingestRate := float64(cfg.ingestN) / ingestDur.Seconds()
+	ratio := mixed.p99.Seconds() / readOnly.p99.Seconds()
+	fmt.Printf("  read-only: p50 %v   p99 %v   (%d queries)\n",
+		readOnly.p50.Round(time.Microsecond), readOnly.p99.Round(time.Microsecond), readOnly.count)
+	fmt.Printf("  mixed:     p50 %v   p99 %v   (%d queries during ingest)\n",
+		mixed.p50.Round(time.Microsecond), mixed.p99.Round(time.Microsecond), mixed.count)
+	fmt.Printf("  ingest: %d tables in %v  (%.0f tables/sec)\n",
+		cfg.ingestN, ingestDur.Round(time.Millisecond), ingestRate)
+	fmt.Printf("  p99 under ingest / read-only p99: %.2fx\n", ratio)
+	fmt.Printf("  parity: churned == fresh rebuild over %d queries ✓\n", len(queries))
+
+	section := &mixedStats{
+		Readers:            cfg.readers,
+		ThinkMillis:        float64(cfg.think) / float64(time.Millisecond),
+		IngestTables:       cfg.ingestN,
+		IngestOfferedRate:  cfg.ingestRate,
+		IngestTablesPerSec: ingestRate,
+		ReadOnlyP50Micros:  float64(readOnly.p50) / float64(time.Microsecond),
+		ReadOnlyP99Micros:  float64(readOnly.p99) / float64(time.Microsecond),
+		MixedP50Micros:     float64(mixed.p50) / float64(time.Microsecond),
+		MixedP99Micros:     float64(mixed.p99) / float64(time.Microsecond),
+		P99Ratio:           ratio,
+	}
+	if cfg.baseline != "" {
+		old, err := loadReport(cfg.baseline)
+		fail(err)
+		if old.Mixed != nil {
+			fmt.Println()
+			compareMixed(old.Mixed, section)
+		}
+	}
+	if cfg.jsonPath != "" {
+		// Merge: keep the sections the other modes recorded in the report.
+		report, err := loadReport(cfg.jsonPath)
+		if err != nil {
+			report = benchReport{Corpus: n, Shards: r.NumShards(), Backend: string(cfg.backend)}
+		}
+		report.GeneratedAt = nowStamp()
+		report.Mixed = section
+		fail(writeReport(cfg.jsonPath, report))
+		fmt.Printf("\nmixed_workload section written to %s\n", cfg.jsonPath)
+	}
+}
+
+// latSummary is one phase's merged latency distribution.
+type latSummary struct {
+	count    int
+	p50, p99 time.Duration
+}
+
+// runReaders runs nReaders goroutines over the query mix and returns the
+// merged latency percentiles. The writer callback runs concurrently on
+// the bench goroutine; readers stop when it calls stop (after at least
+// one full round each). rounds > 0 additionally caps each reader at that
+// many rounds — the read-only phase uses the cap, the mixed phase runs
+// until the ingest stream quiesces. Each reader sleeps think between
+// queries (closed loop with think time), so the offered load is the same
+// in both phases and the recorded numbers are service latency, not
+// queueing behind the pool's own saturation.
+func runReaders(r *retriever.Retriever, queries []string, k, nReaders int, think time.Duration, writer func(stop func()), rounds int) latSummary {
+	ctx := context.Background()
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+
+	lats := make([][]time.Duration, nReaders)
+	var wg sync.WaitGroup
+	for g := 0; g < nReaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, 4096)
+			for round := 0; ; round++ {
+				if rounds > 0 && round >= rounds {
+					break
+				}
+				if round > 0 && rounds <= 0 {
+					select {
+					case <-done:
+						lats[g] = mine
+						return
+					default:
+					}
+				}
+				for _, q := range queries {
+					qs := time.Now()
+					if _, err := r.Search(ctx, q, k); err != nil {
+						fail(err)
+					}
+					mine = append(mine, time.Since(qs))
+					if think > 0 {
+						time.Sleep(think)
+					}
+				}
+			}
+			lats[g] = mine
+		}(g)
+	}
+	writer(stop)
+	wg.Wait()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p := func(q float64) time.Duration { return all[int(q*float64(len(all)-1))] }
+	return latSummary{count: len(all), p50: p(0.50), p99: p(0.99)}
+}
+
+// compareMixed prints the old-vs-new rows for the mixed_workload section.
+func compareMixed(old, cur *mixedStats) {
+	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	row := func(name string, o, n float64, higherIsBetter bool) {
+		fmt.Printf("%-28s %12.1f %12.1f %9s\n", name, o, n, deltaPct(o, n, higherIsBetter))
+	}
+	row("mixed ingest (tables/sec)", old.IngestTablesPerSec, cur.IngestTablesPerSec, true)
+	row("read-only p99 (µs)", old.ReadOnlyP99Micros, cur.ReadOnlyP99Micros, false)
+	row("mixed p99 (µs)", old.MixedP99Micros, cur.MixedP99Micros, false)
+	row("p99 ratio (mixed/ro)", old.P99Ratio, cur.P99Ratio, false)
+}

@@ -23,7 +23,33 @@ type benchReport struct {
 	Query       queryStats      `json:"query"`
 	Quantized   *quantStats     `json:"quantized,omitempty"`
 	ColdStart   *coldStartStats `json:"cold_start,omitempty"`
+	Mixed       *mixedStats     `json:"mixed_workload,omitempty"`
 	Baseline    *benchReport    `json:"baseline,omitempty"`
+}
+
+// mixedStats is the live-ingest serving record written by the -mixed
+// mode: query latency with the index quiescent versus while an ingest
+// stream runs, the stream's throughput, and the p99 ratio between the
+// two phases — the headline number for "ingest never blocks reads".
+type mixedStats struct {
+	Readers int `json:"readers"`
+	// ThinkMillis is the per-reader sleep between queries: the pool is a
+	// closed loop with think time, so both phases offer the same load and
+	// the percentiles measure service latency under ingest rather than
+	// the pool queueing behind its own saturation.
+	ThinkMillis  float64 `json:"think_ms"`
+	IngestTables int     `json:"ingest_tables"`
+	// IngestOfferedRate is the paced stream rate in tables/sec (0 when the
+	// stream ran unpaced); IngestTablesPerSec is what the stream achieved.
+	IngestOfferedRate  float64 `json:"ingest_offered_rate,omitempty"`
+	IngestTablesPerSec float64 `json:"ingest_tables_per_sec"`
+	ReadOnlyP50Micros  float64 `json:"readonly_p50_us"`
+	ReadOnlyP99Micros  float64 `json:"readonly_p99_us"`
+	MixedP50Micros     float64 `json:"mixed_p50_us"`
+	MixedP99Micros     float64 `json:"mixed_p99_us"`
+	// P99Ratio is MixedP99Micros / ReadOnlyP99Micros; the acceptance bound
+	// for the live-ingest work is ≤ 2.0 on the 1k-table corpus.
+	P99Ratio float64 `json:"p99_ratio"`
 }
 
 // quantStats is the int8 speed tier's cost/accuracy record, written by

@@ -50,7 +50,12 @@ func TestLiveDocFreqTracking(t *testing.T) {
 	ix.Add("c", "river basin")
 	check := func(term string, want int) {
 		t.Helper()
-		if got := ix.df[term]; got != want {
+		v := ix.view.Load()
+		got := 0
+		if slot, ok := v.termSlot(term); ok {
+			got = int(v.df[slot])
+		}
+		if got != want {
 			t.Fatalf("df[%q] = %d, want %d", term, got, want)
 		}
 	}

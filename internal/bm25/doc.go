@@ -36,6 +36,23 @@
 // GC cycle may drop the pooled scratch, so the first query after a
 // collection re-grows it.
 //
+// # Lock-free reads under mutation
+//
+// Queries never take the writer lock: all read-path state lives in an
+// immutable view published behind one atomic pointer, which Search pins
+// with a single load (the same epoch/RCU discipline as package hnsw —
+// see its doc.go for the lifecycle). Writers, serialized by a mutex
+// readers never touch, open a batch as a shallow copy of the view and
+// publish it in one atomic swap. A batch's cost is O(its documents),
+// not O(the index): the term→slot table is an insert-only sync.Map
+// shared by every view of a slot lineage (each view bounds lookups by
+// its own slot count, so later batches' terms stay invisible to it),
+// and posting lists grow behind stable per-term atomically published
+// headers, trimmed per view by document index — postings are appended
+// in document order, so a view's visible postings are exactly the
+// prefix inside its own document table. Only slot-reassigning rebuilds
+// (Compact, a snapshot restore) start a fresh lineage.
+//
 // # Serialization
 //
 // WriteTo/ReadFrom serialize the index state as one binary section: the

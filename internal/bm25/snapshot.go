@@ -18,17 +18,22 @@ import (
 // tens of thousands of list growths. Terms are written in sorted order,
 // making the serialized bytes deterministic for a fixed index state.
 //
+// Serialization runs against the view current at call time, concurrent
+// with readers and without blocking writers; callers that need a
+// particular quiesce point (the retriever's snapshot writer) serialize
+// their own writers around the call.
+//
 // The shared corpus Stats object (NewWithStats) is not serialized: its
 // updates are commutative, so each restored shard re-contributes its live
 // documents' aggregate on ReadFrom and the shared totals converge to the
 // same values regardless of shard restore order.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	v := ix.view.Load()
 
 	var body wire.Writer
-	body.Uvarint(uint64(len(ix.docs)))
-	for _, d := range ix.docs {
+	body.Uvarint(uint64(len(v.docs)))
+	for i := range v.docs {
+		d := &v.docs[i]
 		body.String(d.id)
 		body.Uvarint(uint64(d.length))
 		if d.deleted {
@@ -38,18 +43,27 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 		body.Uvarint(uint64(len(d.tf)))
 	}
-	terms := make([]string, 0, len(ix.postings))
+	// The term table is shared with newer views; forEach bounds the walk
+	// to this view's slots, so terms interned by concurrent writer batches
+	// never leak into the section.
+	terms := make([]string, 0, len(v.plists))
+	slots := make(map[string]int32, len(v.plists))
 	total := 0
-	for t, plist := range ix.postings {
+	v.terms.forEach(len(v.plists), func(t string, slot int32) {
 		terms = append(terms, t)
-		total += len(plist)
-	}
+		slots[t] = slot
+		// v.postings trims to the view's document range, so postings
+		// appended by concurrent writer batches never leak into the
+		// section — and the trim bound is fixed by the view, so this
+		// count and the emission pass below see identical prefixes.
+		total += len(v.postings(slot))
+	})
 	sort.Strings(terms)
 	body.Uvarint(uint64(len(terms)))
 	body.Uvarint(uint64(total))
 	for _, t := range terms {
 		body.String(t)
-		plist := ix.postings[t]
+		plist := v.postings(slots[t])
 		body.Uvarint(uint64(len(plist)))
 		for _, p := range plist {
 			body.Uvarint(uint64(p.doc))
@@ -71,7 +85,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // ReadFrom restores state serialized by WriteTo into an empty index,
 // implementing io.ReaderFrom. Posting lists are rebuilt as capacity-
 // limited windows into a single arena (a later Add copies-on-append, so
-// the windows stay immutable), the per-document term-frequency maps that
+// the windows stay immutable), the per-document term-frequency slices that
 // Delete needs are reconstituted from the postings, and the live
 // document-frequency counters fall out of the same pass. When a shared
 // Stats object is attached, the restored live documents' aggregate —
@@ -82,7 +96,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if len(ix.docs) != 0 {
+	if len(ix.view.Load().docs) != 0 {
 		return 0, fmt.Errorf("bm25: ReadFrom into non-empty index")
 	}
 
@@ -115,7 +129,7 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 func (ix *Index) ReadFromShared(rd *wire.Reader) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if len(ix.docs) != 0 {
+	if len(ix.view.Load().docs) != 0 {
 		return fmt.Errorf("bm25: ReadFrom into non-empty index")
 	}
 	size := int(rd.Uvarint())
@@ -126,10 +140,11 @@ func (ix *Index) ReadFromShared(rd *wire.Reader) error {
 	return ix.readBody(sec)
 }
 
-// readBody parses a WriteTo section body and commits it into the (empty,
-// locked) index. The reader must span exactly the section body and be in
-// shared mode: strings are retained as decoded.
+// readBody parses a WriteTo section body and commits it by publishing a
+// fresh view (mu held, index empty). The reader must span exactly the
+// section body and be in shared mode: strings are retained as decoded.
 func (ix *Index) readBody(rd *wire.Reader) error {
+	cur := ix.view.Load()
 	secLen := rd.Remaining()
 	ndocs := int(rd.Uvarint())
 	// Every document costs at least a few bytes, so a count exceeding the
@@ -161,11 +176,18 @@ func (ix *Index) readBody(rd *wire.Reader) error {
 	if int(offs[ndocs]) != total {
 		return fmt.Errorf("bm25: snapshot section: %d per-doc terms vs %d postings", offs[ndocs], total)
 	}
-	postings := make(map[string][]posting, nterms)
+	// A restore assigns slots from scratch, so it starts a fresh term-table
+	// lineage rather than reusing the empty index's table.
+	terms := newTermTable()
+	plists := make([]*termPostings, 0, nterms)
 	// The live document-frequency aggregate accumulates as a slice (terms
-	// arrive sorted); whether it becomes a local df map, a shared-Stats
+	// arrive sorted); whether it becomes a local df slice, a shared-Stats
 	// contribution or a parked pending aggregate is decided at commit.
 	agg := make([]termFreq, 0, nterms)
+	var df []int32
+	if cur.stats == nil && !ix.deferStats {
+		df = make([]int32, 0, nterms)
+	}
 	arena := make([]posting, 0, total)
 	tfArena := make([]termFreq, total)
 	fill := make([]int32, ndocs)
@@ -195,7 +217,14 @@ func (ix *Index) readBody(rd *wire.Reader) error {
 		}
 		// Capacity-limited window: appending to this term's list later
 		// reallocates instead of stomping the next term's postings.
-		postings[term] = arena[start:len(arena):len(arena)]
+		terms.intern(term, int32(len(plists)))
+		tp := &termPostings{}
+		window := arena[start:len(arena):len(arena)]
+		tp.data.Store(&window)
+		plists = append(plists, tp)
+		if df != nil {
+			df = append(df, int32(live))
+		}
 		if live > 0 {
 			agg = append(agg, termFreq{term: term, tf: live})
 		}
@@ -210,41 +239,37 @@ func (ix *Index) readBody(rd *wire.Reader) error {
 		docs[i].tf = tfArena[offs[i]:offs[i+1]:offs[i+1]]
 	}
 
-	// Commit.
-	ix.docs = docs
-	ix.postings = postings
+	// Commit: build the restored view and publish it in one swap.
+	v := &lexView{terms: terms, plists: plists, docs: docs, df: df, stats: cur.stats}
+	byID := make(map[string]int, ndocs)
 	for slot := range docs {
 		d := &docs[slot]
 		if d.deleted {
 			continue
 		}
-		ix.byID[d.id] = slot
-		ix.totalLen += d.length
-		ix.liveDocs++
+		byID[d.id] = slot
+		v.totalLen += d.length
+		v.liveDocs++
 	}
+	ix.byID = byID
 	switch {
-	case ix.stats != nil:
-		ix.stats.addAggregate(agg, ix.liveDocs, ix.totalLen)
+	case v.stats != nil:
+		v.stats.addAggregate(agg, v.liveDocs, v.totalLen)
 	case ix.deferStats:
 		ix.pendingAgg = agg
-	default:
-		df := make(map[string]int, len(agg))
-		for _, e := range agg {
-			df[e.term] = e.tf
-		}
-		ix.df = df
 	}
+	ix.view.Store(v)
 	return nil
 }
 
 // DeferStats marks an empty index for a two-phase restore: a following
 // ReadFrom parks the live document-frequency aggregate instead of
-// materializing the local df map, and AttachStats later folds it straight
-// into the shared Stats object. The index scores no results until
+// materializing the local df slice, and AttachStats later folds it
+// straight into the shared Stats object. The index scores no results until
 // AttachStats is called (it has neither local nor shared statistics); the
 // snapshot loader uses this to both defer shared-state mutation until the
-// whole snapshot validates and to skip building a throwaway map per
-// shard.
+// whole snapshot validates and to skip building throwaway local counters
+// per shard.
 func (ix *Index) DeferStats() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -266,65 +291,93 @@ func (ix *Index) AttachStats(st *Stats) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if ix.stats != nil {
+	cur := ix.view.Load()
+	if cur.stats != nil {
 		return
 	}
 	if ix.pendingAgg != nil {
 		// Deferred restore: the parked aggregate folds straight in.
-		st.addAggregate(ix.pendingAgg, ix.liveDocs, ix.totalLen)
+		st.addAggregate(ix.pendingAgg, cur.liveDocs, cur.totalLen)
 		ix.pendingAgg = nil
 	} else {
-		// The local df map is by construction exactly the live documents'
-		// per-term aggregate, so it folds into the shared totals in one
-		// pass.
-		agg := make([]termFreq, 0, len(ix.df))
-		for term, n := range ix.df {
-			agg = append(agg, termFreq{term: term, tf: n})
-		}
-		st.addAggregate(agg, ix.liveDocs, ix.totalLen)
+		// The local df slice is by construction exactly the live
+		// documents' per-term aggregate, so it folds into the shared
+		// totals in one pass.
+		agg := make([]termFreq, 0, len(cur.df))
+		cur.terms.forEach(len(cur.plists), func(term string, slot int32) {
+			if n := cur.df[slot]; n > 0 {
+				agg = append(agg, termFreq{term: term, tf: int(n)})
+			}
+		})
+		st.addAggregate(agg, cur.liveDocs, cur.totalLen)
 	}
-	ix.stats = st
-	ix.df = nil
+	v := *cur
+	v.stats = st
+	v.df = nil
 	ix.deferStats = false
+	ix.view.Store(&v)
 }
 
-// Compact returns a new index holding only the live documents, in their
-// original relative order, scoring against the same shared Stats object
-// (which is left untouched: the live documents' contributions are
+// Compact rebuilds the index in place to hold only the live documents, in
+// their original relative order, scoring against the same shared Stats
+// object (which is left untouched: the live documents' contributions are
 // identical before and after). The result is exactly the index that
 // re-adding the surviving documents to a fresh NewWithStats index would
 // build — the state segment compaction needs after rewriting a log to its
-// live records. The term-frequency maps are shared with the receiver, so
-// the receiver must be discarded after compacting.
-func (ix *Index) Compact() *Index {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := &Index{
-		params:   ix.params,
-		postings: make(map[string][]posting),
-		byID:     make(map[string]int, ix.liveDocs),
-		stats:    ix.stats,
+// live records. Readers are never blocked: they keep serving from the old
+// view until the rebuilt one is published with one atomic swap. The
+// term-frequency slices are shared with the old view (both are
+// immutable).
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	old := ix.view.Load()
+	ix.batch++
+	// Compaction reassigns slots, so it starts a fresh term-table lineage;
+	// readers still on the old view keep the old table, whose slots keep
+	// their old meaning.
+	v := &lexView{terms: newTermTable(), stats: old.stats}
+	if old.stats == nil {
+		v.df = []int32{}
 	}
-	if ix.stats == nil {
-		out.df = make(map[string]int)
-	}
-	for _, d := range ix.docs {
+	byID := make(map[string]int, old.liveDocs)
+	// Lists accumulate as plain slices (the fresh table means every lookup
+	// hit is in range) and are wrapped in their atomic headers only once,
+	// at the end — nothing reads the rebuilt view before the publish swap.
+	var lists [][]posting
+	for i := range old.docs {
+		d := &old.docs[i]
 		if d.deleted {
 			continue
 		}
-		slot := len(out.docs)
-		out.docs = append(out.docs, docInfo{id: d.id, length: d.length, tf: d.tf})
-		out.byID[d.id] = slot
-		out.totalLen += d.length
-		out.liveDocs++
+		slot := len(v.docs)
+		v.docs = append(v.docs, docInfo{id: d.id, length: d.length, tf: d.tf})
+		byID[d.id] = slot
+		v.totalLen += d.length
+		v.liveDocs++
 		for _, e := range d.tf {
-			out.postings[e.term] = append(out.postings[e.term], posting{doc: slot, tf: e.tf})
-		}
-		if out.df != nil {
-			for _, e := range d.tf {
-				out.df[e.term]++
+			ts, ok := v.terms.lookup(e.term)
+			if !ok {
+				ts = int32(len(lists))
+				v.terms.intern(e.term, ts)
+				lists = append(lists, nil)
+				if v.df != nil {
+					v.df = append(v.df, 0)
+				}
+			}
+			lists[ts] = append(lists[ts], posting{doc: slot, tf: e.tf})
+			if v.df != nil {
+				v.df[ts]++
 			}
 		}
 	}
-	return out
+	v.plists = make([]*termPostings, len(lists))
+	for i := range lists {
+		tp := &termPostings{}
+		l := lists[i]
+		tp.data.Store(&l)
+		v.plists[i] = tp
+	}
+	ix.byID = byID
+	ix.view.Store(v)
 }

@@ -135,7 +135,7 @@ func TestSnapshotErrorsBM25(t *testing.T) {
 	}
 }
 
-// TestCompact verifies the compaction copy: identical search results,
+// TestCompact verifies the in-place compaction: identical search results,
 // live-only document table, and untouched shared statistics.
 func TestCompact(t *testing.T) {
 	st := NewStats()
@@ -147,16 +147,38 @@ func TestCompact(t *testing.T) {
 		ix.Delete(fmt.Sprintf("d%03d", i*2))
 	}
 	beforeDocs, beforeLen := st.DocCount(), st.AvgDocLen()
+	liveBefore := ix.Len()
+	queries := []string{"rainfall station readings", "freight manifest", "potassium",
+		"shared vocabulary terms", "turbine warehouse"}
+	before := make([][]Result, len(queries))
+	for i, q := range queries {
+		before[i] = ix.Search(q, 10)
+	}
 
-	compacted := ix.Compact()
+	ix.Compact()
 	if st.DocCount() != beforeDocs || st.AvgDocLen() != beforeLen {
 		t.Fatal("Compact mutated the shared stats")
 	}
-	if compacted.Len() != ix.Len() {
-		t.Fatalf("compacted Len = %d, want %d", compacted.Len(), ix.Len())
+	if ix.Len() != liveBefore {
+		t.Fatalf("compacted Len = %d, want %d", ix.Len(), liveBefore)
 	}
-	if len(compacted.docs) != compacted.Len() {
-		t.Fatalf("compacted doc table has %d slots for %d live docs", len(compacted.docs), compacted.Len())
+	if v := ix.view.Load(); len(v.docs) != liveBefore {
+		t.Fatalf("compacted doc table has %d slots for %d live docs", len(v.docs), liveBefore)
 	}
-	assertSameSearch(t, ix, compacted)
+	for i, q := range queries {
+		after := ix.Search(q, 10)
+		if len(after) != len(before[i]) {
+			t.Fatalf("%q: %d vs %d results after compaction", q, len(before[i]), len(after))
+		}
+		for j := range after {
+			if after[j] != before[i][j] {
+				t.Fatalf("%q rank %d: %+v vs %+v after compaction", q, j, before[i][j], after[j])
+			}
+		}
+	}
+	// Compaction must stay transparent to later mutations too.
+	ix.Add("d900", "fresh turbine output readings after compaction")
+	if res := ix.Search("turbine output", 5); len(res) == 0 {
+		t.Fatal("post-compaction add not searchable")
+	}
 }

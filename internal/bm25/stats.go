@@ -102,3 +102,23 @@ func (s *Stats) DocFreq(term string) int {
 	defer s.mu.RUnlock()
 	return s.df[term]
 }
+
+// QueryStats snapshots everything one query needs — the corpus document
+// count, the average document length, and the document frequency of every
+// term in terms (written into df, which must have len(terms)) — under a
+// single lock acquisition. Scoring a query from one coherent snapshot
+// instead of per-term DocFreq calls both shortens the read-side critical
+// sections under concurrent ingest and keeps all of a query's frequencies
+// from one quiesce point.
+func (s *Stats) QueryStats(terms []string, df []int32) (docCount int, avgDocLen float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, t := range terms {
+		df[i] = int32(s.df[t])
+	}
+	avgDocLen = 1
+	if s.docCount > 0 && s.totalLen > 0 {
+		avgDocLen = float64(s.totalLen) / float64(s.docCount)
+	}
+	return s.docCount, avgDocLen
+}

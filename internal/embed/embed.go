@@ -163,6 +163,11 @@ func forEachParallel(ctx context.Context, n, workers int, fn func(i int)) error 
 				return err
 			}
 			fn(i)
+			// Yield between items so a bulk embed never monopolizes the
+			// scheduler against latency-sensitive goroutines (the same
+			// reads-first pacing the index writers use); when nothing else
+			// is runnable this costs ~100ns per item.
+			runtime.Gosched()
 		}
 		return nil
 	}
@@ -174,6 +179,7 @@ func forEachParallel(ctx context.Context, n, workers int, fn func(i int)) error 
 			defer wg.Done()
 			for i := range idx {
 				fn(i)
+				runtime.Gosched() // reads-first pacing, as in the sequential path
 			}
 		}()
 	}

@@ -38,6 +38,42 @@
 //     possibly against other Index instances sharing the pool — compare
 //     unequal. On uint32 epoch wrap-around the array is zeroed once.
 //
+// # Epoch lifecycle: the RCU read path
+//
+// The index serves reads and writes concurrently without reader locks.
+// All read-path state lives in an immutable graph value published behind
+// one atomic pointer; Search, Len, ForEachLive and AppendSnapshot load it
+// once and use it unlocked for the whole operation. Writers (serialized
+// by a mutex readers never touch) open a batch as a shallow copy of the
+// published view, clone only what the batch mutates, and publish the
+// draft in a single atomic swap. Consequences worth knowing:
+//
+//   - A reader observes the index exactly as of some publish — batches
+//     become visible atomically, never partially. Two loads of the view
+//     may differ; one operation's single load is always self-consistent.
+//   - Superseded views are retired by the garbage collector when their
+//     last reader drains. There is no epoch counter to advance and no
+//     grace period to wait out — the Go GC is the reclamation mechanism,
+//     which is what makes the scheme safe to expose to arbitrary
+//     callers.
+//   - Append-only arrays (the vector arena, IDs, levels, norms) are
+//     shared between the draft and published views: the draft appends
+//     past the published length, possibly in place when spare capacity
+//     allows. This is sound because a published view never indexes
+//     beyond its own length and slots below it are never rewritten;
+//     anything mutated in place (adjacency lists, tombstones) is cloned
+//     into the draft first, at most once per batch.
+//   - A batch's mutation cost is therefore borne entirely by the writer;
+//     what a batch can still cost concurrent readers is the scheduler.
+//     AddBatch and Compact yield between inserts (reads-first pacing) so
+//     on a saturated machine reader tail latency is bounded by one
+//     insert's work — bulk ingest slows down before query p99 does. On
+//     an idle machine the yields are nanoseconds.
+//   - Nothing returned to a caller aliases the published arrays (results
+//     are copied out), so callers cannot extend a view's lifetime by
+//     accident — with the one exception of the mmap'd-snapshot aliasing
+//     documented below.
+//
 // # Int8 speed tier (Config.Quantize)
 //
 // With Quantize on, Add additionally stores a scalar-quantized copy of

@@ -21,7 +21,7 @@ const DefaultRescoreFactor = 4
 // spreads the vector's own value range across the full int8 range. The
 // dot product of two quantized vectors then expands to
 //
-//	dot(a,b) ≈ sa·sb·Σqa·qb + sa·oa'…  (see qdistLocked)
+//	dot(a,b) ≈ sa·sb·Σqa·qb + sa·oa'…  (see graph.qdist)
 //
 // where the only O(dim) term, Σ qa[i]·qb[i], is the int32 DotInt8 kernel;
 // Σ q[i] is precomputed per vector at Add time. Squared L2 distance is
@@ -68,43 +68,37 @@ func quantizeVec(dst []int8, v []float32) (scale, off float32, sum int32) {
 	return scale, off, sum
 }
 
-// appendQuantizedLocked quantizes the newest arena slot (which must
+// appendQuantized quantizes the newest arena slot of the draft (which must
 // already hold vec) into the int8 arenas, keeping them slot-parallel with
-// the float32 arena.
-func (ix *Index) appendQuantizedLocked(vec []float32) {
-	n := len(ix.qvecs)
-	ix.qvecs = append(ix.qvecs, make([]int8, ix.dim)...)
-	scale, off, sum := quantizeVec(ix.qvecs[n:n+ix.dim], vec)
-	ix.qscale = append(ix.qscale, scale)
-	ix.qoff = append(ix.qoff, off)
-	ix.qsum = append(ix.qsum, sum)
+// the float32 arena. Writer-batch only: the appends grow the draft's
+// arenas past the published length, which readers never touch.
+func appendQuantized(g *graph, vec []float32) {
+	n := len(g.qvecs)
+	g.qvecs = append(g.qvecs, make([]int8, g.dim)...)
+	scale, off, sum := quantizeVec(g.qvecs[n:n+g.dim], vec)
+	g.qscale = append(g.qscale, scale)
+	g.qoff = append(g.qoff, off)
+	g.qsum = append(g.qsum, sum)
 }
 
-// requantizeLocked rebuilds the int8 arenas from the float32 arena — used
-// when a snapshot without quantized sections is loaded into an index with
-// Quantize on. Tombstoned slots are quantized too: traversal routes
-// through them.
-func (ix *Index) requantizeLocked() {
-	n := len(ix.ids)
-	ix.qvecs = make([]int8, n*ix.dim)
-	ix.qscale = make([]float32, n)
-	ix.qoff = make([]float32, n)
-	ix.qsum = make([]int32, n)
+// requantize rebuilds the int8 arenas of a not-yet-published draft from
+// its float32 arena — used when a snapshot without quantized sections is
+// loaded into an index with Quantize on. Tombstoned slots are quantized
+// too: traversal routes through them.
+func requantize(g *graph) {
+	n := len(g.ids)
+	g.qvecs = make([]int8, n*g.dim)
+	g.qscale = make([]float32, n)
+	g.qoff = make([]float32, n)
+	g.qsum = make([]int32, n)
 	for i := 0; i < n; i++ {
-		ix.qscale[i], ix.qoff[i], ix.qsum[i] = quantizeVec(ix.qvecs[i*ix.dim:(i+1)*ix.dim], ix.vecAt(i))
+		g.qscale[i], g.qoff[i], g.qsum[i] = quantizeVec(g.qvecs[i*g.dim:(i+1)*g.dim], g.vecAt(i))
 	}
 }
 
-// quantizedLocked reports whether the int8 arenas cover every slot (they
-// always do when Quantize is on; the check guards against a future
-// partial-load bug turning into silent garbage scores).
-func (ix *Index) quantizedLocked() bool {
-	return ix.cfg.Quantize && len(ix.qsum) == len(ix.ids)
-}
-
 // qvecAt returns slot i's int8 codes.
-func (ix *Index) qvecAt(i int) []int8 {
-	return ix.qvecs[i*ix.dim : (i+1)*ix.dim]
+func (g *graph) qvecAt(i int) []int8 {
+	return g.qvecs[i*g.dim : (i+1)*g.dim]
 }
 
 // ArenaBytes reports the byte sizes of the float32 vector arena and of the
@@ -112,10 +106,9 @@ func (ix *Index) qvecAt(i int) []int8 {
 // value is 0 when quantization is off. Exposed for the bench harness's
 // memory accounting.
 func (ix *Index) ArenaBytes() (float32Bytes, int8Bytes int) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	f := len(ix.vecs) * 4
-	q := len(ix.qvecs) + (len(ix.qscale)+len(ix.qoff)+len(ix.qsum))*4
+	g := ix.view.Load()
+	f := len(g.vecs) * 4
+	q := len(g.qvecs) + (len(g.qscale)+len(g.qoff)+len(g.qsum))*4
 	return f, q
 }
 
@@ -154,30 +147,30 @@ func (s *searchScratch) quantizeQuery(query []float32) qquery {
 	return q
 }
 
-// qdistLocked returns the approximate squared L2 distance between the
-// quantized query and slot i: ‖q‖² + ‖v‖² − 2·dot(q,v), with the exact
-// stored norms and the cross term expanded over the quantized forms —
-// the query-constant factors live pre-folded in q. The float32
-// combination has a fixed evaluation order, so distances are
-// deterministic run to run.
-func (ix *Index) qdistLocked(q *qquery, i int) float32 {
-	qd := vecmath.DotInt8(q.vec, ix.qvecAt(i))
-	sc := ix.qscale[i]
-	cross := q.cDot*sc*float32(qd) + q.cOff*ix.qoff[i] + q.cSum*sc*float32(ix.qsum[i])
-	n := ix.norms[i]
+// qdist returns the approximate squared L2 distance between the quantized
+// query and slot i: ‖q‖² + ‖v‖² − 2·dot(q,v), with the exact stored norms
+// and the cross term expanded over the quantized forms — the
+// query-constant factors live pre-folded in q. The float32 combination
+// has a fixed evaluation order, so distances are deterministic run to
+// run.
+func (g *graph) qdist(q *qquery, i int) float32 {
+	qd := vecmath.DotInt8(q.vec, g.qvecAt(i))
+	sc := g.qscale[i]
+	cross := q.cDot*sc*float32(qd) + q.cOff*g.qoff[i] + q.cSum*sc*float32(g.qsum[i])
+	n := g.norms[i]
 	return q.norm2 + n*n - cross
 }
 
-// greedyClosestQLocked is greedyClosestLocked on the int8 arena.
-func (ix *Index) greedyClosestQLocked(q *qquery, ep, lvl int) int {
+// greedyClosestQ is greedyClosest on the int8 arena.
+func (g *graph) greedyClosestQ(q *qquery, ep, lvl int) int {
 	cur := ep
-	curDist := ix.qdistLocked(q, cur)
+	curDist := g.qdist(q, cur)
 	for {
 		improved := false
-		nbs := ix.links[cur]
+		nbs := g.links[cur]
 		if lvl < len(nbs) {
 			for _, nb := range nbs[lvl] {
-				d := ix.qdistLocked(q, int(nb))
+				d := g.qdist(q, int(nb))
 				if d < curDist {
 					cur, curDist = int(nb), d
 					improved = true
@@ -190,13 +183,13 @@ func (ix *Index) greedyClosestQLocked(q *qquery, ep, lvl int) int {
 	}
 }
 
-// searchLayerQLocked is searchLayerLocked (Algorithm 2) on the int8
-// arena. The body is duplicated rather than parameterized by a distance
-// closure so the hot loop stays free of indirect calls and allocations.
-func (ix *Index) searchLayerQLocked(s *searchScratch, q *qquery, ep, ef, lvl int) []cand {
-	s.begin(len(ix.ids))
+// searchLayerQ is searchLayer (Algorithm 2) on the int8 arena. The body is
+// duplicated rather than parameterized by a distance closure so the hot
+// loop stays free of indirect calls and allocations.
+func (g *graph) searchLayerQ(s *searchScratch, q *qquery, ep, ef, lvl int) []cand {
+	s.begin(len(g.ids))
 	s.visited[ep] = s.epoch
-	epDist := ix.qdistLocked(q, ep)
+	epDist := g.qdist(q, ep)
 	s.cands.push(cand{int32(ep), epDist})
 	s.results.push(cand{int32(ep), epDist})
 
@@ -205,14 +198,14 @@ func (ix *Index) searchLayerQLocked(s *searchScratch, q *qquery, ep, ef, lvl int
 		if s.results.len() >= ef && c.dist > s.results.top().dist {
 			break
 		}
-		nbs := ix.links[c.idx]
+		nbs := g.links[c.idx]
 		if lvl < len(nbs) {
 			for _, nb := range nbs[lvl] {
 				if s.visited[nb] == s.epoch {
 					continue
 				}
 				s.visited[nb] = s.epoch
-				d := ix.qdistLocked(q, int(nb))
+				d := g.qdist(q, int(nb))
 				if s.results.len() < ef || d < s.results.top().dist {
 					s.cands.push(cand{nb, d})
 					s.results.push(cand{nb, d})
@@ -234,18 +227,18 @@ func (ix *Index) searchLayerQLocked(s *searchScratch, q *qquery, ep, ef, lvl int
 	return out
 }
 
-// searchQuantizedLocked is the quantized query path: greedy descent and
-// the layer-0 beam run on int8 codes, then the top k·RescoreFactor live
+// searchQuantized is the quantized query path: greedy descent and the
+// layer-0 beam run on int8 codes, then the top k·RescoreFactor live
 // candidates are rescored with exact float32 CosineWithNorms and sorted
 // by (score desc, ID asc). Returned scores are bit-identical to what the
 // unquantized path computes for the same nodes; quantization can only
 // change *which* candidates reach the rescore set, which is what the
 // recall@k metric measures.
-func (ix *Index) searchQuantizedLocked(s *searchScratch, query []float32, k, ef int) []Result {
+func (ix *Index) searchQuantized(g *graph, s *searchScratch, query []float32, k, ef int) []Result {
 	q := s.quantizeQuery(query)
-	ep := ix.entry
-	for lvl := ix.maxLvl; lvl > 0; lvl-- {
-		ep = ix.greedyClosestQLocked(&q, ep, lvl)
+	ep := g.entry
+	for lvl := g.maxLvl; lvl > 0; lvl-- {
+		ep = g.greedyClosestQ(&q, ep, lvl)
 	}
 	// Rescore the top k·RescoreFactor beam candidates, capped by the beam
 	// itself: a wider rescore cannot recover vectors the beam never
@@ -253,25 +246,25 @@ func (ix *Index) searchQuantizedLocked(s *searchScratch, query []float32, k, ef 
 	// the traversal the tier exists to cheapen. The beam stays exactly as
 	// wide as the unquantized path's.
 	rescore := k * ix.cfg.RescoreFactor
-	cands := ix.searchLayerQLocked(s, &q, ep, ef, 0)
+	cands := g.searchLayerQ(s, &q, ep, ef, 0)
 
 	resc := s.resc[:0]
 	for _, c := range cands {
 		ci := int(c.idx)
-		if ix.deleted[ci] {
+		if g.deleted[ci] {
 			continue
 		}
 		// Negated score as distance: the shared cand sort orders ascending.
-		resc = append(resc, cand{c.idx, -vecmath.CosineWithNorms(query, ix.vecAt(ci), q.norm, ix.norms[ci])})
+		resc = append(resc, cand{c.idx, -vecmath.CosineWithNorms(query, g.vecAt(ci), q.norm, g.norms[ci])})
 		if len(resc) == rescore {
 			break
 		}
 	}
 	s.resc = resc
-	ix.sortRescoredLocked(resc)
+	g.sortRescored(resc)
 	out := make([]Result, 0, k)
 	for _, c := range resc {
-		out = append(out, Result{ID: ix.ids[c.idx], Score: -c.dist})
+		out = append(out, Result{ID: g.ids[c.idx], Score: -c.dist})
 		if len(out) == k {
 			break
 		}
@@ -279,21 +272,21 @@ func (ix *Index) searchQuantizedLocked(s *searchScratch, query []float32, k, ef 
 	return out
 }
 
-// sortRescoredLocked orders rescored candidates ascending by negated
-// exact score with external-ID ties ascending, making the quantized
-// result order a pure function of the exact scores. Insertion sort: the
-// set is k·RescoreFactor entries, already near-ordered by the beam.
-func (ix *Index) sortRescoredLocked(cs []cand) {
+// sortRescored orders rescored candidates ascending by negated exact
+// score with external-ID ties ascending, making the quantized result
+// order a pure function of the exact scores. Insertion sort: the set is
+// k·RescoreFactor entries, already near-ordered by the beam.
+func (g *graph) sortRescored(cs []cand) {
 	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && ix.rescLessLocked(cs[j], cs[j-1]); j-- {
+		for j := i; j > 0 && g.rescLess(cs[j], cs[j-1]); j-- {
 			cs[j], cs[j-1] = cs[j-1], cs[j]
 		}
 	}
 }
 
-func (ix *Index) rescLessLocked(a, b cand) bool {
+func (g *graph) rescLess(a, b cand) bool {
 	if a.dist != b.dist {
 		return a.dist < b.dist
 	}
-	return ix.ids[a.idx] < ix.ids[b.idx]
+	return g.ids[a.idx] < g.ids[b.idx]
 }

@@ -240,7 +240,8 @@ func TestQuantizeDegenerateVectors(t *testing.T) {
 // off, because construction always runs on float32 distances.
 func TestQuantizedGraphIdentical(t *testing.T) {
 	const dim, n = 16, 200
-	base, quant, _ := buildPair(t, dim, n)
+	baseIx, quantIx, _ := buildPair(t, dim, n)
+	base, quant := baseIx.view.Load(), quantIx.view.Load()
 	if base.entry != quant.entry || base.maxLvl != quant.maxLvl {
 		t.Fatalf("entry/maxLvl diverge: (%d,%d) vs (%d,%d)", base.entry, base.maxLvl, quant.entry, quant.maxLvl)
 	}

@@ -15,6 +15,11 @@ import (
 // want the blobs mmap-addressable must therefore hand in a writer whose
 // offset 0 lands at file offset 0 (the retriever's snapshot writer does).
 //
+// The view and the level-generator draw count are pinned together under a
+// brief writer-lock acquisition; serialization then runs entirely against
+// the immutable view, concurrent with both readers and later writers, so
+// snapshotting never stalls serving.
+//
 // An index restored by LoadSnapshot is bit-identical: it answers every
 // query with the same results and assigns the same levels to future
 // inserts. Construction parameters (M, EfConstruction, EfSearch, Seed,
@@ -22,26 +27,31 @@ import (
 // compatible Config — Quantize may differ, in which case the quantized
 // arenas are dropped or rebuilt from the float32 arena at load.
 func (ix *Index) AppendSnapshot(w *wire.Writer) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	// Pin a (view, rngDraws) pair from a quiesced writer state: between
+	// batches the draw count is exactly the one that produced the
+	// published view.
+	ix.mu.Lock()
+	g := ix.view.Load()
+	draws := ix.rngDraws
+	ix.mu.Unlock()
 
-	n := len(ix.ids)
-	w.Uvarint(uint64(ix.dim))
+	n := len(g.ids)
+	w.Uvarint(uint64(g.dim))
 	w.Uvarint(uint64(n))
-	for _, id := range ix.ids {
+	for _, id := range g.ids {
 		w.String(id)
 	}
-	for _, lvl := range ix.levels {
+	for _, lvl := range g.levels {
 		w.Uvarint(uint64(lvl))
 	}
-	for _, d := range ix.deleted {
+	for _, d := range g.deleted {
 		if d {
 			w.Byte(1)
 		} else {
 			w.Byte(0)
 		}
 	}
-	for _, layers := range ix.links {
+	for _, layers := range g.links {
 		w.Uvarint(uint64(len(layers)))
 		for _, nbs := range layers {
 			w.Uvarint(uint64(len(nbs)))
@@ -50,23 +60,22 @@ func (ix *Index) AppendSnapshot(w *wire.Writer) {
 			}
 		}
 	}
-	w.Varint(int64(ix.entry))
-	w.Varint(int64(ix.maxLvl))
-	w.Uvarint(uint64(ix.live))
-	w.Uvarint(ix.rngDraws)
-	quant := ix.quantizedLocked()
-	if quant {
+	w.Varint(int64(g.entry))
+	w.Varint(int64(g.maxLvl))
+	w.Uvarint(uint64(g.live))
+	w.Uvarint(draws)
+	if g.quant {
 		w.Byte(1)
 	} else {
 		w.Byte(0)
 	}
-	w.Float32Blob(ix.norms)
-	w.Float32Blob(ix.vecs)
-	if quant {
-		w.Float32Blob(ix.qscale)
-		w.Float32Blob(ix.qoff)
-		w.Int32Blob(ix.qsum)
-		w.Int8Blob(ix.qvecs)
+	w.Float32Blob(g.norms)
+	w.Float32Blob(g.vecs)
+	if g.quant {
+		w.Float32Blob(g.qscale)
+		w.Float32Blob(g.qoff)
+		w.Int32Blob(g.qsum)
+		w.Int8Blob(g.qvecs)
 	}
 }
 
@@ -84,7 +93,7 @@ func (ix *Index) AppendSnapshot(w *wire.Writer) {
 func (ix *Index) LoadSnapshot(rd *wire.Reader) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if len(ix.ids) != 0 {
+	if len(ix.view.Load().ids) != 0 {
 		return fmt.Errorf("hnsw: LoadSnapshot into non-empty index")
 	}
 
@@ -158,23 +167,26 @@ func (ix *Index) LoadSnapshot(rd *wire.Reader) error {
 			n, len(qscale), len(qoff), len(qsum), len(qvecs))
 	}
 
-	ix.ids = ids
-	ix.levels = levels
-	ix.deleted = deleted
-	ix.norms = norms
-	ix.vecs = vecs
-	ix.links = links
-	ix.entry = entry
-	ix.maxLvl = maxLvl
-	ix.live = live
+	g := &graph{
+		dim:     ix.dim,
+		ids:     ids,
+		levels:  levels,
+		deleted: deleted,
+		norms:   norms,
+		vecs:    vecs,
+		links:   links,
+		entry:   entry,
+		maxLvl:  maxLvl,
+		live:    live,
+	}
 	if ix.cfg.Quantize {
 		if quant {
-			ix.qscale, ix.qoff, ix.qsum, ix.qvecs = qscale, qoff, qsum, qvecs
+			g.qscale, g.qoff, g.qsum, g.qvecs = qscale, qoff, qsum, qvecs
 		} else {
 			// Snapshot written without quantization: rebuild the int8
 			// arenas from the float32 arena (same codes Add would have
 			// produced — quantizeVec is deterministic).
-			ix.requantizeLocked()
+			requantize(g)
 		}
 	}
 	byID := make(map[string]int, live)
@@ -184,29 +196,33 @@ func (ix *Index) LoadSnapshot(rd *wire.Reader) error {
 		}
 	}
 	ix.byID = byID
+	// The loaded slots were never COW'd by any batch; stamp them 0 (no
+	// batch) so the first mutating batch copies before touching them.
+	ix.copied = make([]uint64, n)
 	// Replay the level generator's consumed draws so the next Add sees the
 	// same stream position a never-serialized index would.
 	for ix.rngDraws < draws {
 		ix.rngDraws++
 		ix.rng.Float64()
 	}
+	ix.publish(g)
 	return nil
 }
 
 // ForEachLive visits every live (non-tombstoned) node in insertion order,
-// passing its external ID and vector. The vector aliases the index's
-// arena — callers must copy it if they retain it past the callback. The
-// walk stops early when fn returns false. Segment compaction uses this to
+// passing its external ID and vector. It walks the view current at call
+// time, without blocking writers; the vector aliases that view's arena —
+// callers must copy it if they retain it past the callback. The walk
+// stops early when fn returns false. Segment compaction uses this to
 // rewrite a log with exactly the surviving inserts, in their original
 // relative order.
 func (ix *Index) ForEachLive(fn func(id string, vec []float32) bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	for i := range ix.ids {
-		if ix.deleted[i] {
+	g := ix.view.Load()
+	for i := range g.ids {
+		if g.deleted[i] {
 			continue
 		}
-		if !fn(ix.ids[i], ix.vecAt(i)) {
+		if !fn(g.ids[i], g.vecAt(i)) {
 			return
 		}
 	}

@@ -167,6 +167,113 @@ func TestCacheEvictionAndDisable(t *testing.T) {
 	}
 }
 
+// TestChurnCacheInvalidation drives the version-counter invalidation
+// through sustained churn: every round replaces one table (add + delete)
+// and immediately repeats the same query. Each mutation must bump the
+// source version and therefore miss the cache — a single missed bump
+// serves a stale entry that either still shows the deleted table or
+// misses the added one. A second, concurrent phase (readers racing the
+// churn stream, run under race-smoke) then checks the quiesce contract:
+// once the stream stops, the next repeat query reflects the final corpus
+// exactly.
+func TestChurnCacheInvalidation(t *testing.T) {
+	ctx := context.Background()
+	ret := retriever.New()
+	if err := ret.IndexTable(ctx, mkTable("base", "base data", "churn metric baseline")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(ret, nil, nil)
+	const q = "churn metric"
+
+	rounds := 30
+	if testing.Short() {
+		rounds = 10
+	}
+	for r := 0; r < rounds; r++ {
+		name := fmt.Sprintf("churn_%d", r)
+		if err := ret.IndexTable(ctx, mkTable(name, "churn data", "churn metric reading")); err != nil {
+			t.Fatal(err)
+		}
+		if r > 0 {
+			prev := fmt.Sprintf("table:churn_%d", r-1)
+			if n := ret.DeleteDocuments([]string{prev}); n != 1 {
+				t.Fatalf("round %d: deleted %d of %s", r, n, prev)
+			}
+		}
+		res, err := s.Query(ctx, Request{Query: q, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sawNew, sawOld bool
+		for _, d := range res.Documents {
+			switch d.ID {
+			case "table:" + name:
+				sawNew = true
+			case fmt.Sprintf("table:churn_%d", r-1):
+				sawOld = true
+			}
+		}
+		if !sawNew {
+			t.Fatalf("round %d: stale cache — added table %s not in results", r, name)
+		}
+		if sawOld {
+			t.Fatalf("round %d: stale cache — deleted table churn_%d still served", r, r-1)
+		}
+	}
+
+	// Concurrent phase: readers hammer the cached query while a churner
+	// keeps replacing tables, then quiesce and check the final state.
+	stopped := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				if _, err := s.Query(ctx, Request{Query: q, K: 10}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	last := rounds - 1
+	for r := rounds; r < rounds+10; r++ {
+		name := fmt.Sprintf("churn_%d", r)
+		if err := ret.IndexTable(ctx, mkTable(name, "churn data", "churn metric reading")); err != nil {
+			t.Fatal(err)
+		}
+		ret.DeleteDocuments([]string{fmt.Sprintf("table:churn_%d", last)})
+		last = r
+	}
+	close(stopped)
+	wg.Wait()
+
+	res, err := s.Query(ctx, Request{Query: q, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFinal bool
+	for _, d := range res.Documents {
+		if d.ID == fmt.Sprintf("table:churn_%d", last) {
+			sawFinal = true
+		}
+		for r := 0; r < last; r++ {
+			if d.ID == fmt.Sprintf("table:churn_%d", r) {
+				t.Fatalf("post-quiesce query served deleted table churn_%d", r)
+			}
+		}
+	}
+	if !sawFinal {
+		t.Fatalf("post-quiesce query missing final table churn_%d", last)
+	}
+}
+
 // TestConcurrentQueriesAndMutations is the -race proof for the facade:
 // concurrent queries, knowledge saves and table ingests must not race in
 // the cache or the fan-out.

@@ -2,6 +2,8 @@ package retriever
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pneuma/internal/bm25"
 	"pneuma/internal/docs"
@@ -40,16 +42,28 @@ func ParseBackend(s string) (Backend, error) {
 
 // ShardBackend is the storage engine behind one shard of the hybrid index:
 // it owns the vector and lexical halves plus the document store for one
-// hash partition of the corpus. Implementations need not be internally
-// synchronized — the Retriever serializes access with one RWMutex per
-// shard — but they must be deterministic: indexing the same (document,
-// vector) sequence must yield a backend that answers SearchVector and
-// SearchLexical identically across implementations and across reopens.
+// hash partition of the corpus. The read methods (Document, SearchVector,
+// SearchLexical, Len) are safe to call concurrently with each other and
+// with one mutator — the index halves publish immutable views through
+// atomic pointers, and the document store is a sync.Map — but mutators
+// (Index, Delete, the batch variants, Flush, Close) are not internally
+// serialized against each other: the Retriever runs them under one writer
+// mutex per shard. Implementations must be deterministic: indexing the
+// same (document, vector) sequence must yield a backend that answers
+// SearchVector and SearchLexical identically across implementations and
+// across reopens.
 type ShardBackend interface {
 	// Index adds (or replaces) one embedded document.
 	Index(d docs.Document, vec []float32) error
+	// IndexBatch adds (or replaces) a batch of embedded documents,
+	// equivalent to calling Index on each pair in order but amortizing
+	// the copy-on-write of the published read views across the batch.
+	IndexBatch(ds []docs.Document, vecs [][]float32) error
 	// Delete removes a document; it reports whether the ID was present.
 	Delete(id string) bool
+	// DeleteBatch removes a batch of documents and returns how many of
+	// the IDs were present.
+	DeleteBatch(ids []string) int
 	// Document returns the stored document by ID.
 	Document(id string) (docs.Document, bool)
 	// SearchVector returns the top-k nearest documents to the query
@@ -69,12 +83,14 @@ type ShardBackend interface {
 
 // memoryBackend is the in-RAM shard: an HNSW graph, a BM25 inverted index
 // and the document map. It is the Memory backend and the substrate the
-// Disk backend replays its segment log into. The construction parameters
-// are retained so compact can rebuild the graph from scratch.
+// Disk backend replays its segment log into. Reads run lock-free against
+// the index halves' published views and the sync.Map document store;
+// mutators rely on the Retriever's per-shard writer mutex.
 type memoryBackend struct {
 	vec   *hnsw.Index
 	lex   *bm25.Index
-	byID  map[string]docs.Document
+	byID  sync.Map // string → docs.Document
+	live  atomic.Int64
 	dim   int
 	seed  int64
 	ef    int
@@ -91,7 +107,6 @@ func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int, quant bool) *
 	return &memoryBackend{
 		vec:   hnsw.New(dim, hnsw.Config{Seed: seed, EfSearch: ef, Quantize: quant}),
 		lex:   bm25.NewWithStats(bm25.Params{}, st),
-		byID:  make(map[string]docs.Document),
 		dim:   dim,
 		seed:  seed,
 		ef:    ef,
@@ -99,57 +114,111 @@ func newMemoryBackend(dim int, seed int64, st *bm25.Stats, ef int, quant bool) *
 	}
 }
 
+// setDocs replaces the document store wholesale (bulk load paths: snapshot
+// restore, legacy migration). Writer-side only, before the shard serves.
+func (m *memoryBackend) setDocs(byID map[string]docs.Document) {
+	m.byID = sync.Map{}
+	for id, d := range byID {
+		m.byID.Store(id, d)
+	}
+	m.live.Store(int64(len(byID)))
+}
+
 // arenaBytes reports the shard's HNSW vector-arena sizes (float32 bytes,
 // quantized-side bytes) for the bench harness's memory accounting.
 func (m *memoryBackend) arenaBytes() (int, int) { return m.vec.ArenaBytes() }
 
-// compact rebuilds the shard without its tombstones: the HNSW graph is
-// reconstructed by re-inserting the live vectors in their original
-// relative order into a freshly seeded index — exactly the graph a replay
-// of a compacted segment log builds — and the BM25 index drops its dead
-// document slots (the shared Stats object is untouched; live
-// contributions are identical before and after). The document map is
-// already live-only.
+// compact rebuilds the index halves without their tombstones, in place:
+// the HNSW graph is reconstructed by re-inserting the live vectors in
+// their original relative order under a freshly seeded level generator —
+// exactly the graph a replay of a compacted segment log builds — and the
+// BM25 index drops its dead document slots (the shared Stats object is
+// untouched; live contributions are identical before and after). Both
+// rebuilds publish via atomic view swap, so searches in flight keep their
+// pinned pre-compaction view and never observe a half-built shard. The
+// document map is already live-only.
 func (m *memoryBackend) compact() error {
-	nv := hnsw.New(m.dim, hnsw.Config{Seed: m.seed, EfSearch: m.ef, Quantize: m.quant})
-	var err error
-	m.vec.ForEachLive(func(id string, vec []float32) bool {
-		err = nv.Add(id, vec)
-		return err == nil
-	})
-	if err != nil {
-		return err
-	}
-	m.vec = nv
-	m.lex = m.lex.Compact()
+	m.vec.Compact()
+	m.lex.Compact()
 	return nil
 }
 
 // Index adds the embedded document to both halves and the document map.
+// The document store is written first: any ID visible through a published
+// index view must resolve in the store, so a concurrent reader never
+// surfaces a hit it cannot materialize.
 func (m *memoryBackend) Index(d docs.Document, vec []float32) error {
-	if err := m.vec.Add(d.ID, vec); err != nil {
-		return err
+	if len(vec) != m.dim {
+		return fmt.Errorf("hnsw: vector for %q has dim %d, index wants %d", d.ID, len(vec), m.dim)
+	}
+	if _, existed := m.byID.Swap(d.ID, d); !existed {
+		m.live.Add(1)
 	}
 	m.lex.Add(d.ID, d.Content)
-	m.byID[d.ID] = d
-	return nil
+	return m.vec.Add(d.ID, vec)
 }
 
-// Delete removes the document from both halves.
+// IndexBatch adds the batch through the halves' batch entry points, which
+// clone the published copy-on-write arrays once for the whole batch.
+func (m *memoryBackend) IndexBatch(ds []docs.Document, vecs [][]float32) error {
+	for i, vec := range vecs {
+		if len(vec) != m.dim {
+			return fmt.Errorf("hnsw: vector for %q has dim %d, index wants %d", ds[i].ID, len(vec), m.dim)
+		}
+	}
+	ids := make([]string, len(ds))
+	texts := make([]string, len(ds))
+	for i, d := range ds {
+		ids[i] = d.ID
+		texts[i] = d.Content
+		if _, existed := m.byID.Swap(d.ID, d); !existed {
+			m.live.Add(1)
+		}
+	}
+	m.lex.AddBatch(ids, texts)
+	return m.vec.AddBatch(ids, vecs)
+}
+
+// Delete removes the document from both halves, index halves first so a
+// concurrent reader cannot surface a hit whose document is already gone.
 func (m *memoryBackend) Delete(id string) bool {
-	if _, ok := m.byID[id]; !ok {
+	if _, ok := m.byID.Load(id); !ok {
 		return false
 	}
-	delete(m.byID, id)
 	m.vec.Delete(id)
 	m.lex.Delete(id)
+	m.byID.Delete(id)
+	m.live.Add(-1)
 	return true
+}
+
+// DeleteBatch tombstones the batch through the halves' batch entry points.
+func (m *memoryBackend) DeleteBatch(ids []string) int {
+	present := ids[:0:0]
+	for _, id := range ids {
+		if _, ok := m.byID.Load(id); ok {
+			present = append(present, id)
+		}
+	}
+	if len(present) == 0 {
+		return 0
+	}
+	m.vec.DeleteBatch(present)
+	m.lex.DeleteBatch(present)
+	for _, id := range present {
+		m.byID.Delete(id)
+	}
+	m.live.Add(int64(-len(present)))
+	return len(present)
 }
 
 // Document returns the stored document by ID.
 func (m *memoryBackend) Document(id string) (docs.Document, bool) {
-	d, ok := m.byID[id]
-	return d, ok
+	v, ok := m.byID.Load(id)
+	if !ok {
+		return docs.Document{}, false
+	}
+	return v.(docs.Document), true
 }
 
 // SearchVector queries the HNSW half.
@@ -163,7 +232,7 @@ func (m *memoryBackend) SearchLexical(query string, k int) []bm25.Result {
 }
 
 // Len returns the number of live documents.
-func (m *memoryBackend) Len() int { return len(m.byID) }
+func (m *memoryBackend) Len() int { return int(m.live.Load()) }
 
 // Flush is a no-op: memory shards have no durable state.
 func (m *memoryBackend) Flush() error { return nil }

@@ -345,31 +345,64 @@ func replaySegment(f *os.File, mem *memoryBackend, from int64) (int64, int64, er
 	}
 }
 
+// segRecord is one decoded segment record: an add (op, id, vec, doc) or a
+// delete tombstone (op, id).
+type segRecord struct {
+	op  byte
+	id  string
+	vec []float32
+	doc docs.Document
+}
+
+// errBadRecord is the typed rejection for a record payload that does not
+// decode cleanly: wrong op byte, short or over-long sections, a vector of
+// the wrong dimensionality, or trailing garbage. Replay treats it as the
+// signature of a torn or corrupted tail and truncates; it is never a
+// panic, whatever bytes arrive (the fuzz target's contract).
+var errBadRecord = fmt.Errorf("retriever: undecodable segment record")
+
+// decodeRecord parses one record payload against the shard's embedding
+// dimensionality. It consumes the whole payload or fails: any leftover
+// bytes mean the frame length and the content disagree, which only
+// corruption produces.
+func decodeRecord(payload []byte, dim int) (segRecord, error) {
+	rd := wire.NewReader(payload)
+	r := segRecord{op: rd.Byte()}
+	r.id = rd.String()
+	switch r.op {
+	case opAdd:
+		r.vec = rd.Float32s()
+		doc, derr := decodeDoc(rd, r.id)
+		if rd.Err() != nil || derr != nil || len(r.vec) != dim || rd.Remaining() != 0 {
+			return segRecord{}, errBadRecord
+		}
+		r.doc = doc
+	case opDel:
+		if rd.Err() != nil || rd.Remaining() != 0 {
+			return segRecord{}, errBadRecord
+		}
+	default:
+		return segRecord{}, errBadRecord
+	}
+	return r, nil
+}
+
 // applyRecord decodes one record payload and applies it to the in-memory
 // shard. It returns (false, nil) for an undecodable payload — corruption
 // the caller handles by truncating — and a non-nil error only for real
 // apply failures (which indicate a config mismatch, not disk damage).
 func applyRecord(mem *memoryBackend, payload []byte) (bool, error) {
-	rd := wire.NewReader(payload)
-	op := rd.Byte()
-	id := rd.String()
-	switch op {
+	rec, derr := decodeRecord(payload, mem.dim)
+	if derr != nil {
+		return false, nil
+	}
+	switch rec.op {
 	case opAdd:
-		vec := rd.Float32s()
-		doc, derr := decodeDoc(rd, id)
-		if rd.Err() != nil || derr != nil || len(vec) != mem.dim || rd.Remaining() != 0 {
-			return false, nil
-		}
-		if err := mem.Index(doc, vec); err != nil {
+		if err := mem.Index(rec.doc, rec.vec); err != nil {
 			return false, err
 		}
 	case opDel:
-		if rd.Err() != nil || rd.Remaining() != 0 {
-			return false, nil
-		}
-		mem.Delete(id)
-	default:
-		return false, nil
+		mem.Delete(rec.id)
 	}
 	return true, nil
 }
@@ -423,6 +456,44 @@ func (b *diskBackend) Index(d docs.Document, vec []float32) error {
 	}
 	b.encodeAddRecord(d, vec)
 	return b.appendRecord()
+}
+
+// IndexBatch adds the batch to the in-memory shard, then logs one add
+// record per document in batch order — the record order stays exactly the
+// live mutation order, so a replay rebuilds bit-identical structures.
+func (b *diskBackend) IndexBatch(ds []docs.Document, vecs [][]float32) error {
+	if err := b.memoryBackend.IndexBatch(ds, vecs); err != nil {
+		return err
+	}
+	for i, d := range ds {
+		b.encodeAddRecord(d, vecs[i])
+		if err := b.appendRecord(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteBatch tombstones the batch in memory and logs one delete record
+// per document that was actually present.
+func (b *diskBackend) DeleteBatch(ids []string) int {
+	present := ids[:0:0]
+	for _, id := range ids {
+		if _, ok := b.byID.Load(id); ok {
+			present = append(present, id)
+		}
+	}
+	if len(present) == 0 {
+		return 0
+	}
+	b.memoryBackend.DeleteBatch(present)
+	for _, id := range present {
+		b.rec.Reset()
+		b.rec.Byte(opDel)
+		b.rec.String(id)
+		_ = b.appendRecord()
+	}
+	return len(present)
 }
 
 // Delete removes the document and logs a tombstone record.
@@ -558,7 +629,7 @@ func rewriteSegment(mem *memoryBackend, path string, gen uint64) (int64, int64, 
 	var rec, frame wire.Writer
 	var werr error
 	mem.vec.ForEachLive(func(id string, vec []float32) bool {
-		d, ok := mem.byID[id]
+		d, ok := mem.Document(id)
 		if !ok {
 			werr = fmt.Errorf("retriever: compact: document %q in graph but not in store", id)
 			return false

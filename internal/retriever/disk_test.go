@@ -424,11 +424,11 @@ func waitSynced(t *testing.T, r *Retriever) {
 	for {
 		pending := 0
 		for _, s := range r.shards {
-			s.mu.RLock()
+			s.mu.Lock()
 			if db, ok := s.be.(*diskBackend); ok {
 				pending += db.pendingRecs
 			}
-			s.mu.RUnlock()
+			s.mu.Unlock()
 		}
 		if pending == 0 {
 			return

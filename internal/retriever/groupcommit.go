@@ -131,11 +131,11 @@ func (r *Retriever) syncPendingShards() {
 func (r *Retriever) Fsyncs() uint64 {
 	var n uint64
 	for _, s := range r.shards {
-		s.mu.RLock()
+		s.mu.Lock()
 		if db, ok := s.be.(*diskBackend); ok {
 			n += db.fsyncs
 		}
-		s.mu.RUnlock()
+		s.mu.Unlock()
 	}
 	return n
 }

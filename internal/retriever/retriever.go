@@ -64,13 +64,23 @@ func DefaultShards() int {
 }
 
 // shard is one hash partition of the hybrid index: a storage backend plus
-// the lock that serializes access to it. The lock covers both halves of
-// the backend plus its document store, so a reader always sees the two
-// halves in agreement.
+// the mutex that serializes its writers. Readers do not take it — the
+// backend's read methods run against immutable views published by atomic
+// pointer swap (see ShardBackend), so a search never blocks on an ingest
+// and vice versa. A reader may observe one half a publish ahead of the
+// other mid-batch; the writer publishes the document store first, then the
+// lexical half, then the vector half, so every ID a view surfaces is
+// materializable, and at any quiesce point the halves agree exactly.
 type shard struct {
-	mu sync.RWMutex
+	mu sync.Mutex
 	be ShardBackend
 }
+
+// ingestBatchSize is the per-shard chunk size bulk ingest feeds to
+// IndexBatch: large enough to amortize the copy-on-write of the published
+// read views, small enough that cancellation lands between chunks and
+// concurrent searches see the corpus appear progressively.
+const ingestBatchSize = 64
 
 // Retriever is the sharded hybrid table-discovery index. All methods are
 // safe for concurrent use.
@@ -111,6 +121,13 @@ type Retriever struct {
 	// closed flips once on Close; every subsequent call fails with a typed
 	// pnerr.ErrClosed instead of touching released backends.
 	closed atomic.Bool
+	// refs counts in-flight operations (searches, ingests, flushes,
+	// including fan-out goroutines that can outlive a canceled Search).
+	// Close flips closed and then waits for refs to drain before releasing
+	// the backends, so no reader can be traversing an arena when a
+	// mmap-backed shard unmaps its snapshot. Readers never block on this —
+	// acquire is an atomic increment plus a closed re-check.
+	refs atomic.Int64
 	// scratch pools *searchScratch values so steady-state Search reuses
 	// its merge buffers and fusion map instead of allocating per query.
 	scratch sync.Pool
@@ -452,12 +469,33 @@ func (r *Retriever) Dir() string {
 	return r.dir
 }
 
-// Flush makes all shards durable (fsync of every segment file for the Disk
-// backend; a no-op for Memory).
-func (r *Retriever) Flush() error {
+// acquire registers an in-flight operation against the lifecycle counter
+// and re-checks closed, in that order — the mirror image of Close, which
+// flips closed and then reads the counter. Sequential consistency of the
+// two atomics guarantees that either this operation observes closed (and
+// backs out without touching a backend) or Close observes the reference
+// (and waits for release before tearing the backends down). Never blocks.
+func (r *Retriever) acquire(op string) error {
+	r.refs.Add(1)
 	if r.closed.Load() {
-		return pnerr.Closed("retriever: flush")
+		r.refs.Add(-1)
+		return pnerr.Closed(op)
 	}
+	return nil
+}
+
+// release drops a reference taken by acquire.
+func (r *Retriever) release() { r.refs.Add(-1) }
+
+// Flush makes all shards durable (fsync of every segment file for the Disk
+// backend; a no-op for Memory). Searches keep serving throughout: any
+// compaction a Flush triggers publishes its rebuilt state by atomic view
+// swap, and in-flight queries finish on their pinned pre-flush views.
+func (r *Retriever) Flush() error {
+	if err := r.acquire("retriever: flush"); err != nil {
+		return err
+	}
+	defer r.release()
 	for _, s := range r.shards {
 		s.mu.Lock()
 		err := s.be.Flush()
@@ -472,7 +510,11 @@ func (r *Retriever) Flush() error {
 // Close flushes and releases every shard, then drops the index-directory
 // lock. Calls after the first return a typed pnerr.ErrClosed, as do all
 // queries and ingests against a closed retriever (Disk-backed shards have
-// closed their segment files).
+// closed their segment files). Operations in flight when Close lands are
+// drained first: Close waits for every acquired reference — including
+// fan-out goroutines a canceled Search abandoned — before closing a
+// backend, so no search can be walking an arena when a mmap-backed shard
+// releases its snapshot mapping.
 func (r *Retriever) Close() error {
 	if r.closed.Swap(true) {
 		return pnerr.Closed("retriever: close")
@@ -483,6 +525,11 @@ func (r *Retriever) Close() error {
 		// goroutine can touch a backend after it is closed below.
 		close(r.gc.done)
 		<-r.gc.stopped
+	}
+	// Drain in-flight operations. New ones observe closed and back out;
+	// the wait is bounded by the longest in-flight ingest chunk or query.
+	for r.refs.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
 	}
 	var first error
 	for _, s := range r.shards {
@@ -510,13 +557,11 @@ func (r *Retriever) Version() uint64 { return r.version.Load() }
 // memory cost of the speed tier.
 func (r *Retriever) ArenaBytes() (float32Bytes, int8Bytes int64) {
 	for _, s := range r.shards {
-		s.mu.RLock()
 		if mb, ok := s.be.(interface{ arenaBytes() (int, int) }); ok {
 			f, q := mb.arenaBytes()
 			float32Bytes += int64(f)
 			int8Bytes += int64(q)
 		}
-		s.mu.RUnlock()
 	}
 	return float32Bytes, int8Bytes
 }
@@ -560,9 +605,10 @@ func (r *Retriever) IndexTables(ctx context.Context, ts []*table.Table) error {
 // indexer serves the Document Database (§3.3: "uses Pneuma-Retriever's
 // indexer to store domain knowledge").
 func (r *Retriever) IndexDocument(ctx context.Context, d docs.Document) error {
-	if r.closed.Load() {
-		return pnerr.Closed("retriever: index")
+	if err := r.acquire("retriever: index"); err != nil {
+		return err
 	}
+	defer r.release()
 	if err := ctx.Err(); err != nil {
 		return pnerr.Canceled("retriever: index", err)
 	}
@@ -586,9 +632,10 @@ func (r *Retriever) IndexDocument(ctx context.Context, d docs.Document) error {
 // abandons un-started embedding and insertion work and returns a typed
 // pnerr.ErrCanceled; documents already inserted stay in the index.
 func (r *Retriever) IndexDocuments(ctx context.Context, ds []docs.Document) error {
-	if r.closed.Load() {
-		return pnerr.Closed("retriever: index")
+	if err := r.acquire("retriever: index"); err != nil {
+		return err
 	}
+	defer r.release()
 	if len(ds) == 0 {
 		return nil
 	}
@@ -628,12 +675,28 @@ func (r *Retriever) IndexDocuments(ctx context.Context, ds []docs.Document) erro
 			s := r.shards[si]
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			for _, i := range part {
+			// Feed the shard in ingestBatchSize chunks: each chunk goes
+			// through IndexBatch (one copy-on-write clone of the published
+			// views for the whole chunk) and publishes before the next, so
+			// cancellation lands between chunks and concurrent searches see
+			// the corpus appear progressively instead of all at once.
+			bds := make([]docs.Document, 0, ingestBatchSize)
+			bvecs := make([][]float32, 0, ingestBatchSize)
+			for start := 0; start < len(part); start += ingestBatchSize {
 				if err := ctx.Err(); err != nil {
 					errs[si] = pnerr.Canceled("retriever: index", err)
 					return
 				}
-				if err := s.be.Index(sorted[i], vecs[i]); err != nil {
+				end := start + ingestBatchSize
+				if end > len(part) {
+					end = len(part)
+				}
+				bds, bvecs = bds[:0], bvecs[:0]
+				for _, i := range part[start:end] {
+					bds = append(bds, sorted[i])
+					bvecs = append(bvecs, vecs[i])
+				}
+				if err := s.be.IndexBatch(bds, bvecs); err != nil {
 					errs[si] = err
 					return
 				}
@@ -652,6 +715,10 @@ func (r *Retriever) IndexDocuments(ctx context.Context, ds []docs.Document) erro
 
 // Delete removes a document from both halves of its shard.
 func (r *Retriever) Delete(id string) bool {
+	if r.acquire("retriever: delete") != nil {
+		return false
+	}
+	defer r.release()
 	s := r.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -662,23 +729,61 @@ func (r *Retriever) Delete(id string) bool {
 	return true
 }
 
-// Len returns the number of indexed documents across all shards.
-func (r *Retriever) Len() int {
-	n := 0
-	for _, s := range r.shards {
-		s.mu.RLock()
-		n += s.be.Len()
-		s.mu.RUnlock()
+// DeleteDocuments removes a batch of documents and returns how many of
+// the IDs were present. Shards are written concurrently, each through its
+// backend's DeleteBatch (one copy-on-write clone of the published views
+// per shard for the whole batch); searches keep serving against their
+// pinned views throughout. The mutation counter advances once for the
+// whole batch when anything was removed.
+func (r *Retriever) DeleteDocuments(ids []string) int {
+	if r.acquire("retriever: delete") != nil {
+		return 0
+	}
+	defer r.release()
+	if len(ids) == 0 {
+		return 0
+	}
+	parts := make([][]string, len(r.shards))
+	for _, id := range ids {
+		si := r.shardIndex(id)
+		parts[si] = append(parts[si], id)
+	}
+	var removed atomic.Int64
+	var wg sync.WaitGroup
+	for si, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard, part []string) {
+			defer wg.Done()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			removed.Add(int64(s.be.DeleteBatch(part)))
+		}(r.shards[si], part)
+	}
+	wg.Wait()
+	n := int(removed.Load())
+	if n > 0 {
+		r.version.Add(1)
 	}
 	return n
 }
 
-// Document returns the stored document by ID.
+// Len returns the number of indexed documents across all shards. Lock-free:
+// each shard keeps an atomic live-document counter.
+func (r *Retriever) Len() int {
+	n := 0
+	for _, s := range r.shards {
+		n += s.be.Len()
+	}
+	return n
+}
+
+// Document returns the stored document by ID. Lock-free: the document
+// store is a sync.Map, so lookups never wait on an in-flight ingest.
 func (r *Retriever) Document(id string) (docs.Document, bool) {
-	s := r.shardFor(id)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.be.Document(id)
+	return r.shardFor(id).be.Document(id)
 }
 
 // shardHits is one shard's raw candidates for a query.
@@ -729,12 +834,13 @@ func (s *searchScratch) begin(n int) {
 	}
 }
 
-// queryShard collects one shard's candidates for a query under its read
-// lock.
+// queryShard collects one shard's candidates for a query. No lock: each
+// half pins the immutable view current at call time, so the query never
+// blocks a writer and never waits on one — the tentpole contract of live
+// ingest. The caller must hold a lifecycle reference (acquire) so the
+// backend cannot be closed mid-query.
 func (r *Retriever) queryShard(s *shard, qvec []float32, query string, fetch int) (shardHits, error) {
 	var h shardHits
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if r.mode != ModeBM25Only {
 		vr, err := s.be.SearchVector(qvec, fetch)
 		if err != nil {
@@ -761,9 +867,10 @@ func (r *Retriever) queryShard(s *shard, qvec []float32, query string, fetch int
 // the allocation-free fast path — the scheduler machinery costs nothing in
 // steady state.
 func (r *Retriever) Search(ctx context.Context, query string, k int) ([]docs.Document, error) {
-	if r.closed.Load() {
-		return nil, pnerr.Closed("retriever: search")
+	if err := r.acquire("retriever: search"); err != nil {
+		return nil, err
 	}
+	defer r.release()
 	if err := ctx.Err(); err != nil {
 		return nil, pnerr.Canceled("retriever: search", err)
 	}
@@ -835,8 +942,14 @@ func (r *Retriever) Search(ctx context.Context, query string, k int) ([]docs.Doc
 		var wg sync.WaitGroup
 		for si, s := range r.shards {
 			wg.Add(1)
+			// Each goroutine carries its own lifecycle reference: when the
+			// context fires, Search returns while these may still be
+			// querying, and Close must keep the backends alive until the
+			// last of them drains.
+			r.refs.Add(1)
 			go func(si int, s *shard) {
 				defer wg.Done()
+				defer r.release()
 				if err := ctx.Err(); err != nil {
 					sc.errs[si] = err
 					return

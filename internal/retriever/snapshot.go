@@ -63,15 +63,17 @@ func (b *diskBackend) writeSnapshot() error {
 	w.Raw(head[:])
 
 	// Document store, sorted by ID so equal states produce equal bytes.
-	ids := make([]string, 0, len(b.byID))
-	for id := range b.byID {
-		ids = append(ids, id)
-	}
+	ids := make([]string, 0, b.memoryBackend.Len())
+	b.byID.Range(func(k, _ any) bool {
+		ids = append(ids, k.(string))
+		return true
+	})
 	sort.Strings(ids)
 	w.Uvarint(uint64(len(ids)))
 	for _, id := range ids {
+		d, _ := b.Document(id)
 		w.String(id)
-		encodeDoc(&w, b.byID[id])
+		encodeDoc(&w, d)
 	}
 
 	b.vec.AppendSnapshot(&w)
@@ -213,7 +215,7 @@ func loadSnapshot(snapPath string, expectGen uint64, segSize int64, dim int, see
 		return nil, 0, 0, nil, fmt.Errorf("snapshot %s: sections disagree (%d docs, %d vectors, %d lexical)",
 			snapPath, len(byID), mem.vec.Len(), mem.lex.Len())
 	}
-	mem.byID = byID
+	mem.setDocs(byID)
 	mem.lex.AttachStats(st)
 	ok = true
 	return mem, water, records, mapping, nil

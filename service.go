@@ -154,6 +154,57 @@ func (s *Service) LookupTable(name string) (*table.Table, bool) {
 	return s.seeker.IR().LookupTable(name)
 }
 
+// AddTables streams new (or replacement) tables into the live index
+// through the scheduler. The call batches embeddings through the
+// retriever's worker pool and writes all shards concurrently; searches
+// admitted before, during and after the ingest keep serving without
+// blocking — each query pins the immutable shard views current when it
+// starts, and the new tables become visible batch by batch as the
+// writers publish. Disk-backed indexes append segment records through
+// the group-commit flusher, so durability follows the configured sync
+// policy (or the next Flush/Close).
+//
+// Cancellation abandons un-started embedding and insertion work and
+// returns a typed ErrCanceled; tables already inserted stay in the index
+// (ingest is not transactional). Determinism: once the ingest completes
+// and the index quiesces, results are identical to an index built from
+// the final corpus in one shot, at any shard count and on either
+// backend.
+func (s *Service) AddTables(ctx context.Context, tables ...*Table) error {
+	const op = "service: add tables"
+	if len(tables) == 0 {
+		return nil
+	}
+	if err := s.acquire(ctx, op); err != nil {
+		return err
+	}
+	defer s.release()
+	return s.seeker.IR().Tables.IndexTables(ctx, tables)
+}
+
+// DeleteTables removes tables by name from the live index through the
+// scheduler, returning how many of the names were present. Like
+// AddTables, the removal never blocks serving traffic: in-flight queries
+// finish on their pinned views (and may still surface a just-deleted
+// table); queries starting after the call returns do not. Disk-backed
+// indexes log one tombstone record per removed table; the space is
+// reclaimed by the next compaction-triggering Flush.
+func (s *Service) DeleteTables(ctx context.Context, names ...string) (int, error) {
+	const op = "service: delete tables"
+	if len(names) == 0 {
+		return 0, nil
+	}
+	if err := s.acquire(ctx, op); err != nil {
+		return 0, err
+	}
+	defer s.release()
+	ids := make([]string, len(names))
+	for i, name := range names {
+		ids[i] = "table:" + name
+	}
+	return s.seeker.IR().Tables.DeleteDocuments(ids), nil
+}
+
 // Meter exposes the service-wide token/latency accounting (the sum over
 // all sessions). Use Snapshot for a consistent read while sessions are
 // active.
