@@ -4,17 +4,21 @@ GO ?= go
 # (enforced by `make docs` via cmd/pneuma-doccheck).
 DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr .
 
-.PHONY: verify fmt-check vet tier1 race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke ingest-bench docs
+.PHONY: verify fmt-check vet asmvet xbuild-arm64 tier1 race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke bench-compaction bench-compaction-smoke ingest-bench docs
 
-# verify is the one-shot local gate every PR must pass: formatting, vet,
-# the documentation gate, the tier-1 build+test command from ROADMAP.md
+# verify is the one-shot local gate every PR must pass: formatting, vet
+# (plus an explicit asmdecl pass over the assembly kernels and an arm64
+# cross-build so the NEON path cannot rot on amd64-only machines), the
+# documentation gate, the tier-1 build+test command from ROADMAP.md
 # (which includes the AllocsPerRun budget guards), short-mode smokes of
 # the retrieval benchmark pipeline, the disk cold-start pipeline, the
-# int8 speed tier and the mixed read/ingest workload, a short-mode race
-# pass over the concurrent serving path (Service scheduler, cancellation
-# fan-out, disk-backend sessions, the live-ingest churn soak), and a
-# 10-second fuzz pass over the binary decoders.
-verify: fmt-check vet tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke race-smoke fuzz-smoke
+# int8 speed tier, the mixed read/ingest workload and the compaction
+# stall comparison, a short-mode race pass over the concurrent serving
+# path (Service scheduler, cancellation fan-out, disk-backend sessions,
+# the live-ingest churn soak, the SIMD dispatch seam, background
+# compaction under churn), and a 10-second fuzz pass over the binary
+# decoders.
+verify: fmt-check vet asmvet xbuild-arm64 tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke bench-compaction-smoke race-smoke fuzz-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -23,6 +27,24 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# asmvet re-runs just the assembly declaration checker over the SIMD
+# kernels. `go vet ./...` already includes asmdecl for the host GOARCH;
+# this explicit pass also covers the arm64 stubs via the cross-build
+# below and fails fast with a focused message when a kernel's frame or
+# argument layout drifts from its Go declaration.
+asmvet:
+	$(GO) vet -asmdecl ./internal/vecmath/
+	@echo "asmvet: ok"
+
+# xbuild-arm64 cross-compiles the whole module for linux/arm64 so the
+# NEON kernel path (assembly, build tags, dispatch stubs) stays
+# compilable even though CI and dev machines are amd64. Cross-vet runs
+# asmdecl against the arm64 assembly as part of the build's type check.
+xbuild-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) vet -asmdecl ./internal/vecmath/
+	@echo "xbuild-arm64: ok"
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -37,10 +59,12 @@ race:
 # search/delete/flush (compaction included), runs the live-ingest churn
 # soak (readers pinned on epoch views while a mutator streams batched
 # adds/deletes/flushes, with quiesce parity against a sequential
-# replay), and checks the goroutine-leak guard — the serving paths a
-# sequential test run never stresses.
+# replay), hammers the SIMD dispatch seam while kernels run, exercises
+# background compaction racing a paced ingest stream, and checks the
+# goroutine-leak guard — the serving paths a sequential test run never
+# stresses.
 race-smoke:
-	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled|TestDiskConcurrent|TestChurn' . ./internal/retriever/ ./internal/ir/
+	$(GO) test -race -short -count=1 -run 'TestService|TestSearchCanceled|TestIndexDocumentsCanceled|TestQueryPartial|TestQueryCanceled|TestDiskConcurrent|TestChurn|TestBackgroundCompaction|TestDispatchSeamRace' . ./internal/retriever/ ./internal/ir/ ./internal/vecmath/
 	@echo "race-smoke: ok"
 
 # fuzz-smoke runs each native fuzz target for 10 seconds — long enough
@@ -121,6 +145,25 @@ bench-mixed-smoke:
 		echo "bench-mixed-smoke: missing mixed_workload section"; rm -f .bench-mixed-smoke.json; exit 1; }
 	@rm -f .bench-mixed-smoke.json
 	@echo "bench-mixed-smoke: ok"
+
+# bench-compaction measures the max writer stall a segment rewrite
+# inflicts — background (group-commit flusher) vs inline (under the
+# shard lock) over the same delete-then-stream workload — and merges the
+# compaction section into BENCH_retrieval.json.
+bench-compaction:
+	$(GO) run ./cmd/pneuma-bench -compaction -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+
+# bench-compaction-smoke is the short-mode gate wired into `make
+# verify`: a tiny corpus proves both rewrite modes complete, reclaim
+# dead records and report their stalls; absolute stall numbers at this
+# size are noise, so only the section's presence is enforced. The
+# throwaway report is removed afterwards.
+bench-compaction-smoke:
+	@$(GO) run ./cmd/pneuma-bench -compaction -tables 64 -json .bench-compaction-smoke.json >/dev/null
+	@grep -q '"compaction"' .bench-compaction-smoke.json || { \
+		echo "bench-compaction-smoke: missing compaction section"; rm -f .bench-compaction-smoke.json; exit 1; }
+	@rm -f .bench-compaction-smoke.json
+	@echo "bench-compaction-smoke: ok"
 
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:

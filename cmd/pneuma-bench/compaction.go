@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"pneuma/internal/docs"
+	"pneuma/internal/kramabench"
+	"pneuma/internal/retriever"
+)
+
+// compactionConfig bundles the -compaction workload knobs.
+type compactionConfig struct {
+	tables   int
+	jsonPath string
+	baseline string
+}
+
+// runCompactionBench measures what a segment rewrite costs the write path.
+// The same workload runs twice on the disk backend: bulk-ingest a corpus,
+// delete 60% of it (tripping the compaction threshold), then stream fresh
+// documents one at a time while the rewrite races them. The background
+// mode (default) moves the rewrite onto the group-commit flusher and the
+// writer only ever waits for one bounded lock slice; the inline mode
+// (WithBackgroundCompaction(false)) is the pre-background behaviour where
+// the flushing writer performs the whole rewrite under the shard lock.
+// The per-mode max writer stall comes from Retriever.CompactionStats,
+// which times every lock hold taken on account of compaction work.
+func runCompactionBench(ctx context.Context, cfg compactionConfig) {
+	if cfg.tables < 16 {
+		cfg.tables = 16
+	}
+	deleted := cfg.tables * 6 / 10
+	streamed := cfg.tables / 4
+	fmt.Printf("Compaction stall benchmark: %d tables, delete %d, stream %d docs during rewrite\n\n",
+		cfg.tables, deleted, streamed)
+
+	bg := compactionWorkload(ctx, cfg.tables, deleted, streamed, true)
+	inline := compactionWorkload(ctx, cfg.tables, deleted, streamed, false)
+
+	section := &compactionBench{
+		Tables:                   cfg.tables,
+		Deleted:                  deleted,
+		Streamed:                 streamed,
+		BackgroundRuns:           bg.Runs,
+		BackgroundReclaimed:      bg.Reclaimed,
+		BackgroundMaxStallMicros: float64(bg.MaxStall) / float64(time.Microsecond),
+		InlineMaxStallMicros:     float64(inline.MaxStall) / float64(time.Microsecond),
+	}
+	if section.InlineMaxStallMicros > 0 {
+		section.StallRatio = section.BackgroundMaxStallMicros / section.InlineMaxStallMicros
+	}
+	fmt.Printf("  background: %d runs, %d dead records reclaimed, max writer stall %v\n",
+		bg.Runs, bg.Reclaimed, bg.MaxStall.Round(time.Microsecond))
+	fmt.Printf("  inline:     %d runs, %d dead records reclaimed, max writer stall %v\n",
+		inline.Runs, inline.Reclaimed, inline.MaxStall.Round(time.Microsecond))
+	fmt.Printf("  background stall / inline stall: %.2fx\n", section.StallRatio)
+
+	if cfg.baseline != "" {
+		old, err := loadReport(cfg.baseline)
+		fail(err)
+		if old.Compaction != nil {
+			fmt.Println()
+			fmt.Printf("%-28s %12s %12s %9s\n", "metric", "old", "new", "delta")
+			fmt.Printf("%-28s %12.1f %12.1f %9s\n", "compact bg stall (µs)",
+				old.Compaction.BackgroundMaxStallMicros, section.BackgroundMaxStallMicros,
+				deltaPct(old.Compaction.BackgroundMaxStallMicros, section.BackgroundMaxStallMicros, false))
+			fmt.Printf("%-28s %12.1f %12.1f %9s\n", "compact inline stall (µs)",
+				old.Compaction.InlineMaxStallMicros, section.InlineMaxStallMicros,
+				deltaPct(old.Compaction.InlineMaxStallMicros, section.InlineMaxStallMicros, false))
+		}
+	}
+	if cfg.jsonPath != "" {
+		// Merge: keep the sections the other modes recorded in the report.
+		report, err := loadReport(cfg.jsonPath)
+		if err != nil {
+			report = benchReport{Corpus: cfg.tables, Backend: string(retriever.Disk)}
+		}
+		report.GeneratedAt = nowStamp()
+		report.Compaction = section
+		if report.CPU == nil {
+			report.CPU = cpuSection()
+		}
+		fail(writeReport(cfg.jsonPath, report))
+		fmt.Printf("\ncompaction section written to %s\n", cfg.jsonPath)
+	}
+}
+
+// compactionWorkload runs the delete-then-stream workload on a fresh
+// single-shard disk index and returns its compaction counters. One shard
+// keeps the stall attribution unambiguous: every record lands on the
+// segment being rewritten.
+func compactionWorkload(ctx context.Context, tables, deleted, streamed int, background bool) retriever.CompactionStats {
+	dir, err := os.MkdirTemp("", "pneuma-compact-*")
+	fail(err)
+	defer os.RemoveAll(dir)
+
+	corpus := kramabench.SyntheticSlice(tables)
+	r, err := retriever.Open(
+		retriever.WithShards(1),
+		retriever.WithBackend(retriever.Disk),
+		retriever.WithDir(dir),
+		retriever.WithSyncBytes(4096),
+		retriever.WithBackgroundCompaction(background),
+	)
+	fail(err)
+	defer r.Close()
+	fail(r.IndexTables(ctx, corpus))
+	fail(r.Flush())
+
+	for _, t := range corpus[:deleted] {
+		r.Delete("table:" + t.Schema.Name)
+	}
+	// In background mode the deletes above already scheduled the rewrite on
+	// the flusher, so this stream races it; inline mode pays at the Flush.
+	for i := 0; i < streamed; i++ {
+		fail(r.IndexDocument(ctx, docs.Document{
+			ID:      fmt.Sprintf("stream:%04d", i),
+			Title:   fmt.Sprintf("streamed doc %d", i),
+			Content: fmt.Sprintf("document %d arriving while the segment compacts", i),
+		}))
+		time.Sleep(200 * time.Microsecond)
+	}
+	fail(r.Flush())
+	cs := r.CompactionStats()
+	if cs.Runs == 0 {
+		fmt.Fprintf(os.Stderr, "pneuma-bench: no compaction ran (background=%v); workload too small for the threshold\n", background)
+		os.Exit(1)
+	}
+	return cs
+}

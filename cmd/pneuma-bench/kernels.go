@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pneuma/internal/vecmath"
+)
+
+// kernelDim is the vector length the kernel microbenchmark runs at. 384 is
+// the reference dimensionality the SIMD work is specified against (a common
+// sentence-embedding width, larger than the project default so the loop
+// body dominates over call overhead); the end-to-end effect at the actual
+// embedding width shows up in the query percentiles instead.
+const kernelDim = 384
+
+// cpuSection captures the vecmath dispatch state for the report.
+func cpuSection() *cpuStats {
+	return &cpuStats{
+		Tier:         vecmath.Tier(),
+		DetectedTier: vecmath.DetectedTier(),
+		Features:     vecmath.Features(),
+	}
+}
+
+// benchKernel returns f's per-call latency in nanoseconds: a warm-up pass
+// then a timed loop long enough to amortize the clock reads.
+func benchKernel(f func()) float64 {
+	const iters = 200_000
+	for i := 0; i < iters/10; i++ {
+		f()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// kernelSink keeps the benchmarked kernel calls observable so the loops
+// cannot be optimized away.
+var kernelSink float32
+
+// runKernelSection microbenchmarks the hot float32 distance kernels at
+// kernelDim, dispatched tier versus forced scalar over identical operands,
+// and prints the per-kernel speedups. The scalar pass runs under the
+// ForceScalar override, restored before the function returns — callers
+// must not run queries concurrently with this measurement.
+func runKernelSection() *kernelStats {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float32, kernelDim)
+	b := make([]float32, kernelDim)
+	for i := range a {
+		a[i] = rng.Float32() - 0.5
+		b[i] = rng.Float32() - 0.5
+	}
+	na := vecmath.Norm(a)
+	nb := vecmath.Norm(b)
+
+	dot := func() { kernelSink = vecmath.Dot(a, b) }
+	sql2 := func() { kernelSink = vecmath.SquaredL2(a, b) }
+	cos := func() { kernelSink = vecmath.CosineWithNorms(a, b, na, nb) }
+
+	s := &kernelStats{Dim: kernelDim, Tier: vecmath.Tier()}
+	s.DotNs = benchKernel(dot)
+	s.SqrL2Ns = benchKernel(sql2)
+	s.CosineNs = benchKernel(cos)
+
+	vecmath.ForceScalar(true)
+	s.DotScalarNs = benchKernel(dot)
+	s.SqrL2ScalarNs = benchKernel(sql2)
+	s.CosineScalarNs = benchKernel(cos)
+	vecmath.ForceScalar(false)
+
+	s.DotSpeedup = s.DotScalarNs / s.DotNs
+	s.SqrL2Speedup = s.SqrL2ScalarNs / s.SqrL2Ns
+	s.CosineSpeedup = s.CosineScalarNs / s.CosineNs
+
+	fmt.Printf("Float32 kernels at dim %d (%s tier vs scalar):\n", kernelDim, s.Tier)
+	fmt.Printf("  dot        %6.1f ns vs %6.1f ns   %.2fx\n", s.DotNs, s.DotScalarNs, s.DotSpeedup)
+	fmt.Printf("  squared-l2 %6.1f ns vs %6.1f ns   %.2fx\n", s.SqrL2Ns, s.SqrL2ScalarNs, s.SqrL2Speedup)
+	fmt.Printf("  cosine     %6.1f ns vs %6.1f ns   %.2fx\n", s.CosineNs, s.CosineScalarNs, s.CosineSpeedup)
+	return s
+}

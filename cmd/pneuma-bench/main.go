@@ -34,6 +34,17 @@
 //	pneuma-bench -cold                    # 1000-table corpus, temp dir
 //	pneuma-bench -cold -tables 5000 -index-dir ./idx
 //	pneuma-bench -cold -json BENCH_retrieval.json -baseline BENCH_baseline.json
+//
+// -compaction measures what a segment rewrite costs the write path: the
+// same delete-then-stream workload run with the background rewrite
+// (default) and with the inline pre-background behaviour, reporting the
+// max writer stall each mode inflicted and merging a compaction section
+// into the report. Every -ingest run additionally records the machine's
+// detected CPU features and a float32 kernel microbenchmark (dispatched
+// SIMD tier versus forced scalar) in cpu and kernels sections:
+//
+//	pneuma-bench -compaction
+//	pneuma-bench -compaction -tables 2000 -json BENCH_retrieval.json
 package main
 
 import (
@@ -64,6 +75,7 @@ func main() {
 	ingest := flag.Bool("ingest", false, "benchmark sharded ingest throughput and retrieval latency")
 	cold := flag.Bool("cold", false, "benchmark disk-backend cold start: snapshot open vs replay rebuild")
 	mixed := flag.Bool("mixed", false, "benchmark query latency under a live ingest stream vs read-only")
+	compaction := flag.Bool("compaction", false, "benchmark max writer stall during segment compaction: background vs inline rewrite")
 	readers := flag.Int("readers", 4, "reader goroutines for the -mixed workload")
 	ingestTables := flag.Int("ingest-tables", 0, "tables streamed during the -mixed phase (0 = corpus/4)")
 	think := flag.Duration("think", 5*time.Millisecond, "per-reader sleep between -mixed queries (closed loop with think time)")
@@ -113,6 +125,15 @@ func main() {
 			shards:   *shards,
 			rounds:   *coldRounds,
 			indexDir: *indexDir,
+			jsonPath: *jsonPath,
+			baseline: *baselinePath,
+		})
+		return
+	}
+
+	if *compaction {
+		runCompactionBench(ctx, compactionConfig{
+			tables:   *nTables,
 			jsonPath: *jsonPath,
 			baseline: *baselinePath,
 		})
@@ -350,6 +371,7 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 	fmt.Printf("  p50 %v   p99 %v   max %v\n",
 		p(0.50).Round(time.Microsecond), p(0.99).Round(time.Microsecond), lat[nq-1].Round(time.Microsecond))
 	fmt.Printf("  %.0f allocs/op   %.0f bytes/op\n", allocsPerOp, bytesPerOp)
+	fmt.Println()
 
 	report := benchReport{
 		GeneratedAt: nowStamp(),
@@ -357,6 +379,8 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 		Shards:      par.NumShards(),
 		Backend:     string(cfg.backend),
 		Ef:          par.Ef(),
+		CPU:         cpuSection(),
+		Kernels:     runKernelSection(),
 		Ingest: ingestStats{
 			SeqTablesPerSec: float64(n) / seqDur.Seconds(),
 			ParTablesPerSec: float64(n) / parDur.Seconds(),
@@ -400,6 +424,9 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 			}
 			if prev.Mixed != nil {
 				report.Mixed = prev.Mixed
+			}
+			if prev.Compaction != nil {
+				report.Compaction = prev.Compaction
 			}
 		}
 		fail(writeReport(cfg.jsonPath, report))

@@ -14,17 +14,74 @@ import (
 // embeds the baseline it was compared to, making the file a self-contained
 // before/after record of the repo's perf trajectory.
 type benchReport struct {
-	GeneratedAt string          `json:"generated_at"`
-	Corpus      int             `json:"corpus_tables"`
-	Shards      int             `json:"shards"`
-	Backend     string          `json:"backend"`
-	Ef          int             `json:"ef"`
-	Ingest      ingestStats     `json:"ingest"`
-	Query       queryStats      `json:"query"`
-	Quantized   *quantStats     `json:"quantized,omitempty"`
-	ColdStart   *coldStartStats `json:"cold_start,omitempty"`
-	Mixed       *mixedStats     `json:"mixed_workload,omitempty"`
-	Baseline    *benchReport    `json:"baseline,omitempty"`
+	GeneratedAt string           `json:"generated_at"`
+	Corpus      int              `json:"corpus_tables"`
+	Shards      int              `json:"shards"`
+	Backend     string           `json:"backend"`
+	Ef          int              `json:"ef"`
+	CPU         *cpuStats        `json:"cpu,omitempty"`
+	Ingest      ingestStats      `json:"ingest"`
+	Query       queryStats       `json:"query"`
+	Kernels     *kernelStats     `json:"kernels,omitempty"`
+	Quantized   *quantStats      `json:"quantized,omitempty"`
+	ColdStart   *coldStartStats  `json:"cold_start,omitempty"`
+	Mixed       *mixedStats      `json:"mixed_workload,omitempty"`
+	Compaction  *compactionBench `json:"compaction,omitempty"`
+	Baseline    *benchReport     `json:"baseline,omitempty"`
+}
+
+// cpuStats records what the vecmath dispatch seam detected on the machine
+// that produced the report. Numbers from different dispatch tiers are not
+// comparable (an avx2 report diffed against a scalar one measures the CPU,
+// not the code), so the tier travels with the measurements.
+type cpuStats struct {
+	// Tier is the kernel set serving queries during the run; DetectedTier
+	// is what CPUID found. They differ only under a force-scalar override.
+	Tier         string   `json:"dispatch_tier"`
+	DetectedTier string   `json:"detected_tier"`
+	Features     []string `json:"features,omitempty"`
+}
+
+// kernelStats is the float32 kernel microbenchmark written by every
+// -ingest run: per-call latency of the two hot distance kernels at the
+// embedding dimensionality, dispatched tier versus forced scalar, over
+// identical operands. The speedups are the headline numbers for the SIMD
+// work; the end-to-end effect shows up in the query percentiles.
+type kernelStats struct {
+	Dim            int     `json:"dim"`
+	Tier           string  `json:"tier"`
+	DotScalarNs    float64 `json:"dot_scalar_ns"`
+	DotNs          float64 `json:"dot_ns"`
+	DotSpeedup     float64 `json:"dot_speedup"`
+	SqrL2ScalarNs  float64 `json:"squared_l2_scalar_ns"`
+	SqrL2Ns        float64 `json:"squared_l2_ns"`
+	SqrL2Speedup   float64 `json:"squared_l2_speedup"`
+	CosineScalarNs float64 `json:"cosine_scalar_ns"`
+	CosineNs       float64 `json:"cosine_ns"`
+	CosineSpeedup  float64 `json:"cosine_speedup"`
+}
+
+// compactionBench is the writer-stall record written by the -compaction
+// mode: the same delete-then-stream workload run twice on the disk
+// backend, once with the background rewrite (default) and once inline
+// (the pre-background behaviour), with the longest single writer stall
+// each mode inflicted. The ratio is the headline for "compaction off the
+// write path".
+type compactionBench struct {
+	Tables   int `json:"tables"`
+	Deleted  int `json:"deleted"`
+	Streamed int `json:"streamed_docs"`
+	// Background-mode counters from Retriever.CompactionStats; Reclaimed
+	// counts dead records dropped by the rewrites, not bytes.
+	BackgroundRuns      uint64 `json:"background_runs"`
+	BackgroundReclaimed int64  `json:"background_reclaimed_records"`
+	// Max writer stall: the longest time any single write-path operation
+	// held a shard lock on account of compaction work, per mode.
+	BackgroundMaxStallMicros float64 `json:"background_max_stall_us"`
+	InlineMaxStallMicros     float64 `json:"inline_max_stall_us"`
+	// StallRatio is background/inline; well under 1.0 when the rewrite
+	// genuinely left the write path.
+	StallRatio float64 `json:"stall_ratio"`
 }
 
 // mixedStats is the live-ingest serving record written by the -mixed
@@ -171,10 +228,18 @@ func compareReports(old, cur benchReport) {
 	row("query p99 (µs)", old.Query.P99Micros, cur.Query.P99Micros, false)
 	row("query allocs/op", old.Query.AllocsPerOp, cur.Query.AllocsPerOp, false)
 	row("query bytes/op", old.Query.BytesPerOp, cur.Query.BytesPerOp, false)
+	if old.Kernels != nil && cur.Kernels != nil {
+		row("kernel dot (ns)", old.Kernels.DotNs, cur.Kernels.DotNs, false)
+		row("kernel squared-l2 (ns)", old.Kernels.SqrL2Ns, cur.Kernels.SqrL2Ns, false)
+	}
 	if old.Quantized != nil && cur.Quantized != nil {
 		row("quantized p50 (µs)", old.Quantized.P50Micros, cur.Quantized.P50Micros, false)
 		row("quantized p99 (µs)", old.Quantized.P99Micros, cur.Quantized.P99Micros, false)
 		row("quantized recall@10", old.Quantized.RecallAt10, cur.Quantized.RecallAt10, true)
+	}
+	if old.Compaction != nil && cur.Compaction != nil {
+		row("compact bg stall (µs)", old.Compaction.BackgroundMaxStallMicros, cur.Compaction.BackgroundMaxStallMicros, false)
+		row("compact inline stall (µs)", old.Compaction.InlineMaxStallMicros, cur.Compaction.InlineMaxStallMicros, false)
 	}
 	compareColdStart(old.ColdStart, cur.ColdStart)
 }

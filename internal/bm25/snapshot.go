@@ -381,3 +381,31 @@ func (ix *Index) Compact() {
 	ix.byID = byID
 	ix.view.Store(v)
 }
+
+// AdoptFrom atomically replaces this index's contents with donor's: the
+// published view and the writer state (ID map, batch stamps) move over.
+// The donor is expected to be a shadow rebuilt in local-statistics mode
+// over this index's live documents (background segment compaction builds
+// it that way so the rebuild never touches the shared Stats object, whose
+// counts already reflect exactly those documents). If this index scores
+// against a shared Stats, the adopted view is re-pointed at it and the
+// donor's local document-frequency slice is dropped — ranking is unchanged
+// because the shared counts and the donor's local counts describe the same
+// corpus. Readers are never blocked; the donor must not be used afterwards.
+func (ix *Index) AdoptFrom(donor *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	donor.mu.Lock()
+	defer donor.mu.Unlock()
+	v := *donor.view.Load()
+	if st := ix.view.Load().stats; st != nil {
+		v.stats = st
+		v.df = nil
+	}
+	ix.byID = donor.byID
+	ix.batch = donor.batch
+	ix.pubDocs = donor.pubDocs
+	ix.docsBatch = donor.docsBatch
+	ix.dfBatch = donor.dfBatch
+	ix.publish(&v)
+}

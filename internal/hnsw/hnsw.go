@@ -441,6 +441,33 @@ func (ix *Index) Compact() {
 	ix.publish(g)
 }
 
+// AdoptFrom atomically replaces this index's contents with donor's: the
+// published view and the complete writer state (level generator, ID map,
+// batch stamps) move over, so subsequent Adds behave exactly as they would
+// have on the donor. Readers of this index are never blocked — they keep
+// serving the old view until the donor's graph is published with one
+// atomic swap. The donor must not be used afterwards; it exists so
+// background segment compaction can build a shadow index off-lock and
+// install it in O(1) under the shard writer lock.
+func (ix *Index) AdoptFrom(donor *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	donor.mu.Lock()
+	defer donor.mu.Unlock()
+	ix.rng = donor.rng
+	ix.rngDraws = donor.rngDraws
+	ix.byID = donor.byID
+	ix.copied = donor.copied
+	ix.batch = donor.batch
+	ix.linksBatch = donor.linksBatch
+	ix.delBatch = donor.delBatch
+	// Publish a copy of the donor's graph header: publish stamps g.quant
+	// in place, and the donor's own view must stay untouched in case it
+	// still has readers mid-search.
+	g := *donor.view.Load()
+	ix.publish(&g)
+}
+
 // Result is one nearest-neighbour hit.
 type Result struct {
 	ID string

@@ -217,13 +217,27 @@ func (ix *Index) LoadSnapshot(rd *wire.Reader) error {
 // rewrite a log with exactly the surviving inserts, in their original
 // relative order.
 func (ix *Index) ForEachLive(fn func(id string, vec []float32) bool) {
+	ix.PinLive()(fn)
+}
+
+// PinLive pins the view current at call time and returns a walker over
+// its live nodes, decoupling the pin from the walk: background compaction
+// pins under the shard writer lock (freezing exactly which inserts the
+// shadow rebuild will see) and then walks off-lock, possibly much later
+// and in chunks, while concurrent writers keep publishing newer views.
+// The walker has ForEachLive's contract — insertion order, early stop on
+// false, vectors alias the pinned arena — and may be invoked repeatedly;
+// each invocation walks the same frozen view.
+func (ix *Index) PinLive() func(fn func(id string, vec []float32) bool) {
 	g := ix.view.Load()
-	for i := range g.ids {
-		if g.deleted[i] {
-			continue
-		}
-		if !fn(g.ids[i], g.vecAt(i)) {
-			return
+	return func(fn func(id string, vec []float32) bool) {
+		for i := range g.ids {
+			if g.deleted[i] {
+				continue
+			}
+			if !fn(g.ids[i], g.vecAt(i)) {
+				return
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"pneuma/internal/bm25"
 	"pneuma/internal/docs"
@@ -157,8 +158,12 @@ type diskKnobs struct {
 	quantize bool
 	// mmap makes snapshot loads map the file instead of reading it.
 	mmap bool
-	// gc is the retriever-wide group-commit coordinator; nil defers all
-	// durability to Flush/Close (see groupcommit.go).
+	// background moves due compactions off the write path onto the
+	// group-commit flusher goroutine (see compact.go); off, they run
+	// inline under the shard lock at Flush/Close as before.
+	background bool
+	// gc is the retriever-wide group-commit coordinator; nil only for
+	// backends opened outside a Retriever (see groupcommit.go).
 	gc *groupCommit
 }
 
@@ -179,6 +184,7 @@ type diskBackend struct {
 
 	gen      uint64 // segment generation (bumped by compaction)
 	segSize  int64  // logical segment size: header + whole records, incl. buffered
+	flushed  int64  // prefix of segSize actually written to the OS file (not buffered)
 	snapSize int64  // segment offset covered by the on-disk snapshot
 	records  int64  // records in the segment (live + dead)
 
@@ -190,6 +196,18 @@ type diskBackend struct {
 	pendingBytes int64
 	syncErr      error
 	fsyncs       uint64
+
+	// Background-compaction state, guarded by the shard lock (compact.go).
+	// compactDone is non-nil while a rewrite is scheduled or running and is
+	// closed when it finishes (however it finishes); compactErr parks a
+	// failure for the next Flush/Close, like syncErr. The remaining fields
+	// feed Retriever.CompactionStats.
+	compactWant     bool
+	compactDone     chan struct{}
+	compactErr      error
+	compactRuns     uint64
+	compactReclaim  int64
+	compactMaxStall time.Duration
 
 	// snapMap is the snapshot file mapping the shard's arenas and strings
 	// alias when opened with mmap; released only at Close, because even
@@ -286,6 +304,7 @@ func openDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.Stats,
 		knobs:         knobs,
 		gen:           gen,
 		segSize:       good,
+		flushed:       good,
 		snapSize:      water,
 		records:       recs + replayed,
 		snapMap:       snapMap,
@@ -407,35 +426,52 @@ func applyRecord(mem *memoryBackend, payload []byte) (bool, error) {
 	return true, nil
 }
 
+// writeFramedRecord frames one record payload (uvarint length prefix +
+// payload + CRC32) into w, using frame as scratch, and returns the framed
+// byte count. Shared by the live append path, segment rewrites and the
+// background-compaction catch-up copier — every segment byte goes through
+// the same framing.
+func writeFramedRecord(w io.Writer, frame *wire.Writer, payload []byte) (int64, error) {
+	frame.Reset()
+	frame.Uvarint(uint64(len(payload)))
+	if _, err := w.Write(frame.Bytes()); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crcb[:]); err != nil {
+		return 0, err
+	}
+	return int64(frame.Len()+len(payload)) + 4, nil
+}
+
 // appendRecord frames the current contents of b.rec (length prefix +
 // payload + CRC32) into the segment buffer. Writers never fsync inline:
 // when a sync policy is configured the record joins the shard's pending
 // batch and the group-commit flusher is poked (immediately if a count or
 // byte threshold tripped, otherwise after the latency bound — see
 // groupcommit.go). Without a policy, durability is deferred to
-// Flush/Close as before.
+// Flush/Close as before. Either way, the append also checks the
+// compaction threshold, so a segment whose dead fraction crosses the
+// configured ratio starts its background rewrite immediately instead of
+// waiting for the next Flush.
 func (b *diskBackend) appendRecord() error {
-	payload := b.rec.Bytes()
-	b.frame.Reset()
-	b.frame.Uvarint(uint64(len(payload)))
-	if _, err := b.w.Write(b.frame.Bytes()); err != nil {
+	rec, err := writeFramedRecord(b.w, &b.frame, b.rec.Bytes())
+	if err != nil {
 		return err
 	}
-	if _, err := b.w.Write(payload); err != nil {
-		return err
-	}
-	var crcb [4]byte
-	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(payload))
-	if _, err := b.w.Write(crcb[:]); err != nil {
-		return err
-	}
-	rec := int64(b.frame.Len()+len(payload)) + 4
 	b.segSize += rec
 	b.records++
-	if gc := b.knobs.gc; gc != nil {
+	if gc := b.knobs.gc; gc != nil && gc.sync {
 		b.pendingRecs++
 		b.pendingBytes += rec
 		gc.signal(gc.tripped(b.pendingRecs, b.pendingBytes))
+	}
+	if b.backgroundCompaction() && b.compactDone == nil && b.shouldCompact() {
+		b.scheduleCompactLocked()
 	}
 	return nil
 }
@@ -522,6 +558,7 @@ func (b *diskBackend) syncSegment() error {
 	if err := b.w.Flush(); err != nil {
 		return err
 	}
+	b.flushed = b.segSize
 	if err := b.f.Sync(); err != nil {
 		return err
 	}
@@ -529,15 +566,19 @@ func (b *diskBackend) syncSegment() error {
 	return nil
 }
 
-// Flush makes the shard durable: the segment is drained and fsynced,
-// then — per the configured policy — a compaction rewrite runs when the
-// dead-record fraction crosses the threshold, and a fresh snapshot is
-// written when records were appended since the last one. Any sync error
-// the group-commit flusher parked since the last Flush surfaces here
-// first.
+// Flush makes the shard durable inline, entirely under the caller's shard
+// lock: the segment is drained and fsynced, then — per the configured
+// policy — a compaction rewrite runs when the dead-record fraction crosses
+// the threshold, and a fresh snapshot is written when records were
+// appended since the last one. Any sync or background-compaction error
+// parked by the flusher since the last Flush surfaces here first.
+//
+// This is the Close path (and the whole story with background compaction
+// off). Retriever.Flush instead goes through flushLocked/finishFlushLocked
+// (compact.go) so a due compaction runs on the flusher goroutine while the
+// shard keeps serving writes.
 func (b *diskBackend) Flush() error {
-	if err := b.syncErr; err != nil {
-		b.syncErr = nil
+	if err := b.takeAsyncErr(); err != nil {
 		return err
 	}
 	if err := b.syncSegment(); err != nil {
@@ -550,6 +591,21 @@ func (b *diskBackend) Flush() error {
 	}
 	if b.knobs.snapshot && b.segSize != b.snapSize {
 		return b.writeSnapshot()
+	}
+	return nil
+}
+
+// takeAsyncErr surfaces (and clears) the first error the flusher parked on
+// this shard — a failed group-commit fsync or a failed background
+// compaction — in that order.
+func (b *diskBackend) takeAsyncErr() error {
+	if err := b.syncErr; err != nil {
+		b.syncErr = nil
+		return err
+	}
+	if err := b.compactErr; err != nil {
+		b.compactErr = nil
+		return err
 	}
 	return nil
 }
@@ -573,13 +629,36 @@ func (b *diskBackend) shouldCompact() bool {
 // in-memory state to match a replay of the rewritten log — graph
 // construction reruns without the tombstoned nodes, so post-compaction
 // results are those of a fresh index over the surviving corpus — and
-// writes a fresh snapshot.
+// writes a fresh snapshot. This is the inline variant: the caller's shard
+// lock is held throughout, so the whole rewrite counts as writer stall
+// (the number the background path exists to shrink).
 func (b *diskBackend) compact() error {
+	start := time.Now()
+	before := b.records
 	size, recs, err := rewriteSegment(b.memoryBackend, b.path, b.gen+1)
 	if err != nil {
 		return err
 	}
-	// Swap the file handle to the rewritten segment.
+	if err := b.swapSegment(size, recs); err != nil {
+		return err
+	}
+	if err := b.memoryBackend.compact(); err != nil {
+		return err
+	}
+	b.noteCompaction(before-recs, time.Since(start))
+	if b.knobs.snapshot {
+		return b.writeSnapshot()
+	}
+	return nil
+}
+
+// swapSegment retargets the shard's write state at the freshly renamed
+// segment file of the given logical size and record count: the old handle
+// is swapped for a new one positioned at the segment's end, the
+// generation advances, and the snapshot watermark resets (the previous
+// snapshot's generation is now stale). Shared by inline and background
+// compaction; shard lock held.
+func (b *diskBackend) swapSegment(size, recs int64) error {
 	if err := b.f.Close(); err != nil {
 		return err
 	}
@@ -595,16 +674,11 @@ func (b *diskBackend) compact() error {
 	b.w.Reset(nf)
 	b.gen++
 	b.segSize = size
-	b.snapSize = 0 // the previous snapshot's generation is now stale
+	b.flushed = size
+	b.snapSize = 0
 	b.records = recs
 	b.pendingRecs = 0
 	b.pendingBytes = 0
-	if err := b.memoryBackend.compact(); err != nil {
-		return err
-	}
-	if b.knobs.snapshot {
-		return b.writeSnapshot()
-	}
 	return nil
 }
 
@@ -639,21 +713,11 @@ func rewriteSegment(mem *memoryBackend, path string, gen uint64) (int64, int64, 
 		rec.String(id)
 		rec.Float32s(vec)
 		encodeDoc(&rec, d)
-		payload := rec.Bytes()
-		frame.Reset()
-		frame.Uvarint(uint64(len(payload)))
-		var crcb [4]byte
-		binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(payload))
-		if _, werr = w.Write(frame.Bytes()); werr != nil {
+		var n int64
+		if n, werr = writeFramedRecord(w, &frame, rec.Bytes()); werr != nil {
 			return false
 		}
-		if _, werr = w.Write(payload); werr != nil {
-			return false
-		}
-		if _, werr = w.Write(crcb[:]); werr != nil {
-			return false
-		}
-		size += int64(frame.Len()+len(payload)) + 4
+		size += n
 		recs++
 		return true
 	})

@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -757,5 +758,34 @@ func TestDiskConcurrentAccess(t *testing.T) {
 	defer re.Close()
 	if re.Len() != 24 {
 		t.Fatalf("Len after concurrent deletes = %d, want 24", re.Len())
+	}
+}
+
+// TestParallelShardOpenBeatsSequential pins the concurrent cold open
+// (shards load in parallel goroutines, landed with the snapshot work):
+// the fan-out wall clock must beat the sum of the per-shard open times,
+// which is what a sequential open would have cost. The comparison only
+// means something with real parallelism and non-trivial per-shard work,
+// so it skips on single-CPU runners and sub-millisecond corpora.
+func TestParallelShardOpenBeatsSequential(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs ≥2 CPUs for a parallel open to beat the sequential sum")
+	}
+	dir := t.TempDir()
+	n := 120
+	if !testing.Short() {
+		n = 480
+	}
+	buildDiskIndex(t, dir, n, 4)
+	re, err := Open(WithBackend(Disk), WithDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.openShardSum < 2*time.Millisecond {
+		t.Skipf("per-shard opens too fast to compare meaningfully (sum %v)", re.openShardSum)
+	}
+	if re.openWall >= re.openShardSum {
+		t.Fatalf("concurrent open took %v, sequential sum of shard opens is %v — fan-out paid nothing", re.openWall, re.openShardSum)
 	}
 }

@@ -16,6 +16,12 @@ const DefaultSyncInterval = 2 * time.Millisecond
 // trips — and pays one fsync per shard for the whole batch, so N
 // concurrent writers share a single disk barrier instead of issuing N.
 type groupCommit struct {
+	// sync reports whether a durability trigger is configured. The
+	// coordinator now exists for every Disk retriever — its goroutine is
+	// also where background compaction runs — but without a sync policy
+	// the writers never enqueue pending-fsync work and durability stays at
+	// Flush/Close, exactly the pre-group-commit default.
+	sync bool
 	// Trigger thresholds: every fires on pending record count (the
 	// deprecated WithSyncEvery alias), bytes on pending payload bytes,
 	// interval is the latency bound started by the first pending record.
@@ -25,29 +31,28 @@ type groupCommit struct {
 
 	notify  chan struct{} // ≥1 record pending somewhere
 	kick    chan struct{} // a count/byte threshold tripped: sync now
+	compact chan struct{} // ≥1 shard scheduled a background compaction
 	done    chan struct{} // closed by Close: flush once more and exit
 	stopped chan struct{} // closed by the flusher on exit
 }
 
-// newGroupCommit resolves the configured knobs into a trigger set. A nil
-// return means no sync policy is active and durability stays at
-// Flush/Close, exactly the pre-group-commit default.
+// newGroupCommit resolves the configured knobs into a trigger set.
 func newGroupCommit(every int, bytes int64, interval time.Duration) *groupCommit {
-	if every <= 0 && bytes <= 0 && interval <= 0 {
-		return nil
-	}
-	if interval <= 0 {
-		interval = DefaultSyncInterval
-	}
-	return &groupCommit{
+	g := &groupCommit{
+		sync:     every > 0 || bytes > 0 || interval > 0,
 		every:    every,
 		bytes:    bytes,
 		interval: interval,
 		notify:   make(chan struct{}, 1),
 		kick:     make(chan struct{}, 1),
+		compact:  make(chan struct{}, 1),
 		done:     make(chan struct{}),
 		stopped:  make(chan struct{}),
 	}
+	if g.sync && g.interval <= 0 {
+		g.interval = DefaultSyncInterval
+	}
+	return g
 }
 
 // signal wakes the flusher; trip requests an immediate sync instead of
@@ -63,6 +68,17 @@ func (g *groupCommit) signal(trip bool) {
 		case g.kick <- struct{}{}:
 		default:
 		}
+	}
+}
+
+// signalCompact wakes the flusher to run scheduled background
+// compactions. Non-blocking; the per-shard compactWant flags (set under
+// the shard locks before this is called) carry which shards need work, so
+// one token is never a lost wakeup.
+func (g *groupCommit) signalCompact() {
+	select {
+	case g.compact <- struct{}{}:
+	default:
 	}
 }
 
@@ -86,6 +102,11 @@ func (g *groupCommit) tripped(pendingRecs int, pendingBytes int64) bool {
 // surface from the next Flush/Close — the writer that triggered the batch
 // has already returned, which is the documented durability trade of the
 // latency-bound window.
+//
+// The same goroutine runs background segment compaction (see compact.go):
+// a compaction signal starts an incremental rewrite that takes the shard
+// lock only in short slices, servicing pending fsyncs between slices so
+// the latency bound survives a long rewrite.
 func (r *Retriever) flusher() {
 	g := r.gc
 	defer close(g.stopped)
@@ -94,6 +115,9 @@ func (r *Retriever) flusher() {
 		case <-g.done:
 			r.syncPendingShards()
 			return
+		case <-g.compact:
+			r.compactPendingShards()
+			continue
 		case <-g.notify:
 		}
 		t := time.NewTimer(g.interval)

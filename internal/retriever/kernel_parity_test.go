@@ -1,0 +1,51 @@
+package retriever
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pneuma/internal/vecmath"
+)
+
+// TestScalarDispatchParity is the retriever-level half of the SIMD
+// determinism contract: search results must be bit-identical between the
+// dispatched kernel tier and the forced-scalar tier — same IDs, same
+// order, same float32 scores — at every shard count and on both
+// backends. The kernel differential tests prove each primitive agrees at
+// every vector length; this proves nothing above them (normalization at
+// embed time, HNSW traversal order, RRF fusion) lets a tier leak into
+// ranking. On machines without a SIMD tier both passes run the same
+// scalar code and the test degenerates to a self-comparison.
+func TestScalarDispatchParity(t *testing.T) {
+	defer vecmath.ForceScalar(false)
+	tables := corpusSlice(48)
+	for _, shards := range []int{1, 4, 8} {
+		for _, backend := range []Backend{Memory, Disk} {
+			t.Run(fmt.Sprintf("%s-%dshard", backend, shards), func(t *testing.T) {
+				opts := []Option{WithShards(shards), WithBackend(backend)}
+				if backend == Disk {
+					opts = append(opts, WithDir(t.TempDir()))
+				}
+				r, err := Open(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Close()
+				// Index under the dispatched tier; the stored vectors are
+				// tier-independent because the kernels are bit-identical.
+				vecmath.ForceScalar(false)
+				if err := r.IndexTables(context.Background(), tables); err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range parityQueries {
+					dispatched := mustSearch(t, r, q, 10)
+					vecmath.ForceScalar(true)
+					scalar := mustSearch(t, r, q, 10)
+					vecmath.ForceScalar(false)
+					assertSameResults(t, "scalar-vs-"+vecmath.DetectedTier()+" "+q, dispatched, scalar)
+				}
+			})
+		}
+	}
+}

@@ -183,6 +183,7 @@ func openLegacyDiskBackend(path, snapPath string, dim int, seed int64, st *bm25.
 		knobs:         knobs,
 		gen:           1,
 		segSize:       size,
+		flushed:       size,
 		records:       recs,
 	}
 	// A pre-binary index never has a snapshot; write one now so the next

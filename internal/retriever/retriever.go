@@ -100,6 +100,7 @@ type Retriever struct {
 	syncInterval time.Duration
 	compactRatio float64
 	noSnapshot   bool
+	noBgCompact  bool
 	useMmap      bool
 	// quantize enables the int8 speed tier on every shard's HNSW index
 	// (see WithQuantize); honoured by both backends.
@@ -131,6 +132,12 @@ type Retriever struct {
 	// scratch pools *searchScratch values so steady-state Search reuses
 	// its merge buffers and fusion map instead of allocating per query.
 	scratch sync.Pool
+	// openWall/openShardSum record the Disk backend's cold-open fan-out:
+	// wall clock of the concurrent shard open versus the sum of per-shard
+	// open times (what a sequential open would cost). Written once by
+	// Open, read by tests asserting the parallel open pays.
+	openWall     time.Duration
+	openShardSum time.Duration
 }
 
 // Option configures a Retriever.
@@ -294,6 +301,21 @@ func WithCompactionRatio(ratio float64) Option {
 	return func(r *Retriever) { r.compactRatio = ratio }
 }
 
+// WithBackgroundCompaction toggles running due segment compactions on the
+// retriever's flusher goroutine instead of inline under the shard writer
+// lock (default on). In background mode a rewrite proceeds as an
+// incremental shadow rebuild that takes each shard's lock only in short
+// slices, so concurrent writers stall for at most one slice's work
+// instead of the whole rewrite; Flush still waits for a rewrite it
+// triggers, so its post-conditions (compacted segment, fresh snapshot)
+// are unchanged. A compaction can also start between Flushes, as soon as
+// the dead-record fraction crosses the WithCompactionRatio threshold.
+// Turning it off restores the inline behaviour: compaction runs under the
+// lock at Flush/Close only. The Memory backend ignores the knob.
+func WithBackgroundCompaction(on bool) Option {
+	return func(r *Retriever) { r.noBgCompact = !on }
+}
+
 // WithSnapshotOnFlush toggles writing a per-shard state snapshot on
 // Flush/Close (default on). With a current snapshot, reopening the index
 // bulk-loads the built HNSW/BM25 state and replays only the records
@@ -363,6 +385,7 @@ func Open(opts ...Option) (*Retriever, error) {
 			snapshot:     !r.noSnapshot,
 			quantize:     r.quantize,
 			mmap:         r.useMmap,
+			background:   !r.noBgCompact,
 			gc:           r.gc,
 		}
 		switch {
@@ -376,14 +399,20 @@ func Open(opts ...Option) (*Retriever, error) {
 		// Shards load concurrently: snapshot loads and replays are
 		// independent per shard, and the shared BM25 statistics updates
 		// are commutative, so the built state is identical to a
-		// sequential open regardless of goroutine interleaving.
+		// sequential open regardless of goroutine interleaving. Per-shard
+		// durations and the fan-out wall clock are recorded so tests (and
+		// curious operators) can verify the parallelism actually pays:
+		// openShardSum is what a sequential open would have cost.
 		bes := make([]ShardBackend, r.numShards)
 		errs := make([]error, r.numShards)
+		durs := make([]time.Duration, r.numShards)
+		openStart := time.Now()
 		var wg sync.WaitGroup
 		for i := 0; i < r.numShards; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				t0 := time.Now()
 				seg := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.seg", i))
 				snap := filepath.Join(r.dir, fmt.Sprintf("shard-%04d.snap", i))
 				if legacy {
@@ -391,9 +420,14 @@ func Open(opts ...Option) (*Retriever, error) {
 				} else {
 					bes[i], errs[i] = openDiskBackend(seg, snap, r.emb.Dim(), hnswSeed+int64(i), r.stats, r.ef, knobs)
 				}
+				durs[i] = time.Since(t0)
 			}(i)
 		}
 		wg.Wait()
+		r.openWall = time.Since(openStart)
+		for _, d := range durs {
+			r.openShardSum += d
+		}
 		for _, err := range errs {
 			if err == nil {
 				continue
@@ -491,20 +525,58 @@ func (r *Retriever) release() { r.refs.Add(-1) }
 // backend; a no-op for Memory). Searches keep serving throughout: any
 // compaction a Flush triggers publishes its rebuilt state by atomic view
 // swap, and in-flight queries finish on their pinned pre-flush views.
+//
+// With background compaction on (the default), a shard whose dead-record
+// fraction crosses the threshold is handed to the flusher goroutine and
+// Flush waits for the rewrite without holding any shard lock — writers
+// and searches proceed while Flush blocks, and Flush's post-conditions
+// (compacted segment, current snapshot) still hold when it returns. If
+// Close races the wait, the remaining work completes inline there.
 func (r *Retriever) Flush() error {
 	if err := r.acquire("retriever: flush"); err != nil {
 		return err
 	}
 	defer r.release()
+	var waits []<-chan struct{}
 	for _, s := range r.shards {
 		s.mu.Lock()
-		err := s.be.Flush()
+		var ch <-chan struct{}
+		var err error
+		if db, ok := s.be.(*diskBackend); ok {
+			ch, err = db.flushLocked()
+		} else {
+			err = s.be.Flush()
+		}
 		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
+		if ch != nil {
+			waits = append(waits, ch)
+		}
 	}
-	return nil
+	if len(waits) == 0 {
+		return nil
+	}
+	for _, ch := range waits {
+		select {
+		case <-ch:
+		case <-r.gc.stopped:
+			// Close stopped the flusher mid-wait; its inline Flush owns
+			// whatever the background rewrite left undone.
+		}
+	}
+	var first error
+	for _, s := range r.shards {
+		s.mu.Lock()
+		if db, ok := s.be.(*diskBackend); ok {
+			if err := db.finishFlushLocked(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return first
 }
 
 // Close flushes and releases every shard, then drops the index-directory

@@ -1,0 +1,40 @@
+// Package vecmath provides the small float32 vector kernels used by the
+// embedder and the HNSW index — dot product, norms, cosine similarity,
+// squared Euclidean distance — plus the int8 dot product behind the
+// quantized speed tier.
+//
+// # Dispatch tiers
+//
+// The float32 kernels (Dot, SquaredL2, and through them Norm and
+// CosineWithNorms) run on one of three dispatch tiers, selected once at
+// init through an atomic function-pointer seam:
+//
+//   - "avx2" on amd64, when CPUID reports AVX2 and the OS has enabled YMM
+//     state (OSXSAVE + XCR0); unlike the int8 kernel's SSE2, AVX2 is not
+//     in the amd64 baseline and must be feature-detected.
+//   - "neon" on arm64, unconditionally — Advanced SIMD is part of the
+//     ARMv8-A baseline.
+//   - "scalar" everywhere else, under the purego build tag, when the
+//     PNEUMA_FORCE_SCALAR environment variable is set, or after
+//     ForceScalar(true).
+//
+// # The determinism contract
+//
+// Every tier computes the same canonical lane-accumulation scheme: blocks
+// of eight elements feed eight independent accumulator lanes (element i
+// goes to lane i mod 8), the lanes reduce in the fixed order
+// ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)), and the sub-block tail is added
+// sequentially onto the block sum. No implementation uses FMA: the
+// assembly kernels multiply and add in separate instructions, and the
+// pure-Go reference wraps each product in an explicit float32 conversion,
+// which the language spec defines as a rounding point the compiler may
+// not fuse through. The result: Dot, SquaredL2, Norm and CosineWithNorms
+// are bit-identical across scalar, AVX2 (one 8-lane register) and NEON
+// (two 4-lane registers) at every input length — so search results,
+// stored norms and snapshots are portable across machines and across
+// ForceScalar toggles.
+//
+// The canonical result differs in the last ULP from a naive sequential
+// sum, which is why every caller in the repo goes through this package
+// rather than hand-rolling a loop.
+package vecmath

@@ -1,0 +1,108 @@
+//go:build amd64 && !purego
+
+package vecmath
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+// Implemented in kern_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0). Only valid when CPUID
+// reports OSXSAVE; implemented in kern_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// dotAVX2 and sqL2AVX2 are the AVX2 float32 kernels (kern_amd64.s). They
+// require n > 0 and both slices to hold at least n elements; the Go
+// wrappers below enforce that. Each computes the canonical lane scheme of
+// dotScalar/sqL2Scalar exactly — eight accumulator lanes in one YMM
+// register, fixed-order reduction, sequential scalar tail — so results
+// are bit-identical to the scalar tier.
+//
+//go:noescape
+func dotAVX2(a, b *float32, n int) float32
+
+//go:noescape
+func sqL2AVX2(a, b *float32, n int) float32
+
+func dotAVX2Kernel(a, b []float32) float32 {
+	if len(a) == 0 {
+		return 0
+	}
+	return dotAVX2(&a[0], &b[0], len(a))
+}
+
+func sqL2AVX2Kernel(a, b []float32) float32 {
+	if len(a) == 0 {
+		return 0
+	}
+	return sqL2AVX2(&a[0], &b[0], len(a))
+}
+
+// amd64 CPU feature bits consulted by the dispatch gate.
+const (
+	cpuidSSE42   = 1 << 20 // leaf 1 ECX
+	cpuidFMA     = 1 << 12 // leaf 1 ECX
+	cpuidOSXSAVE = 1 << 27 // leaf 1 ECX
+	cpuidAVX     = 1 << 28 // leaf 1 ECX
+	cpuidAVX2    = 1 << 5  // leaf 7 EBX
+	xcr0XMM      = 1 << 1  // XCR0: XMM state enabled by the OS
+	xcr0YMM      = 1 << 2  // XCR0: YMM state enabled by the OS
+)
+
+// cpuFlags holds the one-time CPUID probe results.
+type cpuFlags struct {
+	sse42, fma, avx, avx2 bool
+	// avx2Usable additionally requires the OS to have enabled YMM state
+	// saving (OSXSAVE + XCR0 bits 1 and 2): AVX2 being present in CPUID
+	// is not enough to safely execute VEX.256 code.
+	avx2Usable bool
+}
+
+var flags = probeCPU()
+
+func probeCPU() cpuFlags {
+	var f cpuFlags
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	f.sse42 = ecx1&cpuidSSE42 != 0
+	f.fma = ecx1&cpuidFMA != 0
+	f.avx = ecx1&cpuidAVX != 0
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.avx2 = ebx7&cpuidAVX2 != 0
+	}
+	if f.avx && f.avx2 && ecx1&cpuidOSXSAVE != 0 {
+		xlo, _ := xgetbv()
+		f.avx2Usable = xlo&(xcr0XMM|xcr0YMM) == xcr0XMM|xcr0YMM
+	}
+	return f
+}
+
+// detectKernels picks the best dispatch tier this CPU can run: AVX2 when
+// feature-detected and OS-enabled, scalar otherwise. The int8 kernel is
+// not gated here — SSE2 is in the amd64 baseline.
+func detectKernels() *kernelSet {
+	if flags.avx2Usable {
+		return &kernelSet{name: "avx2", dot: dotAVX2Kernel, sqL2: sqL2AVX2Kernel}
+	}
+	return scalarSet
+}
+
+func cpuFeatures() []string {
+	var fs []string
+	if flags.sse42 {
+		fs = append(fs, "sse4.2")
+	}
+	if flags.avx {
+		fs = append(fs, "avx")
+	}
+	if flags.avx2 {
+		fs = append(fs, "avx2")
+	}
+	if flags.fma {
+		fs = append(fs, "fma")
+	}
+	return fs
+}

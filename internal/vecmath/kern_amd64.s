@@ -1,0 +1,129 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 float32 kernels. Both follow the canonical lane-accumulation
+// scheme of the pure-Go reference (vecmath.go): blocks of eight elements
+// accumulate into eight independent lanes held in one YMM register
+// (lane j sums the elements with index ≡ j mod 8), the lanes reduce in
+// the fixed order ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)), and the
+// sub-block tail is added sequentially onto the block sum. No FMA is
+// used anywhere — VMULPS/VADDPS round each product before the add,
+// exactly like the reference — so the results are bit-identical to the
+// scalar tier at every input length.
+//
+// The VHADDPS pair computes [x1+x0, x3+x2, ...] twice, which is
+// (x0+x1)+(x2+x3) up to operand order within each add; IEEE float
+// addition is commutative (only associativity fails), so the bit pattern
+// matches the reference reduction exactly.
+
+// func dotAVX2(a, b *float32, n int) float32
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	MOVQ CX, BX
+	SHRQ $3, BX            // BX = full 8-lane blocks
+	JZ   reduce
+
+blocks:
+	VMOVUPS (SI), Y1
+	VMOVUPS (DI), Y2
+	VMULPS  Y2, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  blocks
+
+reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VHADDPS X0, X0, X0     // [s0+s1, s2+s3, ...]
+	VHADDPS X0, X0, X0     // lane0 = (s0+s1)+(s2+s3)
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1     // lane0 = (s4+s5)+(s6+s7)
+	VADDSS  X1, X0, X0     // block sum, low half first
+	ANDQ $7, CX
+	JZ   done
+
+tail:
+	VMOVSS (SI), X2
+	VMOVSS (DI), X3
+	VMULSS X3, X2, X2
+	VADDSS X2, X0, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  tail
+
+done:
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func sqL2AVX2(a, b *float32, n int) float32
+TEXT ·sqL2AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   reduce
+
+blocks:
+	VMOVUPS (SI), Y1
+	VMOVUPS (DI), Y2
+	VSUBPS  Y2, Y1, Y1     // d = a - b
+	VMULPS  Y1, Y1, Y1     // d*d
+	VADDPS  Y1, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  blocks
+
+reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VADDSS  X1, X0, X0
+	ANDQ $7, CX
+	JZ   done
+
+tail:
+	VMOVSS (SI), X2
+	VMOVSS (DI), X3
+	VSUBSS X3, X2, X2
+	VMULSS X2, X2, X2
+	VADDSS X2, X0, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  tail
+
+done:
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,105 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON float32 kernels. Both follow the canonical lane-accumulation
+// scheme of the pure-Go reference (vecmath.go): blocks of eight elements
+// accumulate into eight independent lanes, held here as two 4-lane vector
+// registers (V0 = lanes 0..3, V1 = lanes 4..7), the lanes reduce in the
+// fixed order ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)), and the sub-block
+// tail is added sequentially onto the block sum. No FMLA anywhere — the
+// separate FMUL/FADD round each product before the add, exactly like the
+// reference (whose explicit float32 conversions exist to stop the
+// compiler emitting FMLA) — so results are bit-identical to the scalar
+// and AVX2 tiers at every input length.
+//
+// The Go assembler has no mnemonics for the vector floating-point ops, so
+// they are WORD-encoded; each carries its A64 disassembly. FADDP on a
+// register paired with itself computes [s1+s0, s3+s2, ...]; two rounds
+// leave (s1+s0)+(s3+s2) in lane 0 — bit-equal to the reference reduction,
+// since IEEE float addition is commutative (only associativity fails).
+
+// func dotNEON(a, b *float32, n int) float32
+TEXT ·dotNEON(SB), NOSPLIT, $0-28
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3
+	CBZ  R3, reduce
+
+blocks:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	WORD $0x6E24DC42 // FMUL V2.4S, V2.4S, V4.4S
+	WORD $0x6E25DC63 // FMUL V3.4S, V3.4S, V5.4S
+	WORD $0x4E22D400 // FADD V0.4S, V0.4S, V2.4S
+	WORD $0x4E23D421 // FADD V1.4S, V1.4S, V3.4S
+	SUBS $1, R3, R3
+	BNE  blocks
+
+reduce:
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S -> [s1+s0, s3+s2, ...]
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S -> lane0 = (s1+s0)+(s3+s2)
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	FADDS F1, F0, F0 // block sum, low half first
+	ANDS $7, R2, R2
+	BEQ  done
+
+tail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FMULS F3, F2, F2
+	FADDS F2, F0, F0
+	SUBS $1, R2, R2
+	BNE  tail
+
+done:
+	FMOVS F0, ret+24(FP)
+	RET
+
+// func sqL2NEON(a, b *float32, n int) float32
+TEXT ·sqL2NEON(SB), NOSPLIT, $0-28
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3
+	CBZ  R3, reduce
+
+blocks:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	WORD $0x4EA4D442 // FSUB V2.4S, V2.4S, V4.4S (d = a - b)
+	WORD $0x4EA5D463 // FSUB V3.4S, V3.4S, V5.4S
+	WORD $0x6E22DC42 // FMUL V2.4S, V2.4S, V2.4S (d*d)
+	WORD $0x6E23DC63 // FMUL V3.4S, V3.4S, V3.4S
+	WORD $0x4E22D400 // FADD V0.4S, V0.4S, V2.4S
+	WORD $0x4E23D421 // FADD V1.4S, V1.4S, V3.4S
+	SUBS $1, R3, R3
+	BNE  blocks
+
+reduce:
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	FADDS F1, F0, F0
+	ANDS $7, R2, R2
+	BEQ  done
+
+tail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FSUBS F3, F2, F2
+	FMULS F2, F2, F2
+	FADDS F2, F0, F0
+	SUBS $1, R2, R2
+	BNE  tail
+
+done:
+	FMOVS F0, ret+24(FP)
+	RET

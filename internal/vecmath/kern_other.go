@@ -1,0 +1,10 @@
+//go:build (!amd64 && !arm64) || purego
+
+package vecmath
+
+// detectKernels on architectures without a SIMD kernel (or with the
+// purego tag) selects the scalar tier; results are identical everywhere
+// by the canonical lane-scheme contract, so only throughput differs.
+func detectKernels() *kernelSet { return scalarSet }
+
+func cpuFeatures() []string { return nil }

@@ -1,0 +1,145 @@
+package vecmath
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fillRand populates a pair of float32 slices with deterministic
+// pseudo-random values spanning sign changes and magnitude spread, so the
+// differential tests exercise real rounding behavior rather than neat
+// integers.
+func fillRand(rng *rand.Rand, a, b []float32) {
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		b[i] = float32(rng.NormFloat64()) * 3.7
+	}
+}
+
+// TestKernelTiersBitIdentical is the differential gate for the float32
+// SIMD kernels: at every length 0..129 (several 8-lane blocks plus every
+// tail residue) the active dispatch tier and the scalar reference must
+// agree bit-for-bit on Dot, SquaredL2, Norm and CosineWithNorms. On a
+// machine without a SIMD tier both sides run the same scalar code and the
+// test degenerates to a no-op guard; on AVX2/NEON hardware it pins the
+// lane-accumulation contract the whole repo's determinism rests on.
+func TestKernelTiersBitIdentical(t *testing.T) {
+	t.Logf("detected tier %q, features %v", DetectedTier(), Features())
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n <= 129; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		fillRand(rng, a, b)
+		simdDot, simdL2 := Dot(a, b), SquaredL2(a, b)
+		simdNorm := Norm(a)
+		simdCos := CosineWithNorms(a, b, Norm(a), Norm(b))
+		if got, want := simdDot, dotScalar(a, b); got != want {
+			t.Fatalf("Dot len %d: %s tier %v, scalar %v (must be bit-identical)", n, Tier(), got, want)
+		}
+		if got, want := simdL2, sqL2Scalar(a, b); got != want {
+			t.Fatalf("SquaredL2 len %d: %s tier %v, scalar %v", n, Tier(), got, want)
+		}
+		ForceScalar(true)
+		scalNorm := Norm(a)
+		scalCos := CosineWithNorms(a, b, Norm(a), Norm(b))
+		ForceScalar(false)
+		if simdNorm != scalNorm {
+			t.Fatalf("Norm len %d: %s tier %v, scalar %v", n, DetectedTier(), simdNorm, scalNorm)
+		}
+		if simdCos != scalCos {
+			t.Fatalf("CosineWithNorms len %d: %s tier %v, scalar %v", n, DetectedTier(), simdCos, scalCos)
+		}
+	}
+}
+
+// TestKernelTiersOddOffsets re-runs the differential check on slices that
+// start at odd element offsets into a shared backing array: the SIMD
+// kernels use unaligned loads, and a misaligned base pointer must change
+// neither behavior nor results. Offsets 1, 3 and 5 break 32-, 16- and
+// 8-byte alignment respectively.
+func TestKernelTiersOddOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	back := make([]float32, 200)
+	for i := range back {
+		back[i] = float32(rng.NormFloat64())
+	}
+	for _, off := range []int{1, 3, 5} {
+		for n := 0; n <= 80; n++ {
+			a := back[off : off+n]
+			b := back[off+n : off+2*n]
+			if got, want := Dot(a, b), dotScalar(a, b); got != want {
+				t.Fatalf("Dot off %d len %d: %v != scalar %v", off, n, got, want)
+			}
+			if got, want := SquaredL2(a, b), sqL2Scalar(a, b); got != want {
+				t.Fatalf("SquaredL2 off %d len %d: %v != scalar %v", off, n, got, want)
+			}
+		}
+	}
+}
+
+// TestForceScalarOverride exercises both force-scalar hooks: the exported
+// setter must retarget the dispatch seam (observable through Tier) and
+// the env-side resolver must pick the scalar tier for any non-empty
+// value, falling back to the detected tier otherwise.
+func TestForceScalarOverride(t *testing.T) {
+	defer ForceScalar(false)
+	ForceScalar(true)
+	if Tier() != "scalar" {
+		t.Fatalf("Tier after ForceScalar(true) = %q, want scalar", Tier())
+	}
+	ForceScalar(false)
+	if Tier() != DetectedTier() {
+		t.Fatalf("Tier after ForceScalar(false) = %q, want detected %q", Tier(), DetectedTier())
+	}
+	if got := initialTier("1"); got != scalarSet {
+		t.Fatalf("initialTier(%q) = %q, want scalar", "1", got.name)
+	}
+	if got := initialTier(""); got != detected {
+		t.Fatalf("initialTier(\"\") = %q, want detected %q", got.name, detected.name)
+	}
+}
+
+// TestDispatchSeamRace hammers the dispatch seam from concurrent kernel
+// callers while another goroutine toggles ForceScalar: the seam is an
+// atomic pointer precisely so a tier swap mid-flight is a clean race-free
+// handoff, and every interleaving must still produce the canonical result
+// (the tiers are bit-identical, so the toggle can never change a value).
+// Runs under make race-smoke.
+func TestDispatchSeamRace(t *testing.T) {
+	a := make([]float32, 97)
+	b := make([]float32, 97)
+	fillRand(rand.New(rand.NewSource(44)), a, b)
+	wantDot := dotScalar(a, b)
+	wantL2 := sqL2Scalar(a, b)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := Dot(a, b); got != wantDot {
+					t.Errorf("Dot under toggling = %v, want %v", got, wantDot)
+					return
+				}
+				if got := SquaredL2(a, b); got != wantL2 {
+					t.Errorf("SquaredL2 under toggling = %v, want %v", got, wantL2)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		ForceScalar(i%2 == 0)
+	}
+	ForceScalar(false)
+	close(stop)
+	wg.Wait()
+}

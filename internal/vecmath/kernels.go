@@ -1,0 +1,82 @@
+package vecmath
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// kernelSet is one dispatch tier: a name for observability plus the two
+// float32 kernels everything else in the package is built from (Norm and
+// CosineWithNorms ride dot). Every kernel in a set follows the canonical
+// lane-accumulation scheme documented on dotScalar, so switching tiers
+// never changes a result, only throughput.
+type kernelSet struct {
+	name string
+	dot  func(a, b []float32) float32
+	sqL2 func(a, b []float32) float32
+}
+
+// scalarSet is the pure-Go tier, available everywhere. It is both the
+// fallback when no SIMD tier is usable and the reference the SIMD tiers
+// are differentially tested against.
+var scalarSet = &kernelSet{name: "scalar", dot: dotScalar, sqL2: sqL2Scalar}
+
+// detected is the best tier the CPU supports, resolved once at init by
+// the per-architecture detectKernels (CPUID on amd64 — AVX2 is not in the
+// baseline, unlike the int8 kernel's SSE2; NEON is baseline on arm64, so
+// detection there is unconditional).
+var detected = detectKernels()
+
+// active is the dispatch seam: every public kernel call loads it once.
+// An atomic pointer rather than plain function variables so ForceScalar
+// can retarget the seam while queries are in flight (the race-detector
+// contract the dispatch-seam race test pins down); a swap affects only
+// speed, never results.
+var active atomic.Pointer[kernelSet]
+
+// ForceScalarEnv is the environment variable that pins the package to the
+// scalar tier before the first kernel call (any non-empty value). The
+// exported ForceScalar setter does the same at runtime; the env hook
+// exists for comparing tiers across whole processes (benchmarks, CI)
+// without a code change.
+const ForceScalarEnv = "PNEUMA_FORCE_SCALAR"
+
+func init() {
+	active.Store(initialTier(os.Getenv(ForceScalarEnv)))
+}
+
+// initialTier resolves the startup dispatch tier from the ForceScalarEnv
+// value. Factored out of init so tier-1 tests can exercise the env-side
+// override without re-execing the process.
+func initialTier(forceScalar string) *kernelSet {
+	if forceScalar != "" {
+		return scalarSet
+	}
+	return detected
+}
+
+// ForceScalar pins the package to the scalar tier (on=true) or restores
+// the detected tier (on=false). Safe to call concurrently with running
+// kernels; callers pairing a force with measurements should use
+// defer ForceScalar(false).
+func ForceScalar(on bool) {
+	if on {
+		active.Store(scalarSet)
+	} else {
+		active.Store(detected)
+	}
+}
+
+// Tier returns the name of the dispatch tier currently serving kernel
+// calls: "avx2", "neon" or "scalar".
+func Tier() string { return active.Load().name }
+
+// DetectedTier returns the best tier this CPU supports, independent of
+// any ForceScalar override.
+func DetectedTier() string { return detected.name }
+
+// Features returns the detected CPU features relevant to kernel dispatch
+// (e.g. "avx2", "fma" on amd64; "neon" on arm64; empty on other
+// architectures). Benchmark reports record it so kernel numbers are
+// honestly comparable across machines.
+func Features() []string { return cpuFeatures() }

@@ -1,52 +1,104 @@
-// Package vecmath provides the small float32 vector kernel used by the
-// embedder and the HNSW index: dot product, norms, cosine similarity and
-// squared Euclidean distance.
-//
-// The kernels are unrolled four-wide with independent accumulators so the
-// per-element multiply-adds pipeline instead of serializing on one
-// accumulator's latency chain. The reduction order (lane sums combined as
-// (s0+s1)+(s2+s3)) is fixed, so results are deterministic run to run and
-// identical everywhere the same kernel is used — but they differ in the
-// last ULP from a naive sequential sum, which is why every caller in the
-// repo goes through this package rather than hand-rolling a loop.
 package vecmath
 
 import "math"
 
 // Dot returns the dot product of a and b. Panics if lengths differ — vector
 // dimensionality is fixed per index, so a mismatch is a programming error.
+//
+// The result is computed by the active dispatch kernel (see doc.go): every
+// implementation follows the same canonical lane-accumulation scheme, so
+// the value is bit-identical whether the scalar, AVX2 or NEON kernel runs.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
 	}
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	for ; i < len(a); i++ {
-		s0 += a[i] * b[i]
-	}
-	return (s0 + s1) + (s2 + s3)
+	return active.Load().dot(a, b)
 }
 
-// Norm returns the Euclidean norm of v.
-func Norm(v []float32) float32 {
-	var s0, s1, s2, s3 float32
+// dotScalar is the portable reference implementation of Dot and the
+// canonical definition of its result: blocks of eight elements feed eight
+// independent lane accumulators (element i goes to lane i mod 8), the
+// lanes are reduced in the fixed order ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)),
+// and the sub-block tail is added sequentially onto that block sum. The
+// AVX2 kernel holds the eight lanes in one YMM register and the NEON
+// kernel in two 4-lane registers, so all three produce bit-identical
+// results at every input length. The explicit float32 conversions around
+// each product are load-bearing: they force the product to be rounded
+// before the add, which keeps the compiler (the arm64 backend in
+// particular) from contracting multiply+add into a fused FMA with
+// different rounding.
+func dotScalar(a, b []float32) float32 {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	i := 0
-	for ; i+4 <= len(v); i += 4 {
-		s0 += v[i] * v[i]
-		s1 += v[i+1] * v[i+1]
-		s2 += v[i+2] * v[i+2]
-		s3 += v[i+3] * v[i+3]
+	for ; i+8 <= len(a) && i+8 <= len(b); i += 8 {
+		aa := a[i : i+8 : i+8]
+		bb := b[i : i+8 : i+8]
+		s0 += float32(aa[0] * bb[0])
+		s1 += float32(aa[1] * bb[1])
+		s2 += float32(aa[2] * bb[2])
+		s3 += float32(aa[3] * bb[3])
+		s4 += float32(aa[4] * bb[4])
+		s5 += float32(aa[5] * bb[5])
+		s6 += float32(aa[6] * bb[6])
+		s7 += float32(aa[7] * bb[7])
 	}
-	for ; i < len(v); i++ {
-		s0 += v[i] * v[i]
+	sum := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	for ; i < len(a); i++ {
+		sum += float32(a[i] * b[i])
 	}
-	return float32(math.Sqrt(float64((s0 + s1) + (s2 + s3))))
+	return sum
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b. Like
+// Dot it runs on the active dispatch kernel and is bit-identical across
+// dispatch tiers (same lane scheme, with d*d in place of a*b).
+func SquaredL2(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	return active.Load().sqL2(a, b)
+}
+
+// sqL2Scalar is the portable reference implementation of SquaredL2, built
+// on the same canonical lane scheme as dotScalar (see there for why the
+// float32 conversions matter).
+func sqL2Scalar(a, b []float32) float32 {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	i := 0
+	for ; i+8 <= len(a) && i+8 <= len(b); i += 8 {
+		aa := a[i : i+8 : i+8]
+		bb := b[i : i+8 : i+8]
+		d0 := aa[0] - bb[0]
+		d1 := aa[1] - bb[1]
+		d2 := aa[2] - bb[2]
+		d3 := aa[3] - bb[3]
+		d4 := aa[4] - bb[4]
+		d5 := aa[5] - bb[5]
+		d6 := aa[6] - bb[6]
+		d7 := aa[7] - bb[7]
+		s0 += float32(d0 * d0)
+		s1 += float32(d1 * d1)
+		s2 += float32(d2 * d2)
+		s3 += float32(d3 * d3)
+		s4 += float32(d4 * d4)
+		s5 += float32(d5 * d5)
+		s6 += float32(d6 * d6)
+		s7 += float32(d7 * d7)
+	}
+	sum := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		sum += float32(d * d)
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of v: sqrt of the self dot product. It
+// rides the Dot kernel, so stored norms are bit-identical across dispatch
+// tiers too — they feed CosineWithNorms at query time, where any per-tier
+// drift would break cross-machine result parity.
+func Norm(v []float32) float32 {
+	return float32(math.Sqrt(float64(active.Load().dot(v, v))))
 }
 
 // Normalize scales v to unit length in place and returns it. The zero vector
@@ -76,6 +128,8 @@ func Cosine(a, b []float32) float32 {
 // CosineWithNorms is Cosine for callers that already know both vector norms
 // (the HNSW index stores them at insert time); it skips the two norm
 // recomputations. Semantics match Cosine exactly: 0 when either norm is 0.
+// The division happens once, outside the kernel, so the whole expression
+// is as bit-identical across dispatch tiers as Dot itself.
 func CosineWithNorms(a, b []float32, na, nb float32) float32 {
 	if na == 0 || nb == 0 {
 		return 0
@@ -89,10 +143,10 @@ func CosineWithNorms(a, b []float32, na, nb float32) float32 {
 // to 2^31/127^2 (≈133k), far beyond any embedding width here, so the
 // result is bit-identical across the SIMD and scalar implementations. On
 // amd64 the body is an SSE2 kernel (16 lanes per iteration via PMADDWD —
-// SSE2 is in the amd64 baseline, so there is no feature gate); elsewhere
-// it is the unrolled scalar loop of dotInt8Scalar. Integer arithmetic has
-// no rounding, so the dispatch never changes results, only speed. Panics
-// if lengths differ, like Dot.
+// SSE2 is in the amd64 baseline, so there is no feature gate, unlike the
+// AVX2 float32 kernels); elsewhere it is the unrolled scalar loop of
+// dotInt8Scalar. Integer arithmetic has no rounding, so the dispatch never
+// changes results, only speed. Panics if lengths differ, like Dot.
 func DotInt8(a, b []int8) int32 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
@@ -120,30 +174,6 @@ func dotInt8Scalar(a, b []int8) int32 {
 	}
 	for ; i < len(a); i++ {
 		s0 += int32(a[i]) * int32(b[i])
-	}
-	return (s0 + s1) + (s2 + s3)
-}
-
-// SquaredL2 returns the squared Euclidean distance between a and b.
-func SquaredL2(a, b []float32) float32 {
-	if len(a) != len(b) {
-		panic("vecmath: dimension mismatch")
-	}
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	for ; i < len(a); i++ {
-		d := a[i] - b[i]
-		s0 += d * d
 	}
 	return (s0 + s1) + (s2 + s3)
 }

@@ -61,12 +61,12 @@ func TestSquaredL2(t *testing.T) {
 	}
 }
 
-// TestUnrolledKernelsMatchReference pins the four-wide unrolled kernels
+// TestUnrolledKernelsMatchReference pins the lane-accumulated kernels
 // against naive sequential reference loops at every length from 0 to 19,
-// covering each tail-remainder case. The unrolled reduction order differs
+// covering each tail-remainder case. The canonical reduction order differs
 // from sequential summation only in the last ULPs, so a loose relative
 // tolerance is enough to catch indexing bugs without flagging legitimate
-// reassociation.
+// reassociation (the bit-exact cross-tier gate is TestKernelTiersBitIdentical).
 func TestUnrolledKernelsMatchReference(t *testing.T) {
 	refDot := func(a, b []float32) float64 {
 		var s float64
