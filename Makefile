@@ -2,9 +2,9 @@ GO ?= go
 
 # DOC_PKGS are the packages whose exported API must be fully documented
 # (enforced by `make docs` via cmd/pneuma-doccheck).
-DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr .
+DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr ./internal/server .
 
-.PHONY: verify fmt-check vet asmvet xbuild-arm64 tier1 race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke bench-compaction bench-compaction-smoke ingest-bench docs
+.PHONY: verify fmt-check vet asmvet xbuild-arm64 tier1 race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke bench-compaction bench-compaction-smoke bench-serve bench-serve-smoke serve-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet
 # (plus an explicit asmdecl pass over the assembly kernels and an arm64
@@ -18,7 +18,7 @@ DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 .
 # the live-ingest churn soak, the SIMD dispatch seam, background
 # compaction under churn), and a 10-second fuzz pass over the binary
 # decoders.
-verify: fmt-check vet asmvet xbuild-arm64 tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke bench-compaction-smoke race-smoke fuzz-smoke
+verify: fmt-check vet asmvet xbuild-arm64 tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke bench-compaction-smoke bench-serve-smoke serve-smoke race-smoke fuzz-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -164,6 +164,35 @@ bench-compaction-smoke:
 		echo "bench-compaction-smoke: missing compaction section"; rm -f .bench-compaction-smoke.json; exit 1; }
 	@rm -f .bench-compaction-smoke.json
 	@echo "bench-compaction-smoke: ok"
+
+# bench-serve prices the HTTP serving layer on the 1k-table corpus: the
+# retrieval query mix over the wire vs in-process (the overhead row is
+# the network layer's per-request cost) and the shed rate under 2×
+# saturation, merging the serving section into BENCH_retrieval.json.
+bench-serve:
+	$(GO) run ./cmd/pneuma-bench -serve -tables 1000 -json BENCH_retrieval.json -baseline BENCH_baseline.json
+
+# bench-serve-smoke is the short-mode gate wired into `make verify`: a
+# tiny corpus proves the serving bench (boot, both measurement paths, the
+# saturation probe, the drain) runs end to end and emits the serving
+# section; absolute numbers at this size are noise, so only the section's
+# presence is enforced. The throwaway report is removed afterwards.
+bench-serve-smoke:
+	@$(GO) run ./cmd/pneuma-bench -serve -tables 60 -rounds 2 -sat-duration 500ms -json .bench-serve-smoke.json >/dev/null
+	@grep -q '"serving"' .bench-serve-smoke.json || { \
+		echo "bench-serve-smoke: missing serving section"; rm -f .bench-serve-smoke.json; exit 1; }
+	@rm -f .bench-serve-smoke.json
+	@echo "bench-serve-smoke: ok"
+
+# serve-smoke is the end-to-end daemon gate wired into `make verify`: it
+# builds the real pneuma-server binary, boots it on an ephemeral port,
+# scripts a session over the wire (index a table, query it, degraded
+# source, 400 on abuse, /metrics counters), then SIGTERMs it and asserts
+# the graceful drain — post-signal 503s with Retry-After, /readyz down
+# while /healthz stays up, clean exit.
+serve-smoke:
+	$(GO) test ./cmd/pneuma-server/ -run TestServeSmoke -count=1
+	@echo "serve-smoke: ok"
 
 # ingest-bench prints the human-readable ingest/latency report.
 ingest-bench:

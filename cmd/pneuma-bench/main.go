@@ -76,6 +76,10 @@ func main() {
 	cold := flag.Bool("cold", false, "benchmark disk-backend cold start: snapshot open vs replay rebuild")
 	mixed := flag.Bool("mixed", false, "benchmark query latency under a live ingest stream vs read-only")
 	compaction := flag.Bool("compaction", false, "benchmark max writer stall during segment compaction: background vs inline rewrite")
+	serve := flag.Bool("serve", false, "benchmark the HTTP serving layer: over-wire vs in-process latency and shed rate at 2x saturation")
+	satFor := flag.Duration("sat-duration", 2*time.Second, "length of the -serve saturation probe")
+	serveSlots := flag.Int("serve-slots", 4, "scheduler slots (WithMaxConcurrent) for the -serve run")
+	serveQueue := flag.Int("serve-queue", 0, "scheduler queue bound (WithMaxQueue) for the -serve run (0 = same as slots)")
 	readers := flag.Int("readers", 4, "reader goroutines for the -mixed workload")
 	ingestTables := flag.Int("ingest-tables", 0, "tables streamed during the -mixed phase (0 = corpus/4)")
 	think := flag.Duration("think", 5*time.Millisecond, "per-reader sleep between -mixed queries (closed loop with think time)")
@@ -136,6 +140,19 @@ func main() {
 			tables:   *nTables,
 			jsonPath: *jsonPath,
 			baseline: *baselinePath,
+		})
+		return
+	}
+
+	if *serve {
+		runServeBench(ctx, serveConfig{
+			tables:        *nTables,
+			rounds:        *rounds,
+			maxConcurrent: *serveSlots,
+			maxQueue:      *serveQueue,
+			satFor:        *satFor,
+			jsonPath:      *jsonPath,
+			baseline:      *baselinePath,
 		})
 		return
 	}

@@ -27,6 +27,7 @@ type benchReport struct {
 	ColdStart   *coldStartStats  `json:"cold_start,omitempty"`
 	Mixed       *mixedStats      `json:"mixed_workload,omitempty"`
 	Compaction  *compactionBench `json:"compaction,omitempty"`
+	Serving     *servingStats    `json:"serving,omitempty"`
 	Baseline    *benchReport     `json:"baseline,omitempty"`
 }
 
@@ -107,6 +108,35 @@ type mixedStats struct {
 	// P99Ratio is MixedP99Micros / ReadOnlyP99Micros; the acceptance bound
 	// for the live-ingest work is ≤ 2.0 on the 1k-table corpus.
 	P99Ratio float64 `json:"p99_ratio"`
+}
+
+// servingStats is the network-layer record written by the -serve mode:
+// the retrieval query mix measured in-process (Service.SearchIn) and over
+// the wire (GET /v1/search through internal/server on loopback TCP), so
+// the overhead row prices HTTP framing + JSON encoding with the substrate
+// held constant, plus the 2× saturation probe — twice as many closed-loop
+// clients as scheduler slots against a bounded wait queue, recording what
+// fraction of requests the server shed with the typed 503 backpressure
+// and the goodput the admitted ones saw.
+type servingStats struct {
+	Queries       int `json:"queries"`
+	K             int `json:"k"`
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// The same query mix, two call paths.
+	InProcP50Micros float64 `json:"inproc_p50_us"`
+	InProcP99Micros float64 `json:"inproc_p99_us"`
+	WireP50Micros   float64 `json:"wire_p50_us"`
+	WireP99Micros   float64 `json:"wire_p99_us"`
+	// OverheadP50 is wire p50 minus in-process p50: the per-request price
+	// of the network layer.
+	OverheadP50 float64 `json:"wire_overhead_p50_us"`
+	// The 2× saturation probe.
+	SatClients       int     `json:"saturation_clients"`
+	SatRequests      uint64  `json:"saturation_requests"`
+	SatShed          uint64  `json:"saturation_shed"`
+	ShedRate         float64 `json:"shed_rate"`
+	SatGoodputPerSec float64 `json:"saturation_goodput_per_sec"`
 }
 
 // quantStats is the int8 speed tier's cost/accuracy record, written by

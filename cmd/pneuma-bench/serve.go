@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pneuma"
+	"pneuma/internal/kramabench"
+	"pneuma/internal/server"
+)
+
+// serveConfig bundles the -serve workload knobs.
+type serveConfig struct {
+	tables        int
+	rounds        int
+	maxConcurrent int
+	maxQueue      int
+	satFor        time.Duration
+	jsonPath      string
+	baseline      string
+}
+
+// runServeBench prices the network layer: the same retrieval query mix
+// measured in-process (Service.SearchIn, the function-call floor) and over
+// the wire (GET /v1/search through internal/server on a loopback TCP
+// listener), so the serving section answers "what does HTTP+JSON cost per
+// request" with the substrate held constant. A third phase drives the
+// server at 2× saturation — twice as many closed-loop clients as the
+// scheduler has slots, against a bounded wait queue — and records the shed
+// rate: the fraction of requests answered with the typed-503 backpressure
+// instead of queueing without bound, plus the goodput the survivors saw.
+func runServeBench(ctx context.Context, cfg serveConfig) {
+	if cfg.rounds < 1 {
+		cfg.rounds = 1
+	}
+	if cfg.maxConcurrent < 1 {
+		cfg.maxConcurrent = 4
+	}
+	if cfg.maxQueue < 1 {
+		// Half the slot count: tight enough that 2× saturation (up to
+		// maxConcurrent requests waiting) provably crosses the bound.
+		cfg.maxQueue = max(1, cfg.maxConcurrent/2)
+	}
+	if cfg.satFor <= 0 {
+		cfg.satFor = 2 * time.Second
+	}
+
+	corpus := kramabench.Synthetic(cfg.tables)
+	svc, err := pneuma.NewContext(ctx, corpus,
+		pneuma.WithMaxConcurrent(cfg.maxConcurrent),
+		pneuma.WithMaxQueue(cfg.maxQueue))
+	fail(err)
+
+	srv, err := server.New(server.Config{Service: svc})
+	fail(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	fail(err)
+	runCtx, stopServer := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(runCtx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	queries := kramabench.RetrievalQueries()
+	const k = 10
+	fmt.Printf("Serving benchmark: %d tables, %d scheduler slots, queue bound %d (%s)\n\n",
+		cfg.tables, cfg.maxConcurrent, cfg.maxQueue, base)
+
+	// Warm both paths (scratch pools, TCP connection, JSON encoder).
+	client := &http.Client{}
+	for _, q := range queries {
+		_, err := svc.SearchIn(ctx, q, k)
+		fail(err)
+		fail(wireSearch(client, base, q, k))
+	}
+
+	// Phase 1: in-process floor — the same calls the handler makes, minus
+	// the network, HTTP framing and JSON round-trip.
+	inproc := make([]time.Duration, 0, cfg.rounds*len(queries))
+	for round := 0; round < cfg.rounds; round++ {
+		for _, q := range queries {
+			start := time.Now()
+			_, err := svc.SearchIn(ctx, q, k)
+			fail(err)
+			inproc = append(inproc, time.Since(start))
+		}
+	}
+
+	// Phase 2: over the wire, one sequential client on a kept-alive
+	// connection — wire latency without queueing effects.
+	wire := make([]time.Duration, 0, cfg.rounds*len(queries))
+	for round := 0; round < cfg.rounds; round++ {
+		for _, q := range queries {
+			start := time.Now()
+			fail(wireSearch(client, base, q, k))
+			wire = append(wire, time.Since(start))
+		}
+	}
+
+	inP50, inP99 := percentiles(inproc)
+	wireP50, wireP99 := percentiles(wire)
+	fmt.Printf("  in-process: p50 %v   p99 %v   (%d queries)\n",
+		inP50.Round(time.Microsecond), inP99.Round(time.Microsecond), len(inproc))
+	fmt.Printf("  over wire:  p50 %v   p99 %v   (%d queries)\n",
+		wireP50.Round(time.Microsecond), wireP99.Round(time.Microsecond), len(wire))
+	fmt.Printf("  wire overhead at p50: %v\n", (wireP50 - inP50).Round(time.Microsecond))
+
+	// Phase 3: 2× saturation. Twice as many unpaced closed-loop clients as
+	// scheduler slots; each loops flat out for the window. Every request
+	// carries a unique suffix so the IR cache cannot absorb the load —
+	// each one pays the real retrieval fan-out and holds a slot for it.
+	// With the wait queue bounded, the excess must surface as typed 503s,
+	// not latency.
+	clients := 2 * cfg.maxConcurrent
+	var ok, shed, other atomic.Uint64
+	var wg sync.WaitGroup
+	satStart := time.Now()
+	deadline := satStart.Add(cfg.satFor)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &http.Client{}
+			defer cl.CloseIdleConnections()
+			for i := c; time.Now().Before(deadline); i++ {
+				q := fmt.Sprintf("%s probe %d %d", queries[i%len(queries)], c, i)
+				status, err := wireSearchStatus(cl, base, q, k)
+				switch {
+				case err != nil || (status != http.StatusOK && status != http.StatusServiceUnavailable):
+					other.Add(1)
+				case status == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					ok.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	satDur := time.Since(satStart)
+
+	total := ok.Load() + shed.Load() + other.Load()
+	shedRate := 0.0
+	if total > 0 {
+		shedRate = float64(shed.Load()) / float64(total)
+	}
+	goodput := float64(ok.Load()) / satDur.Seconds()
+	fmt.Printf("  saturation: %d clients for %v — %d ok, %d shed (503), %d errors\n",
+		clients, satDur.Round(time.Millisecond), ok.Load(), shed.Load(), other.Load())
+	fmt.Printf("  shed rate at 2x saturation: %.1f%%   goodput %.0f req/s\n", 100*shedRate, goodput)
+	if rej := svc.Stats().Scheduler.Rejected; rej == 0 && shed.Load() > 0 {
+		fmt.Println("  note: all shedding happened at the HTTP layer (none from the scheduler queue bound)")
+	}
+
+	// Drain the server before reporting so the run exercises the full
+	// lifecycle every time the bench runs.
+	stopServer()
+	fail(<-runDone)
+
+	section := &servingStats{
+		Queries:          len(inproc),
+		K:                k,
+		MaxConcurrent:    cfg.maxConcurrent,
+		MaxQueue:         cfg.maxQueue,
+		InProcP50Micros:  micros(inP50),
+		InProcP99Micros:  micros(inP99),
+		WireP50Micros:    micros(wireP50),
+		WireP99Micros:    micros(wireP99),
+		OverheadP50:      micros(wireP50 - inP50),
+		SatClients:       clients,
+		SatRequests:      total,
+		SatShed:          shed.Load(),
+		ShedRate:         shedRate,
+		SatGoodputPerSec: goodput,
+	}
+	if cfg.baseline != "" {
+		old, err := loadReport(cfg.baseline)
+		fail(err)
+		if old.Serving != nil {
+			fmt.Println()
+			compareServing(old.Serving, section)
+		}
+	}
+	if cfg.jsonPath != "" {
+		// Merge: keep the sections the other modes recorded in the report.
+		report, err := loadReport(cfg.jsonPath)
+		if err != nil {
+			report = benchReport{Corpus: cfg.tables, Backend: "memory"}
+		}
+		report.GeneratedAt = nowStamp()
+		report.Serving = section
+		fail(writeReport(cfg.jsonPath, report))
+		fmt.Printf("\nserving section written to %s\n", cfg.jsonPath)
+	}
+}
+
+// wireSearch runs one /v1/search over the wire and fails on any non-200.
+func wireSearch(client *http.Client, base, q string, k int) error {
+	status, err := wireSearchStatus(client, base, q, k)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("GET /v1/search = %d, want 200", status)
+	}
+	return nil
+}
+
+// wireSearchStatus runs one /v1/search, drains the body (keep-alive) and
+// returns the status code.
+func wireSearchStatus(client *http.Client, base, q string, k int) (int, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/search?q=%s&k=%d", base, url.QueryEscape(q), k))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// percentiles returns the p50/p99 of a latency sample.
+func percentiles(lats []time.Duration) (p50, p99 time.Duration) {
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p := func(q float64) time.Duration { return sorted[int(q*float64(len(sorted)-1))] }
+	return p(0.50), p(0.99)
+}
+
+// micros converts a duration to float64 microseconds for the JSON report.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// compareServing prints the old-vs-new rows for the serving section.
+func compareServing(old, cur *servingStats) {
+	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	row := func(name string, o, n float64, higherIsBetter bool) {
+		fmt.Printf("%-28s %12.1f %12.1f %9s\n", name, o, n, deltaPct(o, n, higherIsBetter))
+	}
+	row("in-process p50 (µs)", old.InProcP50Micros, cur.InProcP50Micros, false)
+	row("wire p50 (µs)", old.WireP50Micros, cur.WireP50Micros, false)
+	row("wire p99 (µs)", old.WireP99Micros, cur.WireP99Micros, false)
+	row("wire overhead p50 (µs)", old.OverheadP50, cur.OverheadP50, false)
+	row("saturation goodput (req/s)", old.SatGoodputPerSec, cur.SatGoodputPerSec, true)
+}

@@ -1,0 +1,133 @@
+// Command pneuma-server is the network daemon: the HTTP/JSON serving
+// front end (internal/server) over one pneuma.Service.
+//
+//	pneuma-server                          # archaeology dataset on :8080
+//	pneuma-server -addr 127.0.0.1:0        # ephemeral port (printed on boot)
+//	pneuma-server -dir ./my-csvs           # serve your own CSV directory
+//	pneuma-server -index-dir ./idx         # disk-backed, persistent index
+//	pneuma-server -web                     # enable the simulated web search
+//	pneuma-server -max-concurrent 16 -max-queue 64 -max-wait 2s
+//
+// The session API lives under /v1 (see internal/server for the routes and
+// status-code contract); /healthz, /readyz and /metrics (Prometheus text
+// format) serve operations. Every request runs under a deadline — the
+// ?timeout query parameter clamped by -max-timeout, defaulting to
+// -timeout.
+//
+// SIGTERM or SIGINT starts the graceful drain: new API requests get 503
+// with Retry-After and /readyz flips to 503 (so load balancers route
+// away), in-flight requests finish up to -drain-timeout, the listener
+// lingers at least -drain-linger for orchestrators to observe the
+// not-ready state, and the index flushes on close. A second signal kills
+// the process the hard way.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pneuma"
+	"pneuma/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	dataset := flag.String("dataset", "archaeology", "built-in dataset: archaeology or environment")
+	dir := flag.String("dir", "", "load a CSV directory instead of a built-in dataset")
+	indexDir := flag.String("index-dir", "", "disk-backed index directory (persistent across restarts)")
+	webOn := flag.Bool("web", false, "enable the simulated web search retriever")
+	maxConcurrent := flag.Int("max-concurrent", 0, "scheduler slots (0 = GOMAXPROCS-derived default)")
+	maxQueue := flag.Int("max-queue", 0, "scheduler wait-queue bound; excess requests get 503 (0 = unbounded)")
+	maxWait := flag.Duration("max-wait", 0, "shed with 503 when the estimated queue wait exceeds this (0 = disabled)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on client-requested ?timeout values")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight requests")
+	drainLinger := flag.Duration("drain-linger", 0, "keep answering (503) at least this long after the drain begins")
+	flag.Parse()
+
+	if err := run(*addr, *dataset, *dir, *indexDir, *webOn,
+		*maxConcurrent, *maxQueue, *maxWait,
+		*timeout, *maxTimeout, *drainTimeout, *drainLinger); err != nil {
+		fmt.Fprintln(os.Stderr, "pneuma-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset, dir, indexDir string, webOn bool,
+	maxConcurrent, maxQueue int, maxWait,
+	timeout, maxTimeout, drainTimeout, drainLinger time.Duration) error {
+	var corpus map[string]*pneuma.Table
+	var err error
+	switch {
+	case dir != "":
+		corpus, err = pneuma.LoadDir(dir)
+	case dataset == "environment":
+		corpus = pneuma.EnvironmentDataset()
+	default:
+		corpus = pneuma.ArchaeologyDataset()
+	}
+	if err != nil {
+		return err
+	}
+
+	var opts []pneuma.Option
+	if webOn {
+		opts = append(opts, pneuma.WithWebSearch(nil))
+	}
+	if indexDir != "" {
+		opts = append(opts, pneuma.WithBackend(pneuma.BackendDisk), pneuma.WithIndexDir(indexDir))
+	}
+	if maxConcurrent > 0 {
+		opts = append(opts, pneuma.WithMaxConcurrent(maxConcurrent))
+	}
+	if maxQueue > 0 {
+		opts = append(opts, pneuma.WithMaxQueue(maxQueue))
+	}
+
+	// Index assembly is signal-cancellable: SIGTERM during a large build
+	// exits promptly instead of embedding to the end.
+	buildCtx, stopBuild := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	svc, err := pneuma.NewContext(buildCtx, corpus, opts...)
+	stopBuild()
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Service:          svc,
+		DefaultTimeout:   timeout,
+		MaxTimeout:       maxTimeout,
+		DrainTimeout:     drainTimeout,
+		DrainLinger:      drainLinger,
+		MaxEstimatedWait: maxWait,
+	})
+	if err != nil {
+		svc.Close()
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	// The boot line goes to stdout so scripts (make serve-smoke) can read
+	// the resolved ephemeral port.
+	fmt.Printf("pneuma-server: %d tables indexed, listening on http://%s\n", len(corpus), ln.Addr())
+
+	// First signal drains gracefully; a second one kills the process via
+	// the default disposition once NotifyContext unregisters.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = srv.Run(ctx, ln)
+	if err == nil {
+		fmt.Println("pneuma-server: drained cleanly")
+	}
+	return err
+}

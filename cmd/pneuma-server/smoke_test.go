@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end serving gate behind `make serve-smoke`:
+// it builds the real pneuma-server binary, boots it on an ephemeral port,
+// and scripts a session over the wire — index a table, query it, force a
+// degraded-source query, provoke a 400 — then sends SIGTERM and asserts
+// the drain: 503 with Retry-After for late requests, /readyz 503 while
+// /healthz stays 200, nonzero /metrics counters, and a clean exit.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the server binary; skipped in -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "pneuma-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building pneuma-server: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-max-queue", "64", "-drain-linger", "3s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The boot line carries the resolved ephemeral address.
+	var base string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		if i := strings.Index(scanner.Text(), "listening on "); i >= 0 {
+			base = strings.TrimSpace(scanner.Text()[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("server never printed its listening address")
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+	post := func(path, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(data)
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+	}
+
+	// Index a table over the wire, then find it.
+	csv := "station,annual_rainfall_mm\nbergen,2250\nlisbon,774\n"
+	resp, body := post("/v1/tables", fmt.Sprintf(`[{"name":"rainfall","csv":%q}]`, csv))
+	if resp.StatusCode != 200 {
+		t.Fatalf("add table = %d (%s), want 200", resp.StatusCode, body)
+	}
+	found := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline) && !found; {
+		resp, body = get("/v1/search?q=annual+rainfall+bergen&k=10")
+		if resp.StatusCode != 200 {
+			t.Fatalf("search = %d (%s), want 200", resp.StatusCode, body)
+		}
+		found = strings.Contains(body, "rainfall")
+		if !found {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !found {
+		t.Fatalf("indexed table never became searchable: %s", body)
+	}
+
+	// A session turn end to end.
+	resp, body = post("/v1/sessions", `{"user":"smoke"}`)
+	if resp.StatusCode != 201 {
+		t.Fatalf("create session = %d (%s), want 201", resp.StatusCode, body)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil || created.SessionID == "" {
+		t.Fatalf("create session body %q: %v", body, err)
+	}
+	resp, body = post("/v1/sessions/"+created.SessionID+"/messages",
+		`{"message":"What tables describe soil samples?"}`)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"reply"`) {
+		t.Fatalf("send = %d (%s), want 200 with a reply", resp.StatusCode, body)
+	}
+
+	// Degraded-source query: web is named but not configured → 200 with
+	// the degraded marker, per the status contract.
+	resp, body = get("/v1/search?q=rainfall&sources=tables,web")
+	if resp.StatusCode != 200 {
+		t.Fatalf("degraded search = %d (%s), want 200", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Pneuma-Degraded") != "true" || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("degraded search missing marker (header %q, body %s)",
+			resp.Header.Get("X-Pneuma-Degraded"), body)
+	}
+
+	// A malformed request maps to 400 with the typed code.
+	resp, body = get("/v1/search?q=")
+	if resp.StatusCode != 400 || !strings.Contains(body, `"bad query"`) {
+		t.Fatalf("empty query = %d (%s), want 400 bad query", resp.StatusCode, body)
+	}
+
+	// The traffic above must be visible on /metrics.
+	resp, body = get("/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d, want 200", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`pneuma_http_requests_total{route="search",code="200"}`,
+		`pneuma_http_requests_total{route="search",code="400"} 1`,
+		`pneuma_http_requests_total{route="send",code="200"} 1`,
+		"pneuma_retriever_documents",
+		"pneuma_llm_calls_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "pneuma_sched_accepted_total 0\n") {
+		t.Error("metrics report zero accepted requests after a scripted session")
+	}
+
+	// SIGTERM: the drain must be observable during the linger window.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	ready := -1
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener already gone; exit-code check below still gates
+		}
+		resp.Body.Close()
+		ready = resp.StatusCode
+		if ready == 503 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ready != 503 {
+		t.Errorf("post-SIGTERM /readyz = %d, want 503", ready)
+	}
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("post-SIGTERM /healthz = %d, want 200 while draining", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(base + "/v1/search?q=rainfall"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Errorf("post-SIGTERM API request = %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("post-SIGTERM 503 missing Retry-After")
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
+	}
+}

@@ -50,8 +50,18 @@ const (
 	// fail, the query succeeds with partial fusion instead (see
 	// ir.Result.Degraded).
 	ErrDegraded = pnerr.ErrDegraded
+	// ErrOverloaded: the request was shed — the scheduler's wait queue
+	// (WithMaxQueue) is full, so admitting it would let the backlog grow
+	// without bound. Unlike ErrBadQuery, the identical request can succeed
+	// once load subsides: back off and retry.
+	ErrOverloaded = pnerr.ErrOverloaded
 )
 
 // ErrorCodeOf extracts the ErrorCode from an error chain, or "" when the
 // chain carries no typed *Error.
 func ErrorCodeOf(err error) ErrorCode { return pnerr.CodeOf(err) }
+
+// ErrorCodes enumerates the complete typed error vocabulary in declaration
+// order — the slice exhaustiveness tests (like the HTTP status mapping in
+// internal/server) iterate so a new code cannot ship without a mapping.
+func ErrorCodes() []ErrorCode { return pnerr.Codes() }

@@ -33,6 +33,11 @@ var AllSources = []Source{SourceTables, SourceKnowledge, SourceWeb}
 // DefaultCacheSize bounds the LRU query-result cache.
 const DefaultCacheSize = 128
 
+// errNotConfigured marks an explicitly requested source that this System
+// has no retriever for; it rides the degraded join so callers see which
+// source was missing.
+var errNotConfigured = errors.New("source not configured on this system")
+
 // rrfK is the reciprocal-rank-fusion constant used for cross-source
 // merging (standard value 60, the same constant Pneuma-Retriever uses to
 // fuse its vector and lexical halves).
@@ -189,6 +194,14 @@ func (s *System) Query(ctx context.Context, req Request) (Result, error) {
 	// source i's ranked results, so the fusion below is order-independent
 	// of goroutine completion. Each source is ctx-aware, so cancellation
 	// propagates into the shard fan-outs and the wait stays short.
+	//
+	// A nil source is silent under the default all-sources fan-out (a
+	// tables-only System is a supported configuration, not a failure) but
+	// counts as a failed source when the request named it explicitly:
+	// a caller asking for "web" on a System without web search gets the
+	// degraded contract — surviving fusion plus an error naming the
+	// missing source — never a silently smaller answer.
+	explicit := len(req.Sources) > 0
 	lists := make([][]docs.Document, len(sources))
 	errs := make([]error, len(sources))
 	var wg sync.WaitGroup
@@ -196,19 +209,26 @@ func (s *System) Query(ctx context.Context, req Request) (Result, error) {
 		wg.Add(1)
 		go func(i int, src Source) {
 			defer wg.Done()
+			var configured bool
 			switch src {
 			case SourceTables:
 				if s.Tables != nil {
+					configured = true
 					lists[i], errs[i] = s.Tables.Search(ctx, req.Query, k)
 				}
 			case SourceKnowledge:
 				if s.Knowledge != nil {
+					configured = true
 					lists[i], errs[i] = s.Knowledge.Search(ctx, req.Query, k)
 				}
 			case SourceWeb:
 				if s.Web != nil {
+					configured = true
 					lists[i], errs[i] = s.Web.Search(ctx, req.Query, k)
 				}
+			}
+			if !configured && explicit {
+				errs[i] = errNotConfigured
 			}
 		}(i, src)
 	}

@@ -43,7 +43,29 @@ const (
 	// ErrDegraded: a fan-out completed partially — some sources answered,
 	// others failed; partial results accompany the error detail.
 	ErrDegraded Code = "degraded"
+	// ErrOverloaded: the request was shed because the scheduler's wait
+	// queue is full (or the estimated wait exceeds the serving bound);
+	// unlike ErrBadQuery the same request can succeed later — back off and
+	// retry.
+	ErrOverloaded Code = "overloaded"
 )
+
+// Codes enumerates the complete error vocabulary above, in declaration
+// order. Surfaces that must stay exhaustive over the vocabulary — the HTTP
+// status mapping in internal/server is the motivating one — iterate this
+// slice in tests, so adding a code without extending them fails loudly.
+// Every new Code constant must be appended here.
+func Codes() []Code {
+	return []Code{
+		ErrCanceled,
+		ErrBadQuery,
+		ErrIndexCorrupt,
+		ErrIndexLocked,
+		ErrClosed,
+		ErrDegraded,
+		ErrOverloaded,
+	}
+}
 
 // Error implements error.
 func (c Code) Error() string { return "pneuma: " + string(c) }
@@ -120,6 +142,13 @@ func Closed(op string) *Error {
 // fan-out as ErrDegraded.
 func Degraded(op string, err error) *Error {
 	return &Error{Code: ErrDegraded, Op: op, Err: err}
+}
+
+// Overloaded builds an ErrOverloaded for the named operation — the load
+// shedder's rejection when admitting one more request would let the wait
+// queue grow without bound.
+func Overloaded(op string) *Error {
+	return &Error{Code: ErrOverloaded, Op: op}
 }
 
 // CodeOf extracts the Code from an error chain, or "" when the chain holds

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pneuma"
+	"pneuma/internal/leakcheck"
+	"pneuma/internal/llm"
+)
+
+// gatedModel wraps the deterministic SimModel with a gate: the first
+// Complete call blocks until the gate opens (or its ctx fires), then every
+// call delegates. It lets the drain test hold a request genuinely
+// in-flight — the SimModel itself simulates latency without sleeping, so
+// without the gate no request stays in flight long enough to drain.
+type gatedModel struct {
+	inner   llm.Model
+	entered chan struct{} // one tick per Complete call that reached the gate
+	gate    chan struct{} // closed to let calls proceed
+}
+
+func newGatedModel() *gatedModel {
+	return &gatedModel{
+		inner:   llm.NewSimModel(),
+		entered: make(chan struct{}, 64),
+		gate:    make(chan struct{}),
+	}
+}
+
+func (m *gatedModel) Name() string      { return m.inner.Name() }
+func (m *gatedModel) ContextLimit() int { return m.inner.ContextLimit() }
+
+func (m *gatedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	select {
+	case m.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-m.gate:
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+	return m.inner.Complete(ctx, req)
+}
+
+// TestGracefulDrain exercises the whole SIGTERM sequence through Run: an
+// in-flight turn keeps running after the drain starts and completes with
+// 200; requests arriving during the drain answer 503 with Retry-After;
+// /readyz flips to 503 while /healthz stays 200; Run returns cleanly; and
+// nothing leaks.
+func TestGracefulDrain(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+
+	model := newGatedModel()
+	svc, err := pneuma.New(pneuma.ArchaeologyDataset(), pneuma.WithModel(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run closes the Service itself; no cleanup close here.
+
+	srv, err := New(Config{Service: svc, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx, ln) }()
+
+	client := &http.Client{}
+	t.Cleanup(client.CloseIdleConnections)
+
+	resp, err := client.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"user":"drain"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	decodeBody(t, resp, &created)
+
+	// Hold one turn in flight: the gated model blocks its first LLM call.
+	sendStatus := make(chan int, 1)
+	go func() {
+		resp, err := client.Post(base+"/v1/sessions/"+created.SessionID+"/messages",
+			"application/json", strings.NewReader(`{"message":"What tables describe soil samples?"}`))
+		if err != nil {
+			sendStatus <- -1
+			return
+		}
+		resp.Body.Close()
+		sendStatus <- resp.StatusCode
+	}()
+	select {
+	case <-model.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight turn never reached the model")
+	}
+
+	// SIGTERM: the daemon cancels Run's context.
+	cancel()
+
+	// The drain must become observable while the turn is still in flight.
+	readyDeadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz during drain: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(readyDeadline) {
+			t.Fatal("/readyz never flipped to 503 after the drain began")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err = client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200 (alive, just not ready)", resp.StatusCode)
+	}
+
+	resp, err = client.Get(base + "/v1/search?q=soil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("API request during drain = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drain 503 missing the Retry-After header")
+	}
+	var errBody errorBody
+	decodeBody(t, resp, &errBody)
+	if errBody.Code != "closed" {
+		t.Errorf("drain rejection code = %q, want closed", errBody.Code)
+	}
+
+	// The in-flight turn must still be running — not canceled by the drain.
+	select {
+	case status := <-sendStatus:
+		t.Fatalf("in-flight turn finished with %d before the gate opened — drain did not wait", status)
+	default:
+	}
+
+	// Open the gate: the turn completes normally and Run unwinds.
+	close(model.gate)
+	select {
+	case status := <-sendStatus:
+		if status != http.StatusOK {
+			t.Errorf("in-flight turn during drain = %d, want 200", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight turn never completed after the gate opened")
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Errorf("Run returned %v after a clean drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run never returned after the drain")
+	}
+
+	// The Service is closed: direct use reports ErrClosed.
+	if _, err := svc.Search(context.Background(), "soil", 1); !errors.Is(err, pneuma.ErrClosed) {
+		t.Errorf("post-drain Search = %v, want ErrClosed", err)
+	}
+}
+
+// TestRunListenerFailure: when the listener dies on its own (closed under
+// Run), Run reports the serve error and still closes the Service.
+func TestRunListenerFailure(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+
+	svc, err := pneuma.New(pneuma.ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(context.Background(), ln) }()
+	time.Sleep(10 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-runErr:
+		if err == nil {
+			t.Error("Run returned nil after its listener died")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run never returned after its listener closed")
+	}
+	if _, err := svc.Search(context.Background(), "soil", 1); !errors.Is(err, pneuma.ErrClosed) {
+		t.Errorf("Service not closed after listener failure: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"pneuma"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds — log-spaced
+// from 1ms to 10s, wide enough for both sub-millisecond searches and
+// multi-second Seeker turns.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram in Prometheus semantics:
+// counts[i] is the number of observations ≤ buckets[i], rendered
+// cumulatively with the +Inf bucket equal to count.
+type histogram struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets))
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// metrics is the server's request-level instrument set: per-route/status
+// counters and per-route latency histograms, one mutex over the lot.
+// Request rates here are HTTP-scale (the work behind each request dwarfs a
+// map update), so a single lock beats per-metric atomics on simplicity
+// without measurable contention.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // route → status → count
+	latency  map[string]*histogram     // route → histogram
+	shed     uint64                    // requests rejected by the estimated-wait shedder
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, status int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.requests[route]
+	if !ok {
+		byStatus = make(map[int]uint64)
+		m.requests[route] = byStatus
+	}
+	byStatus[status]++
+	h, ok := m.latency[route]
+	if !ok {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	h.observe(seconds)
+}
+
+// observeShed counts one request rejected before admission by the
+// estimated-wait shedder.
+func (m *metrics) observeShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// render writes the whole exposition — request metrics plus everything in
+// the Service's Stats snapshot — in Prometheus text format (version
+// 0.0.4), the format every scraper speaks, with no dependency beyond the
+// standard library.
+func (m *metrics) render(w io.Writer, stats pneuma.ServiceStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pneuma_http_requests_total Finished HTTP requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE pneuma_http_requests_total counter\n")
+	for _, route := range sortedKeys(m.requests) {
+		byStatus := m.requests[route]
+		codes := make([]int, 0, len(byStatus))
+		for c := range byStatus {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "pneuma_http_requests_total{route=%q,code=%q} %d\n",
+				route, strconv.Itoa(c), byStatus[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP pneuma_http_request_duration_seconds HTTP request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE pneuma_http_request_duration_seconds histogram\n")
+	for _, route := range sortedKeys(m.latency) {
+		h := m.latency[route]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			if h.counts != nil {
+				cum = h.counts[i]
+			}
+			fmt.Fprintf(w, "pneuma_http_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				route, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "pneuma_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.count)
+		fmt.Fprintf(w, "pneuma_http_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(w, "pneuma_http_request_duration_seconds_count{route=%q} %d\n", route, h.count)
+	}
+
+	fmt.Fprintf(w, "# HELP pneuma_http_shed_total Requests rejected by the estimated-wait load shedder before admission.\n")
+	fmt.Fprintf(w, "# TYPE pneuma_http_shed_total counter\n")
+	fmt.Fprintf(w, "pneuma_http_shed_total %d\n", m.shed)
+
+	sched := stats.Scheduler
+	writeGauge(w, "pneuma_sched_queue_depth", "Requests waiting for a scheduler slot right now.", float64(sched.QueueDepth))
+	writeGauge(w, "pneuma_sched_in_flight", "Requests holding a scheduler slot right now.", float64(sched.InFlight))
+	writeGauge(w, "pneuma_sched_max_concurrent", "Scheduler slot count (WithMaxConcurrent).", float64(sched.MaxConcurrent))
+	writeGauge(w, "pneuma_sched_max_queue", "Scheduler wait-queue bound (WithMaxQueue); 0 = unbounded.", float64(sched.MaxQueue))
+	writeCounter(w, "pneuma_sched_accepted_total", "Requests admitted to a scheduler slot.", float64(sched.Accepted))
+	writeCounter(w, "pneuma_sched_rejected_total", "Requests shed with ErrOverloaded by the scheduler queue bound.", float64(sched.Rejected))
+	writeCounter(w, "pneuma_sched_canceled_total", "Requests whose context fired before admission.", float64(sched.Canceled))
+	writeCounter(w, "pneuma_sched_completed_total", "Admitted requests that released their slot.", float64(sched.Completed))
+	writeCounter(w, "pneuma_sched_queue_wait_seconds_total", "Total time accepted requests spent waiting for a slot.", sched.QueueWait.Seconds())
+	writeCounter(w, "pneuma_sched_busy_seconds_total", "Total time admitted requests held a slot.", sched.Busy.Seconds())
+
+	writeGauge(w, "pneuma_retriever_documents", "Live documents in the table index.", float64(stats.Tables.Documents))
+	writeCounter(w, "pneuma_retriever_mutations_total", "Table-index mutation version (Add/Delete batches).", float64(stats.Tables.Version))
+	writeCounter(w, "pneuma_retriever_fsyncs_total", "Segment-file fsyncs across all disk shards.", float64(stats.Tables.Fsyncs))
+	writeCounter(w, "pneuma_retriever_compaction_runs_total", "Completed segment-compaction rewrites.", float64(stats.Tables.Compaction.Runs))
+	writeCounter(w, "pneuma_retriever_compaction_reclaimed_total", "Dead records removed by compaction.", float64(stats.Tables.Compaction.Reclaimed))
+	writeGauge(w, "pneuma_retriever_compaction_max_stall_seconds", "Longest writer stall any compaction phase inflicted.", stats.Tables.Compaction.MaxStall.Seconds())
+
+	writeCounter(w, "pneuma_llm_calls_total", "Completed LLM calls across all sessions.", float64(stats.Meter.Calls))
+	fmt.Fprintf(w, "# HELP pneuma_llm_tokens_total LLM tokens by direction across all sessions.\n")
+	fmt.Fprintf(w, "# TYPE pneuma_llm_tokens_total counter\n")
+	fmt.Fprintf(w, "pneuma_llm_tokens_total{direction=\"in\"} %d\n", stats.Meter.Total.InTokens)
+	fmt.Fprintf(w, "pneuma_llm_tokens_total{direction=\"out\"} %d\n", stats.Meter.Total.OutTokens)
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func writeCounter(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

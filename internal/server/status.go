@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"pneuma/internal/pnerr"
+)
+
+// StatusClientClosedRequest is the de facto standard status (nginx's 499)
+// for a request abandoned by its client: the typed ErrCanceled maps here
+// when the cancellation came from the client's connection rather than the
+// server's own deadline clamp.
+const StatusClientClosedRequest = 499
+
+// statusFor maps every code of the pnerr vocabulary onto its HTTP status.
+// The mapping must stay exhaustive: TestStatusMappingExhaustive iterates
+// pnerr.Codes() and fails if a code is missing here, so a new error code
+// cannot ship without deciding its wire semantics. ErrDegraded's 200 is
+// deliberate — a degraded query carries usable results, and the response
+// body and X-Pneuma-Degraded header mark the partiality.
+var statusFor = map[pnerr.Code]int{
+	pnerr.ErrCanceled:     StatusClientClosedRequest,
+	pnerr.ErrBadQuery:     http.StatusBadRequest,
+	pnerr.ErrIndexCorrupt: http.StatusInternalServerError,
+	pnerr.ErrIndexLocked:  http.StatusServiceUnavailable,
+	pnerr.ErrClosed:       http.StatusServiceUnavailable,
+	pnerr.ErrDegraded:     http.StatusOK,
+	pnerr.ErrOverloaded:   http.StatusServiceUnavailable,
+}
+
+// Status maps an error from the pneuma API onto its HTTP status code. nil
+// is 200. ErrCanceled distinguishes who gave up: a cause chain carrying
+// context.DeadlineExceeded means the server-side per-request deadline
+// fired (504 Gateway Timeout); plain cancellation means the client closed
+// the request (499). Errors without a typed code are internal (500).
+func Status(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	code := pnerr.CodeOf(err)
+	if code == pnerr.ErrCanceled && errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if status, ok := statusFor[code]; ok {
+		return status
+	}
+	return http.StatusInternalServerError
+}
+
+// Retryable reports whether the failure is worth the client's retry after
+// backing off — the 503 family (shed, draining, locked index), which gets
+// a Retry-After header.
+func Retryable(err error) bool {
+	return Status(err) == http.StatusServiceUnavailable
+}

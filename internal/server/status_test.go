@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"pneuma/internal/pnerr"
+)
+
+// TestStatusMappingExhaustive iterates the full pnerr vocabulary via
+// pnerr.Codes(): every code must have an explicit HTTP status. Adding a
+// code to pnerr (and its Codes() registry) without extending statusFor
+// fails here, so new error codes cannot ship without wire semantics.
+func TestStatusMappingExhaustive(t *testing.T) {
+	for _, code := range pnerr.Codes() {
+		if _, ok := statusFor[code]; !ok {
+			t.Errorf("pnerr code %q has no HTTP status mapping in statusFor", code)
+		}
+	}
+	if len(statusFor) != len(pnerr.Codes()) {
+		t.Errorf("statusFor has %d entries, pnerr.Codes() has %d — mapping and vocabulary out of sync",
+			len(statusFor), len(pnerr.Codes()))
+	}
+}
+
+// TestStatusMapping pins the mapped status of each failure shape the
+// serving layer produces.
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil is 200", nil, http.StatusOK},
+		{"bad query is 400", pnerr.BadQueryf("op", "empty"), http.StatusBadRequest},
+		{"client cancel is 499", pnerr.Canceled("op", context.Canceled), StatusClientClosedRequest},
+		{"server deadline is 504", pnerr.Canceled("op", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"corrupt index is 500", pnerr.Corrupt("op", errors.New("bad magic")), http.StatusInternalServerError},
+		{"locked index is 503", pnerr.Locked("op", errors.New("held")), http.StatusServiceUnavailable},
+		{"closed is 503", pnerr.Closed("op"), http.StatusServiceUnavailable},
+		{"overloaded is 503", pnerr.Overloaded("op"), http.StatusServiceUnavailable},
+		{"degraded is 200", pnerr.Degraded("op", errors.New("web: down")), http.StatusOK},
+		{"untyped error is 500", errors.New("mystery"), http.StatusInternalServerError},
+		{"wrapped typed error keeps its status", pnerr.New(pnerr.ErrBadQuery, "op", errors.New("detail")), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := Status(tc.err); got != tc.want {
+			t.Errorf("%s: Status(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRetryable: exactly the 503 family invites a retry (and earns the
+// Retry-After header) — not client errors, not hard failures.
+func TestRetryable(t *testing.T) {
+	if !Retryable(pnerr.Overloaded("op")) || !Retryable(pnerr.Closed("op")) {
+		t.Error("overloaded/closed must be retryable")
+	}
+	if Retryable(pnerr.BadQueryf("op", "x")) {
+		t.Error("bad query must not be retryable")
+	}
+	if Retryable(pnerr.Canceled("op", context.DeadlineExceeded)) {
+		t.Error("deadline (504) must not be retryable — the same timeout would fire again")
+	}
+	if Retryable(nil) {
+		t.Error("nil must not be retryable")
+	}
+}

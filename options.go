@@ -22,6 +22,7 @@ type settings struct {
 	web           *websearch.Engine
 	kb            *docdb.DB
 	maxConcurrent int
+	maxQueue      int
 }
 
 // DefaultMaxConcurrent returns the default request-scheduler width:
@@ -191,6 +192,22 @@ func WithMaxConcurrent(n int) Option {
 	return func(s *settings) {
 		if n > 0 {
 			s.maxConcurrent = n
+		}
+	}
+}
+
+// WithMaxQueue bounds the scheduler's wait queue: at most n requests may
+// be waiting for a slot at any moment, and the request that would be the
+// n+1st is rejected immediately with a typed ErrOverloaded instead of
+// queueing. Default 0 leaves the queue unbounded (the pre-shedding
+// behavior), in which case a traffic spike queues arbitrarily deep and
+// callers cannot distinguish "slow" from "drowning" — servers should set
+// a bound and surface the rejection as backpressure (HTTP 503 with
+// Retry-After in pneuma-server).
+func WithMaxQueue(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.maxQueue = n
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pneuma/internal/core"
 	"pneuma/internal/docdb"
@@ -32,6 +34,11 @@ import (
 type Service struct {
 	seeker *core.Seeker
 	sem    chan struct{}
+	// maxQueue bounds how many requests may wait for a slot at once
+	// (WithMaxQueue); 0 means the queue is unbounded, the pre-shedding
+	// behavior.
+	maxQueue int
+	sched    schedCounters
 
 	mu     sync.Mutex
 	wg     sync.WaitGroup
@@ -80,37 +87,86 @@ func NewContext(ctx context.Context, corpus map[string]*Table, opts ...Option) (
 		return nil, err
 	}
 	return &Service{
-		seeker: seeker,
-		sem:    make(chan struct{}, s.maxConcurrent),
+		seeker:   seeker,
+		sem:      make(chan struct{}, s.maxConcurrent),
+		maxQueue: s.maxQueue,
 	}, nil
 }
 
-// acquire admits one request: it rejects closed services, honors
-// cancellation while queueing, and counts the request for Close's drain.
-func (s *Service) acquire(ctx context.Context, op string) error {
+// schedCounters instruments the request scheduler: two gauges (queue
+// depth, in-flight), outcome counters and two cumulative durations, all
+// atomics so the hot path never takes a lock to account for itself.
+// Stats() assembles them into the typed SchedulerStats snapshot the
+// metrics endpoint and the load shedder read.
+type schedCounters struct {
+	queued    atomic.Int64  // requests waiting for a slot right now
+	inFlight  atomic.Int64  // requests holding a slot right now
+	accepted  atomic.Uint64 // requests admitted to a slot
+	rejected  atomic.Uint64 // requests shed by the queue bound
+	canceled  atomic.Uint64 // requests whose ctx fired before admission
+	completed atomic.Uint64 // admitted requests that released their slot
+	waitNanos atomic.Int64  // total time accepted requests spent queued
+	busyNanos atomic.Int64  // total time admitted requests held a slot
+}
+
+// acquire admits one request and returns the release that gives its slot
+// back: it rejects closed services, sheds with a typed ErrOverloaded when
+// the wait queue is at its bound, honors cancellation while queueing, and
+// counts the request for Close's drain and for Stats.
+func (s *Service) acquire(ctx context.Context, op string) (release func(), err error) {
 	if err := ctx.Err(); err != nil {
-		return pnerr.Canceled(op, err)
+		s.sched.canceled.Add(1)
+		return nil, pnerr.Canceled(op, err)
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return pnerr.Closed(op)
+		return nil, pnerr.Closed(op)
 	}
 	s.wg.Add(1)
 	s.mu.Unlock()
+	// Fast path: a free slot admits without ever counting as queued.
 	select {
 	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
+		return s.admit(0), nil
+	default:
+	}
+	// No free slot: the request queues. The depth bound is enforced on
+	// the post-increment value, so at most maxQueue requests ever wait.
+	if n := s.sched.queued.Add(1); s.maxQueue > 0 && n > int64(s.maxQueue) {
+		s.sched.queued.Add(-1)
+		s.sched.rejected.Add(1)
 		s.wg.Done()
-		return pnerr.Canceled(op, ctx.Err())
+		return nil, pnerr.Overloaded(op)
+	}
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.sched.queued.Add(-1)
+		return s.admit(time.Since(start)), nil
+	case <-ctx.Done():
+		s.sched.queued.Add(-1)
+		s.sched.canceled.Add(1)
+		s.wg.Done()
+		return nil, pnerr.Canceled(op, ctx.Err())
 	}
 }
 
-// release returns an admitted request's scheduler slot.
-func (s *Service) release() {
-	<-s.sem
-	s.wg.Done()
+// admit records one admission and returns the paired release: the gauge
+// flips from queued to in-flight, and the slot-holding time accumulates
+// into busyNanos so EstimatedWait can project the backlog.
+func (s *Service) admit(waited time.Duration) func() {
+	s.sched.accepted.Add(1)
+	s.sched.waitNanos.Add(int64(waited))
+	s.sched.inFlight.Add(1)
+	start := time.Now()
+	return func() {
+		s.sched.busyNanos.Add(int64(time.Since(start)))
+		s.sched.inFlight.Add(-1)
+		s.sched.completed.Add(1)
+		<-s.sem
+		s.wg.Done()
+	}
 }
 
 // NewSession starts a conversation for the named user. Sessions are
@@ -130,15 +186,31 @@ func (s *Service) NewSession(user string) *ServiceSession {
 // the per-source failures — check errors.Is(err, ErrDegraded) to accept
 // partial results.
 func (s *Service) Search(ctx context.Context, query string, k int) ([]Document, error) {
+	return s.SearchIn(ctx, query, k)
+}
+
+// SearchIn is Search restricted to the named retrieval sources ("tables",
+// "knowledge", "web"); no names means all sources, exactly Search. An
+// unknown name is a typed ErrBadQuery. A source that is named but not
+// configured on this Service (web search disabled, say) counts as a
+// failed source: the query degrades — surviving sources fuse and the
+// ErrDegraded-coded error names the missing one — rather than silently
+// returning less than was asked for.
+func (s *Service) SearchIn(ctx context.Context, query string, k int, sources ...string) ([]Document, error) {
 	const op = "service: search"
 	if strings.TrimSpace(query) == "" {
 		return nil, pnerr.BadQueryf(op, "empty query")
 	}
-	if err := s.acquire(ctx, op); err != nil {
+	release, err := s.acquire(ctx, op)
+	if err != nil {
 		return nil, err
 	}
-	defer s.release()
-	res, err := s.seeker.IR().Query(ctx, ir.Request{Query: query, K: k})
+	defer release()
+	srcs := make([]ir.Source, len(sources))
+	for i, name := range sources {
+		srcs[i] = ir.Source(name)
+	}
+	res, err := s.seeker.IR().Query(ctx, ir.Request{Query: query, K: k, Sources: srcs})
 	if err != nil {
 		return nil, err
 	}
@@ -175,10 +247,11 @@ func (s *Service) AddTables(ctx context.Context, tables ...*Table) error {
 	if len(tables) == 0 {
 		return nil
 	}
-	if err := s.acquire(ctx, op); err != nil {
+	release, err := s.acquire(ctx, op)
+	if err != nil {
 		return err
 	}
-	defer s.release()
+	defer release()
 	return s.seeker.IR().Tables.IndexTables(ctx, tables)
 }
 
@@ -194,10 +267,11 @@ func (s *Service) DeleteTables(ctx context.Context, names ...string) (int, error
 	if len(names) == 0 {
 		return 0, nil
 	}
-	if err := s.acquire(ctx, op); err != nil {
+	release, err := s.acquire(ctx, op)
+	if err != nil {
 		return 0, err
 	}
-	defer s.release()
+	defer release()
 	ids := make([]string, len(names))
 	for i, name := range names {
 		ids[i] = "table:" + name
@@ -259,10 +333,11 @@ type ServiceSession struct {
 // While the request waits for a scheduler slot, cancellation abandons the
 // queue immediately.
 func (ss *ServiceSession) Send(ctx context.Context, message string) (Reply, error) {
-	if err := ss.svc.acquire(ctx, "service: send"); err != nil {
+	release, err := ss.svc.acquire(ctx, "service: send")
+	if err != nil {
 		return Reply{}, err
 	}
-	defer ss.svc.release()
+	defer release()
 	return ss.inner.Send(ctx, message)
 }
 

@@ -1,0 +1,123 @@
+package pneuma
+
+import (
+	"time"
+
+	"pneuma/internal/retriever"
+)
+
+// SchedulerStats is a point-in-time snapshot of the request scheduler: the
+// two live gauges (queue depth, in-flight), the admission outcome counters,
+// and the cumulative durations the load shedder and the metrics endpoint
+// derive rates from. Counters are monotonic over the Service's lifetime;
+// gauges are instantaneous and may be stale by the time the caller reads
+// them.
+type SchedulerStats struct {
+	// MaxConcurrent is the slot count (WithMaxConcurrent).
+	MaxConcurrent int
+	// MaxQueue is the wait-queue bound (WithMaxQueue); 0 means unbounded.
+	MaxQueue int
+	// QueueDepth is how many requests are waiting for a slot right now.
+	QueueDepth int
+	// InFlight is how many requests hold a slot right now.
+	InFlight int
+	// Accepted counts requests admitted to a slot.
+	Accepted uint64
+	// Rejected counts requests shed with ErrOverloaded by the queue bound.
+	Rejected uint64
+	// Canceled counts requests whose context fired before admission.
+	Canceled uint64
+	// Completed counts admitted requests that have released their slot.
+	Completed uint64
+	// QueueWait is the total time accepted requests spent waiting for a
+	// slot (only requests that actually queued contribute).
+	QueueWait time.Duration
+	// Busy is the total time admitted requests have held a slot.
+	Busy time.Duration
+}
+
+// EstimatedWait projects how long a request arriving now would queue:
+// the backlog ahead of it (QueueDepth requests) times the mean slot-hold
+// time of completed requests, divided across the MaxConcurrent slots
+// draining it. Zero while the queue is empty or before any request has
+// completed (no basis for a projection). Servers shed with 503 when this
+// exceeds their latency bound — the "estimated wait" half of load
+// shedding, complementing the hard depth bound of WithMaxQueue.
+func (s SchedulerStats) EstimatedWait() time.Duration {
+	if s.QueueDepth == 0 || s.Completed == 0 || s.MaxConcurrent <= 0 {
+		return 0
+	}
+	mean := s.Busy / time.Duration(s.Completed)
+	return mean * time.Duration(s.QueueDepth) / time.Duration(s.MaxConcurrent)
+}
+
+// CompactionStats aggregates segment-compaction activity across the table
+// index's disk shards (all zero for BackendMemory).
+type CompactionStats = retriever.CompactionStats
+
+// RetrieverStats is the Stats() slice for one retrieval index: size,
+// mutation version and the durability counters the disk backend keeps.
+type RetrieverStats struct {
+	// Documents is the live document count.
+	Documents int
+	// Version is the mutation counter (monotonic across Add/Delete).
+	Version uint64
+	// Fsyncs is the cumulative segment-file fsync count (BackendDisk).
+	Fsyncs uint64
+	// Compaction aggregates segment-rewrite runs, reclaimed records and
+	// the max writer stall (BackendDisk).
+	Compaction CompactionStats
+}
+
+// ServiceStats is the one coherent observability surface of a Service:
+// everything the /metrics endpoint exports and the serving tests assert
+// reads from this snapshot instead of poking internals. Gauges are
+// instantaneous; counters are monotonic since New.
+type ServiceStats struct {
+	// Scheduler snapshots the bounded request scheduler.
+	Scheduler SchedulerStats
+	// Meter is the service-wide LLM accounting (token totals, call count,
+	// simulated latency — the sum over all sessions).
+	Meter MeterSnapshot
+	// Tables describes the shared table index, the Service's one
+	// Retriever.
+	Tables RetrieverStats
+}
+
+// SchedulerStats snapshots just the scheduler slice of Stats. It reads
+// only atomics — no locks anywhere — so per-request admission-control
+// checks (the server's estimated-wait shedder runs one before every
+// request) cost nanoseconds.
+func (s *Service) SchedulerStats() SchedulerStats {
+	return SchedulerStats{
+		MaxConcurrent: cap(s.sem),
+		MaxQueue:      s.maxQueue,
+		QueueDepth:    int(s.sched.queued.Load()),
+		InFlight:      int(s.sched.inFlight.Load()),
+		Accepted:      s.sched.accepted.Load(),
+		Rejected:      s.sched.rejected.Load(),
+		Canceled:      s.sched.canceled.Load(),
+		Completed:     s.sched.completed.Load(),
+		QueueWait:     time.Duration(s.sched.waitNanos.Load()),
+		Busy:          time.Duration(s.sched.busyNanos.Load()),
+	}
+}
+
+// Stats assembles the Service's typed observability snapshot. It is safe
+// to call concurrently with serving traffic and never blocks a request:
+// scheduler counters are atomics, the meter snapshot takes the meter
+// mutex briefly, and the retriever counters take each shard's lock
+// briefly.
+func (s *Service) Stats() ServiceStats {
+	ret := s.seeker.IR().Tables
+	return ServiceStats{
+		Scheduler: s.SchedulerStats(),
+		Meter:     s.seeker.Meter().Snapshot(),
+		Tables: RetrieverStats{
+			Documents:  ret.Len(),
+			Version:    ret.Version(),
+			Fsyncs:     ret.Fsyncs(),
+			Compaction: ret.CompactionStats(),
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package pneuma
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pneuma/internal/pnerr"
+)
+
+// TestServiceStatsCounters: the typed snapshot must agree with the traffic
+// actually served — admissions, completions, slot-hold time, index size
+// and meter totals all on one surface.
+func TestServiceStatsCounters(t *testing.T) {
+	svc, err := New(ArchaeologyDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	if _, err := svc.Search(ctx, "soil samples potassium", 5); err != nil {
+		t.Fatal(err)
+	}
+	sess := svc.NewSession("stats-user")
+	if _, err := sess.Send(ctx, "What tables describe soil samples?"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	if st.Scheduler.Accepted != 2 || st.Scheduler.Completed != 2 {
+		t.Errorf("Accepted/Completed = %d/%d, want 2/2", st.Scheduler.Accepted, st.Scheduler.Completed)
+	}
+	if st.Scheduler.InFlight != 0 || st.Scheduler.QueueDepth != 0 {
+		t.Errorf("idle gauges = inflight %d queue %d, want 0/0", st.Scheduler.InFlight, st.Scheduler.QueueDepth)
+	}
+	if st.Scheduler.Busy <= 0 {
+		t.Error("Busy duration not accumulated")
+	}
+	if st.Scheduler.MaxConcurrent != svc.MaxConcurrent() {
+		t.Errorf("MaxConcurrent = %d, want %d", st.Scheduler.MaxConcurrent, svc.MaxConcurrent())
+	}
+	if st.Tables.Documents == 0 {
+		t.Error("Tables.Documents = 0, want the corpus size")
+	}
+	if st.Meter.Calls == 0 || st.Meter.Total.InTokens == 0 {
+		t.Errorf("Meter = %d calls %d in-tokens; want nonzero after a Send", st.Meter.Calls, st.Meter.Total.InTokens)
+	}
+	if got := svc.Meter().Snapshot(); got.Calls != st.Meter.Calls {
+		t.Errorf("Stats meter (%d calls) disagrees with Service.Meter (%d)", st.Meter.Calls, got.Calls)
+	}
+}
+
+// TestServiceMaxQueueSheds (white-box): with the only slot held and the
+// one queue seat taken, the next request must be rejected immediately with
+// a typed ErrOverloaded — not queued behind an unbounded backlog — and the
+// rejection must show up in Stats.
+func TestServiceMaxQueueSheds(t *testing.T) {
+	svc, err := New(ArchaeologyDataset(), WithMaxConcurrent(1), WithMaxQueue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Occupy the only slot directly so the next request must queue.
+	svc.sem <- struct{}{}
+
+	queued := make(chan error, 1)
+	go func() {
+		_, err := svc.Search(context.Background(), "soil samples", 3)
+		queued <- err
+	}()
+	// Wait until the queued request is counted as waiting.
+	for i := 0; i < 1000 && svc.sched.queued.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := svc.Stats().Scheduler.QueueDepth; got != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", got)
+	}
+
+	// The queue is full: this request must be shed, and fast.
+	start := time.Now()
+	_, err = svc.Search(context.Background(), "more soil", 3)
+	if !errors.Is(err, pnerr.ErrOverloaded) {
+		t.Fatalf("over-queue Search = %v, want ErrOverloaded", err)
+	}
+	if errors.Is(err, ErrOverloaded) != true {
+		t.Fatal("public ErrOverloaded sentinel does not match")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("shed request took %v; shedding must not wait", waited)
+	}
+
+	// Give the slot back: the queued request must complete normally.
+	<-svc.sem
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request failed after the slot freed: %v", err)
+	}
+	st := svc.Stats().Scheduler
+	if st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	if st.QueueWait <= 0 {
+		t.Error("QueueWait not accumulated for the queued request")
+	}
+}
+
+// TestSchedulerEstimatedWait: the projection is backlog x mean hold time /
+// slots, and zero without a backlog or a completion history.
+func TestSchedulerEstimatedWait(t *testing.T) {
+	st := SchedulerStats{
+		MaxConcurrent: 2,
+		QueueDepth:    4,
+		Completed:     10,
+		Busy:          10 * 50 * time.Millisecond,
+	}
+	if got, want := st.EstimatedWait(), 100*time.Millisecond; got != want {
+		t.Errorf("EstimatedWait = %v, want %v", got, want)
+	}
+	if got := (SchedulerStats{MaxConcurrent: 2, Completed: 5, Busy: time.Second}).EstimatedWait(); got != 0 {
+		t.Errorf("empty-queue EstimatedWait = %v, want 0", got)
+	}
+	if got := (SchedulerStats{MaxConcurrent: 2, QueueDepth: 3}).EstimatedWait(); got != 0 {
+		t.Errorf("no-history EstimatedWait = %v, want 0", got)
+	}
+}
