@@ -4,21 +4,23 @@ GO ?= go
 # (enforced by `make docs` via cmd/pneuma-doccheck).
 DOC_PKGS = ./internal/retriever ./internal/ir ./internal/embed ./internal/bm25 ./internal/pnerr ./internal/server .
 
-.PHONY: verify fmt-check vet asmvet xbuild-arm64 tier1 race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke bench-compaction bench-compaction-smoke bench-serve bench-serve-smoke serve-smoke ingest-bench docs
+.PHONY: verify fmt-check vet asmvet xbuild-arm64 tier1 tier1-scalar race race-smoke fuzz-smoke bench bench-compare bench-smoke bench-cold bench-cold-smoke bench-quant-smoke bench-mixed bench-mixed-smoke bench-compaction bench-compaction-smoke bench-serve bench-serve-smoke bench-kernels bench-kernels-smoke serve-smoke ingest-bench docs
 
 # verify is the one-shot local gate every PR must pass: formatting, vet
 # (plus an explicit asmdecl pass over the assembly kernels and an arm64
 # cross-build so the NEON path cannot rot on amd64-only machines), the
 # documentation gate, the tier-1 build+test command from ROADMAP.md
-# (which includes the AllocsPerRun budget guards), short-mode smokes of
-# the retrieval benchmark pipeline, the disk cold-start pipeline, the
-# int8 speed tier, the mixed read/ingest workload and the compaction
-# stall comparison, a short-mode race pass over the concurrent serving
-# path (Service scheduler, cancellation fan-out, disk-backend sessions,
-# the live-ingest churn soak, the SIMD dispatch seam, background
-# compaction under churn), and a 10-second fuzz pass over the binary
-# decoders.
-verify: fmt-check vet asmvet xbuild-arm64 tier1 docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke bench-compaction-smoke bench-serve-smoke serve-smoke race-smoke fuzz-smoke
+# (which includes the AllocsPerRun budget guards), the kernel-heavy
+# tier-1 packages re-run with the scalar dispatch override (so the
+# portable kernels stay proven even on SIMD machines), short-mode smokes
+# of the retrieval benchmark pipeline, the disk cold-start pipeline, the
+# int8 speed tier, the mixed read/ingest workload, the compaction stall
+# comparison and the kernel microbenchmark, a short-mode race pass over
+# the concurrent serving path (Service scheduler, cancellation fan-out,
+# disk-backend sessions, the live-ingest churn soak, the SIMD dispatch
+# seam — batched entry points included, background compaction under
+# churn), and a 10-second fuzz pass over the binary decoders.
+verify: fmt-check vet asmvet xbuild-arm64 tier1 tier1-scalar docs bench-smoke bench-cold-smoke bench-quant-smoke bench-mixed-smoke bench-compaction-smoke bench-serve-smoke bench-kernels-smoke serve-smoke race-smoke fuzz-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -48,6 +50,15 @@ xbuild-arm64:
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
+
+# tier1-scalar re-runs the kernel-consuming tier-1 packages with the
+# PNEUMA_FORCE_SCALAR env override pinning the dispatch seam to the
+# pure-Go kernels: the scalar tier is both the portability floor and the
+# bit-identity oracle, so it must keep passing the same tests the SIMD
+# tiers do — on the machines where it would otherwise never run.
+tier1-scalar:
+	PNEUMA_FORCE_SCALAR=1 $(GO) test -count=1 ./internal/vecmath/ ./internal/hnsw/ ./internal/bm25/ ./internal/retriever/
+	@echo "tier1-scalar: ok"
 
 # race runs the concurrency-sensitive packages under the race detector.
 race:
@@ -183,6 +194,26 @@ bench-serve-smoke:
 		echo "bench-serve-smoke: missing serving section"; rm -f .bench-serve-smoke.json; exit 1; }
 	@rm -f .bench-serve-smoke.json
 	@echo "bench-serve-smoke: ok"
+
+# bench-kernels refreshes the cpu and kernels sections of
+# BENCH_retrieval.json in place: single vs batched kernels on every
+# dispatch rung this CPU offers (scalar/SSE2/AVX2, float32 and int8)
+# without re-running the corpus-dependent modes.
+bench-kernels:
+	$(GO) run ./cmd/pneuma-bench -kernels -json BENCH_retrieval.json
+
+# bench-kernels-smoke is the short-mode gate wired into `make verify`: it
+# proves the kernel microbenchmark runs on every tier rung and emits the
+# extended kernels section (the int8 ladder included); the throwaway
+# report is removed afterwards.
+bench-kernels-smoke:
+	@$(GO) run ./cmd/pneuma-bench -kernels -json .bench-kernels-smoke.json >/dev/null
+	@grep -q '"dot_int8_tier"' .bench-kernels-smoke.json || { \
+		echo "bench-kernels-smoke: missing int8 kernel ladder"; rm -f .bench-kernels-smoke.json; exit 1; }
+	@grep -q '"dot_batch_per_cand_ns"' .bench-kernels-smoke.json || { \
+		echo "bench-kernels-smoke: missing batched kernel fields"; rm -f .bench-kernels-smoke.json; exit 1; }
+	@rm -f .bench-kernels-smoke.json
+	@echo "bench-kernels-smoke: ok"
 
 # serve-smoke is the end-to-end daemon gate wired into `make verify`: it
 # builds the real pneuma-server binary, boots it on an ephemeral port,

@@ -15,12 +15,22 @@ import (
 // embedding width shows up in the query percentiles instead.
 const kernelDim = 384
 
+// kernelBatch is the candidate count for the batched-kernel measurement:
+// the width of one layer-0 HNSW adjacency list (2·M with the default
+// M=16), the batch shape traversal actually issues.
+const kernelBatch = 32
+
+// kernelArenaRows sizes the candidate arena the batched measurement walks.
+const kernelArenaRows = 64
+
 // cpuSection captures the vecmath dispatch state for the report.
 func cpuSection() *cpuStats {
 	return &cpuStats{
-		Tier:         vecmath.Tier(),
-		DetectedTier: vecmath.DetectedTier(),
-		Features:     vecmath.Features(),
+		Tier:             vecmath.Tier(),
+		DetectedTier:     vecmath.DetectedTier(),
+		Int8Tier:         vecmath.Int8Tier(),
+		DetectedInt8Tier: vecmath.DetectedInt8Tier(),
+		Features:         vecmath.Features(),
 	}
 }
 
@@ -38,15 +48,40 @@ func benchKernel(f func()) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters)
 }
 
-// kernelSink keeps the benchmarked kernel calls observable so the loops
-// cannot be optimized away.
-var kernelSink float32
+// benchKernelN is benchKernel for calls that score n candidates at once:
+// the returned latency is per candidate, so batched and single-call
+// numbers read on the same scale.
+func benchKernelN(n int, f func()) float64 {
+	const iters = 20_000
+	for i := 0; i < iters/10; i++ {
+		f()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters) / float64(n)
+}
 
-// runKernelSection microbenchmarks the hot float32 distance kernels at
-// kernelDim, dispatched tier versus forced scalar over identical operands,
-// and prints the per-kernel speedups. The scalar pass runs under the
-// ForceScalar override, restored before the function returns — callers
-// must not run queries concurrently with this measurement.
+// Benchmark sinks keep the measured kernel calls observable so the loops
+// cannot be optimized away.
+var (
+	kernelSink     float32
+	kernelSinkInt8 int32
+)
+
+// runKernelSection microbenchmarks the hot kernels at kernelDim:
+//
+//   - the float32 distance kernels, dispatched tier versus forced scalar
+//     over identical operands;
+//   - the int8 quantized dot on every dispatch rung this CPU offers
+//     (scalar, SSE2, AVX2 on amd64), walked via vecmath.ForceTiers so the
+//     AVX2-over-SSE2 acceptance ratio is measured in-process;
+//   - the batched arena kernels at kernelBatch candidates against a loop
+//     of single calls on the best tier.
+//
+// Tier overrides are restored before the function returns — callers must
+// not run queries concurrently with this measurement.
 func runKernelSection() *kernelStats {
 	rng := rand.New(rand.NewSource(42))
 	a := make([]float32, kernelDim)
@@ -57,12 +92,19 @@ func runKernelSection() *kernelStats {
 	}
 	na := vecmath.Norm(a)
 	nb := vecmath.Norm(b)
+	a8 := make([]int8, kernelDim)
+	b8 := make([]int8, kernelDim)
+	for i := range a8 {
+		a8[i] = int8(rng.Intn(255) - 127)
+		b8[i] = int8(rng.Intn(255) - 127)
+	}
 
 	dot := func() { kernelSink = vecmath.Dot(a, b) }
 	sql2 := func() { kernelSink = vecmath.SquaredL2(a, b) }
 	cos := func() { kernelSink = vecmath.CosineWithNorms(a, b, na, nb) }
+	dot8 := func() { kernelSinkInt8 = vecmath.DotInt8(a8, b8) }
 
-	s := &kernelStats{Dim: kernelDim, Tier: vecmath.Tier()}
+	s := &kernelStats{Dim: kernelDim, Tier: vecmath.Tier(), Int8Tier: vecmath.Int8Tier()}
 	s.DotNs = benchKernel(dot)
 	s.SqrL2Ns = benchKernel(sql2)
 	s.CosineNs = benchKernel(cos)
@@ -77,9 +119,118 @@ func runKernelSection() *kernelStats {
 	s.SqrL2Speedup = s.SqrL2ScalarNs / s.SqrL2Ns
 	s.CosineSpeedup = s.CosineScalarNs / s.CosineNs
 
+	// Walk every int8 rung in-process: ForceTiers pins the int8 half while
+	// the float32 half stays on the detected tier.
+	floatTier := vecmath.DetectedTier()
+	int8Ns := map[string]float64{}
+	for _, tier := range vecmath.Int8Tiers() {
+		if !vecmath.ForceTiers(floatTier, tier) {
+			continue
+		}
+		ns := benchKernel(dot8)
+		int8Ns[tier] = ns
+		switch tier {
+		case "scalar":
+			s.Int8ScalarNs = ns
+		case "sse2":
+			s.Int8SSE2Ns = ns
+		case "avx2":
+			s.Int8AVX2Ns = ns
+		}
+	}
+	vecmath.ForceScalar(false)
+	s.Int8Ns = int8Ns[vecmath.DetectedInt8Tier()]
+	if s.Int8Ns > 0 {
+		s.Int8Speedup = s.Int8ScalarNs / s.Int8Ns
+	}
+	if s.Int8AVX2Ns > 0 && s.Int8SSE2Ns > 0 {
+		s.Int8AVX2VsSSE2 = s.Int8SSE2Ns / s.Int8AVX2Ns
+	}
+
+	// Batched arena kernels: one query against kernelBatch candidates out
+	// of a kernelArenaRows-row arena, batch call vs single-call loop.
+	arena := make([]float32, kernelArenaRows*kernelDim)
+	arena8 := make([]int8, kernelArenaRows*kernelDim)
+	for i := range arena {
+		arena[i] = rng.Float32() - 0.5
+	}
+	for i := range arena8 {
+		arena8[i] = int8(rng.Intn(255) - 127)
+	}
+	idxs := make([]int32, kernelBatch)
+	for j := range idxs {
+		idxs[j] = int32((j * 29) % kernelArenaRows)
+	}
+	outF := make([]float32, kernelBatch)
+	out8 := make([]int32, kernelBatch)
+
+	s.BatchSize = kernelBatch
+	s.DotBatchNs = benchKernelN(kernelBatch, func() {
+		vecmath.DotBatch(a, arena, kernelDim, idxs, outF)
+	})
+	s.DotLoopNs = benchKernelN(kernelBatch, func() {
+		for _, ix := range idxs {
+			kernelSink = vecmath.Dot(a, arena[int(ix)*kernelDim:int(ix)*kernelDim+kernelDim])
+		}
+	})
+	s.SqrL2BatchNs = benchKernelN(kernelBatch, func() {
+		vecmath.SquaredL2Batch(a, arena, kernelDim, idxs, outF)
+	})
+	s.SqrL2LoopNs = benchKernelN(kernelBatch, func() {
+		for _, ix := range idxs {
+			kernelSink = vecmath.SquaredL2(a, arena[int(ix)*kernelDim:int(ix)*kernelDim+kernelDim])
+		}
+	})
+	s.Int8BatchNs = benchKernelN(kernelBatch, func() {
+		vecmath.DotInt8Batch(a8, arena8, kernelDim, idxs, out8)
+	})
+	s.Int8LoopNs = benchKernelN(kernelBatch, func() {
+		for _, ix := range idxs {
+			kernelSinkInt8 = vecmath.DotInt8(a8, arena8[int(ix)*kernelDim:int(ix)*kernelDim+kernelDim])
+		}
+	})
+	s.DotBatchSpeedup = s.DotLoopNs / s.DotBatchNs
+	s.SqrL2BatchSpeedup = s.SqrL2LoopNs / s.SqrL2BatchNs
+	s.Int8BatchSpeedup = s.Int8LoopNs / s.Int8BatchNs
+
 	fmt.Printf("Float32 kernels at dim %d (%s tier vs scalar):\n", kernelDim, s.Tier)
 	fmt.Printf("  dot        %6.1f ns vs %6.1f ns   %.2fx\n", s.DotNs, s.DotScalarNs, s.DotSpeedup)
 	fmt.Printf("  squared-l2 %6.1f ns vs %6.1f ns   %.2fx\n", s.SqrL2Ns, s.SqrL2ScalarNs, s.SqrL2Speedup)
 	fmt.Printf("  cosine     %6.1f ns vs %6.1f ns   %.2fx\n", s.CosineNs, s.CosineScalarNs, s.CosineSpeedup)
+	fmt.Printf("Int8 dot at dim %d, per dispatch rung:\n", kernelDim)
+	for _, tier := range []string{"scalar", "sse2", "avx2"} {
+		if ns, ok := int8Ns[tier]; ok {
+			fmt.Printf("  %-7s    %6.1f ns\n", tier, ns)
+		}
+	}
+	fmt.Printf("  best (%s)  %.2fx vs scalar", s.Int8Tier, s.Int8Speedup)
+	if s.Int8AVX2VsSSE2 > 0 {
+		fmt.Printf(", avx2 %.2fx vs sse2", s.Int8AVX2VsSSE2)
+	}
+	fmt.Println()
+	fmt.Printf("Batched kernels, %d candidates at dim %d (per-candidate, batch vs loop):\n", kernelBatch, kernelDim)
+	fmt.Printf("  dot        %6.1f ns vs %6.1f ns   %.2fx\n", s.DotBatchNs, s.DotLoopNs, s.DotBatchSpeedup)
+	fmt.Printf("  squared-l2 %6.1f ns vs %6.1f ns   %.2fx\n", s.SqrL2BatchNs, s.SqrL2LoopNs, s.SqrL2BatchSpeedup)
+	fmt.Printf("  int8 dot   %6.1f ns vs %6.1f ns   %.2fx\n", s.Int8BatchNs, s.Int8LoopNs, s.Int8BatchSpeedup)
 	return s
+}
+
+// runKernelsMode is the standalone -kernels entry: it refreshes only the
+// cpu and kernels sections of the report, leaving every corpus-dependent
+// section exactly as the last -ingest/-cold/-mixed run wrote it. With no
+// existing report it writes a fresh shell holding just those sections.
+func runKernelsMode(jsonPath string) {
+	report := benchReport{GeneratedAt: nowStamp()}
+	if jsonPath != "" {
+		if prev, err := loadReport(jsonPath); err == nil {
+			prev.GeneratedAt = report.GeneratedAt
+			report = prev
+		}
+	}
+	report.CPU = cpuSection()
+	report.Kernels = runKernelSection()
+	if jsonPath != "" {
+		fail(writeReport(jsonPath, report))
+		fmt.Printf("\nkernels section written to %s\n", jsonPath)
+	}
 }

@@ -40,11 +40,15 @@
 // (default) and with the inline pre-background behaviour, reporting the
 // max writer stall each mode inflicted and merging a compaction section
 // into the report. Every -ingest run additionally records the machine's
-// detected CPU features and a float32 kernel microbenchmark (dispatched
-// SIMD tier versus forced scalar) in cpu and kernels sections:
+// detected CPU features and a kernel microbenchmark (dispatched SIMD tier
+// versus forced scalar, every int8 dispatch rung, and batched versus
+// single-call arena kernels) in cpu and kernels sections; -kernels
+// refreshes just those two sections without touching the
+// corpus-dependent ones:
 //
 //	pneuma-bench -compaction
 //	pneuma-bench -compaction -tables 2000 -json BENCH_retrieval.json
+//	pneuma-bench -kernels -json BENCH_retrieval.json
 package main
 
 import (
@@ -95,6 +99,7 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_retrieval.json", "write the -ingest/-cold report here (empty = skip)")
 	baselinePath := flag.String("baseline", "", "diff the -ingest/-cold report against this committed report")
 	quantize := flag.Bool("quantize", false, "add the int8 speed-tier section to -ingest: quantized latency, recall@10 vs unquantized, arena bytes")
+	kernels := flag.Bool("kernels", false, "refresh only the cpu and kernels report sections: single vs batched kernels across every dispatch tier (scalar/SSE2/AVX2, float32 and int8)")
 	mmap := flag.Bool("mmap", false, "use WithMmap for -ingest disk opens; -cold always measures the mmap series where supported")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -117,6 +122,11 @@ func main() {
 			fail(pprof.WriteHeapProfile(f))
 			f.Close()
 		}()
+	}
+
+	if *kernels {
+		runKernelsMode(*jsonPath)
+		return
 	}
 
 	if *cold {
@@ -444,6 +454,9 @@ func runIngestBench(ctx context.Context, cfg ingestConfig) {
 			}
 			if prev.Compaction != nil {
 				report.Compaction = prev.Compaction
+			}
+			if prev.Serving != nil {
+				report.Serving = prev.Serving
 			}
 		}
 		fail(writeReport(cfg.jsonPath, report))

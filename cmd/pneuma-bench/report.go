@@ -36,18 +36,26 @@ type benchReport struct {
 // comparable (an avx2 report diffed against a scalar one measures the CPU,
 // not the code), so the tier travels with the measurements.
 type cpuStats struct {
-	// Tier is the kernel set serving queries during the run; DetectedTier
-	// is what CPUID found. They differ only under a force-scalar override.
-	Tier         string   `json:"dispatch_tier"`
-	DetectedTier string   `json:"detected_tier"`
-	Features     []string `json:"features,omitempty"`
+	// Tier is the float32 kernel set serving queries during the run;
+	// DetectedTier is what CPUID found. They differ only under a
+	// force-scalar override. Int8Tier/DetectedInt8Tier are the same pair
+	// for the quantized tier's int8 dot kernel, which is detected
+	// independently (SSE2 int8 exists below the AVX2 gate).
+	Tier             string   `json:"dispatch_tier"`
+	DetectedTier     string   `json:"detected_tier"`
+	Int8Tier         string   `json:"int8_tier"`
+	DetectedInt8Tier string   `json:"detected_int8_tier"`
+	Features         []string `json:"features,omitempty"`
 }
 
-// kernelStats is the float32 kernel microbenchmark written by every
-// -ingest run: per-call latency of the two hot distance kernels at the
-// embedding dimensionality, dispatched tier versus forced scalar, over
-// identical operands. The speedups are the headline numbers for the SIMD
-// work; the end-to-end effect shows up in the query percentiles.
+// kernelStats is the kernel microbenchmark written by every -ingest run
+// (and refreshed standalone by -kernels): per-call latency of the hot
+// distance kernels at the embedding dimensionality, dispatched tier
+// versus forced scalar, over identical operands — plus the int8 quantized
+// kernel measured on every dispatch rung the CPU offers, and the batched
+// arena kernels against a loop of single calls. The speedups are the
+// headline numbers for the SIMD work; the end-to-end effect shows up in
+// the query percentiles.
 type kernelStats struct {
 	Dim            int     `json:"dim"`
 	Tier           string  `json:"tier"`
@@ -60,6 +68,34 @@ type kernelStats struct {
 	CosineScalarNs float64 `json:"cosine_scalar_ns"`
 	CosineNs       float64 `json:"cosine_ns"`
 	CosineSpeedup  float64 `json:"cosine_speedup"`
+
+	// int8 quantized-tier dot kernel, one field per dispatch rung so the
+	// report shows the whole ladder; a rung the CPU lacks is omitted.
+	// Int8Tier is the best rung (what serving dispatches to), Int8Speedup
+	// its ratio over scalar, and Int8AVX2VsSSE2 the AVX2-over-SSE2 ratio —
+	// the acceptance bar for the gated tier (present only when both rungs
+	// exist).
+	Int8Tier       string  `json:"dot_int8_tier"`
+	Int8ScalarNs   float64 `json:"dot_int8_scalar_ns"`
+	Int8SSE2Ns     float64 `json:"dot_int8_sse2_ns,omitempty"`
+	Int8AVX2Ns     float64 `json:"dot_int8_avx2_ns,omitempty"`
+	Int8Ns         float64 `json:"dot_int8_ns"`
+	Int8Speedup    float64 `json:"dot_int8_speedup"`
+	Int8AVX2VsSSE2 float64 `json:"dot_int8_avx2_vs_sse2,omitempty"`
+
+	// Batched arena kernels at BatchSize candidates, per-candidate ns on
+	// the best tier, against a loop of single kernel calls over the same
+	// arena — the dispatch-amortization win traversal banks on.
+	BatchSize         int     `json:"batch_size"`
+	DotBatchNs        float64 `json:"dot_batch_per_cand_ns"`
+	DotLoopNs         float64 `json:"dot_loop_per_cand_ns"`
+	DotBatchSpeedup   float64 `json:"dot_batch_speedup"`
+	SqrL2BatchNs      float64 `json:"squared_l2_batch_per_cand_ns"`
+	SqrL2LoopNs       float64 `json:"squared_l2_loop_per_cand_ns"`
+	SqrL2BatchSpeedup float64 `json:"squared_l2_batch_speedup"`
+	Int8BatchNs       float64 `json:"dot_int8_batch_per_cand_ns"`
+	Int8LoopNs        float64 `json:"dot_int8_loop_per_cand_ns"`
+	Int8BatchSpeedup  float64 `json:"dot_int8_batch_speedup"`
 }
 
 // compactionBench is the writer-stall record written by the -compaction

@@ -316,11 +316,12 @@ func (ix *Index) addLocked(g *graph, id string, vec []float32) {
 
 	s := scratchPool.Get().(*searchScratch)
 	defer scratchPool.Put(s)
+	s.prep(2*ix.cfg.M, false)
 
 	ep := g.entry
 	// Phase 1: greedy descent through layers above the new node's level.
 	for lvl := g.maxLvl; lvl > level; lvl-- {
-		ep = g.greedyClosest(cp, ep, lvl)
+		ep = g.greedyClosest(s, cp, ep, lvl)
 	}
 	// Phase 2: per-layer beam search + neighbour selection from min(level,
 	// maxLvl) down to 0.
@@ -502,6 +503,11 @@ func (ix *Index) SearchEf(query []float32, k, ef int) ([]Result, error) {
 
 	s := scratchPool.Get().(*searchScratch)
 	defer scratchPool.Put(s)
+	bound := 2 * ix.cfg.M
+	if ef > bound {
+		bound = ef
+	}
+	s.prep(bound, g.quant)
 
 	if g.quant {
 		return ix.searchQuantized(g, s, query, k, ef), nil
@@ -509,7 +515,7 @@ func (ix *Index) SearchEf(query []float32, k, ef int) ([]Result, error) {
 
 	ep := g.entry
 	for lvl := g.maxLvl; lvl > 0; lvl-- {
-		ep = g.greedyClosest(query, ep, lvl)
+		ep = g.greedyClosest(s, query, ep, lvl)
 	}
 	cands := g.searchLayer(s, query, ep, ef, 0)
 	qNorm := vecmath.Norm(query)
@@ -543,17 +549,23 @@ func (ix *Index) randomLevel() int {
 }
 
 // greedyClosest walks layer lvl greedily toward query from ep and returns
-// the local minimum.
-func (g *graph) greedyClosest(query []float32, ep, lvl int) int {
+// the local minimum. Each hop scores the node's whole adjacency list with
+// one batched call — the list is an immutable-once-published []int32 of
+// arena slots, so it feeds SquaredL2Batch directly with no copy. Scanning
+// the scores in list order with the same strict comparison reproduces the
+// per-neighbor walk exactly.
+func (g *graph) greedyClosest(s *searchScratch, query []float32, ep, lvl int) int {
 	cur := ep
 	curDist := vecmath.SquaredL2(query, g.vecAt(cur))
 	for {
 		improved := false
 		nbs := g.links[cur]
-		if lvl < len(nbs) {
-			for _, nb := range nbs[lvl] {
-				d := vecmath.SquaredL2(query, g.vecAt(int(nb)))
-				if d < curDist {
+		if lvl < len(nbs) && len(nbs[lvl]) > 0 {
+			adj := nbs[lvl]
+			dists := s.distBuf(len(adj))
+			vecmath.SquaredL2Batch(query, g.vecs, g.dim, adj, dists)
+			for j, nb := range adj {
+				if d := dists[j]; d < curDist {
 					cur, curDist = int(nb), d
 					improved = true
 				}
@@ -637,14 +649,52 @@ type searchScratch struct {
 	cands   candHeap // min-heap: next candidate to expand
 	results candHeap // max-heap: worst of the ef best so far on top
 	out     []cand
-	qvec    []int8 // quantized-query codes (Quantize searches only)
-	resc    []cand // exact-rescore buffer (Quantize searches only)
+	qvec    []int8    // quantized-query codes (Quantize searches only)
+	resc    []cand    // exact-rescore buffer (Quantize searches only)
+	batch   []int32   // unvisited-candidate collect buffer for batched scoring
+	dists   []float32 // batched float32 distance/dot outputs
+	qdots   []int32   // batched int8 dot outputs (Quantize searches only)
 }
 
 var scratchPool = sync.Pool{
 	New: func() any {
 		return &searchScratch{results: candHeap{max: true}}
 	},
+}
+
+// prep sizes the batched-scoring buffers up front for a search whose
+// collect sets are bounded by n (the layer-0 adjacency cap, or the beam
+// width if wider), so a fresh scratch pays one fixed allocation per
+// buffer instead of regrowing them mid-search. quant additionally sizes
+// the int8 dot output buffer.
+func (s *searchScratch) prep(n int, quant bool) {
+	if cap(s.batch) < n {
+		s.batch = make([]int32, 0, n)
+	}
+	if cap(s.dists) < n {
+		s.dists = make([]float32, n)
+	}
+	if quant && cap(s.qdots) < n {
+		s.qdots = make([]int32, n)
+	}
+}
+
+// distBuf returns a float32 output buffer with room for n batched scores,
+// reusing (and growing) the pooled backing array so steady-state searches
+// allocate nothing.
+func (s *searchScratch) distBuf(n int) []float32 {
+	if cap(s.dists) < n {
+		s.dists = make([]float32, n)
+	}
+	return s.dists[:n]
+}
+
+// qdotBuf is distBuf for the quantized tier's int32 dot products.
+func (s *searchScratch) qdotBuf(n int) []int32 {
+	if cap(s.qdots) < n {
+		s.qdots = make([]int32, n)
+	}
+	return s.qdots[:n]
 }
 
 // begin readies the scratch for a search over n node slots: both heaps are
@@ -669,8 +719,14 @@ func (s *searchScratch) begin(n int) {
 }
 
 // searchLayer is Algorithm 2: ef-bounded best-first search on one layer.
-// The result is sorted ascending by distance and aliases s.out — it is
-// valid only until the next search using the same scratch.
+// Neighbor expansion is batched: the unvisited part of the adjacency list
+// is collected first, scored with one SquaredL2Batch call against the
+// vector arena, then pushed in list order. The batched kernels are
+// bit-identical to single calls and scoring has no side effects, so the
+// heap evolves exactly as it did when each neighbor was scored inline —
+// results are unchanged, only the per-neighbor dispatch and call overhead
+// is gone. The result is sorted ascending by distance and aliases
+// s.out — it is valid only until the next search using the same scratch.
 func (g *graph) searchLayer(s *searchScratch, query []float32, ep, ef, lvl int) []cand {
 	s.begin(len(g.ids))
 	s.visited[ep] = s.epoch
@@ -685,12 +741,22 @@ func (g *graph) searchLayer(s *searchScratch, query []float32, ep, ef, lvl int) 
 		}
 		nbs := g.links[c.idx]
 		if lvl < len(nbs) {
+			batch := s.batch[:0]
 			for _, nb := range nbs[lvl] {
 				if s.visited[nb] == s.epoch {
 					continue
 				}
 				s.visited[nb] = s.epoch
-				d := vecmath.SquaredL2(query, g.vecAt(int(nb)))
+				batch = append(batch, nb)
+			}
+			s.batch = batch
+			if len(batch) == 0 {
+				continue
+			}
+			dists := s.distBuf(len(batch))
+			vecmath.SquaredL2Batch(query, g.vecs, g.dim, batch, dists)
+			for j, nb := range batch {
+				d := dists[j]
 				if s.results.len() < ef || d < s.results.top().dist {
 					s.cands.push(cand{nb, d})
 					s.results.push(cand{nb, d})

@@ -154,24 +154,36 @@ func (s *searchScratch) quantizeQuery(query []float32) qquery {
 // has a fixed evaluation order, so distances are deterministic run to
 // run.
 func (g *graph) qdist(q *qquery, i int) float32 {
-	qd := vecmath.DotInt8(q.vec, g.qvecAt(i))
+	return g.qdistWith(q, i, vecmath.DotInt8(q.vec, g.qvecAt(i)))
+}
+
+// qdistWith is qdist with the int8 dot product already in hand — the
+// shared tail of the single and batched scoring paths. The float32
+// combination has a fixed evaluation order, so a batched caller gets the
+// exact distance qdist would compute (DotInt8Batch is bit-identical to
+// DotInt8 by the integer-exactness argument on the kernel).
+func (g *graph) qdistWith(q *qquery, i int, qd int32) float32 {
 	sc := g.qscale[i]
 	cross := q.cDot*sc*float32(qd) + q.cOff*g.qoff[i] + q.cSum*sc*float32(g.qsum[i])
 	n := g.norms[i]
 	return q.norm2 + n*n - cross
 }
 
-// greedyClosestQ is greedyClosest on the int8 arena.
-func (g *graph) greedyClosestQ(q *qquery, ep, lvl int) int {
+// greedyClosestQ is greedyClosest on the int8 arena: each hop scores the
+// whole adjacency list with one DotInt8Batch call, then folds the
+// per-candidate constants in list order.
+func (g *graph) greedyClosestQ(s *searchScratch, q *qquery, ep, lvl int) int {
 	cur := ep
 	curDist := g.qdist(q, cur)
 	for {
 		improved := false
 		nbs := g.links[cur]
-		if lvl < len(nbs) {
-			for _, nb := range nbs[lvl] {
-				d := g.qdist(q, int(nb))
-				if d < curDist {
+		if lvl < len(nbs) && len(nbs[lvl]) > 0 {
+			adj := nbs[lvl]
+			qds := s.qdotBuf(len(adj))
+			vecmath.DotInt8Batch(q.vec, g.qvecs, g.dim, adj, qds)
+			for j, nb := range adj {
+				if d := g.qdistWith(q, int(nb), qds[j]); d < curDist {
 					cur, curDist = int(nb), d
 					improved = true
 				}
@@ -185,7 +197,9 @@ func (g *graph) greedyClosestQ(q *qquery, ep, lvl int) int {
 
 // searchLayerQ is searchLayer (Algorithm 2) on the int8 arena. The body is
 // duplicated rather than parameterized by a distance closure so the hot
-// loop stays free of indirect calls and allocations.
+// loop stays free of indirect calls and allocations. Neighbor expansion is
+// batched exactly like searchLayer's: collect the unvisited candidate
+// block, one DotInt8Batch call, then push in list order.
 func (g *graph) searchLayerQ(s *searchScratch, q *qquery, ep, ef, lvl int) []cand {
 	s.begin(len(g.ids))
 	s.visited[ep] = s.epoch
@@ -200,12 +214,22 @@ func (g *graph) searchLayerQ(s *searchScratch, q *qquery, ep, ef, lvl int) []can
 		}
 		nbs := g.links[c.idx]
 		if lvl < len(nbs) {
+			batch := s.batch[:0]
 			for _, nb := range nbs[lvl] {
 				if s.visited[nb] == s.epoch {
 					continue
 				}
 				s.visited[nb] = s.epoch
-				d := g.qdist(q, int(nb))
+				batch = append(batch, nb)
+			}
+			s.batch = batch
+			if len(batch) == 0 {
+				continue
+			}
+			qds := s.qdotBuf(len(batch))
+			vecmath.DotInt8Batch(q.vec, g.qvecs, g.dim, batch, qds)
+			for j, nb := range batch {
+				d := g.qdistWith(q, int(nb), qds[j])
 				if s.results.len() < ef || d < s.results.top().dist {
 					s.cands.push(cand{nb, d})
 					s.results.push(cand{nb, d})
@@ -238,7 +262,7 @@ func (ix *Index) searchQuantized(g *graph, s *searchScratch, query []float32, k,
 	q := s.quantizeQuery(query)
 	ep := g.entry
 	for lvl := g.maxLvl; lvl > 0; lvl-- {
-		ep = g.greedyClosestQ(&q, ep, lvl)
+		ep = g.greedyClosestQ(s, &q, ep, lvl)
 	}
 	// Rescore the top k·RescoreFactor beam candidates, capped by the beam
 	// itself: a wider rescore cannot recover vectors the beam never
@@ -248,17 +272,32 @@ func (ix *Index) searchQuantized(g *graph, s *searchScratch, query []float32, k,
 	rescore := k * ix.cfg.RescoreFactor
 	cands := g.searchLayerQ(s, &q, ep, ef, 0)
 
-	resc := s.resc[:0]
+	// The rescore set is scored with one DotBatch call over the float32
+	// arena; dividing by the stored norms afterwards reproduces
+	// CosineWithNorms exactly (same guard, same single division, and
+	// DotBatch is bit-identical to Dot), so rescored values match the
+	// unquantized path's scores bit for bit.
+	batch := s.batch[:0]
 	for _, c := range cands {
-		ci := int(c.idx)
-		if g.deleted[ci] {
+		if g.deleted[c.idx] {
 			continue
 		}
-		// Negated score as distance: the shared cand sort orders ascending.
-		resc = append(resc, cand{c.idx, -vecmath.CosineWithNorms(query, g.vecAt(ci), q.norm, g.norms[ci])})
-		if len(resc) == rescore {
+		batch = append(batch, c.idx)
+		if len(batch) == rescore {
 			break
 		}
+	}
+	s.batch = batch
+	dots := s.distBuf(len(batch))
+	vecmath.DotBatch(query, g.vecs, g.dim, batch, dots)
+	resc := s.resc[:0]
+	for j, ci := range batch {
+		var score float32
+		if q.norm != 0 && g.norms[ci] != 0 {
+			score = dots[j] / (q.norm * g.norms[ci])
+		}
+		// Negated score as distance: the shared cand sort orders ascending.
+		resc = append(resc, cand{ci, -score})
 	}
 	s.resc = resc
 	g.sortRescored(resc)

@@ -1,13 +1,13 @@
 // Package vecmath provides the small float32 vector kernels used by the
 // embedder and the HNSW index — dot product, norms, cosine similarity,
 // squared Euclidean distance — plus the int8 dot product behind the
-// quantized speed tier.
+// quantized speed tier, each in single-pair and batched-arena form.
 //
 // # Dispatch tiers
 //
-// The float32 kernels (Dot, SquaredL2, and through them Norm and
-// CosineWithNorms) run on one of three dispatch tiers, selected once at
-// init through an atomic function-pointer seam:
+// The float32 kernels (Dot, SquaredL2, their batched forms, and through
+// Dot also Norm and CosineWithNorms) run on one of three dispatch tiers,
+// selected once at init through an atomic function-pointer seam:
 //
 //   - "avx2" on amd64, when CPUID reports AVX2 and the OS has enabled YMM
 //     state (OSXSAVE + XCR0); unlike the int8 kernel's SSE2, AVX2 is not
@@ -17,6 +17,31 @@
 //   - "scalar" everywhere else, under the purego build tag, when the
 //     PNEUMA_FORCE_SCALAR environment variable is set, or after
 //     ForceScalar(true).
+//
+// The int8 kernels (DotInt8, DotInt8Batch) have their own ladder,
+// detected independently and swapped through the same seam: "avx2"
+// (CPUID-gated, 32 lanes per iteration) above the ungated "sse2" baseline
+// on amd64, "scalar" elsewhere. Tier/Int8Tier report the pair serving
+// calls; ForceTiers pins any listed pairing for benchmarks and
+// differential tests.
+//
+// # Batched arena kernels
+//
+// DotBatch, SquaredL2Batch and DotInt8Batch score one query against many
+// candidates resident in a contiguous arena: candidate j is the window
+// arena[idxs[j]*stride : idxs[j]*stride+len(q)], its score lands in
+// out[j], and stride (in elements, ≥ len(q)) is the arena's row pitch.
+// This is exactly the struct-of-arrays layout the HNSW index stores, so
+// traversal hands an adjacency list to the kernel with no copying. The
+// SIMD batch kernels run the candidate loop inside the assembly — the
+// dispatch load and call overhead are paid once per batch, the query
+// stays hot in registers, and the next candidate's leading cache lines
+// are software-prefetched while the current one is scored. Batched
+// results are bit-identical to a loop of single-kernel calls at every
+// length, on every tier: the per-candidate math is the same canonical
+// scheme, only the loop around it moves. Malformed batches (short out,
+// stride below the query length, an index whose window leaves the arena)
+// panic up front, which is what lets the assembly run unchecked loads.
 //
 // # The determinism contract
 //

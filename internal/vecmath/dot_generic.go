@@ -2,8 +2,8 @@
 
 package vecmath
 
-// dotInt8Kernel dispatches to the portable scalar kernel on platforms
-// without an assembly implementation.
-func dotInt8Kernel(a, b []int8) int32 {
-	return dotInt8Scalar(a, b)
-}
+// detectInt8Tiers on platforms without int8 assembly (arm64 included —
+// the NEON rung there covers float32 only so far) offers just the
+// portable scalar half. Integer math is exact, so this differs from the
+// amd64 tiers in speed only.
+func detectInt8Tiers() []int8Kernels { return []int8Kernels{scalarInt8} }

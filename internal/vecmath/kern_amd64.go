@@ -23,6 +23,21 @@ func dotAVX2(a, b *float32, n int) float32
 //go:noescape
 func sqL2AVX2(a, b *float32, n int) float32
 
+// dotBatchAVX2 and sqL2BatchAVX2 are the batched AVX2 kernels
+// (kern_amd64.s): one call scores the query against n arena candidates,
+// running the identical per-candidate lane scheme as the single kernels
+// with the candidate loop folded into the assembly — the dispatch load,
+// call overhead and reduction spills are paid once per batch, and the
+// next candidate's first cache lines are software-prefetched while the
+// current one is scored. They require n > 0, dim > 0, and pre-validated
+// indices (the Go wrappers and checkBatch enforce that).
+//
+//go:noescape
+func dotBatchAVX2(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+
+//go:noescape
+func sqL2BatchAVX2(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+
 func dotAVX2Kernel(a, b []float32) float32 {
 	if len(a) == 0 {
 		return 0
@@ -35,6 +50,14 @@ func sqL2AVX2Kernel(a, b []float32) float32 {
 		return 0
 	}
 	return sqL2AVX2(&a[0], &b[0], len(a))
+}
+
+func dotBatchAVX2Kernel(q, arena []float32, stride int, idxs []int32, out []float32) {
+	dotBatchAVX2(&q[0], &arena[0], stride, &idxs[0], len(idxs), len(q), &out[0])
+}
+
+func sqL2BatchAVX2Kernel(q, arena []float32, stride int, idxs []int32, out []float32) {
+	sqL2BatchAVX2(&q[0], &arena[0], stride, &idxs[0], len(idxs), len(q), &out[0])
 }
 
 // amd64 CPU feature bits consulted by the dispatch gate.
@@ -80,14 +103,16 @@ func probeCPU() cpuFlags {
 	return f
 }
 
-// detectKernels picks the best dispatch tier this CPU can run: AVX2 when
-// feature-detected and OS-enabled, scalar otherwise. The int8 kernel is
-// not gated here — SSE2 is in the amd64 baseline.
-func detectKernels() *kernelSet {
+// detectFloatTiers lists the float32 tiers this CPU can run, best first:
+// AVX2 when feature-detected and OS-enabled, then the scalar fallback.
+func detectFloatTiers() []floatKernels {
 	if flags.avx2Usable {
-		return &kernelSet{name: "avx2", dot: dotAVX2Kernel, sqL2: sqL2AVX2Kernel}
+		return []floatKernels{
+			{name: "avx2", dot: dotAVX2Kernel, sqL2: sqL2AVX2Kernel, dotBatch: dotBatchAVX2Kernel, sqL2Batch: sqL2BatchAVX2Kernel},
+			scalarFloat,
+		}
 	}
-	return scalarSet
+	return []floatKernels{scalarFloat}
 }
 
 func cpuFeatures() []string {

@@ -109,6 +109,158 @@ done:
 	MOVSS X0, ret+24(FP)
 	RET
 
+// Batched AVX2 float32 kernels. One call scores the query against n
+// arena candidates: candidate j lives at arena + idxs[j]*stride*4 and its
+// score lands in out[j]. The per-candidate inner loop is byte-for-byte
+// the single-kernel scheme above (same lanes, same reduction, same scalar
+// tail, no FMA), so each out[j] is bit-identical to a single-kernel call;
+// the batch only moves the candidate loop into assembly — argument
+// marshalling and the dispatch load are paid once, the query pointer
+// stays in a register, and the next candidate's first two cache lines are
+// prefetched while the current one is scored. Requires n > 0 and dim > 0;
+// indices must be pre-validated (the Go wrapper checks them against the
+// arena bounds).
+
+// func dotBatchAVX2(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+TEXT ·dotBatchAVX2(SB), NOSPLIT, $0-56
+	MOVQ q+0(FP), SI
+	MOVQ arena+8(FP), DX
+	MOVQ stride+16(FP), R8
+	SHLQ $2, R8            // stride in bytes
+	MOVQ idxs+24(FP), R9
+	MOVQ n+32(FP), R10
+	MOVQ dim+40(FP), R11
+	MOVQ out+48(FP), R12
+
+outer:
+	MOVLQSX (R9), AX       // current candidate index
+	IMULQ R8, AX
+	LEAQ (DX)(AX*1), DI    // candidate pointer
+	CMPQ R10, $2
+	JLT  inner             // last candidate: nothing to prefetch
+	MOVLQSX 4(R9), BX      // next candidate index
+	IMULQ R8, BX
+	PREFETCHT0 (DX)(BX*1)
+	PREFETCHT0 64(DX)(BX*1)
+
+inner:
+	MOVQ SI, R13           // rewind query pointer
+	MOVQ R11, CX
+	VXORPS Y0, Y0, Y0
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   reduce
+
+blocks:
+	VMOVUPS (R13), Y1
+	VMOVUPS (DI), Y2
+	VMULPS  Y2, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	ADDQ $32, R13
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  blocks
+
+reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VADDSS  X1, X0, X0
+	ANDQ $7, CX
+	JZ   store
+
+tail:
+	VMOVSS (R13), X2
+	VMOVSS (DI), X3
+	VMULSS X3, X2, X2
+	VADDSS X2, X0, X0
+	ADDQ $4, R13
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  tail
+
+store:
+	VMOVSS X0, (R12)
+	ADDQ $4, R12
+	ADDQ $4, R9
+	DECQ R10
+	JNZ  outer
+	VZEROUPPER
+	RET
+
+// func sqL2BatchAVX2(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+TEXT ·sqL2BatchAVX2(SB), NOSPLIT, $0-56
+	MOVQ q+0(FP), SI
+	MOVQ arena+8(FP), DX
+	MOVQ stride+16(FP), R8
+	SHLQ $2, R8
+	MOVQ idxs+24(FP), R9
+	MOVQ n+32(FP), R10
+	MOVQ dim+40(FP), R11
+	MOVQ out+48(FP), R12
+
+outer:
+	MOVLQSX (R9), AX
+	IMULQ R8, AX
+	LEAQ (DX)(AX*1), DI
+	CMPQ R10, $2
+	JLT  inner
+	MOVLQSX 4(R9), BX
+	IMULQ R8, BX
+	PREFETCHT0 (DX)(BX*1)
+	PREFETCHT0 64(DX)(BX*1)
+
+inner:
+	MOVQ SI, R13
+	MOVQ R11, CX
+	VXORPS Y0, Y0, Y0
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   reduce
+
+blocks:
+	VMOVUPS (R13), Y1
+	VMOVUPS (DI), Y2
+	VSUBPS  Y2, Y1, Y1
+	VMULPS  Y1, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	ADDQ $32, R13
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  blocks
+
+reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VADDSS  X1, X0, X0
+	ANDQ $7, CX
+	JZ   store
+
+tail:
+	VMOVSS (R13), X2
+	VMOVSS (DI), X3
+	VSUBSS X3, X2, X2
+	VMULSS X2, X2, X2
+	VADDSS X2, X0, X0
+	ADDQ $4, R13
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  tail
+
+store:
+	VMOVSS X0, (R12)
+	ADDQ $4, R12
+	ADDQ $4, R9
+	DECQ R10
+	JNZ  outer
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

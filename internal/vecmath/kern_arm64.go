@@ -15,6 +15,18 @@ func dotNEON(a, b *float32, n int) float32
 //go:noescape
 func sqL2NEON(a, b *float32, n int) float32
 
+// dotBatchNEON and sqL2BatchNEON are the batched NEON kernels
+// (kern_arm64.s): the candidate loop runs inside the assembly with the
+// same per-candidate lane scheme as the single kernels, prefetching the
+// next candidate's first cache lines while the current one is scored.
+// They require n > 0, dim > 0, and pre-validated indices.
+//
+//go:noescape
+func dotBatchNEON(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+
+//go:noescape
+func sqL2BatchNEON(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+
 func dotNEONKernel(a, b []float32) float32 {
 	if len(a) == 0 {
 		return 0
@@ -29,10 +41,21 @@ func sqL2NEONKernel(a, b []float32) float32 {
 	return sqL2NEON(&a[0], &b[0], len(a))
 }
 
-// detectKernels on arm64 needs no probe: Advanced SIMD (NEON) is part of
-// the ARMv8-A baseline Go requires, so the NEON tier is always usable.
-func detectKernels() *kernelSet {
-	return &kernelSet{name: "neon", dot: dotNEONKernel, sqL2: sqL2NEONKernel}
+func dotBatchNEONKernel(q, arena []float32, stride int, idxs []int32, out []float32) {
+	dotBatchNEON(&q[0], &arena[0], stride, &idxs[0], len(idxs), len(q), &out[0])
+}
+
+func sqL2BatchNEONKernel(q, arena []float32, stride int, idxs []int32, out []float32) {
+	sqL2BatchNEON(&q[0], &arena[0], stride, &idxs[0], len(idxs), len(q), &out[0])
+}
+
+// detectFloatTiers on arm64 needs no probe: Advanced SIMD (NEON) is part
+// of the ARMv8-A baseline Go requires, so the NEON tier is always usable.
+func detectFloatTiers() []floatKernels {
+	return []floatKernels{
+		{name: "neon", dot: dotNEONKernel, sqL2: sqL2NEONKernel, dotBatch: dotBatchNEONKernel, sqL2Batch: sqL2BatchNEONKernel},
+		scalarFloat,
+	}
 }
 
 func cpuFeatures() []string { return []string{"neon"} }

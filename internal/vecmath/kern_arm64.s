@@ -103,3 +103,148 @@ tail:
 done:
 	FMOVS F0, ret+24(FP)
 	RET
+
+// Batched NEON float32 kernels. One call scores the query against n
+// arena candidates: candidate j lives at arena + idxs[j]*stride*4 and its
+// score lands in out[j]. The per-candidate inner loop is instruction-for-
+// instruction the single-kernel scheme above (the WORD-encoded vector ops
+// fix V0–V5 and load through R0/R1, so the batch keeps those as the
+// moving inner pointers and holds batch state in R7–R13), making each
+// out[j] bit-identical to a single-kernel call. The batch amortizes the
+// call overhead, keeps the query base hot in a register, and PRFM-
+// prefetches the next candidate's first two cache lines while the current
+// one is scored. Requires n > 0 and dim > 0; indices are pre-validated by
+// the Go wrapper.
+
+// func dotBatchNEON(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+TEXT ·dotBatchNEON(SB), NOSPLIT, $0-56
+	MOVD q+0(FP), R7
+	MOVD arena+8(FP), R8
+	MOVD stride+16(FP), R9
+	LSL  $2, R9            // stride in bytes
+	MOVD idxs+24(FP), R10
+	MOVD n+32(FP), R11
+	MOVD dim+40(FP), R12
+	MOVD out+48(FP), R13
+
+outer:
+	MOVW (R10), R1         // current candidate index (sign-extended)
+	MUL  R9, R1, R1
+	ADD  R8, R1, R1        // candidate pointer
+	CMP  $2, R11
+	BLT  inner             // last candidate: nothing to prefetch
+	MOVW 4(R10), R4        // next candidate index
+	MUL  R9, R4, R4
+	ADD  R8, R4, R4
+	PRFM (R4), PLDL1KEEP
+	PRFM 64(R4), PLDL1KEEP
+
+inner:
+	MOVD R7, R0            // rewind query pointer
+	MOVD R12, R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3
+	CBZ  R3, reduce
+
+blocks:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	WORD $0x6E24DC42 // FMUL V2.4S, V2.4S, V4.4S
+	WORD $0x6E25DC63 // FMUL V3.4S, V3.4S, V5.4S
+	WORD $0x4E22D400 // FADD V0.4S, V0.4S, V2.4S
+	WORD $0x4E23D421 // FADD V1.4S, V1.4S, V3.4S
+	SUBS $1, R3, R3
+	BNE  blocks
+
+reduce:
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	FADDS F1, F0, F0
+	ANDS $7, R2, R2
+	BEQ  store
+
+tail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FMULS F3, F2, F2
+	FADDS F2, F0, F0
+	SUBS $1, R2, R2
+	BNE  tail
+
+store:
+	FMOVS.P F0, 4(R13)
+	ADD  $4, R10, R10
+	SUBS $1, R11, R11
+	BNE  outer
+	RET
+
+// func sqL2BatchNEON(q, arena *float32, stride int, idxs *int32, n, dim int, out *float32)
+TEXT ·sqL2BatchNEON(SB), NOSPLIT, $0-56
+	MOVD q+0(FP), R7
+	MOVD arena+8(FP), R8
+	MOVD stride+16(FP), R9
+	LSL  $2, R9
+	MOVD idxs+24(FP), R10
+	MOVD n+32(FP), R11
+	MOVD dim+40(FP), R12
+	MOVD out+48(FP), R13
+
+outer:
+	MOVW (R10), R1
+	MUL  R9, R1, R1
+	ADD  R8, R1, R1
+	CMP  $2, R11
+	BLT  inner
+	MOVW 4(R10), R4
+	MUL  R9, R4, R4
+	ADD  R8, R4, R4
+	PRFM (R4), PLDL1KEEP
+	PRFM 64(R4), PLDL1KEEP
+
+inner:
+	MOVD R7, R0
+	MOVD R12, R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3
+	CBZ  R3, reduce
+
+blocks:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	WORD $0x4EA4D442 // FSUB V2.4S, V2.4S, V4.4S (d = a - b)
+	WORD $0x4EA5D463 // FSUB V3.4S, V3.4S, V5.4S
+	WORD $0x6E22DC42 // FMUL V2.4S, V2.4S, V2.4S (d*d)
+	WORD $0x6E23DC63 // FMUL V3.4S, V3.4S, V3.4S
+	WORD $0x4E22D400 // FADD V0.4S, V0.4S, V2.4S
+	WORD $0x4E23D421 // FADD V1.4S, V1.4S, V3.4S
+	SUBS $1, R3, R3
+	BNE  blocks
+
+reduce:
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E20D400 // FADDP V0.4S, V0.4S, V0.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	WORD $0x6E21D421 // FADDP V1.4S, V1.4S, V1.4S
+	FADDS F1, F0, F0
+	ANDS $7, R2, R2
+	BEQ  store
+
+tail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FSUBS F3, F2, F2
+	FMULS F2, F2, F2
+	FADDS F2, F0, F0
+	SUBS $1, R2, R2
+	BNE  tail
+
+store:
+	FMOVS.P F0, 4(R13)
+	ADD  $4, R10, R10
+	SUBS $1, R11, R11
+	BNE  outer
+	RET

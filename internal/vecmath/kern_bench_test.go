@@ -78,3 +78,69 @@ func BenchmarkKernels(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchKernels compares one batched call against a loop of
+// single calls at the traversal shape that matters: one query scored
+// against an HNSW adjacency list (32 neighbors) at the default embedding
+// width. The batched/single ratio is the dispatch-amortization win the
+// traversal layer banks on; per-op time is normalized per candidate via
+// b.N*batch iterations so the two shapes read on the same scale.
+func BenchmarkBatchKernels(b *testing.B) {
+	const dim, rows, batch = 384, 64, 32
+	q := make([]float32, dim)
+	arena := make([]float32, rows*dim)
+	q8 := make([]int8, dim)
+	arena8 := make([]int8, rows*dim)
+	for i := range arena {
+		arena[i] = float32(i%97) * 0.013
+	}
+	for i := range arena8 {
+		arena8[i] = int8(i%251 - 125)
+	}
+	for i := 0; i < dim; i++ {
+		q[i] = float32(i) * 0.007
+		q8[i] = int8(i*5 - 90)
+	}
+	idxs := make([]int32, batch)
+	for j := range idxs {
+		idxs[j] = int32((j * 29) % rows)
+	}
+	outF := make([]float32, batch)
+	out8 := make([]int32, batch)
+	perCand := int64(2 * 4 * dim)
+
+	b.Run(fmt.Sprintf("DotBatch/%s/%d", DetectedTier(), dim), func(b *testing.B) {
+		b.SetBytes(perCand * batch)
+		for i := 0; i < b.N; i++ {
+			DotBatch(q, arena, dim, idxs, outF)
+		}
+	})
+	b.Run(fmt.Sprintf("DotLoop/%s/%d", DetectedTier(), dim), func(b *testing.B) {
+		b.SetBytes(perCand * batch)
+		for i := 0; i < b.N; i++ {
+			for _, ix := range idxs {
+				sinkF = Dot(q, arena[int(ix)*dim:int(ix)*dim+dim])
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("SquaredL2Batch/%s/%d", DetectedTier(), dim), func(b *testing.B) {
+		b.SetBytes(perCand * batch)
+		for i := 0; i < b.N; i++ {
+			SquaredL2Batch(q, arena, dim, idxs, outF)
+		}
+	})
+	b.Run(fmt.Sprintf("DotInt8Batch/%s/%d", DetectedInt8Tier(), dim), func(b *testing.B) {
+		b.SetBytes(int64(2*dim) * batch)
+		for i := 0; i < b.N; i++ {
+			DotInt8Batch(q8, arena8, dim, idxs, out8)
+		}
+	})
+	b.Run(fmt.Sprintf("DotInt8Loop/%s/%d", DetectedInt8Tier(), dim), func(b *testing.B) {
+		b.SetBytes(int64(2*dim) * batch)
+		for i := 0; i < b.N; i++ {
+			for _, ix := range idxs {
+				sinkI = DotInt8(q8, arena8[int(ix)*dim:int(ix)*dim+dim])
+			}
+		}
+	})
+}

@@ -2,9 +2,10 @@
 
 package vecmath
 
-// detectKernels on architectures without a SIMD kernel (or with the
-// purego tag) selects the scalar tier; results are identical everywhere
-// by the canonical lane-scheme contract, so only throughput differs.
-func detectKernels() *kernelSet { return scalarSet }
+// detectFloatTiers on architectures without a SIMD kernel (or with the
+// purego tag) offers only the scalar tier; results are identical
+// everywhere by the canonical lane-scheme contract, so only throughput
+// differs.
+func detectFloatTiers() []floatKernels { return []floatKernels{scalarFloat} }
 
 func cpuFeatures() []string { return nil }

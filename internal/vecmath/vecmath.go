@@ -141,17 +141,19 @@ func CosineWithNorms(a, b []float32, na, nb float32) float32 {
 // int32. It is the scoring kernel of the quantized HNSW fast path: with
 // components in [-127, 127] the accumulator is exact for any dimension up
 // to 2^31/127^2 (≈133k), far beyond any embedding width here, so the
-// result is bit-identical across the SIMD and scalar implementations. On
-// amd64 the body is an SSE2 kernel (16 lanes per iteration via PMADDWD —
-// SSE2 is in the amd64 baseline, so there is no feature gate, unlike the
-// AVX2 float32 kernels); elsewhere it is the unrolled scalar loop of
-// dotInt8Scalar. Integer arithmetic has no rounding, so the dispatch never
-// changes results, only speed. Panics if lengths differ, like Dot.
+// result is bit-identical across every implementation. Like the float32
+// kernels it runs on the active dispatch tier (see Int8Tier): on amd64 an
+// AVX2 kernel when CPUID allows (32 lanes per iteration, sign-extended
+// pair-sums into int32 lanes) above an SSE2 baseline kernel (16 lanes via
+// PMADDWD — SSE2 needs no feature gate on amd64); elsewhere the unrolled
+// scalar loop of dotInt8Scalar. Integer arithmetic has no rounding, so the
+// dispatch never changes results, only speed. Panics if lengths differ,
+// like Dot.
 func DotInt8(a, b []int8) int32 {
 	if len(a) != len(b) {
 		panic("vecmath: dimension mismatch")
 	}
-	return dotInt8Kernel(a, b)
+	return active.Load().dotInt8(a, b)
 }
 
 // dotInt8Scalar is the portable reference implementation of DotInt8: the
